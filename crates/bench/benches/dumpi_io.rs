@@ -1,0 +1,23 @@
+//! Dumpi-like trace format bench: serialization and parsing throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use netloc_mpi::{parse_trace, write_trace};
+use netloc_workloads::App;
+use std::hint::black_box;
+
+fn bench_dumpi(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dumpi_io");
+    let trace = App::BoxlibCns.generate(256);
+    let text = write_trace(&trace);
+    g.throughput(Throughput::Bytes(text.len() as u64));
+    g.bench_function("write_cns256", |b| {
+        b.iter(|| black_box(write_trace(&trace)))
+    });
+    g.bench_function("parse_cns256", |b| {
+        b.iter(|| black_box(parse_trace(&text).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dumpi);
+criterion_main!(benches);

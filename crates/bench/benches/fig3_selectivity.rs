@@ -1,0 +1,32 @@
+//! Figures 1, 3 and 4 bench: per-rank volume profiles and cumulative
+//! selectivity curves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netloc_core::metrics::selectivity::SelectivityCurve;
+use netloc_core::TrafficMatrix;
+use netloc_workloads::App;
+use std::hint::black_box;
+
+fn bench_selectivity_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_selectivity");
+
+    let tm = TrafficMatrix::from_trace_p2p(&App::Lulesh.generate(64));
+    g.bench_function("fig1_profile_lulesh64_rank0", |b| {
+        b.iter(|| black_box(tm.out_profile(0)))
+    });
+
+    let tm_amg = TrafficMatrix::from_trace_p2p(&App::Amg.generate(216));
+    g.bench_function("curve_amg216", |b| {
+        b.iter(|| black_box(SelectivityCurve::compute(&tm_amg)))
+    });
+
+    g.sample_size(10);
+    g.bench_function("fig4_amg_all_scales", |b| {
+        b.iter(|| black_box(netloc_bench::fig4_amg_curves()))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_selectivity_figures);
+criterion_main!(benches);

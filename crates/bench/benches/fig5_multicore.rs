@@ -1,0 +1,25 @@
+//! Figure 5 bench: inter-node traffic under consecutive multi-core packing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netloc_core::{multicore, TrafficMatrix};
+use netloc_workloads::App;
+use std::hint::black_box;
+
+fn bench_multicore(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_multicore");
+    let tm = TrafficMatrix::from_trace_full(&App::Lulesh.generate(512));
+    for cores in [1u32, 8, 48] {
+        g.bench_with_input(
+            BenchmarkId::new("internode_lulesh512", cores),
+            &cores,
+            |b, &cores| b.iter(|| black_box(multicore::internode_bytes(&tm, cores))),
+        );
+    }
+    g.bench_function("curve_lulesh512", |b| {
+        b.iter(|| black_box(multicore::multicore_curve(&tm, &multicore::CORE_SWEEP)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_multicore);
+criterion_main!(benches);

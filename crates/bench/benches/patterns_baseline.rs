@@ -1,0 +1,51 @@
+//! Synthetic-pattern baselines: the classic network-evaluation patterns
+//! replayed through the Table 2 topologies. Their hop statistics bound the
+//! proxy apps (uniform random ≈ zero locality, neighbor ≈ maximal) and
+//! provide analytically checkable reference numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netloc_core::{analyze_network, patterns, TrafficMatrix};
+use netloc_topology::{ConfigCatalog, Mapping, Topology};
+use rand::SeedableRng as _;
+use std::hint::black_box;
+
+fn bench_patterns(c: &mut Criterion) {
+    let mut g = c.benchmark_group("patterns_baseline");
+    g.sample_size(20);
+
+    let n = 216u32;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+    let pats: Vec<(&str, TrafficMatrix)> = vec![
+        ("uniform", patterns::uniform_random(n, 4096, 64, &mut rng)),
+        ("transpose", patterns::transpose(n, 4096, 64)),
+        ("tornado", patterns::tornado(n, 4096, 64)),
+        ("bitrev", patterns::bit_reversal(n, 4096, 64)),
+        ("neighbor", patterns::neighbor_ring(n, 4096, 64)),
+    ];
+    let cfg = ConfigCatalog::for_ranks(n as usize);
+    let torus = cfg.build_torus();
+    let ft = cfg.build_fattree();
+    let df = cfg.build_dragonfly();
+
+    // Emit the baseline table once so bench output documents the numbers.
+    println!("[patterns @ {n}] avg hops (torus / fat tree / dragonfly):");
+    for (name, tm) in &pats {
+        let mut row = Vec::new();
+        for topo in [&torus as &dyn Topology, &ft, &df] {
+            let m = Mapping::consecutive(n as usize, topo.num_nodes());
+            row.push(analyze_network(topo, &m, tm).avg_hops());
+        }
+        println!("  {name:>9}: {:.2} / {:.2} / {:.2}", row[0], row[1], row[2]);
+    }
+
+    for (name, tm) in &pats {
+        let m = Mapping::consecutive(n as usize, torus.num_nodes());
+        g.bench_with_input(BenchmarkId::new("torus_replay", name), tm, |b, tm| {
+            b.iter(|| black_box(analyze_network(&torus, &m, tm)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_patterns);
+criterion_main!(benches);

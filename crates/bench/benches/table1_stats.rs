@@ -1,0 +1,36 @@
+//! Table 1 bench: trace statistics (volume, p2p/coll split, throughput)
+//! over the full workload catalog — the computation behind `repro table1`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+
+    // Pre-generate traces once; the benched quantity is the statistics pass.
+    let traces: Vec<_> = netloc_workloads::catalog()
+        .into_iter()
+        .filter(|&(_, r)| r <= 256)
+        .map(|(app, ranks)| app.generate(ranks))
+        .collect();
+
+    g.bench_function("stats_over_catalog_le256", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for t in &traces {
+                total += black_box(t.stats()).total_mb();
+            }
+            black_box(total)
+        })
+    });
+
+    g.bench_function("full_table1_including_generation", |b| {
+        b.iter(|| black_box(netloc_bench::table1()))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Table 3 (left half) bench: the MPI-level metrics — peers, rank distance
+//! (90 %) and selectivity (90 %) — on representative workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netloc_core::metrics::{peers, rank_locality, selectivity};
+use netloc_core::TrafficMatrix;
+use netloc_workloads::App;
+use std::hint::black_box;
+
+fn bench_mpi_metrics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_mpi_metrics");
+    let cases = [
+        (App::Amg, 216u32),
+        (App::Lulesh, 512),
+        (App::BoxlibCns, 256),
+        (App::Snap, 168),
+    ];
+    for (app, ranks) in cases {
+        let tm = TrafficMatrix::from_trace_p2p(&app.generate(ranks));
+        let label = format!("{}_{}", app.name().replace(' ', "_"), ranks);
+        g.bench_with_input(BenchmarkId::new("rank_distance90", &label), &tm, |b, tm| {
+            b.iter(|| black_box(rank_locality::rank_distance_90(tm)))
+        });
+        g.bench_with_input(BenchmarkId::new("selectivity90", &label), &tm, |b, tm| {
+            b.iter(|| black_box(selectivity::selectivity_90(tm)))
+        });
+        g.bench_with_input(BenchmarkId::new("peers", &label), &tm, |b, tm| {
+            b.iter(|| black_box(peers::peers(tm)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mpi_metrics);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Table 3 (right half) bench: the per-topology network replay — packet
+//! hops, average hops and utilization — for one mid-size configuration on
+//! all three topologies, plus a complete Table 3 row.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netloc_core::{analyze_network, TrafficMatrix};
+use netloc_topology::{ConfigCatalog, Mapping, Topology};
+use netloc_workloads::App;
+use std::hint::black_box;
+
+fn bench_topology_replay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_topology");
+    g.sample_size(20);
+
+    let trace = App::Amg.generate(216);
+    let tm = TrafficMatrix::from_trace_full(&trace);
+    let cfg = ConfigCatalog::for_ranks(216);
+    let torus = cfg.build_torus();
+    let ft = cfg.build_fattree();
+    let df = cfg.build_dragonfly();
+
+    let topos: [(&str, &dyn Topology); 3] =
+        [("torus3d", &torus), ("fattree", &ft), ("dragonfly", &df)];
+    for (name, topo) in topos {
+        let mapping = Mapping::consecutive(216, topo.num_nodes());
+        g.bench_function(format!("replay_amg216_{name}"), |b| {
+            b.iter(|| black_box(analyze_network(topo, &mapping, &tm)))
+        });
+    }
+
+    g.bench_function("full_row_amg216", |b| {
+        b.iter(|| black_box(netloc_bench::table3_row(App::Amg, 216)))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_topology_replay);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Table 4 bench: rank locality under 1D/2D/3D grid foldings for the
+//! paper's workload subset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netloc_core::metrics::dimensionality;
+use netloc_core::TrafficMatrix;
+use netloc_workloads::App;
+use std::hint::black_box;
+
+fn bench_dimensionality(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4_dimensionality");
+    let tm = TrafficMatrix::from_trace_p2p(&App::Amg.generate(216));
+    for k in 1usize..=3 {
+        g.bench_with_input(BenchmarkId::new("fold_amg216", k), &k, |b, &k| {
+            b.iter(|| black_box(dimensionality::folded_locality(&tm, k)))
+        });
+    }
+    g.sample_size(10);
+    g.bench_function("full_table4", |b| {
+        b.iter(|| black_box(netloc_bench::table4()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dimensionality);
+criterion_main!(benches);

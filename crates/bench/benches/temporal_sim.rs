@@ -1,0 +1,48 @@
+//! Temporal-simulation bench: expansion and store-and-forward replay
+//! throughput, plus the static-vs-simulated comparison printed once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netloc_core::{analyze_network, TrafficMatrix};
+use netloc_sim::{expand_trace, simulate_trace, SimConfig};
+use netloc_topology::{ConfigCatalog, Mapping, Topology};
+use netloc_workloads::App;
+use std::hint::black_box;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("temporal_sim");
+    g.sample_size(10);
+
+    let trace = App::Lulesh.generate(64);
+    let topo = ConfigCatalog::for_ranks(64).build_torus();
+
+    // Print the headline comparison once.
+    let mapping = Mapping::consecutive(64, topo.num_nodes());
+    let stat = analyze_network(&topo, &mapping, &TrafficMatrix::from_trace_full(&trace));
+    let sim = simulate_trace(&trace, &topo, &SimConfig::default());
+    println!(
+        "[temporal] LULESH@64 torus: static util {:.5}% vs simulated {:.5}%, \
+         mean slowdown {:.3}x over {} messages",
+        stat.utilization_pct(trace.exec_time_s),
+        100.0 * sim.measured_utilization(),
+        sim.mean_slowdown(),
+        sim.messages
+    );
+
+    g.bench_function("expand_lulesh64", |b| {
+        b.iter(|| black_box(expand_trace(&trace, 2_000_000)))
+    });
+    g.bench_function("simulate_lulesh64", |b| {
+        b.iter(|| black_box(simulate_trace(&trace, &topo, &SimConfig::default())))
+    });
+
+    let fft = App::BigFft.generate(100);
+    let fft_topo = ConfigCatalog::for_ranks(100).build_fattree();
+    g.bench_function("simulate_bigfft100_fattree", |b| {
+        b.iter(|| black_box(simulate_trace(&fft, &fft_topo, &SimConfig::default())))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

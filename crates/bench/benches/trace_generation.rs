@@ -1,0 +1,35 @@
+//! Workload generator bench: synthetic trace construction throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netloc_core::TrafficMatrix;
+use netloc_workloads::App;
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_generation");
+    g.sample_size(20);
+    for (app, ranks) in [
+        (App::Amg, 216u32),
+        (App::BoxlibCns, 256),
+        (App::Lulesh, 512),
+        (App::BigFft, 100),
+    ] {
+        let label = format!("{}_{}", app.name().replace(' ', "_"), ranks);
+        g.bench_with_input(BenchmarkId::new("generate", &label), &(), |b, _| {
+            b.iter(|| black_box(app.generate(ranks)))
+        });
+    }
+
+    let trace = App::Lulesh.generate(512);
+    g.bench_function("traffic_matrix_p2p_lulesh512", |b| {
+        b.iter(|| black_box(TrafficMatrix::from_trace_p2p(&trace)))
+    });
+    let fft = App::BigFft.generate(100);
+    g.bench_function("traffic_matrix_full_bigfft100", |b| {
+        b.iter(|| black_box(TrafficMatrix::from_trace_full(&fft)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

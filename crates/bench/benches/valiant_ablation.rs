@@ -1,0 +1,45 @@
+//! Ablation: minimal vs Valiant dragonfly routing.
+//!
+//! Quantifies the paper's §7 remark that adaptive (non-minimal) routing
+//! "often results in even longer paths": the same traffic replayed under
+//! both schemes. Prints the hop comparison once, then times both replays.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netloc_core::{analyze_network, TrafficMatrix};
+use netloc_topology::{ConfigCatalog, Mapping, Topology, ValiantDragonfly};
+use netloc_workloads::App;
+use std::hint::black_box;
+
+fn bench_valiant(c: &mut Criterion) {
+    let mut g = c.benchmark_group("valiant_ablation");
+    g.sample_size(20);
+
+    let trace = App::Amg.generate(216);
+    let tm = TrafficMatrix::from_trace_full(&trace);
+    let minimal = ConfigCatalog::for_ranks(216).build_dragonfly();
+    let valiant = ValiantDragonfly::new(ConfigCatalog::for_ranks(216).build_dragonfly());
+    let mapping = Mapping::consecutive(216, minimal.num_nodes());
+
+    let rep_min = analyze_network(&minimal, &mapping, &tm);
+    let rep_val = analyze_network(&valiant, &mapping, &tm);
+    println!(
+        "[ablation] AMG@216 dragonfly hops̄: minimal={:.3} valiant={:.3} (+{:.0}%), \
+         max link load: minimal={} valiant={}",
+        rep_min.avg_hops(),
+        rep_val.avg_hops(),
+        100.0 * (rep_val.avg_hops() / rep_min.avg_hops() - 1.0),
+        rep_min.max_link_load(),
+        rep_val.max_link_load(),
+    );
+
+    g.bench_function("replay_minimal_amg216", |b| {
+        b.iter(|| black_box(analyze_network(&minimal, &mapping, &tm)))
+    });
+    g.bench_function("replay_valiant_amg216", |b| {
+        b.iter(|| black_box(analyze_network(&valiant, &mapping, &tm)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_valiant);
+criterion_main!(benches);

@@ -1,0 +1,608 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro table1            # workload overview
+//! repro table2            # topology configurations
+//! repro table3 [--full]   # all locality metrics (default caps at 256 ranks)
+//! repro table4            # dimensionality study
+//! repro fig1              # LULESH rank-0 volume profile (CSV)
+//! repro fig2              # 1D/2D folding illustration
+//! repro fig3              # selectivity curves, all workloads (CSV)
+//! repro fig4              # AMG selectivity scaling (CSV)
+//! repro fig5              # multi-core inter-node traffic (CSV)
+//! repro scaling           # distance/selectivity growth over a dense rank sweep
+//! repro sizes             # message-size quantiles + graph structure per app
+//! repro dims              # same traffic on 1D/2D/3D/6D tori (network dimensionality)
+//! repro taper             # oversubscribed fat trees: utilization vs slowdown
+//! repro summary [--full]  # the paper's headline claims, checked
+//! repro all [--full]      # everything above
+//! ```
+//!
+//! `--full` includes the >256-rank configurations (slower but complete);
+//! `--svg DIR` additionally renders the figures as SVG files into `DIR`.
+
+use netloc_bench::format;
+use netloc_bench::rows;
+use netloc_topology::grid;
+use netloc_workloads::App;
+
+fn main() {
+    install_broken_pipe_hook();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let svg_dir: Option<String> = args
+        .iter()
+        .position(|a| a == "--svg")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    if let Some(dir) = &svg_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {dir}: {e}");
+            std::process::exit(1);
+        }
+    }
+    let svg_dir = svg_dir.as_deref();
+    let csv_dir: Option<String> = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    if let Some(dir) = &csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {dir}: {e}");
+            std::process::exit(1);
+        }
+    }
+    let csv_dir = csv_dir.as_deref();
+    let target = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .find(|a| Some(a.as_str()) != svg_dir)
+        .map(String::as_str)
+        .unwrap_or("all");
+    let max_ranks = if full { None } else { Some(256) };
+
+    match target {
+        "table1" => table1(),
+        "table2" => table2(),
+        "table3" => table3(max_ranks, csv_dir),
+        "table4" => table4(),
+        "fig1" => fig1(),
+        "fig2" => fig2(),
+        "fig3" => fig3(svg_dir),
+        "fig4" => fig4(svg_dir),
+        "fig5" => fig5(svg_dir),
+        "fig5x" => fig5x(),
+        "hops" => hops(&args),
+        "scaling" => scaling(),
+        "sizes" => sizes(),
+        "dims" => dims(),
+        "taper" => taper(),
+        "patterns" => patterns(),
+        "kim" => kim(),
+        "summary" => summary(max_ranks),
+        "all" => {
+            table1();
+            table2();
+            table3(max_ranks, csv_dir);
+            table4();
+            fig1();
+            fig2();
+            fig3(svg_dir);
+            fig4(svg_dir);
+            fig5(svg_dir);
+            fig5x();
+            scaling();
+            sizes();
+            dims();
+            taper();
+            patterns();
+            kim();
+            summary(max_ranks);
+        }
+        other => {
+            eprintln!("unknown target '{other}'; see the module docs for usage");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn banner(title: &str) {
+    println!("\n=== {title} ===\n");
+}
+
+fn table1() {
+    banner("Table 1: MPI-based exascale proxy applications");
+    println!("{}", format::table1_text(&rows::table1()));
+}
+
+fn table2() {
+    banner("Table 2: topology configurations at scale");
+    println!("{}", format::table2_text(rows::table2()));
+}
+
+fn table3(max_ranks: Option<u32>, csv_dir: Option<&str>) {
+    banner("Table 3: workload characteristics in locality-describing metrics");
+    if max_ranks.is_some() {
+        println!("(configurations up to 256 ranks; pass --full for all)\n");
+    }
+    let rows = rows::table3(max_ranks);
+    println!("{}", format::table3_text(&rows));
+    if let Some(dir) = csv_dir {
+        let path = format!("{dir}/table3.csv");
+        match std::fs::write(&path, format::table3_csv(&rows)) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("cannot write {path}: {e}"),
+        }
+    }
+}
+
+fn table4() {
+    banner("Table 4: rank locality under 1D/2D/3D foldings");
+    println!("{}", format::table4_text(&rows::table4()));
+}
+
+fn fig1() {
+    banner("Figure 1: per-destination volume of LULESH (64 ranks), rank 0");
+    println!("dst,bytes");
+    for (dst, bytes) in rows::fig1_profile(App::Lulesh, 64, 0) {
+        println!("{dst},{bytes}");
+    }
+}
+
+fn fig2() {
+    banner("Figure 2: neighbor schemes under 1D and 2D rank foldings");
+    // Illustrative: the 2D fold of 15 ranks and the rank distance of each
+    // 2D neighbor of the center rank.
+    let dims = grid::fold_dims(15, 2);
+    println!(
+        "15 ranks folded to a {}x{} grid (row-major, dim 0 fastest):",
+        dims[0], dims[1]
+    );
+    for y in (0..dims[1]).rev() {
+        let row: Vec<String> = (0..dims[0])
+            .map(|x| format!("{:>3}", grid::rank_of(&[x, y], &dims)))
+            .collect();
+        println!("  {}", row.join(" "));
+    }
+    let center = grid::rank_of(&[2, 1], &dims);
+    println!("\n2D neighbors of rank {center} and their 1D rank distances:");
+    for (dx, dy) in [(-1i64, 0i64), (1, 0), (0, -1), (0, 1)] {
+        let x = (2 + dx) as usize;
+        let y = (1 + dy) as usize;
+        let nb = grid::rank_of(&[x, y], &dims);
+        println!(
+            "  rank {nb}: distance {}",
+            (nb as i64 - center as i64).abs()
+        );
+    }
+}
+
+fn write_svg(
+    dir: Option<&str>,
+    name: &str,
+    spec: &netloc_bench::svg::ChartSpec,
+    series: &[netloc_bench::svg::Series],
+) {
+    let Some(dir) = dir else { return };
+    let path = format!("{dir}/{name}.svg");
+    match std::fs::write(&path, netloc_bench::svg::line_chart(spec, series)) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+}
+
+fn to_svg_series(series: &[(String, Vec<(f64, f64)>)]) -> Vec<netloc_bench::svg::Series> {
+    series
+        .iter()
+        .map(|(name, pts)| netloc_bench::svg::Series {
+            name: name.clone(),
+            points: pts.clone(),
+        })
+        .collect()
+}
+
+fn fig3(svg_dir: Option<&str>) {
+    banner("Figure 3: cumulative selectivity curves (largest scale per app)");
+    let curves = rows::fig3_curves();
+    let series: Vec<(String, Vec<(f64, f64)>)> = curves
+        .into_iter()
+        .map(|(app, ranks, pts)| {
+            (
+                format!("{app} ({ranks})"),
+                pts.iter()
+                    .take(32)
+                    .enumerate()
+                    .map(|(i, &y)| ((i + 1) as f64, y))
+                    .collect(),
+            )
+        })
+        .collect();
+    println!("{}", format::series_csv("partners", &series));
+    write_svg(
+        svg_dir,
+        "fig3_selectivity_trends",
+        &netloc_bench::svg::ChartSpec {
+            title: "Cumulative selectivity (largest scale per app)".into(),
+            x_label: "partner ranks (sorted by volume)".into(),
+            y_label: "share of p2p volume".into(),
+            ..Default::default()
+        },
+        &to_svg_series(&series),
+    );
+}
+
+fn fig4(svg_dir: Option<&str>) {
+    banner("Figure 4: selectivity scaling with ranks (AMG)");
+    let series: Vec<(String, Vec<(f64, f64)>)> = rows::fig4_amg_curves()
+        .into_iter()
+        .map(|(ranks, pts)| {
+            (
+                format!("AMG {ranks}"),
+                pts.iter()
+                    .take(32)
+                    .enumerate()
+                    .map(|(i, &y)| ((i + 1) as f64, y))
+                    .collect(),
+            )
+        })
+        .collect();
+    println!("{}", format::series_csv("partners", &series));
+    write_svg(
+        svg_dir,
+        "fig4_amg_scaling",
+        &netloc_bench::svg::ChartSpec {
+            title: "Selectivity scaling with ranks (AMG)".into(),
+            x_label: "partner ranks (sorted by volume)".into(),
+            y_label: "share of p2p volume".into(),
+            ..Default::default()
+        },
+        &to_svg_series(&series),
+    );
+}
+
+fn fig5(svg_dir: Option<&str>) {
+    banner("Figure 5: relative inter-node traffic vs cores per node (>=512 ranks)");
+    let series: Vec<(String, Vec<(f64, f64)>)> = rows::fig5_multicore()
+        .into_iter()
+        .map(|(app, ranks, pts)| {
+            (
+                format!("{app} ({ranks})"),
+                pts.iter().map(|p| (p.cores as f64, p.relative)).collect(),
+            )
+        })
+        .collect();
+    println!("{}", format::series_csv("cores_per_node", &series));
+    write_svg(
+        svg_dir,
+        "fig5_multicore",
+        &netloc_bench::svg::ChartSpec {
+            title: "Inter-node traffic vs cores per node".into(),
+            x_label: "cores per node".into(),
+            y_label: "relative inter-node traffic".into(),
+            log_x: true,
+            ..Default::default()
+        },
+        &to_svg_series(&series),
+    );
+}
+
+fn fig5x() {
+    banner("Extended Figure 5: multi-core packing through the torus model");
+    println!("app,ranks,cores,internode_MB,packet_hops,avg_hops");
+    for (app, ranks) in [
+        (App::Lulesh, 512u32),
+        (App::Amg, 1728),
+        (App::CrystalRouter, 1000),
+    ] {
+        for p in rows::fig5_topology(app, ranks) {
+            println!(
+                "{},{},{},{:.1},{},{:.3}",
+                app.name(),
+                ranks,
+                p.cores,
+                p.internode_bytes as f64 / 1e6,
+                p.packet_hops,
+                p.avg_hops
+            );
+        }
+    }
+}
+
+fn taper() {
+    use netloc_core::{analyze_network, TrafficMatrix};
+    use netloc_sim::{simulate_trace, SimConfig};
+    use netloc_topology::{Mapping, TaperedFatTree, Topology};
+    banner("Tapered fat tree: reduced bandwidth vs utilization and slowdown (paper §8)");
+    println!(
+        "{:>16} {:>7} {:>8} {:>12} {:>12} {:>11}",
+        "app@ranks", "taper", "links", "static util", "sim slowdown", "mean lat us"
+    );
+    for (app, ranks) in [(App::Lulesh, 64u32), (App::BigFft, 100)] {
+        let trace = app.generate(ranks);
+        let tm = TrafficMatrix::from_trace_full(&trace);
+        for taper in [1usize, 2, 3, 5] {
+            let topo = TaperedFatTree::new(48, taper, ranks as usize);
+            let mapping = Mapping::consecutive(ranks as usize, topo.num_nodes());
+            let rep = analyze_network(&topo, &mapping, &tm);
+            let sim = simulate_trace(&trace, &topo, &SimConfig::default());
+            println!(
+                "{:>16} {:>6}:1 {:>8} {:>11.5}% {:>11.2}x {:>11.2}",
+                format!(
+                    "{}@{}",
+                    app.name().split_whitespace().last().unwrap(),
+                    ranks
+                ),
+                taper,
+                topo.links().len(),
+                rep.utilization_pct(trace.exec_time_s),
+                sim.mean_slowdown(),
+                sim.mean_latency_s * 1e6,
+            );
+        }
+    }
+    println!(
+        "\n(LULESH barely notices even 5:1 oversubscription — its links idle\n\
+         >99.9% of the time — while BigFFT's all-to-all pays immediately:\n\
+         the paper's closing argument, quantified.)"
+    );
+}
+
+fn dims() {
+    use netloc_core::{analyze_network, TrafficMatrix};
+    use netloc_topology::grid::fold_dims;
+    use netloc_topology::{Mapping, Topology, TorusNd};
+    banner("Network dimensionality: the same traffic on 1D..6D tori of 64 nodes");
+    println!(
+        "{:>20} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "app@64", "metric", "1D", "2D", "3D", "6D"
+    );
+    let shapes: [&[usize]; 4] = [&[64], &[8, 8], &[4, 4, 4], &[2, 2, 2, 2, 2, 2]];
+    for app in [App::Lulesh, App::BoxlibCns, App::CesarMocfe] {
+        let trace = app.generate(64);
+        let tm = TrafficMatrix::from_trace_full(&trace);
+        let mut hops = Vec::new();
+        for dims in shapes {
+            // sanity: each shape covers exactly 64 nodes
+            debug_assert_eq!(dims.iter().product::<usize>(), 64);
+            let topo = TorusNd::new(dims);
+            let m = Mapping::consecutive(64, topo.num_nodes());
+            hops.push(analyze_network(&topo, &m, &tm).avg_hops());
+        }
+        println!(
+            "{:>20} {:>8} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+            app.name(),
+            "hops",
+            hops[0],
+            hops[1],
+            hops[2],
+            hops[3]
+        );
+    }
+    let _ = fold_dims(64, 3); // the app-side fold the paper varies instead
+    println!(
+        "\n(The paper varies the *application* fold, Table 4; this varies the\n\
+         *network* dimension for a fixed 64-node machine — the diameter\n\
+         shrinks 32 -> 8 -> 6 -> 6 and hops follow until the app's own\n\
+         dimensionality becomes the limit.)"
+    );
+}
+
+fn sizes() {
+    use netloc_core::metrics::{graph::graph_stats, message_sizes::size_stats};
+    use netloc_core::TrafficMatrix;
+    banner("Message-size and communication-graph characterization (Klenk-style)");
+    println!(
+        "{:>20} {:>6} {:>10} {:>10} {:>10} {:>8} {:>9} {:>9}",
+        "app", "ranks", "p50 [B]", "p90 [B]", "p99 [B]", "density", "symmetry", "imbal"
+    );
+    for (app, ranks) in netloc_workloads::catalog() {
+        if ranks > 256 {
+            continue;
+        }
+        let trace = app.generate(ranks);
+        let Some(sz) = size_stats(&trace) else {
+            continue;
+        };
+        let tm = TrafficMatrix::from_trace_p2p(&trace);
+        let g = graph_stats(&tm).expect("has p2p");
+        println!(
+            "{:>20} {:>6} {:>10} {:>10} {:>10} {:>8.3} {:>9.2} {:>9.1}",
+            app.name(),
+            ranks,
+            sz.p50,
+            sz.p90,
+            sz.p99,
+            g.density,
+            g.symmetry,
+            g.volume_imbalance
+        );
+    }
+}
+
+fn scaling() {
+    use netloc_core::metrics::{rank_locality, selectivity};
+    use netloc_core::TrafficMatrix;
+    banner("Scaling sweep: rank distance and selectivity vs ranks (extrapolated scales)");
+    println!("app,ranks,rank_distance90,selectivity90");
+    for app in [
+        App::Amg,
+        App::Lulesh,
+        App::CrystalRouter,
+        App::BoxlibMultiGrid,
+    ] {
+        for ranks in [16u32, 32, 64, 128, 256, 512, 1024] {
+            let tm = TrafficMatrix::from_trace_p2p(&app.generate_scaled(ranks));
+            let d = rank_locality::rank_distance_90(&tm).unwrap_or(0.0);
+            let s = selectivity::selectivity_90(&tm).unwrap_or(0.0);
+            println!("{},{ranks},{d:.2},{s:.2}", app.name());
+        }
+    }
+}
+
+fn hops(args: &[String]) {
+    use netloc_core::{analyze_network, TrafficMatrix};
+    use netloc_topology::{ConfigCatalog, Mapping, Topology};
+    let app_name = args.get(1).map(String::as_str).unwrap_or("AMG");
+    let ranks: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(216);
+    let Some(app) = App::ALL
+        .iter()
+        .copied()
+        .find(|a| a.name().to_lowercase().contains(&app_name.to_lowercase()))
+    else {
+        eprintln!("unknown app '{app_name}'");
+        std::process::exit(2);
+    };
+    banner(&format!(
+        "Hop distributions: {} @ {ranks} ranks (packets per route length)",
+        app.name()
+    ));
+    let trace = app.generate(ranks);
+    let tm = TrafficMatrix::from_trace_full(&trace);
+    let cfg = ConfigCatalog::for_ranks(ranks as usize);
+    let torus = cfg.build_torus();
+    let ft = cfg.build_fattree();
+    let df = cfg.build_dragonfly();
+    let topos: [(&str, &dyn Topology); 3] =
+        [("torus3d", &torus), ("fattree", &ft), ("dragonfly", &df)];
+    for (name, topo) in topos {
+        let m = Mapping::consecutive(ranks as usize, topo.num_nodes());
+        let rep = analyze_network(topo, &m, &tm);
+        print!("{name:>10}:");
+        for (h, &c) in rep.hop_histogram.iter().enumerate() {
+            if c > 0 {
+                print!(" {h}h:{c}");
+            }
+        }
+        println!(
+            "  (p50={:?}, p99={:?})",
+            rep.hop_quantile(0.5).unwrap(),
+            rep.hop_quantile(0.99).unwrap()
+        );
+    }
+}
+
+fn patterns() {
+    use netloc_core::{analyze_network, patterns as pat};
+    use netloc_topology::{ConfigCatalog, Mapping, Topology};
+    use rand::SeedableRng as _;
+    banner("Synthetic pattern baselines @ 216 ranks (avg hops)");
+    let n = 216u32;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+    let pats = vec![
+        ("uniform", pat::uniform_random(n, 4096, 64, &mut rng)),
+        ("transpose", pat::transpose(n, 4096, 64)),
+        ("tornado", pat::tornado(n, 4096, 64)),
+        ("bitrev", pat::bit_reversal(n, 4096, 64)),
+        ("neighbor", pat::neighbor_ring(n, 4096, 64)),
+        ("alltoall", pat::all_to_all(n, 4096, 1)),
+    ];
+    let cfg = ConfigCatalog::for_ranks(n as usize);
+    let torus = cfg.build_torus();
+    let ft = cfg.build_fattree();
+    let df = cfg.build_dragonfly();
+    println!(
+        "{:>10}  {:>8}  {:>8}  {:>9}",
+        "pattern", "torus", "fattree", "dragonfly"
+    );
+    for (name, tm) in &pats {
+        let mut row = Vec::new();
+        for topo in [&torus as &dyn Topology, &ft, &df] {
+            let m = Mapping::consecutive(n as usize, topo.num_nodes());
+            row.push(analyze_network(topo, &m, tm).avg_hops());
+        }
+        println!(
+            "{name:>10}  {:>8.2}  {:>8.2}  {:>9.2}",
+            row[0], row[1], row[2]
+        );
+    }
+}
+
+fn kim() {
+    use netloc_core::metrics::kim::kim_locality;
+    banner("Kim & Lilja (1998) LRU-locality baseline (depth 4)");
+    println!(
+        "{:>20} {:>6} {:>8} {:>8} {:>8}   (vs rank distance, selectivity)",
+        "app", "ranks", "dest", "size", "event"
+    );
+    for (app, ranks) in netloc_workloads::catalog() {
+        if ranks > 256 {
+            continue;
+        }
+        let trace = app.generate(ranks);
+        let Some(k) = kim_locality(&trace, 4) else {
+            continue;
+        };
+        println!(
+            "{:>20} {:>6} {:>8.2} {:>8.2} {:>8.2}",
+            app.name(),
+            ranks,
+            k.destination,
+            k.size,
+            k.event
+        );
+    }
+}
+
+fn summary(max_ranks: Option<u32>) {
+    banner("Headline claims");
+    let t3 = rows::table3(max_ranks);
+
+    let with_sel: Vec<&rows::Table3Row> = t3.iter().filter(|r| r.selectivity90.is_some()).collect();
+    let sel_le_10 = with_sel
+        .iter()
+        .filter(|r| r.selectivity90.unwrap() <= 10.0)
+        .count();
+    println!(
+        "selectivity <= 10 partners: {}/{} p2p configurations ({:.0}%)   [paper: ~89%]",
+        sel_le_10,
+        with_sel.len(),
+        100.0 * sel_le_10 as f64 / with_sel.len() as f64
+    );
+
+    let total_topo_cfgs = t3.len() * 3;
+    let low_util = t3
+        .iter()
+        .flat_map(|r| [&r.torus, &r.fattree, &r.dragonfly])
+        .filter(|c| c.utilization_pct < 1.0)
+        .count();
+    println!(
+        "utilization < 1%: {}/{} topology configurations ({:.0}%)   [paper: 93%]",
+        low_util,
+        total_topo_cfgs,
+        100.0 * low_util as f64 / total_topo_cfgs as f64
+    );
+
+    let small = t3.iter().filter(|r| r.ranks < 256);
+    let torus_wins = small
+        .clone()
+        .filter(|r| {
+            r.torus.avg_hops <= r.fattree.avg_hops && r.torus.avg_hops <= r.dragonfly.avg_hops
+        })
+        .count();
+    println!(
+        "torus has lowest avg hops below 256 ranks: {}/{}   [paper: all but SNAP]",
+        torus_wins,
+        small.count()
+    );
+
+    let df_global: Vec<f64> = t3.iter().map(|r| r.dragonfly.global_share).collect();
+    let mean_global = 100.0 * df_global.iter().sum::<f64>() / df_global.len() as f64;
+    println!("mean dragonfly global-link message share: {mean_global:.0}%   [paper: 95%]");
+}
+
+/// Exit quietly when stdout is closed early (e.g. piping into `head`).
+fn install_broken_pipe_hook() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let is_pipe = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(|s| s.contains("Broken pipe"))
+            .unwrap_or(false);
+        if is_pipe {
+            std::process::exit(0);
+        }
+        default_hook(info);
+    }));
+}

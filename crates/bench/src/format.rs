@@ -1,0 +1,278 @@
+//! Text and CSV rendering of the reproduced tables and figures.
+
+use crate::rows::{Table1Row, Table3Row, Table4Row};
+use netloc_topology::TopologyConfig;
+use std::fmt::Write as _;
+
+/// Format a float like the paper's tables: scientific notation for big
+/// magnitudes, trimmed decimals otherwise.
+pub fn sci(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1e5 {
+        format!("{v:.1e}")
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 0.01 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.1e}")
+    }
+}
+
+/// Render an aligned text table from a header and rows of strings.
+pub fn text_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                s.push_str("  ");
+            }
+            let _ = write!(s, "{:>w$}", c, w = widths[i]);
+        }
+        s.truncate(s.trim_end().len());
+        s
+    };
+    out.push_str(&line(header.iter().map(|h| h.to_string()).collect()));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&line(row.clone()));
+        out.push('\n');
+    }
+    out
+}
+
+/// Table 1 as aligned text.
+pub fn table1_text(rows: &[Table1Row]) -> String {
+    let header = [
+        "Application",
+        "Ranks",
+        "Time [s]",
+        "Vol. [MB]",
+        "P2P [%]",
+        "Coll. [%]",
+        "Vol./t [MB/s]",
+    ];
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}{}", r.app, if r.starred { " (*)" } else { "" }),
+                r.ranks.to_string(),
+                sci(r.time_s),
+                sci(r.volume_mb),
+                format!("{:.2}", r.p2p_pct),
+                format!("{:.2}", r.coll_pct),
+                sci(r.throughput),
+            ]
+        })
+        .collect();
+    text_table(&header, &body)
+}
+
+/// Table 2 as aligned text.
+pub fn table2_text(rows: &[TopologyConfig]) -> String {
+    let header = [
+        "Size",
+        "Torus (x,y,z)",
+        "Nodes",
+        "FT (rad,st)",
+        "Nodes",
+        "DF (a,h,p)",
+        "Nodes",
+    ];
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|c| {
+            let ft = c.build_fattree();
+            let df = c.build_dragonfly();
+            use netloc_topology::Topology as _;
+            vec![
+                c.size.to_string(),
+                format!(
+                    "({},{},{})",
+                    c.torus_dims[0], c.torus_dims[1], c.torus_dims[2]
+                ),
+                c.torus_nodes().to_string(),
+                format!("({},{})", c.fattree.0, c.fattree.1),
+                ft.capacity().to_string(),
+                format!("({},{},{})", c.dragonfly.0, c.dragonfly.1, c.dragonfly.2),
+                df.num_nodes().to_string(),
+            ]
+        })
+        .collect();
+    text_table(&header, &body)
+}
+
+/// Table 3 as aligned text.
+pub fn table3_text(rows: &[Table3Row]) -> String {
+    let header = [
+        "Workload",
+        "Ranks",
+        "Peers",
+        "RankDist(90%)",
+        "Select(90%)",
+        "T:PktHops",
+        "T:hops",
+        "T:Util[%]",
+        "F:PktHops",
+        "F:hops",
+        "F:Util[%]",
+        "D:PktHops",
+        "D:hops",
+        "D:Util[%]",
+    ];
+    let opt_u32 = |v: Option<u32>| v.map_or("N/A".into(), |x| x.to_string());
+    let opt_f = |v: Option<f64>| v.map_or("N/A".into(), |x| format!("{x:.1}"));
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.app.to_string(),
+                r.ranks.to_string(),
+                opt_u32(r.peers),
+                opt_f(r.rank_distance90),
+                opt_f(r.selectivity90),
+                format!("{:.1e}", r.torus.packet_hops as f64),
+                format!("{:.2}", r.torus.avg_hops),
+                sci(r.torus.utilization_pct),
+                format!("{:.1e}", r.fattree.packet_hops as f64),
+                format!("{:.2}", r.fattree.avg_hops),
+                sci(r.fattree.utilization_pct),
+                format!("{:.1e}", r.dragonfly.packet_hops as f64),
+                format!("{:.2}", r.dragonfly.avg_hops),
+                sci(r.dragonfly.utilization_pct),
+            ]
+        })
+        .collect();
+    text_table(&header, &body)
+}
+
+/// Table 3 as CSV.
+pub fn table3_csv(rows: &[Table3Row]) -> String {
+    let mut out = String::from(
+        "app,ranks,peers,rank_distance90,selectivity90,\
+         torus_packet_hops,torus_avg_hops,torus_util_pct,\
+         ft_packet_hops,ft_avg_hops,ft_util_pct,\
+         df_packet_hops,df_avg_hops,df_util_pct,df_global_share\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            r.app.replace(',', ";"),
+            r.ranks,
+            r.peers.map_or(String::new(), |v| v.to_string()),
+            r.rank_distance90.map_or(String::new(), |v| v.to_string()),
+            r.selectivity90.map_or(String::new(), |v| v.to_string()),
+            r.torus.packet_hops,
+            r.torus.avg_hops,
+            r.torus.utilization_pct,
+            r.fattree.packet_hops,
+            r.fattree.avg_hops,
+            r.fattree.utilization_pct,
+            r.dragonfly.packet_hops,
+            r.dragonfly.avg_hops,
+            r.dragonfly.utilization_pct,
+            r.dragonfly.global_share,
+        );
+    }
+    out
+}
+
+/// Table 4 as aligned text.
+pub fn table4_text(rows: &[Table4Row]) -> String {
+    let header = ["Workload", "Ranks", "1D [%]", "2D [%]", "3D [%]"];
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.app.to_string(),
+                r.ranks.to_string(),
+                format!("{:.0}", r.locality_pct[0]),
+                format!("{:.0}", r.locality_pct[1]),
+                format!("{:.0}", r.locality_pct[2]),
+            ]
+        })
+        .collect();
+    text_table(&header, &body)
+}
+
+/// A generic series-as-CSV renderer: one `x` column plus one column per
+/// named series; missing points stay empty.
+pub fn series_csv(xlabel: &str, series: &[(String, Vec<(f64, f64)>)]) -> String {
+    let mut xs: Vec<f64> = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().map(|&(x, _)| x))
+        .collect();
+    xs.sort_by(f64::total_cmp);
+    xs.dedup();
+    let mut out = String::from(xlabel);
+    for (name, _) in series {
+        out.push(',');
+        out.push_str(&name.replace(',', ";"));
+    }
+    out.push('\n');
+    for &x in &xs {
+        let _ = write!(out, "{x}");
+        for (_, pts) in series {
+            out.push(',');
+            if let Some(&(_, y)) = pts.iter().find(|&&(px, _)| px == x) {
+                let _ = write!(out, "{y}");
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_table_aligns_columns() {
+        let t = text_table(
+            &["a", "bbbb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("bbbb"));
+        assert!(lines[2].ends_with('2'));
+    }
+
+    #[test]
+    fn sci_formats_ranges() {
+        assert_eq!(sci(0.0), "0");
+        assert_eq!(sci(123456.0), "1.2e5");
+        assert_eq!(sci(0.0052), "5.2e-3");
+        assert_eq!(sci(42.5), "42.50");
+    }
+
+    #[test]
+    fn series_csv_merges_x_axes() {
+        let csv = series_csv(
+            "x",
+            &[
+                ("a".into(), vec![(1.0, 10.0), (2.0, 20.0)]),
+                ("b".into(), vec![(2.0, 200.0)]),
+            ],
+        );
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "x,a,b");
+        assert_eq!(lines[1], "1,10,");
+        assert_eq!(lines[2], "2,20,200");
+    }
+}

@@ -1,0 +1,358 @@
+//! Computation of every table and figure of the paper.
+
+use netloc_core::metrics::{dimensionality, peers, rank_locality, selectivity};
+use netloc_core::{analyze_network, multicore, NetworkReport, TrafficMatrix};
+use netloc_mpi::Trace;
+use netloc_topology::{ConfigCatalog, Mapping, Topology, TopologyConfig};
+use netloc_workloads::App;
+
+/// One row of Table 1 (workload overview).
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Application name.
+    pub app: &'static str,
+    /// Whether the app uses derived datatypes (starred in the paper).
+    pub starred: bool,
+    /// Number of ranks.
+    pub ranks: u32,
+    /// Execution time, seconds.
+    pub time_s: f64,
+    /// Total volume, MB.
+    pub volume_mb: f64,
+    /// P2p volume share, percent.
+    pub p2p_pct: f64,
+    /// Collective volume share, percent.
+    pub coll_pct: f64,
+    /// Throughput, MB/s.
+    pub throughput: f64,
+}
+
+/// Compute Table 1 over the full catalog.
+pub fn table1() -> Vec<Table1Row> {
+    netloc_workloads::catalog()
+        .into_iter()
+        .map(|(app, ranks)| {
+            let t = app.generate(ranks);
+            let s = t.stats();
+            Table1Row {
+                app: app.name(),
+                starred: app.uses_derived_datatypes(),
+                ranks,
+                time_s: t.exec_time_s,
+                volume_mb: s.total_mb(),
+                p2p_pct: s.p2p_pct(),
+                coll_pct: s.coll_pct(),
+                throughput: s.throughput_mb_s(),
+            }
+        })
+        .collect()
+}
+
+/// Table 2 is the static configuration catalog itself.
+pub fn table2() -> &'static [TopologyConfig] {
+    ConfigCatalog::table2()
+}
+
+/// The per-topology columns of one Table 3 row.
+#[derive(Debug, Clone)]
+pub struct TopoCols {
+    /// Total packet hops (Eq. 3).
+    pub packet_hops: u128,
+    /// Average hops per packet (Eq. 4).
+    pub avg_hops: f64,
+    /// Network utilization in percent (Eq. 5).
+    pub utilization_pct: f64,
+    /// Share of *messages* crossing a dragonfly global link (dragonfly
+    /// only — the paper's §6.2 basis).
+    pub global_share: f64,
+    /// Links that carried traffic.
+    pub used_links: usize,
+}
+
+impl TopoCols {
+    fn from_report(r: &NetworkReport, exec_time_s: f64) -> Self {
+        TopoCols {
+            packet_hops: r.packet_hops,
+            avg_hops: r.avg_hops(),
+            utilization_pct: r.utilization_pct(exec_time_s),
+            global_share: r.global_message_share(),
+            used_links: r.used_links,
+        }
+    }
+}
+
+/// One row of Table 3 (all locality metrics for one configuration).
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Application name.
+    pub app: &'static str,
+    /// Number of ranks.
+    pub ranks: u32,
+    /// Peak p2p destination count; `None` for collective-only workloads.
+    pub peers: Option<u32>,
+    /// Rank distance (90 %); `None` for collective-only workloads.
+    pub rank_distance90: Option<f64>,
+    /// Selectivity (90 %); `None` for collective-only workloads.
+    pub selectivity90: Option<f64>,
+    /// 3D torus columns.
+    pub torus: TopoCols,
+    /// Fat-tree columns.
+    pub fattree: TopoCols,
+    /// Dragonfly columns.
+    pub dragonfly: TopoCols,
+}
+
+/// Compute one Table 3 row from an already-generated trace.
+pub fn table3_row_from_trace(app: App, trace: &Trace) -> Table3Row {
+    let ranks = trace.num_ranks;
+    let tm_p2p = TrafficMatrix::from_trace_p2p(trace);
+    let tm_full = TrafficMatrix::from_trace_full(trace);
+    let cfg = ConfigCatalog::for_ranks(ranks as usize);
+
+    let analyze = |topo: &dyn Topology| {
+        let mapping = Mapping::consecutive(ranks as usize, topo.num_nodes());
+        let report = analyze_network(topo, &mapping, &tm_full);
+        TopoCols::from_report(&report, trace.exec_time_s)
+    };
+
+    Table3Row {
+        app: app.name(),
+        ranks,
+        peers: peers::peers(&tm_p2p),
+        rank_distance90: rank_locality::rank_distance_90(&tm_p2p),
+        selectivity90: selectivity::selectivity_90(&tm_p2p),
+        torus: analyze(&cfg.build_torus()),
+        fattree: analyze(&cfg.build_fattree()),
+        dragonfly: analyze(&cfg.build_dragonfly()),
+    }
+}
+
+/// Compute one Table 3 row for `(app, ranks)`.
+pub fn table3_row(app: App, ranks: u32) -> Table3Row {
+    table3_row_from_trace(app, &app.generate(ranks))
+}
+
+/// Compute Table 3 over the full catalog (the heavyweight sweep).
+/// `max_ranks` limits the scales included (`None` = everything).
+pub fn table3(max_ranks: Option<u32>) -> Vec<Table3Row> {
+    netloc_workloads::catalog()
+        .into_iter()
+        .filter(|&(_, r)| max_ranks.is_none_or(|m| r <= m))
+        .map(|(app, ranks)| table3_row(app, ranks))
+        .collect()
+}
+
+/// One row of Table 4 (dimensionality study).
+#[derive(Debug, Clone)]
+pub struct Table4Row {
+    /// Application name.
+    pub app: &'static str,
+    /// Number of ranks.
+    pub ranks: u32,
+    /// Rank locality (percent) under 1D / 2D / 3D foldings.
+    pub locality_pct: [f64; 3],
+}
+
+/// The workload subset shown in the paper's Table 4.
+pub fn table4_subset() -> Vec<(App, u32)> {
+    vec![
+        (App::Amg, 216),
+        (App::Amg, 1728),
+        (App::BoxlibCns, 64),
+        (App::BoxlibCns, 256),
+        (App::BoxlibCns, 1024),
+        (App::Lulesh, 64),
+        (App::Lulesh, 512),
+        (App::MultiGridC, 125),
+        (App::MultiGridC, 1000),
+        (App::Partisn, 168),
+    ]
+}
+
+/// Compute Table 4 (1D/2D/3D rank locality for the paper's subset).
+pub fn table4() -> Vec<Table4Row> {
+    table4_subset()
+        .into_iter()
+        .map(|(app, ranks)| {
+            let tm = TrafficMatrix::from_trace_p2p(&app.generate(ranks));
+            let mut locality = [0.0; 3];
+            for (i, l) in locality.iter_mut().enumerate() {
+                *l = dimensionality::folded_locality(&tm, i + 1)
+                    .map(|r| r.locality_pct)
+                    .unwrap_or(0.0);
+            }
+            Table4Row {
+                app: app.name(),
+                ranks,
+                locality_pct: locality,
+            }
+        })
+        .collect()
+}
+
+/// Figure 1: the per-destination volume profile of one rank
+/// (the paper shows LULESH rank 0). Returns `(destination, bytes)` sorted
+/// by volume descending.
+pub fn fig1_profile(app: App, ranks: u32, rank: u32) -> Vec<(u32, u64)> {
+    let tm = TrafficMatrix::from_trace_p2p(&app.generate(ranks));
+    tm.out_profile(rank)
+}
+
+/// Figure 3: the mean cumulative selectivity curve of every workload at its
+/// largest scale, as `(app, ranks, curve)`.
+pub fn fig3_curves() -> Vec<(&'static str, u32, Vec<f64>)> {
+    App::ALL
+        .iter()
+        .filter_map(|&app| {
+            let &ranks = app.scales().last()?;
+            let tm = TrafficMatrix::from_trace_p2p(&app.generate(ranks));
+            let curve = selectivity::SelectivityCurve::compute(&tm)?;
+            Some((app.name(), ranks, curve.points))
+        })
+        .collect()
+}
+
+/// Figure 4: AMG's selectivity curve at every scale (the scaling example).
+pub fn fig4_amg_curves() -> Vec<(u32, Vec<f64>)> {
+    App::Amg
+        .scales()
+        .iter()
+        .filter_map(|&ranks| {
+            let tm = TrafficMatrix::from_trace_p2p(&App::Amg.generate(ranks));
+            let curve = selectivity::SelectivityCurve::compute(&tm)?;
+            Some((ranks, curve.points))
+        })
+        .collect()
+}
+
+/// One point of the topology-aware multi-core extension: the paper's §6.1
+/// study repeated *through* the torus model, so packing shows up in packet
+/// hops as well as in raw inter-node bytes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MulticoreTopoPoint {
+    /// Ranks per node.
+    pub cores: u32,
+    /// Bytes that cross the network.
+    pub internode_bytes: u64,
+    /// Total packet hops on the torus under the block mapping.
+    pub packet_hops: u128,
+    /// Average hops per packet (intra-node packets count as 0 hops).
+    pub avg_hops: f64,
+}
+
+/// Extended Figure 5: replay one application through its Table 2 torus
+/// under block mappings of 1..=48 ranks per node.
+pub fn fig5_topology(app: App, ranks: u32) -> Vec<MulticoreTopoPoint> {
+    let trace = app.generate(ranks);
+    let tm = TrafficMatrix::from_trace_full(&trace);
+    let torus = ConfigCatalog::for_ranks(ranks as usize).build_torus();
+    multicore::CORE_SWEEP
+        .iter()
+        .map(|&cores| {
+            let mapping = Mapping::block(ranks as usize, cores as usize, torus.num_nodes());
+            let rep = analyze_network(&torus, &mapping, &tm);
+            MulticoreTopoPoint {
+                cores,
+                internode_bytes: multicore::internode_bytes(&tm, cores),
+                packet_hops: rep.packet_hops,
+                avg_hops: rep.avg_hops(),
+            }
+        })
+        .collect()
+}
+
+/// Figure 5: relative inter-node traffic vs cores per node, for all
+/// applications with at least 512 ranks (the paper's cutoff).
+pub fn fig5_multicore() -> Vec<(&'static str, u32, Vec<multicore::MulticorePoint>)> {
+    netloc_workloads::catalog()
+        .into_iter()
+        .filter(|&(_, r)| r >= 512)
+        .map(|(app, ranks)| {
+            let tm = TrafficMatrix::from_trace_full(&app.generate(ranks));
+            (
+                app.name(),
+                ranks,
+                multicore::multicore_curve(&tm, &multicore::CORE_SWEEP),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_all_rows() {
+        let t = table1();
+        assert_eq!(t.len(), 38);
+        let lulesh = t
+            .iter()
+            .find(|r| r.app == "EXMATEX LULESH" && r.ranks == 64)
+            .unwrap();
+        assert!((lulesh.volume_mb - 3585.0).abs() / 3585.0 < 0.01);
+        assert!(!lulesh.starred);
+    }
+
+    #[test]
+    fn table3_row_small_config() {
+        let row = table3_row(App::Amg, 8);
+        assert_eq!(row.peers, Some(7));
+        assert!(row.rank_distance90.unwrap() >= 1.0);
+        assert!(row.selectivity90.unwrap() >= 1.0);
+        // torus wins on average hops at tiny scale (paper §6.2)
+        assert!(row.torus.avg_hops < row.fattree.avg_hops);
+        assert!(row.fattree.avg_hops <= row.dragonfly.avg_hops);
+        // fat tree hops at 8 ranks on one switch: exactly 2
+        assert!((row.fattree.avg_hops - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collective_only_apps_have_na_metrics() {
+        let row = table3_row(App::BigFft, 9);
+        assert_eq!(row.peers, None);
+        assert_eq!(row.rank_distance90, None);
+        assert_eq!(row.selectivity90, None);
+        // ...but network columns are well-defined
+        assert!(row.torus.packet_hops > 0);
+    }
+
+    #[test]
+    fn table4_partisn_peaks_in_2d() {
+        let rows = table4();
+        let partisn = rows.iter().find(|r| r.app == "PARTISN").unwrap();
+        assert_eq!(partisn.locality_pct[1], 100.0, "{partisn:?}");
+        assert!(partisn.locality_pct[0] < 20.0);
+        assert!(partisn.locality_pct[2] < 100.0);
+    }
+
+    #[test]
+    fn table4_lulesh_peaks_in_3d() {
+        let rows = table4();
+        let lulesh = rows
+            .iter()
+            .find(|r| r.app == "EXMATEX LULESH" && r.ranks == 64)
+            .unwrap();
+        assert_eq!(lulesh.locality_pct[2], 100.0, "{lulesh:?}");
+        assert!(lulesh.locality_pct[0] < lulesh.locality_pct[1]);
+        assert!(lulesh.locality_pct[1] < lulesh.locality_pct[2]);
+    }
+
+    #[test]
+    fn fig1_profile_is_sorted() {
+        let profile = fig1_profile(App::Lulesh, 64, 0);
+        assert!(!profile.is_empty());
+        assert!(profile.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn fig4_selectivity_shifts_right_with_scale() {
+        let curves = fig4_amg_curves();
+        assert_eq!(curves.len(), 4);
+        // Larger scale ⇒ the curve crosses 90 % later (or equal).
+        let crossing = |pts: &[f64]| pts.iter().position(|&y| y >= 0.9).unwrap() + 1;
+        let small_x = crossing(&curves[0].1);
+        let large = crossing(&curves[2].1);
+        assert!(small_x <= large, "{small_x} vs {large}");
+    }
+}

@@ -1,0 +1,284 @@
+//! Minimal dependency-free SVG chart rendering for the reproduced figures.
+//!
+//! The paper's figures are line charts (cumulative selectivity curves,
+//! multi-core scaling) and one bar-like volume profile. This module renders
+//! equivalent SVGs from the same series the CSV outputs carry, so
+//! `repro --svg DIR` drops viewable figures next to the data.
+
+use std::fmt::Write as _;
+
+/// One named line series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y)` points, in drawing order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Chart geometry and labels.
+#[derive(Debug, Clone)]
+pub struct ChartSpec {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Logarithmic x axis.
+    pub log_x: bool,
+    /// Canvas width in pixels.
+    pub width: u32,
+    /// Canvas height in pixels.
+    pub height: u32,
+}
+
+impl Default for ChartSpec {
+    fn default() -> Self {
+        ChartSpec {
+            title: String::new(),
+            x_label: String::new(),
+            y_label: String::new(),
+            log_x: false,
+            width: 860,
+            height: 520,
+        }
+    }
+}
+
+const PALETTE: [&str; 13] = [
+    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948", "#b07aa1", "#ff9da7",
+    "#9c755f", "#bab0ac", "#1f77b4", "#d62728", "#2ca02c",
+];
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 || v.abs() < 0.01 {
+        format!("{v:.0e}")
+    } else if (v - v.round()).abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Render a multi-series line chart as a standalone SVG document.
+///
+/// # Panics
+/// Panics if every series is empty.
+pub fn line_chart(spec: &ChartSpec, series: &[Series]) -> String {
+    let pts: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
+    assert!(!pts.is_empty(), "nothing to draw");
+    let xt = |x: f64| if spec.log_x { x.max(1e-300).log10() } else { x };
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &pts {
+        x0 = x0.min(xt(x));
+        x1 = x1.max(xt(x));
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    if (x1 - x0).abs() < 1e-12 {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < 1e-12 {
+        y1 = y0 + 1.0;
+    }
+    // A little headroom on y.
+    let pad_y = 0.05 * (y1 - y0);
+    let (y0, y1) = (y0 - pad_y, y1 + pad_y);
+
+    let (w, h) = (spec.width as f64, spec.height as f64);
+    let (ml, mr, mt, mb) = (70.0, 180.0, 40.0, 55.0); // margins (legend right)
+    let px = |x: f64| ml + (xt(x) - x0) / (x1 - x0) * (w - ml - mr);
+    let py = |y: f64| h - mb - (y - y0) / (y1 - y0) * (h - mt - mb);
+
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="sans-serif" font-size="12">"#
+    );
+    let _ = write!(
+        out,
+        r#"<rect width="{w}" height="{h}" fill="white"/><text x="{}" y="24" text-anchor="middle" font-size="16">{}</text>"#,
+        w / 2.0,
+        xml_escape(&spec.title)
+    );
+
+    // Axes.
+    let _ = write!(
+        out,
+        r#"<line x1="{ml}" y1="{}" x2="{}" y2="{}" stroke="black"/><line x1="{ml}" y1="{mt}" x2="{ml}" y2="{}" stroke="black"/>"#,
+        h - mb,
+        w - mr,
+        h - mb,
+        h - mb
+    );
+    // Ticks: 5 per axis.
+    for i in 0..=4 {
+        let fy = y0 + (y1 - y0) * i as f64 / 4.0;
+        let _ = write!(
+            out,
+            r#"<line x1="{}" y1="{}" x2="{ml}" y2="{}" stroke="black"/><text x="{}" y="{}" text-anchor="end">{}</text>"#,
+            ml - 5.0,
+            py(fy),
+            py(fy),
+            ml - 8.0,
+            py(fy) + 4.0,
+            fmt_tick(fy)
+        );
+        let fx_t = x0 + (x1 - x0) * i as f64 / 4.0;
+        let fx = if spec.log_x { 10f64.powf(fx_t) } else { fx_t };
+        let _ = write!(
+            out,
+            r#"<line x1="{}" y1="{}" x2="{}" y2="{}" stroke="black"/><text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+            px(fx),
+            h - mb,
+            px(fx),
+            h - mb + 5.0,
+            px(fx),
+            h - mb + 20.0,
+            fmt_tick(fx)
+        );
+    }
+    // Axis labels.
+    let _ = write!(
+        out,
+        r#"<text x="{}" y="{}" text-anchor="middle">{}</text><text x="18" y="{}" text-anchor="middle" transform="rotate(-90 18 {})">{}</text>"#,
+        (ml + w - mr) / 2.0,
+        h - 12.0,
+        xml_escape(&spec.x_label),
+        h / 2.0,
+        h / 2.0,
+        xml_escape(&spec.y_label)
+    );
+
+    // Series.
+    for (i, s) in series.iter().enumerate() {
+        if s.points.is_empty() {
+            continue;
+        }
+        let color = PALETTE[i % PALETTE.len()];
+        let mut d = String::new();
+        for (k, &(x, y)) in s.points.iter().enumerate() {
+            let _ = write!(
+                d,
+                "{}{:.2},{:.2} ",
+                if k == 0 { "M" } else { "L" },
+                px(x),
+                py(y)
+            );
+        }
+        let _ = write!(
+            out,
+            r#"<path d="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+            d.trim_end()
+        );
+        // Legend entry.
+        let ly = mt + 18.0 * i as f64;
+        let _ = write!(
+            out,
+            r#"<line x1="{}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="3"/><text x="{}" y="{}">{}</text>"#,
+            w - mr + 10.0,
+            w - mr + 34.0,
+            w - mr + 40.0,
+            ly + 4.0,
+            xml_escape(&s.name)
+        );
+    }
+    out.push_str("</svg>");
+    out
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ChartSpec {
+        ChartSpec {
+            title: "t".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            ..Default::default()
+        }
+    }
+
+    fn one_series() -> Vec<Series> {
+        vec![Series {
+            name: "a".into(),
+            points: vec![(1.0, 0.0), (2.0, 0.5), (3.0, 1.0)],
+        }]
+    }
+
+    #[test]
+    fn produces_valid_looking_svg() {
+        let svg = line_chart(&spec(), &one_series());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("<path"));
+        assert!(svg.matches("<text").count() >= 10); // title, labels, ticks, legend
+    }
+
+    #[test]
+    fn one_path_per_series() {
+        let mut series = one_series();
+        series.push(Series {
+            name: "b".into(),
+            points: vec![(1.0, 1.0), (3.0, 0.0)],
+        });
+        let svg = line_chart(&spec(), &series);
+        assert_eq!(svg.matches("<path").count(), 2);
+        assert!(svg.contains(">a</text>") && svg.contains(">b</text>"));
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let mut s = spec();
+        s.title = "a<b & c>".into();
+        let svg = line_chart(&s, &one_series());
+        assert!(svg.contains("a&lt;b &amp; c&gt;"));
+        assert!(!svg.contains("a<b"));
+    }
+
+    #[test]
+    fn log_x_compresses_large_ranges() {
+        let series = vec![Series {
+            name: "s".into(),
+            points: vec![(1.0, 0.0), (10.0, 0.5), (100.0, 1.0)],
+        }];
+        let lin = line_chart(&spec(), &series);
+        let mut logspec = spec();
+        logspec.log_x = true;
+        let log = line_chart(&logspec, &series);
+        assert_ne!(lin, log);
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to draw")]
+    fn empty_series_panics() {
+        line_chart(&spec(), &[]);
+    }
+
+    #[test]
+    fn degenerate_single_point_does_not_divide_by_zero() {
+        let svg = line_chart(
+            &spec(),
+            &[Series {
+                name: "p".into(),
+                points: vec![(5.0, 5.0)],
+            }],
+        );
+        assert!(svg.contains("<path"));
+        assert!(!svg.contains("NaN"));
+    }
+}

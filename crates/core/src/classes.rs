@@ -1,0 +1,169 @@
+//! Per-link-class usage accounting and heterogeneous-bandwidth utilization
+//! (extension).
+//!
+//! The paper's discussion proposes "operating links with higher
+//! utilization, such as global links in dragonflies, at a higher bandwidth
+//! than the seldomly used local links" (§7). This module provides the two
+//! ingredients: a per-class breakdown of carried volume and busy time, and
+//! a utilization metric under a per-class bandwidth assignment.
+
+use crate::netmodel::{NetworkReport, LINK_BANDWIDTH_BYTES_PER_S};
+use netloc_topology::{LinkClass, Topology};
+
+/// Usage summary of one link class under one replay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassUsage {
+    /// The link class.
+    pub class: LinkClass,
+    /// Links of this class in the topology.
+    pub links: usize,
+    /// Links of this class that carried at least one byte.
+    pub used_links: usize,
+    /// Bytes carried by this class in total.
+    pub bytes: u128,
+    /// Mean busy fraction of the *used* links of this class at the
+    /// reference bandwidth (12 GB/s), over `exec_time_s`.
+    pub utilization: f64,
+}
+
+/// Break a replay down by link class.
+pub fn per_class_usage(
+    topo: &dyn Topology,
+    report: &NetworkReport,
+    exec_time_s: f64,
+) -> Vec<ClassUsage> {
+    let mut out: Vec<ClassUsage> = Vec::new();
+    for (link, &load) in topo.links().iter().zip(&report.link_loads) {
+        let entry = match out.iter_mut().find(|u| u.class == link.class) {
+            Some(e) => e,
+            None => {
+                out.push(ClassUsage {
+                    class: link.class,
+                    links: 0,
+                    used_links: 0,
+                    bytes: 0,
+                    utilization: 0.0,
+                });
+                out.last_mut().expect("just pushed")
+            }
+        };
+        entry.links += 1;
+        if load > 0 {
+            entry.used_links += 1;
+            entry.bytes += load as u128;
+        }
+    }
+    for u in &mut out {
+        if u.used_links > 0 && exec_time_s > 0.0 {
+            u.utilization =
+                u.bytes as f64 / (LINK_BANDWIDTH_BYTES_PER_S * exec_time_s * u.used_links as f64);
+        }
+    }
+    out
+}
+
+/// Utilization under a per-class bandwidth assignment: the mean busy
+/// fraction across used links, where each link's busy time is
+/// `load / bandwidth(class)`.
+///
+/// With `|_| LINK_BANDWIDTH_BYTES_PER_S` this reduces to
+/// [`NetworkReport::utilization`].
+pub fn heterogeneous_utilization(
+    topo: &dyn Topology,
+    report: &NetworkReport,
+    exec_time_s: f64,
+    bandwidth_of: impl Fn(LinkClass) -> f64,
+) -> f64 {
+    if exec_time_s <= 0.0 {
+        return 0.0;
+    }
+    let mut busy = 0.0f64;
+    let mut used = 0usize;
+    for (link, &load) in topo.links().iter().zip(&report.link_loads) {
+        if load > 0 {
+            busy += load as f64 / bandwidth_of(link.class);
+            used += 1;
+        }
+    }
+    if used == 0 {
+        0.0
+    } else {
+        busy / (exec_time_s * used as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netmodel::analyze_network;
+    use crate::traffic::TrafficMatrix;
+    use netloc_topology::{Dragonfly, Mapping};
+
+    fn df_report() -> (Dragonfly, NetworkReport) {
+        let df = Dragonfly::new(4, 2, 2);
+        let m = Mapping::consecutive(72, 72);
+        let mut tm = TrafficMatrix::new(72);
+        for s in 0..72u32 {
+            tm.record(s, (s + 17) % 72, 1 << 16, 4);
+        }
+        let rep = analyze_network(&df, &m, &tm);
+        (df, rep)
+    }
+
+    #[test]
+    fn class_census_covers_all_links() {
+        let (df, rep) = df_report();
+        let usage = per_class_usage(&df, &rep, 1.0);
+        let total: usize = usage.iter().map(|u| u.links).sum();
+        assert_eq!(total, df.links().len());
+        let used: usize = usage.iter().map(|u| u.used_links).sum();
+        assert_eq!(used, rep.used_links);
+        let bytes: u128 = usage.iter().map(|u| u.bytes).sum();
+        assert_eq!(bytes, rep.link_volume_bytes);
+    }
+
+    #[test]
+    fn global_links_are_the_hot_class() {
+        // +17 traffic on a 72-node dragonfly is almost all inter-group:
+        // the few global links run far hotter than terminals.
+        let (df, rep) = df_report();
+        let usage = per_class_usage(&df, &rep, 1.0);
+        let find = |c: LinkClass| usage.iter().find(|u| u.class == c).copied().unwrap();
+        let global = find(LinkClass::DragonflyGlobal);
+        let terminal = find(LinkClass::Terminal);
+        assert!(global.utilization > terminal.utilization);
+    }
+
+    #[test]
+    fn uniform_bandwidth_matches_standard_utilization() {
+        let (df, rep) = df_report();
+        let het = heterogeneous_utilization(&df, &rep, 2.0, |_| LINK_BANDWIDTH_BYTES_PER_S);
+        assert!((het - rep.utilization(2.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn faster_globals_reduce_utilization() {
+        // The paper's proposal: beef up the hot global links.
+        let (df, rep) = df_report();
+        let base = heterogeneous_utilization(&df, &rep, 1.0, |_| LINK_BANDWIDTH_BYTES_PER_S);
+        let tuned = heterogeneous_utilization(&df, &rep, 1.0, |c| {
+            if c.is_global() {
+                4.0 * LINK_BANDWIDTH_BYTES_PER_S
+            } else {
+                LINK_BANDWIDTH_BYTES_PER_S
+            }
+        });
+        assert!(tuned < base);
+    }
+
+    #[test]
+    fn empty_report_is_zero() {
+        let df = Dragonfly::new(4, 2, 2);
+        let m = Mapping::consecutive(72, 72);
+        let rep = analyze_network(&df, &m, &TrafficMatrix::new(72));
+        assert_eq!(
+            heterogeneous_utilization(&df, &rep, 1.0, |_| LINK_BANDWIDTH_BYTES_PER_S),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Heat-map export — the status-quo representation the paper's metrics
+//! replace ("locality … is mostly characterized by communication patterns
+//! represented in heat maps so far", §4). Provided for visual inspection
+//! and for comparing against the scalar metrics.
+
+use crate::traffic::TrafficMatrix;
+use std::fmt::Write as _;
+
+/// Render the traffic matrix as CSV: header `src,dst,bytes,messages,packets`
+/// followed by one row per communicating ordered pair, sorted by `(src,dst)`.
+pub fn to_csv(tm: &TrafficMatrix) -> String {
+    let mut out = String::from("src,dst,bytes,messages,packets\n");
+    for ((s, d), p) in tm.sorted_pairs() {
+        let _ = writeln!(out, "{s},{d},{},{},{}", p.bytes, p.messages, p.packets);
+    }
+    out
+}
+
+/// Render a dense `n × n` byte matrix (row = src). Intended for small rank
+/// counts; refuses (returns `None`) above `max_ranks` to avoid accidental
+/// multi-gigabyte allocations.
+pub fn dense_matrix(tm: &TrafficMatrix, max_ranks: u32) -> Option<Vec<Vec<u64>>> {
+    let n = tm.num_ranks();
+    if n > max_ranks {
+        return None;
+    }
+    let mut m = vec![vec![0u64; n as usize]; n as usize];
+    for (&(s, d), p) in tm.iter() {
+        m[s as usize][d as usize] = p.bytes;
+    }
+    Some(m)
+}
+
+/// A coarse ASCII heat map (log-scaled glyphs), for terminal inspection.
+pub fn ascii_heatmap(tm: &TrafficMatrix, max_ranks: u32) -> Option<String> {
+    let m = dense_matrix(tm, max_ranks)?;
+    let max = m.iter().flatten().copied().max().unwrap_or(0);
+    if max == 0 {
+        return Some(String::new());
+    }
+    const GLYPHS: &[u8] = b" .:-=+*#%@";
+    let mut out = String::new();
+    for row in &m {
+        for &v in row {
+            let g = if v == 0 {
+                0
+            } else {
+                let frac = (v as f64).ln() / (max as f64).ln().max(1e-12);
+                1 + (frac.clamp(0.0, 1.0) * (GLYPHS.len() - 2) as f64).round() as usize
+            };
+            out.push(GLYPHS[g] as char);
+        }
+        out.push('\n');
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tm() -> TrafficMatrix {
+        let mut tm = TrafficMatrix::new(3);
+        tm.record(0, 1, 5000, 2);
+        tm.record(2, 0, 10, 1);
+        tm
+    }
+
+    #[test]
+    fn csv_has_header_and_sorted_rows() {
+        let csv = to_csv(&tm());
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines[0], "src,dst,bytes,messages,packets");
+        assert_eq!(lines[1], "0,1,10000,2,4");
+        assert_eq!(lines[2], "2,0,10,1,1");
+    }
+
+    #[test]
+    fn dense_matrix_places_volumes() {
+        let m = dense_matrix(&tm(), 10).unwrap();
+        assert_eq!(m[0][1], 10000);
+        assert_eq!(m[2][0], 10);
+        assert_eq!(m[1][2], 0);
+    }
+
+    #[test]
+    fn dense_matrix_refuses_large() {
+        assert!(dense_matrix(&tm(), 2).is_none());
+    }
+
+    #[test]
+    fn ascii_heatmap_shape() {
+        let a = ascii_heatmap(&tm(), 10).unwrap();
+        let lines: Vec<_> = a.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines.iter().all(|l| l.chars().count() == 3));
+        // the heavy cell uses the heaviest glyph
+        assert_eq!(lines[0].chars().nth(1), Some('@'));
+    }
+
+    #[test]
+    fn empty_matrix_heatmap_is_empty() {
+        let tm = TrafficMatrix::new(2);
+        assert_eq!(ascii_heatmap(&tm, 10).unwrap(), "");
+    }
+}

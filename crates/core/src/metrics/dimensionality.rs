@@ -1,0 +1,159 @@
+//! Dimensionality analysis (Table 4): rank locality when ranks are folded
+//! onto 1D, 2D or 3D grids.
+//!
+//! The paper's linear rank distance penalizes multi-dimensional nearest
+//! neighbors (Figure 2): a y-neighbor on an `nx`-wide grid sits `nx` rank
+//! IDs away. Folding the ranks back onto a near-cubic grid and measuring
+//! Chebyshev (max-norm) grid distance reveals the workload's intrinsic
+//! dimensionality — a k-D stencil application folded onto the matching k-D
+//! grid has every stencil partner (faces, edges and corners) at distance 1
+//! and therefore 100 % locality.
+
+use super::crossing_point;
+use crate::fxhash::FxHashMap;
+use crate::traffic::TrafficMatrix;
+use netloc_topology::grid::{chebyshev_distance, fold_dims};
+
+/// Rank locality of one traffic matrix under one grid folding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DimensionalityReport {
+    /// The grid the ranks were folded onto (descending dimensions).
+    pub dims: Vec<usize>,
+    /// Interpolated 90 %-quantile Chebyshev grid distance.
+    pub distance90: f64,
+    /// Rank locality `1 / distance90` as a percentage (100 % = pure
+    /// stencil on this grid).
+    pub locality_pct: f64,
+}
+
+/// Compute the 90 % rank locality of `tm` folded onto the most balanced
+/// `k`-dimensional grid (`k` ∈ 1..=3 in the paper). `None` if the matrix
+/// has no traffic.
+pub fn folded_locality(tm: &TrafficMatrix, k: usize) -> Option<DimensionalityReport> {
+    let dims = fold_dims(tm.num_ranks() as usize, k);
+    folded_locality_on(tm, &dims)
+}
+
+/// Like [`folded_locality`] but with explicit grid dimensions (must multiply
+/// to at least the rank count; ranks are folded row-major, dimension 0
+/// fastest).
+pub fn folded_locality_on(tm: &TrafficMatrix, dims: &[usize]) -> Option<DimensionalityReport> {
+    let mut hist: FxHashMap<usize, u64> = FxHashMap::default();
+    for (&(s, d), p) in tm.iter() {
+        let dist = chebyshev_distance(s as usize, d as usize, dims);
+        *hist.entry(dist).or_default() += p.bytes;
+    }
+    let mut buckets: Vec<_> = hist.into_iter().collect();
+    buckets.sort_unstable_by_key(|&(d, _)| d);
+    let total: u64 = buckets.iter().map(|&(_, b)| b).sum();
+    if total == 0 {
+        return None;
+    }
+    let mut cum = 0u64;
+    let points: Vec<(f64, f64)> = buckets
+        .iter()
+        .map(|&(d, b)| {
+            cum += b;
+            (d as f64, cum as f64)
+        })
+        .collect();
+    let distance90 = crossing_point(&points, 0.9 * total as f64)?;
+    Some(DimensionalityReport {
+        dims: dims.to_vec(),
+        distance90,
+        locality_pct: 100.0 / distance90.max(f64::MIN_POSITIVE),
+    })
+}
+
+/// Re-export of the shared folding helper for convenience.
+pub use netloc_topology::grid::fold_dims as grid_fold_dims;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netloc_topology::grid::rank_of;
+
+    /// Build a pure k-D stencil traffic matrix on the given grid.
+    fn stencil_tm(dims: &[usize]) -> TrafficMatrix {
+        let n: usize = dims.iter().product();
+        let mut tm = TrafficMatrix::new(n as u32);
+        let k = dims.len();
+        for r in 0..n {
+            let c = netloc_topology::grid::coords(r, dims);
+            // all Chebyshev-1 neighbors (full stencil, no wrap)
+            let mut neighbors = Vec::new();
+            let deltas: [i64; 3] = [-1, 0, 1];
+            for &dx in &deltas {
+                for &dy in deltas[..if k > 1 { 3 } else { 1 }].iter() {
+                    for &dz in deltas[..if k > 2 { 3 } else { 1 }].iter() {
+                        if dx == 0 && dy == 0 && dz == 0 {
+                            continue;
+                        }
+                        let mut nc = c.clone();
+                        let deltas_for = [dx, dy, dz];
+                        let mut ok = true;
+                        for (i, coord) in nc.iter_mut().enumerate() {
+                            let v = *coord as i64 + deltas_for[i];
+                            if v < 0 || v >= dims[i] as i64 {
+                                ok = false;
+                                break;
+                            }
+                            *coord = v as usize;
+                        }
+                        if ok {
+                            neighbors.push(rank_of(&nc, dims));
+                        }
+                    }
+                }
+            }
+            for nb in neighbors {
+                tm.record(r as u32, nb as u32, 1000, 1);
+            }
+        }
+        tm
+    }
+
+    #[test]
+    fn matching_fold_gives_100_percent() {
+        let tm = stencil_tm(&[4, 4, 4]);
+        let rep = folded_locality(&tm, 3).unwrap();
+        assert_eq!(rep.dims, vec![4, 4, 4]);
+        assert_eq!(rep.distance90, 1.0);
+        assert_eq!(rep.locality_pct, 100.0);
+    }
+
+    #[test]
+    fn wrong_fold_is_worse() {
+        let tm = stencil_tm(&[4, 4, 4]);
+        let d1 = folded_locality(&tm, 1).unwrap();
+        let d2 = folded_locality(&tm, 2).unwrap();
+        let d3 = folded_locality(&tm, 3).unwrap();
+        assert!(d1.locality_pct < d2.locality_pct);
+        assert!(d2.locality_pct < d3.locality_pct);
+    }
+
+    #[test]
+    fn two_d_stencil_peaks_in_2d() {
+        let tm = stencil_tm(&[14, 12]);
+        let d2 = folded_locality(&tm, 2).unwrap();
+        assert_eq!(d2.locality_pct, 100.0);
+        let d3 = folded_locality(&tm, 3).unwrap();
+        // Folding a 2D app onto 3D spreads neighbors apart.
+        assert!(d3.locality_pct < 100.0);
+    }
+
+    #[test]
+    fn one_d_fold_matches_rank_distance() {
+        let mut tm = TrafficMatrix::new(16);
+        tm.record(0, 5, 100, 1);
+        let rep = folded_locality(&tm, 1).unwrap();
+        assert_eq!(rep.distance90, 5.0);
+        assert!((rep.locality_pct - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_matrix_is_none() {
+        let tm = TrafficMatrix::new(8);
+        assert!(folded_locality(&tm, 2).is_none());
+    }
+}

@@ -1,0 +1,139 @@
+//! Communication-graph statistics.
+//!
+//! The traffic matrix is a weighted directed graph over ranks; its
+//! structure explains the scalar locality metrics (a near-regular graph of
+//! low degree ⇒ small selectivity; high symmetry ⇒ halo-exchange class;
+//! strong volume imbalance ⇒ hub patterns like translated reductions).
+
+use crate::traffic::TrafficMatrix;
+
+/// Structural summary of a traffic matrix viewed as a weighted digraph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Ranks with any traffic (in or out).
+    pub active_ranks: u32,
+    /// Directed edges (ordered pairs with traffic).
+    pub edges: usize,
+    /// Edge density over active ranks: `edges / (active · (active − 1))`.
+    pub density: f64,
+    /// Mean out-degree over active ranks.
+    pub mean_out_degree: f64,
+    /// Maximum out-degree (the *peers* metric).
+    pub max_out_degree: u32,
+    /// Volume symmetry: `Σ min(v(a→b), v(b→a)) / Σ v` over unordered pairs,
+    /// 1.0 for perfectly bidirectional traffic.
+    pub symmetry: f64,
+    /// Per-rank outgoing-volume imbalance: max / mean over active senders.
+    pub volume_imbalance: f64,
+}
+
+/// Compute graph statistics. Returns `None` for an empty matrix.
+pub fn graph_stats(tm: &TrafficMatrix) -> Option<GraphStats> {
+    if tm.num_pairs() == 0 {
+        return None;
+    }
+    let n = tm.num_ranks() as usize;
+    let mut active = vec![false; n];
+    let mut out_degree = vec![0u32; n];
+    let mut out_volume = vec![0u64; n];
+    let mut total: u128 = 0;
+    let mut sym: u128 = 0;
+    for (&(s, d), p) in tm.iter() {
+        active[s as usize] = true;
+        active[d as usize] = true;
+        out_degree[s as usize] += 1;
+        out_volume[s as usize] += p.bytes;
+        total += p.bytes as u128;
+        if s < d {
+            if let Some(back) = tm.get(d, s) {
+                sym += 2 * p.bytes.min(back.bytes) as u128;
+            }
+        }
+    }
+    let active_ranks = active.iter().filter(|&&a| a).count() as u32;
+    let senders: Vec<u64> = out_volume.iter().copied().filter(|&v| v > 0).collect();
+    let mean_vol = senders.iter().sum::<u64>() as f64 / senders.len() as f64;
+    let max_vol = senders.iter().copied().max().unwrap_or(0) as f64;
+    let possible = active_ranks as f64 * (active_ranks as f64 - 1.0);
+    Some(GraphStats {
+        active_ranks,
+        edges: tm.num_pairs(),
+        density: if possible > 0.0 {
+            tm.num_pairs() as f64 / possible
+        } else {
+            0.0
+        },
+        mean_out_degree: out_degree.iter().map(|&d| d as f64).sum::<f64>() / active_ranks as f64,
+        max_out_degree: out_degree.iter().copied().max().unwrap_or(0),
+        symmetry: sym as f64 / total as f64,
+        volume_imbalance: max_vol / mean_vol,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tm_from(entries: &[(u32, u32, u64)]) -> TrafficMatrix {
+        let mut tm = TrafficMatrix::new(8);
+        for &(s, d, b) in entries {
+            tm.record(s, d, b, 1);
+        }
+        tm
+    }
+
+    #[test]
+    fn symmetric_ring_is_fully_symmetric() {
+        let tm = tm_from(&[(0, 1, 100), (1, 0, 100), (1, 2, 50), (2, 1, 50)]);
+        let g = graph_stats(&tm).unwrap();
+        assert_eq!(g.symmetry, 1.0);
+        assert_eq!(g.active_ranks, 3);
+        assert_eq!(g.edges, 4);
+    }
+
+    #[test]
+    fn one_way_traffic_has_zero_symmetry() {
+        let g = graph_stats(&tm_from(&[(0, 1, 100), (2, 3, 10)])).unwrap();
+        assert_eq!(g.symmetry, 0.0);
+    }
+
+    #[test]
+    fn partial_return_traffic_is_partially_symmetric() {
+        // 100 forward, 40 backward: symmetric part = 2·40 of 140.
+        let g = graph_stats(&tm_from(&[(0, 1, 100), (1, 0, 40)])).unwrap();
+        assert!((g.symmetry - 80.0 / 140.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hub_has_high_imbalance() {
+        let g = graph_stats(&tm_from(&[
+            (0, 1, 1000),
+            (0, 2, 1000),
+            (0, 3, 1000),
+            (1, 0, 1),
+            (2, 0, 1),
+            (3, 0, 1),
+        ]))
+        .unwrap();
+        assert!(g.volume_imbalance > 3.0, "{}", g.volume_imbalance);
+        assert_eq!(g.max_out_degree, 3);
+    }
+
+    #[test]
+    fn density_of_complete_graph_is_one() {
+        let mut tm = TrafficMatrix::new(4);
+        for s in 0..4 {
+            for d in 0..4 {
+                tm.record(s, d, 10, 1);
+            }
+        }
+        let g = graph_stats(&tm).unwrap();
+        assert_eq!(g.density, 1.0);
+        assert_eq!(g.mean_out_degree, 3.0);
+    }
+
+    #[test]
+    fn empty_matrix_is_none() {
+        assert!(graph_stats(&TrafficMatrix::new(4)).is_none());
+    }
+}

@@ -1,0 +1,148 @@
+//! Message-size characterization (Klenk & Fröning, ISC 2017 style).
+//!
+//! The paper's predecessor study characterizes exascale proxy apps by their
+//! message-size distributions; sizes also drive the packetization behind
+//! *packet hops* (a 64 B message and a 4 MB message differ by three orders
+//! of magnitude in packets per hop). This module computes the size
+//! histogram and its quantiles from a trace's p2p events.
+
+use netloc_mpi::{Event, Trace};
+
+/// Summary statistics over the p2p message-size distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizeStats {
+    /// Total p2p messages (repeats expanded).
+    pub messages: u64,
+    /// Smallest message, bytes.
+    pub min: u64,
+    /// Largest message, bytes.
+    pub max: u64,
+    /// Mean size, bytes.
+    pub mean: f64,
+    /// Median size, bytes.
+    pub p50: u64,
+    /// 90th percentile size, bytes.
+    pub p90: u64,
+    /// 99th percentile size, bytes.
+    pub p99: u64,
+    /// Histogram over power-of-two buckets: `log2_histogram[i]` counts
+    /// messages with `2^i <= size < 2^(i+1)` (index 0 also holds 0/1-byte
+    /// messages).
+    pub log2_histogram: Vec<u64>,
+}
+
+/// Compute size statistics over a trace's p2p messages.
+/// Returns `None` for traces without p2p events.
+pub fn size_stats(trace: &Trace) -> Option<SizeStats> {
+    // (size, count), then sort by size for exact quantiles.
+    let mut sizes: Vec<(u64, u64)> = Vec::new();
+    for te in &trace.events {
+        if let Event::Send { repeat, .. } = &te.event {
+            let bytes = te.event.p2p_bytes().expect("send has bytes");
+            sizes.push((bytes, *repeat));
+        }
+    }
+    if sizes.is_empty() {
+        return None;
+    }
+    sizes.sort_unstable();
+    let total: u64 = sizes.iter().map(|&(_, c)| c).sum();
+    let weighted_sum: u128 = sizes.iter().map(|&(s, c)| s as u128 * c as u128).sum();
+
+    let quantile = |q: f64| -> u64 {
+        let target = (q * total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0;
+        for &(s, c) in &sizes {
+            cum += c;
+            if cum >= target {
+                return s;
+            }
+        }
+        sizes.last().expect("nonempty").0
+    };
+
+    let max = sizes.last().expect("nonempty").0;
+    let buckets = (64 - max.max(1).leading_zeros()) as usize;
+    let mut log2_histogram = vec![0u64; buckets.max(1)];
+    for &(s, c) in &sizes {
+        let idx = if s <= 1 {
+            0
+        } else {
+            (63 - s.leading_zeros()) as usize
+        };
+        log2_histogram[idx] += c;
+    }
+
+    Some(SizeStats {
+        messages: total,
+        min: sizes.first().expect("nonempty").0,
+        max,
+        mean: weighted_sum as f64 / total as f64,
+        p50: quantile(0.5),
+        p90: quantile(0.9),
+        p99: quantile(0.99),
+        log2_histogram,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netloc_mpi::{Rank, TraceBuilder};
+
+    fn trace_with(sizes: &[(u64, u64)]) -> Trace {
+        let mut b = TraceBuilder::new("t", 4);
+        for &(bytes, repeat) in sizes {
+            b.send(Rank(0), Rank(1), bytes, repeat);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn single_size_statistics() {
+        let s = size_stats(&trace_with(&[(4096, 10)])).unwrap();
+        assert_eq!(s.messages, 10);
+        assert_eq!(
+            (s.min, s.max, s.p50, s.p90, s.p99),
+            (4096, 4096, 4096, 4096, 4096)
+        );
+        assert_eq!(s.mean, 4096.0);
+        assert_eq!(s.log2_histogram[12], 10); // 2^12 = 4096
+    }
+
+    #[test]
+    fn quantiles_respect_weights() {
+        // 90 one-byte messages and 10 large ones: p50 = 1, p99 = large.
+        let s = size_stats(&trace_with(&[(1, 90), (1 << 20, 10)])).unwrap();
+        assert_eq!(s.p50, 1);
+        assert_eq!(s.p90, 1);
+        assert_eq!(s.p99, 1 << 20);
+        assert!(s.mean > 1.0 && s.mean < (1 << 20) as f64);
+    }
+
+    #[test]
+    fn histogram_counts_sum_to_messages() {
+        let s = size_stats(&trace_with(&[(3, 5), (100, 7), (65536, 2)])).unwrap();
+        assert_eq!(s.log2_histogram.iter().sum::<u64>(), 14);
+        assert_eq!(s.log2_histogram[1], 5); // 2..4
+        assert_eq!(s.log2_histogram[6], 7); // 64..128
+        assert_eq!(s.log2_histogram[16], 2);
+    }
+
+    #[test]
+    fn collective_only_trace_is_none() {
+        use netloc_mpi::{CollectiveOp, Payload};
+        let mut b = TraceBuilder::new("t", 4);
+        b.collective(CollectiveOp::Allreduce, None, Payload::Uniform(8), 5);
+        assert!(size_stats(&b.build()).is_none());
+    }
+
+    #[test]
+    fn works_on_generated_workload() {
+        let trace = netloc_mpi::TraceBuilder::new("x", 2);
+        let _ = trace; // (real workloads covered by integration tests)
+        let s = size_stats(&trace_with(&[(1, 1), (2, 1), (4, 1), (8, 1)])).unwrap();
+        assert_eq!(s.messages, 4);
+        assert_eq!(s.p50, 2);
+    }
+}

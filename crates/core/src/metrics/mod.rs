@@ -1,0 +1,83 @@
+//! The paper's locality metrics.
+//!
+//! * [`rank_locality`] — Eq. 1/2 and the 90 %-quantile rank distance (§4.1.1).
+//! * [`selectivity`] — dominant-partner counts and cumulative curves (§4.1.2).
+//! * [`peers`] — peak distinct-destination count (Klenk et al., Table 3).
+//! * [`dimensionality`] — rank locality under 1D/2D/3D grid foldings (Table 4).
+//! * [`kim`] — the Kim & Lilja (1998) LRU-locality baseline the paper's
+//!   related work contrasts against (§3).
+
+pub mod dimensionality;
+pub mod graph;
+pub mod kim;
+pub mod message_sizes;
+pub mod peers;
+pub mod rank_locality;
+pub mod selectivity;
+
+/// Interpolated x-position at which a cumulative series crosses a target.
+///
+/// `points` are `(x, cumulative_value)` with strictly increasing `x` and
+/// non-decreasing cumulative values. Returns the linearly interpolated `x`
+/// where the cumulative value first reaches `target`; clamps to the first
+/// point's `x` if the first bucket alone reaches the target (so a pure
+/// nearest-neighbor pattern yields a 90 % distance of exactly 1, matching
+/// the paper's "100 % locality" convention).
+pub(crate) fn crossing_point(points: &[(f64, f64)], target: f64) -> Option<f64> {
+    let mut prev: Option<(f64, f64)> = None;
+    for &(x, c) in points {
+        if c >= target {
+            return Some(match prev {
+                None => x,
+                Some((px, pc)) => {
+                    if c > pc {
+                        px + (x - px) * (target - pc) / (c - pc)
+                    } else {
+                        x
+                    }
+                }
+            });
+        }
+        prev = Some((x, c));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::crossing_point;
+
+    #[test]
+    fn first_bucket_crossing_clamps_to_its_x() {
+        let pts = [(1.0, 100.0)];
+        assert_eq!(crossing_point(&pts, 90.0), Some(1.0));
+    }
+
+    #[test]
+    fn interpolates_between_buckets() {
+        let pts = [(1.0, 50.0), (3.0, 100.0)];
+        // target 75 is halfway between the buckets: x = 2.
+        assert_eq!(crossing_point(&pts, 75.0), Some(2.0));
+    }
+
+    #[test]
+    fn exact_hit_returns_bucket_x() {
+        let pts = [(1.0, 50.0), (2.0, 90.0), (3.0, 100.0)];
+        assert_eq!(crossing_point(&pts, 90.0), Some(2.0));
+    }
+
+    #[test]
+    fn unreachable_target_is_none() {
+        let pts = [(1.0, 50.0)];
+        assert_eq!(crossing_point(&pts, 90.0), None);
+    }
+
+    #[test]
+    fn flat_segment_does_not_divide_by_zero() {
+        let pts = [(1.0, 50.0), (2.0, 50.0), (3.0, 100.0)];
+        let x = crossing_point(&pts, 50.0).unwrap();
+        assert_eq!(x, 1.0);
+        let x = crossing_point(&pts, 75.0).unwrap();
+        assert!((2.0..=3.0).contains(&x));
+    }
+}

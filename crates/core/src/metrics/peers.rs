@@ -1,0 +1,52 @@
+//! The *peers* metric (Klenk & Fröning, ISC 2017): the peak number of
+//! distinct point-to-point destinations any rank addresses.
+
+use crate::traffic::TrafficMatrix;
+
+/// Distinct p2p destination count per source rank.
+pub fn peers_per_rank(tm: &TrafficMatrix) -> Vec<u32> {
+    let mut counts = vec![0u32; tm.num_ranks() as usize];
+    for (&(s, _), _) in tm.iter() {
+        counts[s as usize] += 1;
+    }
+    counts
+}
+
+/// The *peers* metric: the maximum over ranks of the number of distinct
+/// destination ranks addressed with point-to-point messages (Table 3,
+/// column "Peers"). `None` when the trace has no p2p traffic at all
+/// (the paper prints "N/A" for such collective-only workloads).
+pub fn peers(tm: &TrafficMatrix) -> Option<u32> {
+    let max = peers_per_rank(tm).into_iter().max().unwrap_or(0);
+    (max > 0).then_some(max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_over_ranks() {
+        let mut tm = TrafficMatrix::new(6);
+        tm.record(0, 1, 10, 1);
+        tm.record(0, 2, 10, 1);
+        tm.record(0, 3, 10, 1);
+        tm.record(1, 0, 10, 1);
+        assert_eq!(peers(&tm), Some(3));
+        assert_eq!(peers_per_rank(&tm), vec![3, 1, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn repeated_messages_count_once() {
+        let mut tm = TrafficMatrix::new(3);
+        tm.record(0, 1, 10, 500);
+        tm.record(0, 1, 99, 2);
+        assert_eq!(peers(&tm), Some(1));
+    }
+
+    #[test]
+    fn collective_only_trace_has_no_peers() {
+        let tm = TrafficMatrix::new(4);
+        assert_eq!(peers(&tm), None);
+    }
+}

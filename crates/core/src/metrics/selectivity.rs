@@ -1,0 +1,194 @@
+//! Selectivity (§4.1.2): how many partner ranks dominate a rank's
+//! point-to-point communication.
+
+use super::crossing_point;
+use crate::metrics::rank_locality::TRAFFIC_SHARE;
+use crate::traffic::TrafficMatrix;
+
+/// Per-source-rank selectivity: the (interpolated) number of destination
+/// ranks, taken in order of decreasing exchanged volume, needed to cover
+/// `share` of the rank's total outgoing p2p volume. `None` for ranks
+/// without outgoing traffic.
+pub fn rank_selectivity(tm: &TrafficMatrix, src: u32, share: f64) -> Option<f64> {
+    let profile = tm.out_profile(src);
+    let total: u64 = profile.iter().map(|&(_, b)| b).sum();
+    if total == 0 {
+        return None;
+    }
+    let mut cum = 0u64;
+    let points: Vec<(f64, f64)> = profile
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, b))| {
+            cum += b;
+            ((i + 1) as f64, cum as f64)
+        })
+        .collect();
+    crossing_point(&points, share * total as f64)
+}
+
+/// The application's *selectivity (90 %)*: the mean per-rank selectivity
+/// over all ranks with outgoing p2p traffic (Table 3's "Selectivity (90 %)"
+/// column — fractional values arise from this averaging). `None` if no rank
+/// sends p2p traffic.
+pub fn selectivity_90(tm: &TrafficMatrix) -> Option<f64> {
+    selectivity_quantile(tm, TRAFFIC_SHARE)
+}
+
+/// Generalization of [`selectivity_90`] to an arbitrary traffic share.
+pub fn selectivity_quantile(tm: &TrafficMatrix, share: f64) -> Option<f64> {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for src in 0..tm.num_ranks() {
+        if let Some(s) = rank_selectivity(tm, src, share) {
+            sum += s;
+            count += 1;
+        }
+    }
+    (count > 0).then(|| sum / count as f64)
+}
+
+/// A cumulative selectivity curve: `y[i]` is the share (0..=1) of p2p
+/// volume covered by each rank's top `i + 1` partners, averaged over ranks.
+/// This is the paper's Figure 3 / Figure 4 series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectivityCurve {
+    /// `points[i]` = mean covered share with `i + 1` partners.
+    pub points: Vec<f64>,
+}
+
+impl SelectivityCurve {
+    /// Compute the mean cumulative coverage curve of a traffic matrix.
+    /// Ranks without outgoing traffic are skipped; ranks whose partner list
+    /// is shorter than the longest are padded with full coverage (their
+    /// curve has already saturated at 1.0).
+    pub fn compute(tm: &TrafficMatrix) -> Option<Self> {
+        let mut curves: Vec<Vec<f64>> = Vec::new();
+        for src in 0..tm.num_ranks() {
+            let profile = tm.out_profile(src);
+            let total: u64 = profile.iter().map(|&(_, b)| b).sum();
+            if total == 0 {
+                continue;
+            }
+            let mut cum = 0u64;
+            curves.push(
+                profile
+                    .iter()
+                    .map(|&(_, b)| {
+                        cum += b;
+                        cum as f64 / total as f64
+                    })
+                    .collect(),
+            );
+        }
+        if curves.is_empty() {
+            return None;
+        }
+        let len = curves.iter().map(Vec::len).max().unwrap();
+        let mut points = vec![0.0; len];
+        for c in &curves {
+            for (i, p) in points.iter_mut().enumerate() {
+                *p += c.get(i).copied().unwrap_or(1.0);
+            }
+        }
+        for p in &mut points {
+            *p /= curves.len() as f64;
+        }
+        Some(SelectivityCurve { points })
+    }
+
+    /// X-position where the mean curve crosses `share` (the figure's
+    /// graphical reading of selectivity).
+    pub fn crossing(&self, share: f64) -> Option<f64> {
+        let points: Vec<(f64, f64)> = self
+            .points
+            .iter()
+            .enumerate()
+            .map(|(i, &y)| ((i + 1) as f64, y))
+            .collect();
+        crossing_point(&points, share)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tm_from(entries: &[(u32, u32, u64)]) -> TrafficMatrix {
+        let n = entries
+            .iter()
+            .map(|&(s, d, _)| s.max(d) + 1)
+            .max()
+            .unwrap_or(1);
+        let mut tm = TrafficMatrix::new(n.max(4));
+        for &(s, d, b) in entries {
+            tm.record(s, d, b, 1);
+        }
+        tm
+    }
+
+    #[test]
+    fn single_dominant_partner_gives_selectivity_one() {
+        let tm = tm_from(&[(0, 1, 1000)]);
+        assert_eq!(rank_selectivity(&tm, 0, 0.9), Some(1.0));
+    }
+
+    #[test]
+    fn uniform_partners_need_ninety_percent_of_them() {
+        // 10 equal partners: 90 % needs exactly 9 of them.
+        let entries: Vec<_> = (1..=10).map(|d| (0u32, d as u32, 100u64)).collect();
+        let tm = tm_from(&entries);
+        let s = rank_selectivity(&tm, 0, 0.9).unwrap();
+        assert!((s - 9.0).abs() < 1e-12, "{s}");
+    }
+
+    #[test]
+    fn skewed_distribution_has_low_selectivity() {
+        let tm = tm_from(&[(0, 1, 8000), (0, 2, 1000), (0, 3, 500), (0, 4, 500)]);
+        // cum: 8000 (1 partner), 9000 (2 partners) — exactly 90 % at 2.
+        let s = rank_selectivity(&tm, 0, 0.9).unwrap();
+        assert!(s <= 2.0, "{s}");
+    }
+
+    #[test]
+    fn app_selectivity_averages_over_active_ranks() {
+        let tm = tm_from(&[
+            (0, 1, 1000), // rank 0: selectivity 1
+            (1, 0, 500),
+            (1, 2, 500), // rank 1: needs 1.8 partners for 90 %
+        ]);
+        let s = selectivity_90(&tm).unwrap();
+        assert!((s - (1.0 + 1.8) / 2.0).abs() < 1e-12, "{s}");
+    }
+
+    #[test]
+    fn no_traffic_is_none() {
+        let tm = TrafficMatrix::new(8);
+        assert_eq!(selectivity_90(&tm), None);
+        assert!(SelectivityCurve::compute(&tm).is_none());
+    }
+
+    #[test]
+    fn curve_is_monotone_and_saturates() {
+        let tm = tm_from(&[(0, 1, 500), (0, 2, 300), (0, 3, 200), (1, 0, 100)]);
+        let c = SelectivityCurve::compute(&tm).unwrap();
+        assert!(c.points.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        assert!((c.points.last().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_crossing_matches_uniform_expectation() {
+        let entries: Vec<_> = (1..=5).map(|d| (0u32, d as u32, 100u64)).collect();
+        let tm = tm_from(&entries);
+        let c = SelectivityCurve::compute(&tm).unwrap();
+        // uniform over 5 partners: 90 % crossed at 4.5 partners.
+        assert!((c.crossing(0.9).unwrap() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn selectivity_is_scale_invariant_in_volume() {
+        let a = tm_from(&[(0, 1, 10), (0, 2, 5), (0, 3, 5)]);
+        let b = tm_from(&[(0, 1, 1000), (0, 2, 500), (0, 3, 500)]);
+        assert_eq!(selectivity_90(&a), selectivity_90(&b));
+    }
+}

@@ -1,0 +1,130 @@
+//! Multi-core scaling study (§6.1, Figure 5): how much traffic stays on the
+//! interconnect when several ranks share a node.
+//!
+//! The paper maps ranks consecutively, `cores` ranks per node, and measures
+//! the inter-node share of the total (p2p **and** collective) volume
+//! relative to the one-rank-per-node configuration. The study is
+//! topology-independent: only "same node or not" matters.
+
+use crate::traffic::TrafficMatrix;
+
+/// Bytes that must cross the network when ranks are packed consecutively,
+/// `cores` ranks per node: all traffic between ranks in different blocks.
+///
+/// # Panics
+/// Panics if `cores == 0`.
+pub fn internode_bytes(tm: &TrafficMatrix, cores: u32) -> u64 {
+    assert!(cores > 0, "cores per node must be positive");
+    tm.iter()
+        .filter(|(&(s, d), _)| s / cores != d / cores)
+        .map(|(_, p)| p.bytes)
+        .sum()
+}
+
+/// One point of the Figure 5 curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MulticorePoint {
+    /// Cores (= ranks) per node.
+    pub cores: u32,
+    /// Inter-node bytes at this packing.
+    pub internode_bytes: u64,
+    /// Inter-node traffic relative to one rank per node (1.0 at `cores=1`).
+    pub relative: f64,
+}
+
+/// The cores-per-node series the paper sweeps (x-axis of Figure 5).
+pub const CORE_SWEEP: [u32; 7] = [1, 2, 4, 8, 16, 32, 48];
+
+/// Compute the relative inter-node traffic curve over `cores_list`.
+/// The matrix should include collectives (built with
+/// [`TrafficMatrix::from_trace_full`]), matching the paper ("traffic
+/// includes both point-to-point and collective messages").
+pub fn multicore_curve(tm: &TrafficMatrix, cores_list: &[u32]) -> Vec<MulticorePoint> {
+    let base = internode_bytes(tm, 1);
+    cores_list
+        .iter()
+        .map(|&cores| {
+            let bytes = internode_bytes(tm, cores);
+            MulticorePoint {
+                cores,
+                internode_bytes: bytes,
+                relative: if base == 0 {
+                    0.0
+                } else {
+                    bytes as f64 / base as f64
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn neighbor_tm(n: u32) -> TrafficMatrix {
+        let mut tm = TrafficMatrix::new(n);
+        for r in 0..n - 1 {
+            tm.record(r, r + 1, 100, 1);
+        }
+        tm
+    }
+
+    #[test]
+    fn one_core_keeps_everything_on_the_network() {
+        let tm = neighbor_tm(16);
+        assert_eq!(internode_bytes(&tm, 1), tm.total_bytes());
+    }
+
+    #[test]
+    fn packing_removes_intra_block_traffic() {
+        let tm = neighbor_tm(16);
+        // blocks of 4: neighbor pairs (3,4), (7,8), (11,12) cross blocks.
+        assert_eq!(internode_bytes(&tm, 4), 300);
+    }
+
+    #[test]
+    fn whole_app_on_one_node_has_zero_network_traffic() {
+        let tm = neighbor_tm(16);
+        assert_eq!(internode_bytes(&tm, 16), 0);
+        assert_eq!(internode_bytes(&tm, 48), 0);
+    }
+
+    #[test]
+    fn curve_is_monotone_for_neighbor_traffic() {
+        let tm = neighbor_tm(64);
+        let curve = multicore_curve(&tm, &CORE_SWEEP);
+        assert_eq!(curve[0].relative, 1.0);
+        for w in curve.windows(2) {
+            assert!(w[1].relative <= w[0].relative + 1e-12);
+        }
+    }
+
+    #[test]
+    fn relative_is_zero_for_empty_matrix() {
+        let tm = TrafficMatrix::new(8);
+        let curve = multicore_curve(&tm, &[1, 2]);
+        assert!(curve.iter().all(|p| p.relative == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cores_panics() {
+        internode_bytes(&neighbor_tm(4), 0);
+    }
+
+    #[test]
+    fn long_range_traffic_resists_packing() {
+        // rank i -> i + 32: packing below 32 cores removes nothing.
+        let mut tm = TrafficMatrix::new(64);
+        for r in 0..32 {
+            tm.record(r, r + 32, 10, 1);
+        }
+        assert_eq!(internode_bytes(&tm, 16), tm.total_bytes());
+        // blocks of 32 still split every (i, i+32) pair
+        assert_eq!(internode_bytes(&tm, 32), tm.total_bytes());
+        // blocks of 48 keep pairs (0..16, 32..48) together
+        assert!(internode_bytes(&tm, 48) < tm.total_bytes());
+        assert_eq!(internode_bytes(&tm, 64), 0);
+    }
+}

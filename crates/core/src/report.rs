@@ -1,0 +1,133 @@
+//! One-call trace analysis: every MPI-level metric in a single,
+//! serializable report.
+
+use crate::metrics::{
+    dimensionality, graph, kim, message_sizes, peers, rank_locality, selectivity,
+};
+use crate::traffic::TrafficMatrix;
+use netloc_mpi::Trace;
+use serde::Serialize;
+
+/// Every hardware-agnostic metric of one trace, computed in one pass —
+/// what `netloc analyze --json` emits, and the natural input for
+/// comparing many traces side by side.
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceAnalysis {
+    /// Application name from the trace.
+    pub app: String,
+    /// Number of ranks.
+    pub ranks: u32,
+    /// Execution time, seconds.
+    pub exec_time_s: f64,
+    /// Total injected volume in MB (p2p + translated collectives).
+    pub total_mb: f64,
+    /// Point-to-point share, percent.
+    pub p2p_pct: f64,
+    /// Peak distinct p2p destinations (None for collective-only traces).
+    pub peers: Option<u32>,
+    /// 90 %-quantile rank distance.
+    pub rank_distance90: Option<f64>,
+    /// Rank locality (1/distance) in percent.
+    pub rank_locality_pct: Option<f64>,
+    /// Selectivity (90 %).
+    pub selectivity90: Option<f64>,
+    /// Rank locality (percent) under 1D/2D/3D foldings (Table 4 view).
+    pub fold_locality_pct: Option<[f64; 3]>,
+    /// Kim & Lilja destination/size/event LRU locality at depth 4.
+    pub kim_destination: Option<f64>,
+    /// Kim size locality.
+    pub kim_size: Option<f64>,
+    /// Median p2p message size in bytes.
+    pub msg_p50: Option<u64>,
+    /// 99th-percentile p2p message size in bytes.
+    pub msg_p99: Option<u64>,
+    /// Communication-graph density over active ranks.
+    pub graph_density: Option<f64>,
+    /// Volume symmetry (1.0 = perfectly bidirectional).
+    pub graph_symmetry: Option<f64>,
+}
+
+/// Analyze a trace: statistics plus every MPI-level locality metric.
+pub fn analyze_trace(trace: &Trace) -> TraceAnalysis {
+    let stats = trace.stats();
+    let tm = TrafficMatrix::from_trace_p2p(trace);
+    let has_p2p = tm.total_bytes() > 0;
+
+    let fold_locality_pct = has_p2p.then(|| {
+        let mut out = [0.0; 3];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = dimensionality::folded_locality(&tm, i + 1)
+                .map(|r| r.locality_pct)
+                .unwrap_or(0.0);
+        }
+        out
+    });
+    let kim = kim::kim_locality(trace, 4);
+    let sizes = message_sizes::size_stats(trace);
+    let g = graph::graph_stats(&tm);
+
+    TraceAnalysis {
+        app: trace.app.clone(),
+        ranks: trace.num_ranks,
+        exec_time_s: trace.exec_time_s,
+        total_mb: stats.total_mb(),
+        p2p_pct: stats.p2p_pct(),
+        peers: peers::peers(&tm),
+        rank_distance90: rank_locality::rank_distance_90(&tm),
+        rank_locality_pct: rank_locality::rank_locality_90(&tm).map(|l| 100.0 * l),
+        selectivity90: selectivity::selectivity_90(&tm),
+        fold_locality_pct,
+        kim_destination: kim.map(|k| k.destination),
+        kim_size: kim.map(|k| k.size),
+        msg_p50: sizes.as_ref().map(|s| s.p50),
+        msg_p99: sizes.as_ref().map(|s| s.p99),
+        graph_density: g.as_ref().map(|g| g.density),
+        graph_symmetry: g.as_ref().map(|g| g.symmetry),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netloc_mpi::{CollectiveOp, Payload, Rank, TraceBuilder};
+
+    #[test]
+    fn p2p_trace_fills_every_field() {
+        let mut b = TraceBuilder::new("t", 8).exec_time_s(2.0);
+        for r in 0..7u32 {
+            b.send(Rank(r), Rank(r + 1), 4096, 10);
+            b.send(Rank(r + 1), Rank(r), 4096, 10);
+        }
+        let a = analyze_trace(&b.build());
+        assert_eq!(a.ranks, 8);
+        assert!(a.peers.is_some());
+        assert_eq!(a.rank_distance90, Some(1.0));
+        assert_eq!(a.rank_locality_pct, Some(100.0));
+        assert!(a.fold_locality_pct.is_some());
+        assert_eq!(a.msg_p50, Some(4096));
+        assert_eq!(a.graph_symmetry, Some(1.0));
+        assert_eq!(a.p2p_pct, 100.0);
+    }
+
+    #[test]
+    fn collective_only_trace_has_none_fields() {
+        let mut b = TraceBuilder::new("t", 8).exec_time_s(1.0);
+        b.collective(CollectiveOp::Allreduce, None, Payload::Uniform(64), 5);
+        let a = analyze_trace(&b.build());
+        assert_eq!(a.peers, None);
+        assert_eq!(a.rank_distance90, None);
+        assert_eq!(a.fold_locality_pct, None);
+        assert_eq!(a.msg_p50, None);
+        assert!(a.total_mb > 0.0);
+        assert_eq!(a.p2p_pct, 0.0);
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let mut b = TraceBuilder::new("t", 4).exec_time_s(1.0);
+        b.send(Rank(0), Rank(1), 100, 1);
+        let a = analyze_trace(&b.build());
+        let json = serde_json::to_string(&a).unwrap();
+        assert!(json.contains("\"rank_distance90\":1.0"), "{json}");
+    }
+}

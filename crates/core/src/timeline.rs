@@ -1,0 +1,150 @@
+//! Time-resolved injection analysis (extension).
+//!
+//! The paper's model is static, and its discussion flags temporal effects
+//! ("slackness") as future work (§7). This module takes the first step that
+//! is possible without a simulator: it bins the *injection* of traffic over
+//! the trace's timestamps and reports how bursty the offered load is. The
+//! peak-to-mean ratio bounds how much a bandwidth-reduced network (the
+//! paper's energy proposal) would stretch the busiest phase.
+//!
+//! Repeated events (`repeat > 1`) are spread evenly from their timestamp to
+//! the end of the trace — the aggregated trace format does not retain the
+//! exact per-call times, and an even spread is the least-biased choice for
+//! iterative applications.
+
+use netloc_mpi::{collective_volume, Event, Trace};
+
+/// Injected-volume histogram over execution time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Timeline {
+    /// Window length in seconds.
+    pub window_s: f64,
+    /// Injected bytes per window.
+    pub bins: Vec<f64>,
+}
+
+impl Timeline {
+    /// Bin a trace's injected volume (p2p + translated collectives) into
+    /// `num_bins` equal windows over `[0, exec_time]`.
+    ///
+    /// # Panics
+    /// Panics if `num_bins == 0`.
+    pub fn compute(trace: &Trace, num_bins: usize) -> Self {
+        assert!(num_bins > 0, "need at least one bin");
+        let t_end = trace.exec_time_s.max(f64::MIN_POSITIVE);
+        let window = t_end / num_bins as f64;
+        let mut bins = vec![0.0f64; num_bins];
+        let mut deposit = |time: f64, bytes: f64| {
+            let idx = ((time / t_end) * num_bins as f64) as usize;
+            bins[idx.min(num_bins - 1)] += bytes;
+        };
+        for te in &trace.events {
+            let (bytes_per_call, repeat) = match &te.event {
+                Event::Send { repeat, .. } => (te.event.p2p_bytes().unwrap_or(0) as f64, *repeat),
+                Event::Collective {
+                    op,
+                    comm,
+                    root,
+                    payload,
+                    repeat,
+                } => {
+                    let Some(c) = trace.comms.get(*comm) else {
+                        continue;
+                    };
+                    (collective_volume(*op, c, *root, payload) as f64, *repeat)
+                }
+            };
+            if repeat == 1 {
+                deposit(te.time, bytes_per_call);
+            } else {
+                // Spread the repeats evenly from the event time to the end.
+                let span = t_end - te.time;
+                for k in 0..repeat {
+                    let t = te.time + span * (k as f64 + 0.5) / repeat as f64;
+                    deposit(t, bytes_per_call);
+                }
+            }
+        }
+        Timeline {
+            window_s: window,
+            bins,
+        }
+    }
+
+    /// Mean injected bytes per window.
+    pub fn mean(&self) -> f64 {
+        self.bins.iter().sum::<f64>() / self.bins.len() as f64
+    }
+
+    /// Peak injected bytes in any window.
+    pub fn peak(&self) -> f64 {
+        self.bins.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Peak-to-mean burstiness ratio (1.0 = perfectly smooth offered load).
+    pub fn burstiness(&self) -> f64 {
+        let mean = self.mean();
+        if mean == 0.0 {
+            0.0
+        } else {
+            self.peak() / mean
+        }
+    }
+
+    /// Fraction of windows with zero injection — idle phases an
+    /// energy-saving link policy could exploit.
+    pub fn idle_fraction(&self) -> f64 {
+        self.bins.iter().filter(|&&b| b == 0.0).count() as f64 / self.bins.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netloc_mpi::{CollectiveOp, Payload, Rank, TraceBuilder};
+
+    #[test]
+    fn total_volume_is_conserved() {
+        let mut b = TraceBuilder::new("t", 4).exec_time_s(10.0);
+        b.send(Rank(0), Rank(1), 1000, 7);
+        b.collective(CollectiveOp::Bcast, Some(0), Payload::Uniform(100), 3);
+        let trace = b.build();
+        let tl = Timeline::compute(&trace, 16);
+        let total: f64 = tl.bins.iter().sum();
+        let expect = trace.stats().total_bytes() as f64;
+        assert!((total - expect).abs() < 1e-6, "{total} vs {expect}");
+    }
+
+    #[test]
+    fn spread_repeats_are_smooth() {
+        let mut b = TraceBuilder::new("t", 2).exec_time_s(1.0);
+        b.send(Rank(0), Rank(1), 100, 10_000);
+        let tl = Timeline::compute(&b.build(), 10);
+        assert!(tl.burstiness() < 1.2, "{}", tl.burstiness());
+        assert_eq!(tl.idle_fraction(), 0.0);
+    }
+
+    #[test]
+    fn single_event_is_a_spike() {
+        let mut b = TraceBuilder::new("t", 2).exec_time_s(10.0);
+        b.send(Rank(0), Rank(1), 1 << 20, 1);
+        let tl = Timeline::compute(&b.build(), 10);
+        assert_eq!(tl.burstiness(), 10.0); // everything in one window
+        assert_eq!(tl.idle_fraction(), 0.9);
+    }
+
+    #[test]
+    fn empty_trace_is_all_idle() {
+        let trace = TraceBuilder::new("t", 2).exec_time_s(1.0).build();
+        let tl = Timeline::compute(&trace, 8);
+        assert_eq!(tl.burstiness(), 0.0);
+        assert_eq!(tl.idle_fraction(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let trace = TraceBuilder::new("t", 2).build();
+        Timeline::compute(&trace, 0);
+    }
+}

@@ -1,0 +1,405 @@
+//! Compact binary trace format.
+//!
+//! The text format (`dumpi`) is greppable and diffable; this binary codec
+//! is the storage-efficient sibling for large trace collections (the real
+//! SST dumpi format is binary for the same reason). Layout: a magic/version
+//! header, little-endian fixed-width scalars, LEB128 varints for counts and
+//! sizes, and length-prefixed strings. The codec is self-contained (no
+//! serde) and rejects malformed input with byte offsets.
+
+use crate::collective::{CollectiveOp, Payload};
+use crate::comm::CommId;
+use crate::datatype::Datatype;
+use crate::error::{MpiError, Result};
+use crate::event::{Event, TimedEvent};
+use crate::rank::Rank;
+use crate::trace::{Trace, TraceBuilder};
+
+const MAGIC: &[u8; 8] = b"NLDUMPI\x01";
+
+// ---- writer ----------------------------------------------------------
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Serialize a trace to the binary format.
+pub fn write_trace_binary(trace: &Trace) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + trace.events.len() * 16);
+    out.extend_from_slice(MAGIC);
+    put_str(&mut out, &trace.app);
+    put_varint(&mut out, trace.num_ranks as u64);
+    put_f64(&mut out, trace.exec_time_s);
+
+    // Sub-communicators (world is implicit).
+    put_varint(&mut out, trace.comms.len() as u64 - 1);
+    for comm in trace.comms.iter().skip(1) {
+        put_varint(&mut out, comm.members.len() as u64);
+        for m in &comm.members {
+            put_varint(&mut out, m.0 as u64);
+        }
+    }
+
+    put_varint(&mut out, trace.events.len() as u64);
+    for te in &trace.events {
+        put_f64(&mut out, te.time);
+        match &te.event {
+            Event::Send {
+                src,
+                dst,
+                count,
+                datatype,
+                tag,
+                repeat,
+            } => {
+                out.push(0); // record kind
+                put_varint(&mut out, src.0 as u64);
+                put_varint(&mut out, dst.0 as u64);
+                put_varint(&mut out, *count);
+                out.push(datatype_code(*datatype));
+                put_varint(&mut out, *tag as u64);
+                put_varint(&mut out, *repeat);
+            }
+            Event::Collective {
+                op,
+                comm,
+                root,
+                payload,
+                repeat,
+            } => {
+                out.push(1);
+                out.push(op_code(*op));
+                put_varint(&mut out, comm.0 as u64);
+                match root {
+                    None => out.push(0),
+                    Some(r) => {
+                        out.push(1);
+                        put_varint(&mut out, *r as u64);
+                    }
+                }
+                match payload {
+                    Payload::Uniform(b) => {
+                        out.push(0);
+                        put_varint(&mut out, *b);
+                    }
+                    Payload::PerRank(v) => {
+                        out.push(1);
+                        put_varint(&mut out, v.len() as u64);
+                        for b in v {
+                            put_varint(&mut out, *b);
+                        }
+                    }
+                }
+                put_varint(&mut out, *repeat);
+            }
+        }
+    }
+    out
+}
+
+fn datatype_code(dt: Datatype) -> u8 {
+    match dt {
+        Datatype::Byte => 0,
+        Datatype::Short => 1,
+        Datatype::Int => 2,
+        Datatype::Float => 3,
+        Datatype::Long => 4,
+        Datatype::Double => 5,
+        Datatype::Derived => 6,
+    }
+}
+
+fn datatype_from(code: u8) -> Option<Datatype> {
+    Some(match code {
+        0 => Datatype::Byte,
+        1 => Datatype::Short,
+        2 => Datatype::Int,
+        3 => Datatype::Float,
+        4 => Datatype::Long,
+        5 => Datatype::Double,
+        6 => Datatype::Derived,
+        _ => return None,
+    })
+}
+
+fn op_code(op: CollectiveOp) -> u8 {
+    CollectiveOp::ALL
+        .iter()
+        .position(|&o| o == op)
+        .expect("op in ALL") as u8
+}
+
+// ---- reader ----------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn err(&self, msg: &str) -> MpiError {
+        MpiError::Invalid(format!("binary trace, offset {}: {msg}", self.pos))
+    }
+
+    fn byte(&mut self) -> Result<u8> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or_else(|| self.err("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn varint(&mut self) -> Result<u64> {
+        let mut v = 0u64;
+        for shift in (0..64).step_by(7) {
+            let b = self.byte()?;
+            v |= ((b & 0x7f) as u64) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(self.err("varint too long"))
+    }
+
+    fn f64(&mut self) -> Result<f64> {
+        if self.pos + 8 > self.buf.len() {
+            return Err(self.err("unexpected end of input in f64"));
+        }
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(&self.buf[self.pos..self.pos + 8]);
+        self.pos += 8;
+        Ok(f64::from_le_bytes(bytes))
+    }
+
+    fn string(&mut self) -> Result<String> {
+        let len = self.varint()? as usize;
+        if len > 1 << 20 {
+            return Err(self.err("string too long"));
+        }
+        if self.pos + len > self.buf.len() {
+            return Err(self.err("unexpected end of input in string"));
+        }
+        let s = std::str::from_utf8(&self.buf[self.pos..self.pos + len])
+            .map_err(|_| self.err("invalid utf-8"))?
+            .to_string();
+        self.pos += len;
+        Ok(s)
+    }
+}
+
+/// Parse a trace from the binary format.
+pub fn parse_trace_binary(buf: &[u8]) -> Result<Trace> {
+    if buf.len() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
+        return Err(MpiError::Invalid("missing binary magic header".into()));
+    }
+    let mut r = Reader {
+        buf,
+        pos: MAGIC.len(),
+    };
+    let app = r.string()?;
+    let ranks = r.varint()? as u32;
+    let exec_time = r.f64()?;
+    let mut builder = TraceBuilder::new(app, ranks);
+
+    let num_comms = r.varint()?;
+    if num_comms > 1 << 20 {
+        return Err(r.err("unreasonable communicator count"));
+    }
+    for _ in 0..num_comms {
+        let size = r.varint()? as usize;
+        if size > (ranks as usize).max(1) {
+            return Err(r.err("communicator larger than the world"));
+        }
+        let mut members = Vec::with_capacity(size);
+        for _ in 0..size {
+            members.push(Rank(r.varint()? as u32));
+        }
+        builder.register_comm(members);
+    }
+
+    let num_events = r.varint()?;
+    if num_events as usize > buf.len() {
+        // every event takes at least a few bytes: cheap sanity bound
+        return Err(r.err("event count exceeds input size"));
+    }
+    let mut events = Vec::with_capacity(num_events as usize);
+    for _ in 0..num_events {
+        let time = r.f64()?;
+        let kind = r.byte()?;
+        let event = match kind {
+            0 => Event::Send {
+                src: Rank(r.varint()? as u32),
+                dst: Rank(r.varint()? as u32),
+                count: r.varint()?,
+                datatype: {
+                    let code = r.byte()?;
+                    datatype_from(code).ok_or_else(|| r.err("bad datatype code"))?
+                },
+                tag: r.varint()? as u32,
+                repeat: r.varint()?,
+            },
+            1 => {
+                let op = {
+                    let code = r.byte()? as usize;
+                    *CollectiveOp::ALL
+                        .get(code)
+                        .ok_or_else(|| r.err("bad collective code"))?
+                };
+                let comm = CommId(r.varint()? as u32);
+                let root = match r.byte()? {
+                    0 => None,
+                    1 => Some(r.varint()? as usize),
+                    _ => return Err(r.err("bad root marker")),
+                };
+                let payload = match r.byte()? {
+                    0 => Payload::Uniform(r.varint()?),
+                    1 => {
+                        let len = r.varint()? as usize;
+                        if len > (ranks as usize).max(1) {
+                            return Err(r.err("payload vector larger than the world"));
+                        }
+                        let mut v = Vec::with_capacity(len);
+                        for _ in 0..len {
+                            v.push(r.varint()?);
+                        }
+                        Payload::PerRank(v)
+                    }
+                    _ => return Err(r.err("bad payload marker")),
+                };
+                Event::Collective {
+                    op,
+                    comm,
+                    root,
+                    payload,
+                    repeat: r.varint()?,
+                }
+            }
+            _ => return Err(r.err("bad record kind")),
+        };
+        events.push(TimedEvent { time, event });
+    }
+    if r.pos != buf.len() {
+        return Err(r.err("trailing bytes after the last event"));
+    }
+
+    let mut trace = builder.exec_time_s(exec_time).build();
+    trace.events = events;
+    trace.validate()?;
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dumpi::write_trace;
+
+    fn sample() -> Trace {
+        let mut b = TraceBuilder::new("LULESH", 8).exec_time_s(54.14);
+        let sub = b.register_comm(vec![Rank(0), Rank(2), Rank(4)]);
+        b.send(Rank(0), Rank(1), 4096, 100);
+        b.send_typed(Rank(3), Rank(7), 64, Datatype::Double, 9, 2);
+        b.collective(CollectiveOp::Allreduce, None, Payload::Uniform(512), 10);
+        b.collective_on(
+            CollectiveOp::Gatherv,
+            sub,
+            Some(1),
+            Payload::PerRank(vec![10, 20, 30]),
+            3,
+        );
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let t = sample();
+        let bytes = write_trace_binary(&t);
+        let parsed = parse_trace_binary(&bytes).unwrap();
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn binary_is_smaller_than_text() {
+        let t = crate::trace::TraceBuilder::new("big", 64);
+        let mut b = t;
+        for s in 0..63u32 {
+            b.send(Rank(s), Rank(s + 1), 123_456, 1000);
+        }
+        let t = b.build();
+        let bin = write_trace_binary(&t);
+        let text = write_trace(&t);
+        assert!(
+            bin.len() * 2 < text.len(),
+            "binary {} vs text {}",
+            bin.len(),
+            text.len()
+        );
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(parse_trace_binary(b"NOTMAGIC....").is_err());
+        assert!(parse_trace_binary(b"").is_err());
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let bytes = write_trace_binary(&sample());
+        for cut in [MAGIC.len(), bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                parse_trace_binary(&bytes[..cut]).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut bytes = write_trace_binary(&sample());
+        bytes.push(0xff);
+        assert!(parse_trace_binary(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_corrupted_kind_byte() {
+        let t = sample();
+        let bytes = write_trace_binary(&t);
+        // Find the first event's kind byte (after header/comms/count + time)
+        // by brute force: flip each byte and expect either an error or a
+        // different-but-valid trace — never a panic.
+        for i in 0..bytes.len() {
+            let mut m = bytes.clone();
+            m[i] ^= 0x55;
+            if let Ok(parsed) = parse_trace_binary(&m) {
+                assert!(parsed.validate().is_ok())
+            }
+        }
+    }
+
+    #[test]
+    fn varint_roundtrip_extremes() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut out = Vec::new();
+            put_varint(&mut out, v);
+            let mut r = Reader { buf: &out, pos: 0 };
+            assert_eq!(r.varint().unwrap(), v);
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! A dumpi-like plain-text trace format: writer and parser.
+//!
+//! The SST `dumpi` format records every MPI call with its parameters. This
+//! crate's sibling format keeps that property for the calls the locality
+//! analysis consumes, in a line-oriented ASCII form with an explicit
+//! aggregation (`repeat`) field:
+//!
+//! ```text
+//! #NETLOC-DUMPI 1
+//! app LULESH
+//! ranks 64
+//! time 54.14
+//! comm 1 0,1,2,3
+//! send 0 1 4096 byte 0 100 0.5
+//! coll allreduce 0 - u:512 10 0.7
+//! coll alltoallv 0 - v:10,20,30,40 1 0.9
+//! ```
+//!
+//! `send` fields: `src dst count datatype tag repeat time`.
+//! `coll` fields: `op comm root payload repeat time`, where `root` is a
+//! communicator-local rank or `-`, and `payload` is `u:<bytes>` (uniform)
+//! or `v:<b0,b1,…>` (per-rank). The world communicator (id 0) is implicit.
+
+use crate::collective::{CollectiveOp, Payload};
+use crate::comm::CommId;
+use crate::datatype::Datatype;
+use crate::error::{MpiError, Result};
+use crate::event::{Event, TimedEvent};
+use crate::rank::Rank;
+use crate::trace::{Trace, TraceBuilder};
+use std::fmt::Write as _;
+
+const MAGIC: &str = "#NETLOC-DUMPI 1";
+
+/// Serialize a trace to the dumpi-like text format.
+pub fn write_trace(trace: &Trace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{MAGIC}");
+    let _ = writeln!(out, "app {}", trace.app);
+    let _ = writeln!(out, "ranks {}", trace.num_ranks);
+    let _ = writeln!(out, "time {}", trace.exec_time_s);
+    for comm in trace.comms.iter().skip(1) {
+        let members: Vec<String> = comm.members.iter().map(|r| r.0.to_string()).collect();
+        let _ = writeln!(out, "comm {} {}", comm.id.0, members.join(","));
+    }
+    for te in &trace.events {
+        match &te.event {
+            Event::Send {
+                src,
+                dst,
+                count,
+                datatype,
+                tag,
+                repeat,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "send {} {} {} {} {} {} {}",
+                    src.0,
+                    dst.0,
+                    count,
+                    datatype.name(),
+                    tag,
+                    repeat,
+                    te.time
+                );
+            }
+            Event::Collective {
+                op,
+                comm,
+                root,
+                payload,
+                repeat,
+            } => {
+                let root_s = root.map_or("-".to_string(), |r| r.to_string());
+                let payload_s = match payload {
+                    Payload::Uniform(b) => format!("u:{b}"),
+                    Payload::PerRank(v) => {
+                        let items: Vec<String> = v.iter().map(|b| b.to_string()).collect();
+                        format!("v:{}", items.join(","))
+                    }
+                };
+                let _ = writeln!(
+                    out,
+                    "coll {} {} {} {} {} {}",
+                    op.name(),
+                    comm.0,
+                    root_s,
+                    payload_s,
+                    repeat,
+                    te.time
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Parse a trace from the dumpi-like text format.
+///
+/// The parser is strict: unknown record kinds, missing headers, malformed
+/// numbers, and events appearing before the `ranks` header are all errors
+/// carrying a line number.
+pub fn parse_trace(text: &str) -> Result<Trace> {
+    let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l.trim()));
+
+    let (_, first) = lines
+        .next()
+        .ok_or_else(|| MpiError::parse(1, "empty input"))?;
+    if first != MAGIC {
+        return Err(MpiError::parse(
+            1,
+            format!("missing magic header, expected '{MAGIC}'"),
+        ));
+    }
+
+    let mut app: Option<String> = None;
+    let mut builder: Option<TraceBuilder> = None;
+    let mut exec_time: Option<f64> = None;
+    let mut events: Vec<TimedEvent> = Vec::new();
+
+    fn num<T: std::str::FromStr>(line: usize, field: &str, s: &str) -> Result<T> {
+        s.parse()
+            .map_err(|_| MpiError::parse(line, format!("bad {field}: '{s}'")))
+    }
+
+    for (ln, line) in lines {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (kind, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match kind {
+            "app" => app = Some(rest.to_string()),
+            "ranks" => {
+                let n: u32 = num(ln, "rank count", rest)?;
+                builder = Some(TraceBuilder::new(
+                    app.clone().unwrap_or_else(|| "unknown".into()),
+                    n,
+                ));
+            }
+            "time" => exec_time = Some(num(ln, "time", rest)?),
+            "comm" => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| MpiError::parse(ln, "'comm' before 'ranks' header"))?;
+                let mut it = rest.splitn(2, ' ');
+                let id: u32 = num(ln, "comm id", it.next().unwrap_or(""))?;
+                let members_s = it
+                    .next()
+                    .ok_or_else(|| MpiError::parse(ln, "comm record missing member list"))?;
+                let members = members_s
+                    .split(',')
+                    .map(|s| num::<u32>(ln, "comm member", s).map(Rank))
+                    .collect::<Result<Vec<_>>>()?;
+                let got = b.register_comm(members);
+                if got.0 != id {
+                    return Err(MpiError::parse(
+                        ln,
+                        format!("non-sequential comm id {id}, expected {}", got.0),
+                    ));
+                }
+            }
+            "send" => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| MpiError::parse(ln, "'send' before 'ranks' header"))?;
+                let f: Vec<&str> = rest.split_whitespace().collect();
+                if f.len() != 7 {
+                    return Err(MpiError::parse(
+                        ln,
+                        format!("send record needs 7 fields, got {}", f.len()),
+                    ));
+                }
+                let dt = Datatype::from_name(f[3])
+                    .ok_or_else(|| MpiError::parse(ln, format!("unknown datatype '{}'", f[3])))?;
+                events.push(TimedEvent {
+                    time: num(ln, "time", f[6])?,
+                    event: Event::Send {
+                        src: Rank(num(ln, "src", f[0])?),
+                        dst: Rank(num(ln, "dst", f[1])?),
+                        count: num(ln, "count", f[2])?,
+                        datatype: dt,
+                        tag: num(ln, "tag", f[4])?,
+                        repeat: num(ln, "repeat", f[5])?,
+                    },
+                });
+                let _ = b;
+            }
+            "coll" => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| MpiError::parse(ln, "'coll' before 'ranks' header"))?;
+                let f: Vec<&str> = rest.split_whitespace().collect();
+                if f.len() != 6 {
+                    return Err(MpiError::parse(
+                        ln,
+                        format!("coll record needs 6 fields, got {}", f.len()),
+                    ));
+                }
+                let op = CollectiveOp::from_name(f[0])
+                    .ok_or_else(|| MpiError::parse(ln, format!("unknown collective '{}'", f[0])))?;
+                let comm = CommId(num(ln, "comm id", f[1])?);
+                let root = if f[2] == "-" {
+                    None
+                } else {
+                    Some(num::<usize>(ln, "root", f[2])?)
+                };
+                let payload = match f[3].split_once(':') {
+                    Some(("u", b)) => Payload::Uniform(num(ln, "payload", b)?),
+                    Some(("v", list)) => Payload::PerRank(
+                        list.split(',')
+                            .map(|s| num::<u64>(ln, "payload entry", s))
+                            .collect::<Result<Vec<_>>>()?,
+                    ),
+                    _ => {
+                        return Err(MpiError::parse(
+                            ln,
+                            format!("bad payload '{}', expected u:<n> or v:<a,b,…>", f[3]),
+                        ))
+                    }
+                };
+                events.push(TimedEvent {
+                    time: num(ln, "time", f[5])?,
+                    event: Event::Collective {
+                        op,
+                        comm,
+                        root,
+                        payload,
+                        repeat: num(ln, "repeat", f[4])?,
+                    },
+                });
+                let _ = b;
+            }
+            other => {
+                return Err(MpiError::parse(
+                    ln,
+                    format!("unknown record kind '{other}'"),
+                ));
+            }
+        }
+    }
+
+    let builder = builder.ok_or_else(|| MpiError::Invalid("missing 'ranks' header".into()))?;
+    let mut trace = builder
+        .exec_time_s(exec_time.ok_or_else(|| MpiError::Invalid("missing 'time' header".into()))?)
+        .build();
+    trace.events = events; // keep the parsed timestamps
+    trace.validate()?;
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collective::CollectiveOp;
+
+    fn sample_trace() -> Trace {
+        let mut b = TraceBuilder::new("LULESH", 8).exec_time_s(54.14);
+        let sub = b.register_comm(vec![Rank(0), Rank(2), Rank(4)]);
+        b.send(Rank(0), Rank(1), 4096, 100);
+        b.send_typed(Rank(3), Rank(7), 64, Datatype::Double, 9, 2);
+        b.collective(CollectiveOp::Allreduce, None, Payload::Uniform(512), 10);
+        b.collective_on(
+            CollectiveOp::Gatherv,
+            sub,
+            Some(1),
+            Payload::PerRank(vec![10, 20, 30]),
+            3,
+        );
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip_preserves_trace() {
+        let t = sample_trace();
+        let text = write_trace(&t);
+        let parsed = parse_trace(&text).unwrap();
+        assert_eq!(parsed.app, t.app);
+        assert_eq!(parsed.num_ranks, t.num_ranks);
+        assert_eq!(parsed.exec_time_s, t.exec_time_s);
+        assert_eq!(parsed.comms, t.comms);
+        assert_eq!(parsed.events, t.events);
+    }
+
+    #[test]
+    fn rejects_missing_magic() {
+        assert!(parse_trace("app x\nranks 2\ntime 1\n").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_record() {
+        let text = format!("{MAGIC}\napp x\nranks 2\ntime 1\nfrobnicate 1 2 3\n");
+        let err = parse_trace(&text).unwrap_err();
+        assert!(err.to_string().contains("line 5"), "{err}");
+    }
+
+    #[test]
+    fn rejects_send_before_ranks() {
+        let text = format!("{MAGIC}\nsend 0 1 10 byte 0 1 0.0\n");
+        assert!(parse_trace(&text).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_payload() {
+        let text = format!("{MAGIC}\napp x\nranks 2\ntime 1\ncoll bcast 0 0 w:9 1 0.0\n");
+        assert!(parse_trace(&text).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_send_field_count() {
+        let text = format!("{MAGIC}\napp x\nranks 2\ntime 1\nsend 0 1 10 byte 0 1\n");
+        assert!(parse_trace(&text).is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_rank_via_validate() {
+        let text = format!("{MAGIC}\napp x\nranks 2\ntime 1\nsend 0 9 10 byte 0 1 0.0\n");
+        assert!(parse_trace(&text).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = format!("{MAGIC}\n\n# comment\napp x\nranks 2\ntime 1\n");
+        let t = parse_trace(&text).unwrap();
+        assert_eq!(t.num_ranks, 2);
+        assert_eq!(t.app, "x");
+    }
+
+    #[test]
+    fn missing_time_header_is_an_error() {
+        let text = format!("{MAGIC}\napp x\nranks 2\n");
+        assert!(parse_trace(&text).is_err());
+    }
+}

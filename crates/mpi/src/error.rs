@@ -1,0 +1,74 @@
+//! Error types for trace parsing and validation.
+
+use std::fmt;
+
+/// Crate-wide result type.
+pub type Result<T> = std::result::Result<T, MpiError>;
+
+/// Errors produced while parsing or validating traces.
+#[derive(Debug)]
+pub enum MpiError {
+    /// A line of the dumpi-like text format could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description of what went wrong.
+        msg: String,
+    },
+    /// The trace is structurally invalid (bad rank, unknown communicator, …).
+    Invalid(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl MpiError {
+    pub(crate) fn parse(line: usize, msg: impl Into<String>) -> Self {
+        MpiError::Parse {
+            line,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for MpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpiError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            MpiError::Invalid(msg) => write!(f, "invalid trace: {msg}"),
+            MpiError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MpiError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for MpiError {
+    fn from(e: std::io::Error) -> Self {
+        MpiError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line_number() {
+        let e = MpiError::parse(42, "bad token");
+        assert_eq!(e.to_string(), "parse error at line 42: bad token");
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: MpiError = io.into();
+        assert!(e.to_string().contains("gone"));
+    }
+}

@@ -1,0 +1,155 @@
+//! Simulation results.
+
+use crate::expand::Injection;
+use serde::Serialize;
+
+/// Aggregated results of one simulation run.
+#[derive(Debug, Clone, Serialize)]
+pub struct SimReport {
+    /// Messages simulated.
+    pub messages: u64,
+    /// Bytes injected.
+    pub bytes: u128,
+    /// Mean end-to-end latency (injection → last-hop completion), seconds.
+    pub mean_latency_s: f64,
+    /// Maximum end-to-end latency, seconds.
+    pub max_latency_s: f64,
+    /// Total queueing (contention-induced) delay over all messages.
+    pub total_queueing_s: f64,
+    /// Mean queueing delay per message.
+    pub mean_queueing_s: f64,
+    /// Completion time of the last message, seconds.
+    pub makespan_s: f64,
+    /// Σ over links of their busy time (link-seconds).
+    pub total_busy_link_s: f64,
+    /// Busiest single link's busy time, seconds.
+    pub peak_link_busy_s: f64,
+    /// Links that carried at least one message.
+    pub used_links: usize,
+    /// Subsampling stride applied during expansion (1 = exact).
+    pub sample_stride: u64,
+    /// Per-link busy seconds.
+    #[serde(skip)]
+    pub link_busy_s: Vec<f64>,
+    #[serde(skip)]
+    sum_latency: f64,
+}
+
+impl SimReport {
+    pub(crate) fn new(num_links: usize) -> Self {
+        SimReport {
+            messages: 0,
+            bytes: 0,
+            mean_latency_s: 0.0,
+            max_latency_s: 0.0,
+            total_queueing_s: 0.0,
+            mean_queueing_s: 0.0,
+            makespan_s: 0.0,
+            total_busy_link_s: 0.0,
+            peak_link_busy_s: 0.0,
+            used_links: 0,
+            sample_stride: 1,
+            link_busy_s: vec![0.0; num_links],
+            sum_latency: 0.0,
+        }
+    }
+
+    pub(crate) fn record_message(&mut self, inj: &Injection, completion: f64, queueing: f64) {
+        self.messages += 1;
+        self.bytes += inj.bytes as u128;
+        let latency = completion - inj.time;
+        self.sum_latency += latency;
+        self.max_latency_s = self.max_latency_s.max(latency);
+        self.total_queueing_s += queueing.max(0.0);
+        self.makespan_s = self.makespan_s.max(completion);
+    }
+
+    pub(crate) fn finish(&mut self, busy: Vec<f64>, _bandwidth: f64) {
+        if self.messages > 0 {
+            self.mean_latency_s = self.sum_latency / self.messages as f64;
+            self.mean_queueing_s = self.total_queueing_s / self.messages as f64;
+        }
+        self.total_busy_link_s = busy.iter().sum();
+        self.peak_link_busy_s = busy.iter().copied().fold(0.0, f64::max);
+        self.used_links = busy.iter().filter(|&&b| b > 0.0).count();
+        self.link_busy_s = busy;
+    }
+
+    /// Mean busy fraction of the used links over the makespan — the
+    /// *measured* counterpart of the paper's static utilization (Eq. 5).
+    pub fn measured_utilization(&self) -> f64 {
+        if self.used_links == 0 || self.makespan_s <= 0.0 {
+            0.0
+        } else {
+            self.total_busy_link_s / (self.makespan_s * self.used_links as f64)
+        }
+    }
+
+    /// Mean slowdown factor: observed latency over contention-free latency.
+    /// 1.0 means the network was effectively uncontended.
+    pub fn mean_slowdown(&self) -> f64 {
+        let uncontended = self.mean_latency_s - self.mean_queueing_s;
+        if uncontended <= 0.0 {
+            1.0
+        } else {
+            self.mean_latency_s / uncontended
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inj(time: f64, bytes: u64) -> Injection {
+        Injection {
+            time,
+            src: 0,
+            dst: 1,
+            bytes,
+        }
+    }
+
+    #[test]
+    fn aggregates_are_consistent() {
+        let mut r = SimReport::new(4);
+        r.record_message(&inj(0.0, 100), 1.0, 0.0);
+        r.record_message(&inj(0.5, 200), 2.5, 1.0);
+        r.finish(vec![0.5, 0.0, 1.5, 0.0], 1e9);
+        assert_eq!(r.messages, 2);
+        assert_eq!(r.bytes, 300);
+        assert!((r.mean_latency_s - 1.5).abs() < 1e-12);
+        assert!((r.max_latency_s - 2.0).abs() < 1e-12);
+        assert!((r.total_queueing_s - 1.0).abs() < 1e-12);
+        assert_eq!(r.makespan_s, 2.5);
+        assert_eq!(r.used_links, 2);
+        assert!((r.total_busy_link_s - 2.0).abs() < 1e-12);
+        assert!((r.peak_link_busy_s - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measured_utilization_bounds() {
+        let mut r = SimReport::new(2);
+        r.record_message(&inj(0.0, 100), 2.0, 0.0);
+        r.finish(vec![1.0, 1.0], 1e9);
+        // 2 link-seconds busy over makespan 2 s × 2 used links = 0.5
+        assert!((r.measured_utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slowdown_of_uncontended_run_is_one() {
+        let mut r = SimReport::new(1);
+        r.record_message(&inj(0.0, 100), 1.0, 0.0);
+        r.finish(vec![1.0], 1e9);
+        assert_eq!(r.mean_slowdown(), 1.0);
+    }
+
+    #[test]
+    fn empty_report_is_all_zero() {
+        let mut r = SimReport::new(3);
+        r.finish(vec![0.0; 3], 1e9);
+        assert_eq!(r.messages, 0);
+        assert_eq!(r.measured_utilization(), 0.0);
+        assert_eq!(r.mean_slowdown(), 1.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Precomputed all-pairs hop distances.
+//!
+//! The mapping optimizers ([`crate::optimize`], [`crate::bisect`]) call
+//! `Topology::hops` inside tight loops; for repeated queries on a fixed
+//! topology a dense distance matrix is much faster than re-deriving routes.
+//! Memory is one `u16` per node pair (a 1728-node torus costs ~6 MB).
+
+use crate::link::NodeId;
+use crate::Topology;
+
+/// Dense all-pairs hop-distance matrix for one topology.
+#[derive(Debug, Clone)]
+pub struct DistanceMatrix {
+    n: usize,
+    dist: Vec<u16>,
+}
+
+impl DistanceMatrix {
+    /// Precompute all pairwise hop distances of `topo`.
+    ///
+    /// # Panics
+    /// Panics if a distance exceeds `u16::MAX` (no realistic topology does).
+    pub fn new(topo: &dyn Topology) -> Self {
+        let n = topo.num_nodes();
+        let mut dist = vec![0u16; n * n];
+        for s in 0..n {
+            for d in 0..n {
+                let h = topo.hops(NodeId(s as u32), NodeId(d as u32));
+                dist[s * n + d] = u16::try_from(h).expect("hop count fits u16");
+            }
+        }
+        DistanceMatrix { n, dist }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Hop distance between two nodes.
+    ///
+    /// # Panics
+    /// Panics if an id is out of range.
+    #[inline]
+    pub fn hops(&self, a: NodeId, b: NodeId) -> u32 {
+        self.dist[a.idx() * self.n + b.idx()] as u32
+    }
+
+    /// Maximum entry — the topology's diameter.
+    pub fn diameter(&self) -> u32 {
+        self.dist.iter().copied().max().unwrap_or(0) as u32
+    }
+
+    /// Mean hop distance over all ordered pairs of distinct nodes — the
+    /// expected hops̄ of uniform random traffic.
+    pub fn mean_distance(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let sum: u64 = self.dist.iter().map(|&d| d as u64).sum();
+        sum as f64 / (self.n * (self.n - 1)) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dragonfly, FatTree, Torus3D};
+
+    #[test]
+    fn matches_topology_hops() {
+        let t = Torus3D::new([4, 3, 2]);
+        let m = DistanceMatrix::new(&t);
+        for s in 0..t.num_nodes() {
+            for d in 0..t.num_nodes() {
+                assert_eq!(
+                    m.hops(NodeId(s as u32), NodeId(d as u32)),
+                    t.hops(NodeId(s as u32), NodeId(d as u32))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diameter_matches() {
+        for topo in [
+            &Torus3D::new([5, 4, 3]) as &dyn Topology,
+            &FatTree::new(8, 2),
+            &Dragonfly::new(4, 2, 2),
+        ] {
+            let m = DistanceMatrix::new(topo);
+            assert_eq!(m.diameter(), topo.diameter());
+        }
+    }
+
+    #[test]
+    fn mean_distance_of_ring() {
+        // Ring of 8: distances 1,2,3,4,3,2,1 per node -> mean 16/7.
+        let m = DistanceMatrix::new(&Torus3D::new([8, 1, 1]));
+        assert!((m.mean_distance() - 16.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trivial_single_node() {
+        let m = DistanceMatrix::new(&Torus3D::new([1, 1, 1]));
+        assert_eq!(m.mean_distance(), 0.0);
+        assert_eq!(m.diameter(), 0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Exact near-cubic grid factorizations and row-major rank folding.
+//!
+//! Both the dimensionality analysis (paper Table 4) and the synthetic
+//! workload generators need to lay ranks out on a k-dimensional grid. This
+//! module fixes one shared convention so that an application generated on
+//! `fold_dims(n, k)` folds back onto exactly the same grid during analysis:
+//!
+//! * dimensions are in **descending** order (`dims[0] ≥ dims[1] ≥ …`),
+//! * ranks are folded **row-major with dimension 0 fastest**:
+//!   `rank = c0 + dims[0]·c1 + dims[0]·dims[1]·c2 + …`.
+
+/// The most balanced exact factorization of `n` into `k` factors,
+/// descending. "Most balanced" minimizes the largest factor, then the
+/// spread. Returns e.g. `fold_dims(216, 3) == [6, 6, 6]`,
+/// `fold_dims(168, 2) == [14, 12]`. Prime `n` degenerates to `[n, 1, …]`.
+///
+/// # Panics
+/// Panics if `n == 0` or `k == 0`.
+pub fn fold_dims(n: usize, k: usize) -> Vec<usize> {
+    assert!(n > 0 && k > 0);
+    fn search(n: usize, k: usize, max_allowed: usize) -> Option<Vec<usize>> {
+        if k == 1 {
+            return (n <= max_allowed).then(|| vec![n]);
+        }
+        // Try the largest factor first, from the most balanced downward:
+        // choose a divisor d of n with d >= ceil(n^(1/k)) and d <= max_allowed,
+        // smallest first (smallest max factor wins).
+        let lower = (n as f64).powf(1.0 / k as f64).ceil() as usize;
+        for d in lower.max(1)..=n.min(max_allowed) {
+            if !n.is_multiple_of(d) {
+                continue;
+            }
+            if let Some(mut rest) = search(n / d, k - 1, d) {
+                let mut dims = vec![d];
+                dims.append(&mut rest);
+                return Some(dims);
+            }
+        }
+        None
+    }
+    search(n, k, n).expect("n itself is always a factorization")
+}
+
+/// Row-major coordinates of `rank` on `dims` (dimension 0 fastest).
+pub fn coords(rank: usize, dims: &[usize]) -> Vec<usize> {
+    let mut c = Vec::with_capacity(dims.len());
+    let mut r = rank;
+    for &d in dims {
+        c.push(r % d);
+        r /= d;
+    }
+    c
+}
+
+/// Inverse of [`coords`].
+pub fn rank_of(c: &[usize], dims: &[usize]) -> usize {
+    debug_assert_eq!(c.len(), dims.len());
+    let mut r = 0;
+    for i in (0..dims.len()).rev() {
+        debug_assert!(c[i] < dims[i]);
+        r = r * dims[i] + c[i];
+    }
+    r
+}
+
+/// Chebyshev (max-norm) distance between two ranks folded onto `dims`.
+/// This is the grid distance under which a full k-D stencil (face, edge and
+/// corner neighbors alike) sits at distance 1.
+pub fn chebyshev_distance(a: usize, b: usize, dims: &[usize]) -> usize {
+    let (ca, cb) = (coords(a, dims), coords(b, dims));
+    ca.iter()
+        .zip(&cb)
+        .map(|(&x, &y)| x.abs_diff(y))
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cubes_factor_perfectly() {
+        assert_eq!(fold_dims(216, 3), vec![6, 6, 6]);
+        assert_eq!(fold_dims(64, 3), vec![4, 4, 4]);
+        assert_eq!(fold_dims(1728, 3), vec![12, 12, 12]);
+    }
+
+    #[test]
+    fn near_square_2d() {
+        assert_eq!(fold_dims(168, 2), vec![14, 12]);
+        assert_eq!(fold_dims(216, 2), vec![18, 12]);
+        assert_eq!(fold_dims(12, 2), vec![4, 3]);
+    }
+
+    #[test]
+    fn one_dimension_is_identity() {
+        assert_eq!(fold_dims(100, 1), vec![100]);
+    }
+
+    #[test]
+    fn primes_degenerate() {
+        assert_eq!(fold_dims(17, 2), vec![17, 1]);
+        assert_eq!(fold_dims(17, 3), vec![17, 1, 1]);
+    }
+
+    #[test]
+    fn awkward_sizes_stay_balanced() {
+        assert_eq!(fold_dims(100, 3), vec![5, 5, 4]);
+        assert_eq!(fold_dims(144, 3), vec![6, 6, 4]);
+        // 168 = 7*6*4 is its most cubic 3-way split.
+        assert_eq!(fold_dims(168, 3), vec![7, 6, 4]);
+    }
+
+    #[test]
+    fn product_is_always_exact() {
+        for n in 1..200 {
+            for k in 1..=3 {
+                let dims = fold_dims(n, k);
+                assert_eq!(dims.iter().product::<usize>(), n, "n={n} k={k}");
+                assert!(dims.windows(2).all(|w| w[0] >= w[1]), "descending {dims:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let dims = [6, 6, 6];
+        for r in 0..216 {
+            assert_eq!(rank_of(&coords(r, &dims), &dims), r);
+        }
+    }
+
+    #[test]
+    fn chebyshev_counts_diagonals_as_one() {
+        let dims = [4, 4, 4];
+        let a = rank_of(&[1, 1, 1], &dims);
+        let corner = rank_of(&[2, 2, 2], &dims);
+        let face = rank_of(&[1, 1, 2], &dims);
+        let far = rank_of(&[3, 1, 1], &dims);
+        assert_eq!(chebyshev_distance(a, corner, &dims), 1);
+        assert_eq!(chebyshev_distance(a, face, &dims), 1);
+        assert_eq!(chebyshev_distance(a, far, &dims), 2);
+        assert_eq!(chebyshev_distance(a, a, &dims), 0);
+    }
+
+    #[test]
+    fn chebyshev_in_1d_is_rank_distance() {
+        let dims = [10];
+        assert_eq!(chebyshev_distance(2, 9, &dims), 7);
+    }
+}

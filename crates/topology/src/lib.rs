@@ -1,0 +1,137 @@
+//! # netloc-topology
+//!
+//! Non-temporal interconnect topology models with shortest-path routing —
+//! the hardware-side substrate of the ICPP 2020 network-locality
+//! reproduction.
+//!
+//! Three topologies are implemented, matching the paper's selection (§2.2.2
+//! and Table 2):
+//!
+//! * [`Torus3D`] — a direct topology; the switch sits inside the NIC, so a
+//!   hop is a link between neighboring nodes and routing is dimension-order
+//!   over the shorter ring direction.
+//! * [`FatTree`] — a k-ary n-tree built from radix-48 switches (half the
+//!   ports up, half down), with the top stage halved as the paper describes;
+//!   routing ascends to the nearest common ancestor and descends.
+//! * [`Dragonfly`] — groups of `a` routers with `p` nodes and `h` global
+//!   links each, `a = 2h = 2p`, globally wired in a palm-tree pattern;
+//!   minimal routing uses at most one global link (≤ 5 hops).
+//!
+//! All three expose the same [`Topology`] trait: full link enumeration (for
+//! utilization and per-link load accounting) and per-pair routes as explicit
+//! link sequences. A generic BFS router ([`bfs::BfsRouter`]) over the same
+//! link graph serves as a test oracle for the analytic routing of each
+//! topology.
+//!
+//! ```
+//! use netloc_topology::{Topology, Torus3D};
+//!
+//! let torus = Torus3D::new([4, 4, 4]);
+//! assert_eq!(torus.num_nodes(), 64);
+//! // opposite corner of the 4x4x4 torus: one wrap hop per dimension
+//! assert_eq!(torus.hops(0.into(), 63.into()), 3);
+//! ```
+
+#![warn(missing_docs)]
+// Node/rank ids are dense indices by construction throughout this crate;
+// `for id in 0..n` with indexed access is the clearest way to write the
+// id-driven loops, so the pedantic range-loop lint is disabled.
+#![allow(clippy::needless_range_loop)]
+
+pub mod bfs;
+pub mod bisect;
+pub mod config;
+pub mod distmatrix;
+pub mod dragonfly;
+pub mod fattree;
+pub mod grid;
+pub mod link;
+pub mod mapping;
+pub mod mesh;
+pub mod optimize;
+pub mod tapered;
+pub mod torus;
+pub mod torus_nd;
+pub mod valiant;
+
+pub use config::{ConfigCatalog, TopologyConfig};
+pub use distmatrix::DistanceMatrix;
+pub use dragonfly::Dragonfly;
+pub use fattree::FatTree;
+pub use link::{Link, LinkClass, LinkId, NodeId};
+pub use mapping::Mapping;
+pub use mesh::Mesh3D;
+pub use tapered::TaperedFatTree;
+pub use torus::Torus3D;
+pub use torus_nd::TorusNd;
+pub use valiant::ValiantDragonfly;
+
+/// A network topology: a set of compute nodes joined by links through
+/// (implicit) switches, with deterministic shortest-path routing.
+///
+/// Routes are *link sequences*; the hop count of a packet is the length of
+/// its route (every link traversal is one hop, exactly as the paper counts
+/// them in §2.2.1).
+pub trait Topology: Sync {
+    /// Human-readable topology name (`"torus3d"`, `"fattree"`, `"dragonfly"`).
+    fn name(&self) -> &'static str;
+
+    /// Number of compute nodes (network endpoints).
+    fn num_nodes(&self) -> usize;
+
+    /// All links of the topology.
+    fn links(&self) -> &[Link];
+
+    /// Append the deterministic shortest route from `src` to `dst` to `out`
+    /// as a link sequence. Routing a node to itself appends nothing.
+    fn route_into(&self, src: NodeId, dst: NodeId, out: &mut Vec<LinkId>);
+
+    /// Number of hops of the deterministic shortest route.
+    ///
+    /// The default materializes the route; implementations override this
+    /// with closed-form hop arithmetic.
+    fn hops(&self, src: NodeId, dst: NodeId) -> u32 {
+        let mut buf = Vec::new();
+        self.route_into(src, dst, &mut buf);
+        buf.len() as u32
+    }
+
+    /// Convenience wrapper around [`Topology::route_into`].
+    fn route(&self, src: NodeId, dst: NodeId) -> Vec<LinkId> {
+        let mut out = Vec::new();
+        self.route_into(src, dst, &mut out);
+        out
+    }
+
+    /// The topology's diameter in hops (maximum over node pairs).
+    fn diameter(&self) -> u32 {
+        let n = self.num_nodes();
+        let mut max = 0;
+        for s in 0..n {
+            for d in 0..n {
+                max = max.max(self.hops(NodeId(s as u32), NodeId(d as u32)));
+            }
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    #[test]
+    fn route_default_matches_route_into() {
+        let t = Torus3D::new([3, 3, 3]);
+        let mut buf = Vec::new();
+        t.route_into(NodeId(1), NodeId(20), &mut buf);
+        assert_eq!(t.route(NodeId(1), NodeId(20)), buf);
+    }
+
+    #[test]
+    fn self_route_is_empty_and_zero_hops() {
+        let t = Torus3D::new([2, 2, 2]);
+        assert!(t.route(NodeId(3), NodeId(3)).is_empty());
+        assert_eq!(t.hops(NodeId(3), NodeId(3)), 0);
+    }
+}

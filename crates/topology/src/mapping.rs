@@ -1,0 +1,170 @@
+//! Rank-to-node mappings.
+
+use crate::link::NodeId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// An injective assignment of MPI ranks to physical nodes.
+///
+/// The paper's system-level studies use the *consecutive* mapping
+/// ("a simple mapping is used in which the number of ranks is consecutively
+/// mapped", §6.1/§6.2); alternative mappings are provided to quantify how
+/// much the consecutive choice leaves on the table (see
+/// [`crate::optimize`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mapping {
+    node_of_rank: Vec<NodeId>,
+    num_nodes: usize,
+}
+
+impl Mapping {
+    /// Consecutive mapping: rank `i` on node `i`.
+    ///
+    /// # Panics
+    /// Panics if `ranks > nodes`.
+    pub fn consecutive(ranks: usize, nodes: usize) -> Self {
+        assert!(ranks <= nodes, "more ranks ({ranks}) than nodes ({nodes})");
+        Mapping {
+            node_of_rank: (0..ranks as u32).map(NodeId).collect(),
+            num_nodes: nodes,
+        }
+    }
+
+    /// Block mapping for multi-core studies: `cores` consecutive ranks
+    /// share each node (rank `i` lands on node `i / cores`). This is the
+    /// paper's §6.1 configuration and the only non-injective mapping —
+    /// intra-node pairs never enter the network.
+    ///
+    /// # Panics
+    /// Panics if `cores == 0` or the blocks do not fit onto `nodes`.
+    pub fn block(ranks: usize, cores: usize, nodes: usize) -> Self {
+        assert!(cores > 0, "cores per node must be positive");
+        let needed = ranks.div_ceil(cores);
+        assert!(
+            needed <= nodes,
+            "{ranks} ranks at {cores}/node need {needed} nodes, only {nodes} available"
+        );
+        Mapping {
+            node_of_rank: (0..ranks).map(|r| NodeId((r / cores) as u32)).collect(),
+            num_nodes: nodes,
+        }
+    }
+
+    /// Uniform random placement onto distinct nodes.
+    pub fn random<R: Rng>(ranks: usize, nodes: usize, rng: &mut R) -> Self {
+        assert!(ranks <= nodes, "more ranks ({ranks}) than nodes ({nodes})");
+        let mut pool: Vec<u32> = (0..nodes as u32).collect();
+        pool.shuffle(rng);
+        Mapping {
+            node_of_rank: pool[..ranks].iter().copied().map(NodeId).collect(),
+            num_nodes: nodes,
+        }
+    }
+
+    /// Build from an explicit permutation (`assignment[rank] = node`).
+    ///
+    /// # Panics
+    /// Panics if a node is assigned twice or out of range.
+    pub fn from_assignment(assignment: Vec<NodeId>, nodes: usize) -> Self {
+        let mut seen = vec![false; nodes];
+        for n in &assignment {
+            assert!(n.idx() < nodes, "node {n} out of range");
+            assert!(!seen[n.idx()], "node {n} assigned twice");
+            seen[n.idx()] = true;
+        }
+        Mapping {
+            node_of_rank: assignment,
+            num_nodes: nodes,
+        }
+    }
+
+    /// Node of a rank.
+    #[inline]
+    pub fn node_of(&self, rank: usize) -> NodeId {
+        self.node_of_rank[rank]
+    }
+
+    /// Number of mapped ranks.
+    #[inline]
+    pub fn num_ranks(&self) -> usize {
+        self.node_of_rank.len()
+    }
+
+    /// Number of physical nodes in the machine.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The raw assignment slice (`[rank] -> node`).
+    pub fn assignment(&self) -> &[NodeId] {
+        &self.node_of_rank
+    }
+
+    /// Swap the nodes of two ranks (used by the optimizing mappers).
+    pub fn swap_ranks(&mut self, r1: usize, r2: usize) {
+        self.node_of_rank.swap(r1, r2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn consecutive_is_identity_prefix() {
+        let m = Mapping::consecutive(5, 10);
+        for r in 0..5 {
+            assert_eq!(m.node_of(r), NodeId(r as u32));
+        }
+        assert_eq!(m.num_ranks(), 5);
+        assert_eq!(m.num_nodes(), 10);
+    }
+
+    #[test]
+    fn random_is_injective() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let m = Mapping::random(64, 100, &mut rng);
+        let mut nodes: Vec<_> = m.assignment().to_vec();
+        nodes.sort();
+        nodes.dedup();
+        assert_eq!(nodes.len(), 64);
+        assert!(nodes.iter().all(|n| n.idx() < 100));
+    }
+
+    #[test]
+    fn block_mapping_shares_nodes() {
+        let m = Mapping::block(10, 4, 3);
+        assert_eq!(m.node_of(0), m.node_of(3));
+        assert_ne!(m.node_of(3), m.node_of(4));
+        assert_eq!(m.node_of(9), NodeId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "need")]
+    fn block_mapping_rejects_overflow() {
+        Mapping::block(10, 2, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "more ranks")]
+    fn too_many_ranks_panics() {
+        Mapping::consecutive(11, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned twice")]
+    fn duplicate_assignment_panics() {
+        Mapping::from_assignment(vec![NodeId(1), NodeId(1)], 4);
+    }
+
+    #[test]
+    fn swap_exchanges_two_ranks() {
+        let mut m = Mapping::consecutive(4, 4);
+        m.swap_ranks(0, 3);
+        assert_eq!(m.node_of(0), NodeId(3));
+        assert_eq!(m.node_of(3), NodeId(0));
+        assert_eq!(m.node_of(1), NodeId(1));
+    }
+}

@@ -1,0 +1,274 @@
+//! Calibration targets embedded from the paper's Table 1.
+//!
+//! The original dumpi traces are not available offline; the synthetic
+//! generators reproduce each application's *pattern class* and are
+//! calibrated so that total volume, the p2p/collective split, and the
+//! execution-time metadata match the paper's Table 1 row for the same
+//! `(application, ranks)` configuration. Where Table 1 is internally
+//! inconsistent (volume / time / throughput disagree), the time is derived
+//! from volume ÷ throughput, which the paper's utilization metric depends
+//! on; the affected rows are noted in EXPERIMENTS.md.
+
+/// One Table 1 row: the calibration target of one configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Calibration {
+    /// Number of ranks.
+    pub ranks: u32,
+    /// Execution time in seconds.
+    pub time_s: f64,
+    /// Total communication volume in MB (10^6 bytes).
+    pub volume_mb: f64,
+    /// Point-to-point share of the volume, percent.
+    pub p2p_pct: f64,
+}
+
+impl Calibration {
+    /// Target p2p bytes.
+    pub fn p2p_bytes(&self) -> u64 {
+        (self.volume_mb * 1e6 * self.p2p_pct / 100.0).round() as u64
+    }
+
+    /// Target collective bytes (after p2p translation).
+    pub fn coll_bytes(&self) -> u64 {
+        (self.volume_mb * 1e6 * (100.0 - self.p2p_pct) / 100.0).round() as u64
+    }
+}
+
+const fn cal(ranks: u32, time_s: f64, volume_mb: f64, p2p_pct: f64) -> Calibration {
+    Calibration {
+        ranks,
+        time_s,
+        volume_mb,
+        p2p_pct,
+    }
+}
+
+/// AMG (8 / 27 / 216 / 1728 ranks). The 216-rank time is derived from the
+/// throughput column (the printed 0.10 s is inconsistent with 461.5 MB/s).
+pub const AMG: &[Calibration] = &[
+    cal(8, 0.0258, 3.0, 100.0),
+    cal(27, 0.1564, 13.6, 100.0),
+    cal(216, 0.2966, 136.9, 100.0),
+    cal(1728, 2.92, 1208.0, 100.0),
+];
+
+/// AMR Miniapp (64 / 1728 ranks).
+pub const AMR_MINIAPP: &[Calibration] = &[
+    cal(64, 12.93, 3106.0, 99.66),
+    cal(1728, 42.69, 96969.0, 99.45),
+];
+
+/// BigFFT medium (9 / 100 / 1024 ranks) — collective-only.
+pub const BIGFFT: &[Calibration] = &[
+    cal(9, 0.18, 299.2, 0.0),
+    cal(100, 0.50, 3169.0, 0.0),
+    cal(1024, 1.89, 32064.0, 0.0),
+];
+
+/// Boxlib CNS large (64 / 256 / 1024 ranks); the duplicate 256 row of
+/// Table 1 is the same configuration traced twice and is not repeated here.
+pub const BOXLIB_CNS: &[Calibration] = &[
+    cal(64, 572.19, 9292.0, 100.0),
+    cal(256, 169.05, 15227.0, 100.0),
+    cal(1024, 67.54, 34131.0, 100.0),
+];
+
+/// Boxlib MultiGrid C (64 / 256 / 1024 ranks); duplicate 256 row dropped.
+pub const BOXLIB_MULTIGRID: &[Calibration] = &[
+    cal(64, 231.42, 23742.0, 99.94),
+    cal(256, 62.01, 44535.0, 99.95),
+    cal(1024, 20.88, 75181.0, 99.94),
+];
+
+/// CESAR MOCFE (64 / 256 / 1024 ranks) — collective-dominated.
+pub const CESAR_MOCFE: &[Calibration] = &[
+    cal(64, 0.38, 19.0, 5.01),
+    cal(256, 1.10, 81.6, 5.51),
+    cal(1024, 3.95, 686.2, 6.96),
+];
+
+/// CESAR Nekbone (64 / 256 / 1024 ranks).
+pub const CESAR_NEKBONE: &[Calibration] = &[
+    cal(64, 11.83, 5307.0, 100.0),
+    cal(256, 3.17, 1272.0, 50.66),
+    cal(1024, 5.15, 13232.0, 99.98),
+];
+
+/// Crystal Router (10 / 100 / 1000 ranks).
+pub const CRYSTAL_ROUTER: &[Calibration] = &[
+    cal(10, 0.14, 133.8, 100.0),
+    cal(100, 0.71, 3439.9, 100.0),
+    cal(1000, 1.28, 115521.0, 100.0),
+];
+
+/// EXMATEX CMC 2D multinode (64 / 256 / 1024 ranks) — tiny collectives only.
+pub const EXMATEX_CMC: &[Calibration] = &[
+    cal(64, 842.80, 16.0, 0.0),
+    cal(256, 208.44, 16.1, 0.0),
+    cal(1024, 58.85, 16.4, 0.0),
+];
+
+/// EXMATEX LULESH (64 / 512 ranks); duplicate 64 row dropped.
+pub const EXMATEX_LULESH: &[Calibration] = &[
+    cal(64, 54.14, 3585.0, 100.0),
+    cal(512, 50.24, 33548.0, 100.0),
+];
+
+/// FillBoundary (125 / 1000 ranks).
+pub const FILLBOUNDARY: &[Calibration] = &[
+    cal(125, 2.32, 10209.0, 100.0),
+    cal(1000, 5.26, 92323.0, 100.0),
+];
+
+/// MiniFE (18 / 144 / 1152 ranks).
+pub const MINIFE: &[Calibration] = &[
+    cal(18, 59.70, 1615.0, 100.0),
+    cal(144, 61.06, 16586.0, 99.99),
+    cal(1152, 84.75, 147264.0, 99.96),
+];
+
+/// MultiGrid_C (125 / 1000 ranks). The 125-rank time is derived from the
+/// throughput column (printed 0.77 s is inconsistent with 4889 MB/s).
+pub const MULTIGRID_C: &[Calibration] = &[
+    cal(125, 0.0765, 374.0, 100.0),
+    cal(1000, 3.57, 2973.0, 100.0),
+];
+
+/// PARTISN (168 ranks). Week-long run: tiny throughput.
+pub const PARTISN: &[Calibration] = &[cal(168, 2.2e6, 42123.0, 99.96)];
+
+/// SNAP (168 ranks).
+pub const SNAP: &[Calibration] = &[cal(168, 1.2e6, 128561.0, 100.0)];
+
+/// Look up the calibration row of a slice by rank count.
+pub fn lookup(rows: &[Calibration], ranks: u32) -> Option<Calibration> {
+    rows.iter().find(|c| c.ranks == ranks).copied()
+}
+
+/// Calibration for an arbitrary scale: the exact row when present,
+/// otherwise a power-law extrapolation `volume ∝ ranks^b` (log-log
+/// least-squares over the available rows; constant when only one row
+/// exists). Execution time extrapolates the same way and the p2p share is
+/// taken from the nearest row. This makes every generator usable at scales
+/// the paper did not trace — the *pattern* generalizes naturally, and the
+/// volume scale follows the app's observed scaling law.
+pub fn resolve(rows: &[Calibration], ranks: u32) -> Calibration {
+    if let Some(c) = lookup(rows, ranks) {
+        return c;
+    }
+    assert!(!rows.is_empty() && ranks > 0);
+    let fit = |f: &dyn Fn(&Calibration) -> f64| -> f64 {
+        if rows.len() == 1 {
+            return f(&rows[0]);
+        }
+        // log-log least squares: y = a * x^b
+        let pts: Vec<(f64, f64)> = rows
+            .iter()
+            .map(|c| ((c.ranks as f64).ln(), f(c).max(f64::MIN_POSITIVE).ln()))
+            .collect();
+        let n = pts.len() as f64;
+        let sx: f64 = pts.iter().map(|p| p.0).sum();
+        let sy: f64 = pts.iter().map(|p| p.1).sum();
+        let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+        let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+        let denom = n * sxx - sx * sx;
+        let b = if denom.abs() < 1e-12 {
+            0.0
+        } else {
+            (n * sxy - sx * sy) / denom
+        };
+        let a = (sy - b * sx) / n;
+        (a + b * (ranks as f64).ln()).exp()
+    };
+    let nearest = rows
+        .iter()
+        .min_by_key(|c| c.ranks.abs_diff(ranks))
+        .expect("nonempty");
+    Calibration {
+        ranks,
+        time_s: fit(&|c| c.time_s),
+        volume_mb: fit(&|c| c.volume_mb),
+        p2p_pct: nearest.p2p_pct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_sum_to_total() {
+        for rows in [AMG, CESAR_MOCFE, CESAR_NEKBONE, AMR_MINIAPP] {
+            for c in rows {
+                let total = c.p2p_bytes() + c.coll_bytes();
+                let expect = (c.volume_mb * 1e6).round() as u64;
+                assert!(total.abs_diff(expect) <= 1, "{c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn collective_only_apps_have_zero_p2p() {
+        for c in BIGFFT.iter().chain(EXMATEX_CMC) {
+            assert_eq!(c.p2p_bytes(), 0);
+            assert!(c.coll_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn lookup_finds_rows() {
+        assert_eq!(lookup(AMG, 216).unwrap().volume_mb, 136.9);
+        assert!(lookup(AMG, 217).is_none());
+    }
+
+    #[test]
+    fn resolve_returns_exact_rows_verbatim() {
+        assert_eq!(resolve(AMG, 216), lookup(AMG, 216).unwrap());
+    }
+
+    #[test]
+    fn resolve_extrapolates_monotonically_for_growing_apps() {
+        // AMG volume grows with scale; an extrapolated 4096-rank volume
+        // must exceed the 1728-rank row.
+        let c = resolve(AMG, 4096);
+        assert_eq!(c.ranks, 4096);
+        assert!(c.volume_mb > lookup(AMG, 1728).unwrap().volume_mb);
+        assert_eq!(c.p2p_pct, 100.0);
+    }
+
+    #[test]
+    fn resolve_interpolates_between_rows() {
+        let c = resolve(AMG, 100);
+        let lo = lookup(AMG, 27).unwrap().volume_mb;
+        let hi = lookup(AMG, 216).unwrap().volume_mb;
+        assert!(c.volume_mb > lo && c.volume_mb < hi, "{}", c.volume_mb);
+    }
+
+    #[test]
+    fn resolve_single_row_is_constant() {
+        let c = resolve(PARTISN, 500);
+        assert_eq!(c.volume_mb, PARTISN[0].volume_mb);
+        assert_eq!(c.time_s, PARTISN[0].time_s);
+    }
+
+    #[test]
+    fn throughput_consistency_within_tolerance() {
+        // Table 1's Vol./t column: our stored (time, volume) must reproduce
+        // the printed throughput to ~2 % for the rows we spot-check.
+        let checks: &[(&[Calibration], u32, f64)] = &[
+            (AMG, 8, 116.3),
+            (AMG, 216, 461.5),
+            (CESAR_NEKBONE, 1024, 2568.8),
+            (CRYSTAL_ROUTER, 1000, 90491.0),
+            (PARTISN, 168, 0.0191),
+        ];
+        for &(rows, ranks, mb_s) in checks {
+            let c = lookup(rows, ranks).unwrap();
+            let got = c.volume_mb / c.time_s;
+            assert!(
+                (got - mb_s).abs() / mb_s < 0.02,
+                "{ranks} ranks: {got} vs {mb_s}"
+            );
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! AMG — algebraic multigrid solver (hypre's BoomerAMG proxy).
+//!
+//! The fine level is a 3D halo exchange; every coarsening level halves each
+//! grid dimension, so the surviving coarse ranks exchange halos with
+//! partners a power-of-two stride away, with geometrically shrinking
+//! volume. On the coarsest small level the communication degenerates into
+//! an (almost) all-to-all among the few remaining participants — which is
+//! why the paper sees the peer count grow far beyond 26 with scale
+//! (127 at 216 ranks, 293 at 1728) while selectivity stays near 5 and the
+//! 3D-folded rank locality stays at 100 % (the fine level dominates).
+
+use super::{add_stencil27, grid3, Pattern, StencilWeights};
+use crate::calibration::{lookup, AMG};
+use netloc_mpi::Trace;
+use netloc_topology::grid::{coords, rank_of};
+
+const ITERATIONS: u64 = 40;
+/// Volume decay per coarsening level (coarse grids have 1/8 of the points;
+/// messages shrink a bit slower because halo surfaces shrink like 1/4).
+const LEVEL_DECAY: f64 = 0.22;
+
+/// Generate the AMG trace (8, 27, 216 or 1728 ranks).
+///
+/// # Panics
+/// Panics if `ranks` has no Table 1 calibration row.
+pub fn generate(ranks: u32) -> Trace {
+    let cal = lookup(AMG, ranks).unwrap_or_else(|| panic!("AMG has no {ranks}-rank configuration"));
+    generate_with(ranks, cal)
+}
+
+/// Generate with an explicit (possibly extrapolated) calibration —
+/// the scale-generalized entry point behind [`crate::App::generate_scaled`].
+pub fn generate_with(ranks: u32, cal: crate::calibration::Calibration) -> Trace {
+    let dims = grid3(ranks);
+    let mut p = Pattern::new(ranks);
+
+    let weights = StencilWeights {
+        face: [24.0, 12.0, 6.0],
+        edge: 1.0,
+        corner: 0.25,
+    };
+
+    // Fine level + strided coarse levels while the coarse grid still has at
+    // least two points per dimension.
+    let mut level = 0u32;
+    loop {
+        let stride = 1usize << level;
+        if dims.iter().any(|&d| d.div_ceil(stride) < 2) {
+            break;
+        }
+        add_stencil27(
+            &mut p,
+            &dims,
+            weights,
+            LEVEL_DECAY.powi(level as i32),
+            ITERATIONS,
+            stride,
+        );
+        level += 1;
+    }
+
+    // Coarsest-level agglomeration: once few enough ranks remain, they
+    // exchange with everyone in the set (tiny messages).
+    let last_stride = 1usize << level.saturating_sub(1);
+    let participants: Vec<u32> = (0..ranks)
+        .filter(|&r| {
+            coords(r as usize, &dims)
+                .iter()
+                .all(|&c| c % last_stride == 0)
+        })
+        .collect();
+    if participants.len() <= 64 {
+        let w = 0.02 * LEVEL_DECAY.powi(level as i32 - 1);
+        for &a in &participants {
+            for &b in &participants {
+                p.p2p(a, b, w, ITERATIONS);
+            }
+        }
+    }
+    // sanity: the grid convention round-trips
+    debug_assert_eq!(rank_of(&coords(0, &dims), &dims), 0);
+
+    p.into_trace("AMG", cal.time_s, cal.p2p_bytes(), cal.coll_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_matches_table1() {
+        for (ranks, mb) in [(8u32, 3.0), (27, 13.6), (216, 136.9), (1728, 1208.0)] {
+            let s = generate(ranks).stats();
+            assert!(
+                (s.total_mb() - mb).abs() / mb < 0.01,
+                "{ranks}: {}",
+                s.total_mb()
+            );
+            assert_eq!(s.p2p_pct(), 100.0);
+        }
+    }
+
+    #[test]
+    fn coarse_levels_add_strided_partners() {
+        use netloc_mpi::Event;
+        let t = generate(216); // 6x6x6: levels 0 and 1
+                               // stride-2 x-neighbor of rank 0 is rank 2
+        let has_stride2 = t
+            .events
+            .iter()
+            .any(|e| matches!(e.event, Event::Send { src, dst, .. } if src.0 == 0 && dst.0 == 2));
+        assert!(has_stride2);
+    }
+
+    #[test]
+    fn small_scale_is_nearly_all_to_all() {
+        use netloc_mpi::Event;
+        // 27 ranks: the coarsest agglomeration connects everyone.
+        let t = generate(27);
+        let mut partners = std::collections::HashSet::new();
+        for e in &t.events {
+            if let Event::Send { src, dst, .. } = e.event {
+                if src.0 == 13 {
+                    partners.insert(dst.0);
+                }
+            }
+        }
+        assert_eq!(partners.len(), 26, "paper reports peers = 26 at 27 ranks");
+    }
+}

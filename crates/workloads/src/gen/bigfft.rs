@@ -1,0 +1,58 @@
+//! BigFFT (medium) — distributed 3D FFT.
+//!
+//! A distributed FFT is transpose-bound: each phase is a full all-to-all
+//! exchange of the local slabs, issued as `MPI_Alltoallv` over the global
+//! communicator. The trace is therefore 100 % collective — the paper
+//! reports "N/A" for all its p2p-based MPI-level metrics — and BigFFT is
+//! the only workload whose network utilization exceeds 1 %.
+
+use super::Pattern;
+use crate::calibration::{lookup, BIGFFT};
+use netloc_mpi::{CollectiveOp, Trace};
+
+/// Transpose phases (two per forward/backward FFT, several iterations).
+const TRANSPOSES: u64 = 12;
+
+/// Generate the BigFFT trace (9, 100 or 1024 ranks).
+///
+/// # Panics
+/// Panics if `ranks` has no Table 1 calibration row.
+pub fn generate(ranks: u32) -> Trace {
+    let cal =
+        lookup(BIGFFT, ranks).unwrap_or_else(|| panic!("BigFFT has no {ranks}-rank configuration"));
+    generate_with(ranks, cal)
+}
+
+/// Generate with an explicit (possibly extrapolated) calibration —
+/// the scale-generalized entry point behind [`crate::App::generate_scaled`].
+pub fn generate_with(ranks: u32, cal: crate::calibration::Calibration) -> Trace {
+    let mut p = Pattern::new(ranks);
+    p.coll(CollectiveOp::Alltoallv, None, 1.0, TRANSPOSES);
+    p.coll(CollectiveOp::Barrier, None, 0.0, TRANSPOSES);
+    p.into_trace("BigFFT", cal.time_s, cal.p2p_bytes(), cal.coll_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_collective_only() {
+        for ranks in [9u32, 100, 1024] {
+            let s = generate(ranks).stats();
+            assert_eq!(s.p2p_bytes, 0, "{ranks}");
+            assert_eq!(s.coll_pct(), 100.0);
+        }
+    }
+
+    #[test]
+    fn volume_matches_table1() {
+        let s = generate(100).stats();
+        assert!((s.total_mb() - 3169.0).abs() / 3169.0 < 0.01);
+    }
+
+    #[test]
+    fn validates() {
+        generate(9).validate().unwrap();
+    }
+}

@@ -1,0 +1,138 @@
+//! Boxlib CNS (large) — compressible Navier-Stokes on a block-structured
+//! grid with multiple boxes per rank.
+//!
+//! BoxLib distributes several boxes round-robin over the ranks, so the
+//! owners of spatially adjacent boxes are *scattered* in rank space: the
+//! heavy halo partners sit at rank distances {±1, ±BX, ±BX·BY} of the box
+//! grid rather than at grid-fold neighbors. That is exactly the paper's CNS
+//! signature: peers = ranks − 1 (a metadata exchange touches everyone),
+//! selectivity ~5, but *no* dimensionality fold reaches 100 % (Table 4:
+//! 21 % in 3D at 64 ranks) and a large rank distance.
+
+use super::{grid3, Pattern};
+use crate::calibration::{lookup, BOXLIB_CNS};
+use netloc_mpi::Trace;
+use netloc_topology::grid::{coords, rank_of};
+use rand::seq::SliceRandom as _;
+use rand::SeedableRng as _;
+
+const ITERATIONS: u64 = 40;
+
+/// Boxes per rank (BoxLib over-decomposition).
+const BOXES_PER_RANK: u32 = 3;
+
+/// Generate the Boxlib CNS trace (64, 256 or 1024 ranks).
+///
+/// # Panics
+/// Panics if `ranks` has no Table 1 calibration row.
+pub fn generate(ranks: u32) -> Trace {
+    let cal = lookup(BOXLIB_CNS, ranks)
+        .unwrap_or_else(|| panic!("Boxlib CNS has no {ranks}-rank configuration"));
+    generate_with(ranks, cal)
+}
+
+/// Generate with an explicit (possibly extrapolated) calibration —
+/// the scale-generalized entry point behind [`crate::App::generate_scaled`].
+pub fn generate_with(ranks: u32, cal: crate::calibration::Calibration) -> Trace {
+    let nboxes = ranks * BOXES_PER_RANK;
+    let bdims3 = grid3(nboxes);
+    let bdims = [bdims3[0], bdims3[1], bdims3[2]];
+    // Distribution: small runs deal boxes round-robin (owner = box index
+    // mod ranks — owners of adjacent boxes stay correlated, few heavy
+    // partner groups). The refined large run (>= 1024 ranks) rebalances by
+    // estimated work, which effectively *scatters* boxes: a seeded shuffle
+    // dealt round-robin. Scatter decorrelates neighbor owners, which is
+    // exactly the paper's 1024-rank signature — selectivity jumping to
+    // 20.8 and the 90 % rank distance to 661 (≈ random-pair territory).
+    let owners: Vec<u32> = if ranks >= 1024 {
+        let mut boxes: Vec<usize> = (0..nboxes as usize).collect();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0xC45 ^ ranks as u64);
+        boxes.shuffle(&mut rng);
+        let mut owner_of = vec![0u32; nboxes as usize];
+        for (pos, &b) in boxes.iter().enumerate() {
+            owner_of[b] = (pos as u32) % ranks;
+        }
+        owner_of
+    } else {
+        (0..nboxes).map(|b| b % ranks).collect()
+    };
+    let owner = |b: usize| owners[b];
+
+    let mut p = Pattern::new(ranks);
+    for b in 0..nboxes as usize {
+        let c = coords(b, &bdims);
+        for dx in -1i64..=1 {
+            for dy in -1i64..=1 {
+                for dz in -1i64..=1 {
+                    if dx == 0 && dy == 0 && dz == 0 {
+                        continue;
+                    }
+                    let nx = c[0] as i64 + dx;
+                    let ny = c[1] as i64 + dy;
+                    let nz = c[2] as i64 + dz;
+                    if nx < 0
+                        || ny < 0
+                        || nz < 0
+                        || nx >= bdims[0] as i64
+                        || ny >= bdims[1] as i64
+                        || nz >= bdims[2] as i64
+                    {
+                        continue;
+                    }
+                    let nb = rank_of(&[nx as usize, ny as usize, nz as usize], &bdims);
+                    let kind = dx.abs() + dy.abs() + dz.abs();
+                    let w = match kind {
+                        1 => 24.0,
+                        2 => 1.5,
+                        _ => 0.3,
+                    };
+                    p.p2p(owner(b), owner(nb), w, ITERATIONS);
+                }
+            }
+        }
+    }
+
+    // Regridding / load-balancing metadata: every rank pings every other
+    // rank with tiny messages once in a while (peers = ranks - 1).
+    for s in 0..ranks {
+        for d in 0..ranks {
+            p.p2p(s, d, 0.01, 2);
+        }
+    }
+
+    p.into_trace("Boxlib CNS", cal.time_s, cal.p2p_bytes(), cal.coll_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netloc_mpi::Event;
+
+    #[test]
+    fn volume_matches_table1() {
+        let s = generate(64).stats();
+        assert!((s.total_mb() - 9292.0).abs() / 9292.0 < 0.01);
+        assert_eq!(s.p2p_pct(), 100.0);
+    }
+
+    #[test]
+    fn every_rank_touches_every_other() {
+        let t = generate(64);
+        let mut partners = std::collections::HashSet::new();
+        for e in &t.events {
+            if let Event::Send { src, dst, .. } = e.event {
+                if src.0 == 0 {
+                    partners.insert(dst.0);
+                }
+            }
+        }
+        assert_eq!(partners.len(), 63); // paper: peers = ranks - 1
+    }
+
+    #[test]
+    fn all_scales_validate() {
+        for ranks in [64, 256, 1024] {
+            generate(ranks).validate().unwrap();
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! EXMATEX CMC 2D (multinode) — classical molecular-dynamics co-design
+//! proxy in its multinode configuration.
+//!
+//! In the traced configuration the entire communication is a long series of
+//! tiny global reductions (energy/temperature accumulations): ~16 MB of collective
+//! volume spread over minutes of runtime, the lowest throughput of all
+//! workloads (0.02–0.28 MB/s) and no point-to-point traffic at all.
+
+use super::Pattern;
+use crate::calibration::{lookup, EXMATEX_CMC};
+use netloc_mpi::{CollectiveOp, Trace};
+
+const STEPS: u64 = 2000;
+
+/// Generate the CMC 2D trace (64, 256 or 1024 ranks).
+///
+/// # Panics
+/// Panics if `ranks` has no Table 1 calibration row.
+pub fn generate(ranks: u32) -> Trace {
+    let cal = lookup(EXMATEX_CMC, ranks)
+        .unwrap_or_else(|| panic!("CMC 2D has no {ranks}-rank configuration"));
+    generate_with(ranks, cal)
+}
+
+/// Generate with an explicit (possibly extrapolated) calibration —
+/// the scale-generalized entry point behind [`crate::App::generate_scaled`].
+pub fn generate_with(ranks: u32, cal: crate::calibration::Calibration) -> Trace {
+    let mut p = Pattern::new(ranks);
+    p.coll(CollectiveOp::Allreduce, None, 1.0, STEPS);
+    p.coll(CollectiveOp::Bcast, Some(0), 0.1, STEPS / 10);
+    p.into_trace(
+        "EXMATEX CMC 2D",
+        cal.time_s,
+        cal.p2p_bytes(),
+        cal.coll_bytes(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_collective_only_trace() {
+        let s = generate(64).stats();
+        assert_eq!(s.p2p_bytes, 0);
+        assert!((s.total_mb() - 16.0).abs() / 16.0 < 0.02);
+        // lowest throughput in Table 1
+        assert!(s.throughput_mb_s() < 0.05);
+    }
+
+    #[test]
+    fn all_scales_validate() {
+        for ranks in [64, 256, 1024] {
+            generate(ranks).validate().unwrap();
+        }
+    }
+}

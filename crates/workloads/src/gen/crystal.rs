@@ -1,0 +1,94 @@
+//! Crystal Router — generalized all-to-all by recursive dimension exchange.
+//!
+//! The crystal-router algorithm (from Nek5000's gather-scatter library)
+//! routes arbitrary all-to-all traffic through ⌈log₂ n⌉ pairwise exchange
+//! stages: in stage `d`, rank `r` exchanges with `r XOR 2^d`. Partner
+//! counts therefore grow logarithmically (paper: 4 / 8 / 11 peers at
+//! 10 / 100 / 1000 ranks) and partners sit at power-of-two rank distances,
+//! which yields the paper's large rank distances despite few peers.
+
+use super::Pattern;
+use crate::calibration::{lookup, CRYSTAL_ROUTER};
+use netloc_mpi::Trace;
+
+const ITERATIONS: u64 = 25;
+
+/// Generate the Crystal Router trace (10, 100 or 1000 ranks).
+///
+/// # Panics
+/// Panics if `ranks` has no Table 1 calibration row.
+pub fn generate(ranks: u32) -> Trace {
+    let cal = lookup(CRYSTAL_ROUTER, ranks)
+        .unwrap_or_else(|| panic!("Crystal Router has no {ranks}-rank configuration"));
+    generate_with(ranks, cal)
+}
+
+/// Generate with an explicit (possibly extrapolated) calibration —
+/// the scale-generalized entry point behind [`crate::App::generate_scaled`].
+pub fn generate_with(ranks: u32, cal: crate::calibration::Calibration) -> Trace {
+    let stages = 32 - (ranks - 1).leading_zeros(); // ceil(log2 n)
+    let mut p = Pattern::new(ranks);
+    for d in 0..stages {
+        let bit = 1u32 << d;
+        for r in 0..ranks {
+            let partner = r ^ bit;
+            if partner < ranks {
+                // Early stages move roughly half the data each; volume per
+                // stage decays slightly as messages get consolidated.
+                let w = 1.0 / (1.0 + 0.15 * d as f64);
+                p.p2p(r, partner, w, ITERATIONS);
+            }
+        }
+    }
+    p.into_trace(
+        "Crystal Router",
+        cal.time_s,
+        cal.p2p_bytes(),
+        cal.coll_bytes(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netloc_mpi::Event;
+
+    fn partners_of(t: &Trace, rank: u32) -> std::collections::HashSet<u32> {
+        let mut s = std::collections::HashSet::new();
+        for e in &t.events {
+            if let Event::Send { src, dst, .. } = e.event {
+                if src.0 == rank {
+                    s.insert(dst.0);
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn partner_count_is_logarithmic() {
+        assert_eq!(partners_of(&generate(10), 0).len(), 4); // paper: 4
+        let p100 = partners_of(&generate(100), 0).len();
+        assert!((6..=8).contains(&p100), "{p100}");
+        let p1000 = partners_of(&generate(1000), 0).len();
+        assert!((9..=11).contains(&p1000), "{p1000}");
+    }
+
+    #[test]
+    fn partners_sit_at_power_of_two_distances() {
+        let t = generate(100);
+        for e in &t.events {
+            if let Event::Send { src, dst, .. } = e.event {
+                let d = src.0.abs_diff(dst.0);
+                assert!(d.is_power_of_two(), "{d}");
+            }
+        }
+    }
+
+    #[test]
+    fn volume_matches_table1() {
+        let s = generate(1000).stats();
+        assert!((s.total_mb() - 115521.0).abs() / 115521.0 < 0.01);
+        assert_eq!(s.p2p_pct(), 100.0);
+    }
+}

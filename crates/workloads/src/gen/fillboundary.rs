@@ -1,0 +1,121 @@
+//! FillBoundary — the BoxLib ghost-cell exchange kernel.
+//!
+//! Like every BoxLib code, FillBoundary runs over a box array that is
+//! over-decomposed (here two boxes per rank) and dealt round-robin; the
+//! ghost exchange touches the 26 surrounding boxes of each box. Round-robin
+//! keeps the *owner deltas* fixed (±1, ±BX, ±BX·BY and their diagonal
+//! combinations), so each rank still has exactly 26 distinct partners — the
+//! paper's peer count — while the z-plane partners sit a whole plane of the
+//! *box* grid away in rank space, which is what pushes the 90 % rank
+//! distance to ~219 at 1000 ranks (a plain one-box-per-rank stencil would
+//! stop at ~100).
+
+use super::{grid3, Pattern};
+use crate::calibration::{lookup, FILLBOUNDARY};
+use netloc_mpi::Trace;
+use netloc_topology::grid::{coords, rank_of};
+
+const ITERATIONS: u64 = 200;
+/// Boxes per rank.
+const BOXES_PER_RANK: u32 = 2;
+
+/// Generate the FillBoundary trace (125 or 1000 ranks).
+///
+/// # Panics
+/// Panics if `ranks` has no Table 1 calibration row.
+pub fn generate(ranks: u32) -> Trace {
+    let cal = lookup(FILLBOUNDARY, ranks)
+        .unwrap_or_else(|| panic!("FillBoundary has no {ranks}-rank configuration"));
+    generate_with(ranks, cal)
+}
+
+/// Generate with an explicit (possibly extrapolated) calibration —
+/// the scale-generalized entry point behind [`crate::App::generate_scaled`].
+pub fn generate_with(ranks: u32, cal: crate::calibration::Calibration) -> Trace {
+    let nboxes = ranks * BOXES_PER_RANK;
+    let bdims3 = grid3(nboxes);
+    let bdims = [bdims3[0], bdims3[1], bdims3[2]];
+    let owner = |b: usize| (b as u32) % ranks;
+
+    let mut p = Pattern::new(ranks);
+    for b in 0..nboxes as usize {
+        let c = coords(b, &bdims);
+        for dx in -1i64..=1 {
+            for dy in -1i64..=1 {
+                for dz in -1i64..=1 {
+                    if dx == 0 && dy == 0 && dz == 0 {
+                        continue;
+                    }
+                    let nx = c[0] as i64 + dx;
+                    let ny = c[1] as i64 + dy;
+                    let nz = c[2] as i64 + dz;
+                    if nx < 0
+                        || ny < 0
+                        || nz < 0
+                        || nx >= bdims[0] as i64
+                        || ny >= bdims[1] as i64
+                        || nz >= bdims[2] as i64
+                    {
+                        continue;
+                    }
+                    let nb = rank_of(&[nx as usize, ny as usize, nz as usize], &bdims);
+                    let kind = dx.abs() + dy.abs() + dz.abs();
+                    let w = match kind {
+                        1 => {
+                            if dx != 0 {
+                                40.0
+                            } else if dy != 0 {
+                                24.0
+                            } else {
+                                8.0
+                            }
+                        }
+                        2 => 1.0,
+                        _ => 0.2,
+                    };
+                    p.p2p(owner(b), owner(nb), w, ITERATIONS);
+                }
+            }
+        }
+    }
+    p.into_trace(
+        "FillBoundary",
+        cal.time_s,
+        cal.p2p_bytes(),
+        cal.coll_bytes(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netloc_mpi::Event;
+
+    #[test]
+    fn volume_matches_table1() {
+        let s = generate(125).stats();
+        assert!((s.total_mb() - 10209.0).abs() / 10209.0 < 0.01);
+        assert_eq!(s.p2p_pct(), 100.0);
+    }
+
+    #[test]
+    fn peers_stay_near_26() {
+        // Round-robin preserves the 26 owner deltas of the box stencil
+        // (boundary ranks have fewer).
+        let t = generate(1000);
+        let mut per: std::collections::HashMap<u32, std::collections::HashSet<u32>> =
+            Default::default();
+        for e in &t.events {
+            if let Event::Send { src, dst, .. } = e.event {
+                per.entry(src.0).or_default().insert(dst.0);
+            }
+        }
+        let max = per.values().map(|s| s.len()).max().unwrap();
+        assert!((24..=30).contains(&max), "peak peers {max}");
+    }
+
+    #[test]
+    fn large_scale_validates() {
+        generate(1000).validate().unwrap();
+    }
+}

@@ -1,0 +1,78 @@
+//! EXMATEX LULESH — Lagrangian shock hydrodynamics.
+//!
+//! LULESH decomposes a 3D domain into one cubic subdomain per rank and
+//! exchanges halos with all 26 surrounding subdomains each iteration
+//! (faces, edges and corners), which is why the paper reports exactly 26
+//! peers, a selectivity of ~4.5 (the anisotropic face exchanges dominate)
+//! and 100 % rank locality under a 3D folding (Table 4).
+
+use super::{add_stencil27, grid3, Pattern, StencilWeights};
+use crate::calibration::{lookup, EXMATEX_LULESH};
+use netloc_mpi::Trace;
+
+/// Iterations folded into the repeat counts.
+const ITERATIONS: u64 = 100;
+
+/// Generate the LULESH trace for a supported scale (64 or 512 ranks).
+///
+/// # Panics
+/// Panics if `ranks` has no Table 1 calibration row.
+pub fn generate(ranks: u32) -> Trace {
+    let cal = lookup(EXMATEX_LULESH, ranks)
+        .unwrap_or_else(|| panic!("LULESH has no {ranks}-rank configuration"));
+    generate_with(ranks, cal)
+}
+
+/// Generate with an explicit (possibly extrapolated) calibration —
+/// the scale-generalized entry point behind [`crate::App::generate_scaled`].
+pub fn generate_with(ranks: u32, cal: crate::calibration::Calibration) -> Trace {
+    let dims = grid3(ranks);
+    let mut p = Pattern::new(ranks);
+    add_stencil27(
+        &mut p,
+        &dims,
+        StencilWeights {
+            // Non-cubic element counts per direction make the six face
+            // exchanges strongly anisotropic.
+            face: [48.0, 24.0, 6.0],
+            edge: 0.8,
+            corner: 0.12,
+        },
+        1.0,
+        ITERATIONS,
+        1,
+    );
+    p.into_trace(
+        "EXMATEX LULESH",
+        cal.time_s,
+        cal.p2p_bytes(),
+        cal.coll_bytes(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_matches_table1() {
+        let t = generate(64);
+        let s = t.stats();
+        assert!((s.total_mb() - 3585.0).abs() / 3585.0 < 0.01);
+        assert_eq!(s.p2p_pct(), 100.0);
+        assert_eq!(t.exec_time_s, 54.14);
+    }
+
+    #[test]
+    fn trace_validates_at_all_scales() {
+        for ranks in [64, 512] {
+            generate(ranks).validate().unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no 100-rank")]
+    fn unsupported_scale_panics() {
+        generate(100);
+    }
+}

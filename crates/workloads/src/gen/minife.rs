@@ -1,0 +1,69 @@
+//! MiniFE — implicit finite elements (unstructured-ish CG solve).
+//!
+//! MiniFE partitions a 3D FE mesh; matrix-vector halo exchanges touch the
+//! face and edge neighbors of each subdomain (corner couplings are folded
+//! into edges by the element assembly), giving the paper's ~22 peers. The
+//! CG dot products add a tiny allreduce share (0.01–0.04 %).
+
+use super::{add_stencil27, grid3, Pattern, StencilWeights};
+use crate::calibration::{lookup, MINIFE};
+use netloc_mpi::{CollectiveOp, Trace};
+
+const ITERATIONS: u64 = 150;
+
+/// Generate the MiniFE trace (18, 144 or 1152 ranks).
+///
+/// # Panics
+/// Panics if `ranks` has no Table 1 calibration row.
+pub fn generate(ranks: u32) -> Trace {
+    let cal =
+        lookup(MINIFE, ranks).unwrap_or_else(|| panic!("MiniFE has no {ranks}-rank configuration"));
+    generate_with(ranks, cal)
+}
+
+/// Generate with an explicit (possibly extrapolated) calibration —
+/// the scale-generalized entry point behind [`crate::App::generate_scaled`].
+pub fn generate_with(ranks: u32, cal: crate::calibration::Calibration) -> Trace {
+    let dims = grid3(ranks);
+    let mut p = Pattern::new(ranks);
+    add_stencil27(
+        &mut p,
+        &dims,
+        StencilWeights {
+            face: [30.0, 20.0, 10.0],
+            edge: 2.0,
+            corner: 0.5,
+        },
+        1.0,
+        ITERATIONS,
+        1,
+    );
+    // Two dot-product reductions per CG iteration.
+    p.coll(CollectiveOp::Allreduce, None, 1.0, 2 * ITERATIONS);
+    p.into_trace("MiniFE", cal.time_s, cal.p2p_bytes(), cal.coll_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_and_split_match_table1() {
+        let s = generate(144).stats();
+        assert!((s.total_mb() - 16586.0).abs() / 16586.0 < 0.01);
+        assert!((s.p2p_pct() - 99.99).abs() < 0.05);
+    }
+
+    #[test]
+    fn smallest_scale_has_pure_p2p() {
+        let s = generate(18).stats();
+        assert_eq!(s.p2p_pct(), 100.0); // Table 1: 100 % at 18 ranks
+    }
+
+    #[test]
+    fn all_scales_validate() {
+        for ranks in [18, 144, 1152] {
+            generate(ranks).validate().unwrap();
+        }
+    }
+}

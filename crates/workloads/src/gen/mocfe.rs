@@ -1,0 +1,109 @@
+//! CESAR MOCFE — method-of-characteristics neutron transport.
+//!
+//! MOCFE is collective-dominated (93–95 % of the volume are reductions over
+//! angular flux moments). The small p2p share couples each rank to its
+//! spatial neighbors on a 2D decomposition plus a set of long-range
+//! "angular" partners at fixed rank strides, reproducing the paper's peer
+//! counts (12 at 64 ranks, 20 at 256/1024), the double-digit selectivity
+//! (the per-partner volumes are nearly uniform) and the very large rank
+//! distances.
+
+use super::{grid2, Pattern};
+use crate::calibration::{lookup, CESAR_MOCFE};
+use netloc_mpi::{CollectiveOp, Trace};
+use netloc_topology::grid::{coords, rank_of};
+
+const ITERATIONS: u64 = 20;
+
+/// Generate the MOCFE trace (64, 256 or 1024 ranks).
+///
+/// # Panics
+/// Panics if `ranks` has no Table 1 calibration row.
+pub fn generate(ranks: u32) -> Trace {
+    let cal = lookup(CESAR_MOCFE, ranks)
+        .unwrap_or_else(|| panic!("MOCFE has no {ranks}-rank configuration"));
+    generate_with(ranks, cal)
+}
+
+/// Generate with an explicit (possibly extrapolated) calibration —
+/// the scale-generalized entry point behind [`crate::App::generate_scaled`].
+pub fn generate_with(ranks: u32, cal: crate::calibration::Calibration) -> Trace {
+    let dims2 = grid2(ranks);
+    let dims = [dims2[0], dims2[1]];
+    let mut p = Pattern::new(ranks);
+
+    // Spatial 4-neighborhood on the 2D decomposition.
+    for r in 0..ranks as usize {
+        let c = coords(r, &dims);
+        for (dx, dy) in [(-1i64, 0i64), (1, 0), (0, -1), (0, 1)] {
+            let nx = c[0] as i64 + dx;
+            let ny = c[1] as i64 + dy;
+            if nx < 0 || ny < 0 || nx >= dims[0] as i64 || ny >= dims[1] as i64 {
+                continue;
+            }
+            let nb = rank_of(&[nx as usize, ny as usize], &dims);
+            p.p2p(r as u32, nb as u32, 3.0, ITERATIONS);
+        }
+    }
+
+    // Angular pipeline partners: long strides through rank space.
+    let k = if ranks <= 64 { 4u32 } else { 8 };
+    let stride = (ranks / (2 * k)).max(1);
+    for r in 0..ranks {
+        for j in 1..=k {
+            let fwd = r + j * stride;
+            if fwd < ranks {
+                p.p2p(r, fwd, 2.0, ITERATIONS);
+            }
+            if let Some(bwd) = r.checked_sub(j * stride) {
+                p.p2p(r, bwd, 2.0, ITERATIONS);
+            }
+        }
+    }
+
+    // Flux-moment reductions dominate the volume.
+    p.coll(CollectiveOp::Allreduce, None, 1.0, 6 * ITERATIONS);
+    p.coll(CollectiveOp::Bcast, Some(0), 0.3, ITERATIONS);
+
+    p.into_trace("CESAR MOCFE", cal.time_s, cal.p2p_bytes(), cal.coll_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netloc_mpi::Event;
+
+    #[test]
+    fn collectives_dominate() {
+        let s = generate(64).stats();
+        assert!((s.coll_pct() - 94.99).abs() < 0.5, "{}", s.coll_pct());
+        assert!((s.total_mb() - 19.0).abs() / 19.0 < 0.02);
+    }
+
+    #[test]
+    fn peer_band_matches_paper() {
+        // paper: peers 12 at 64 ranks, 20 at 256.
+        for (ranks, band) in [(64u32, 8..=14), (256, 16..=22)] {
+            let t = generate(ranks);
+            let mut max = 0usize;
+            let mut per: std::collections::HashMap<u32, std::collections::HashSet<u32>> =
+                Default::default();
+            for e in &t.events {
+                if let Event::Send { src, dst, .. } = e.event {
+                    per.entry(src.0).or_default().insert(dst.0);
+                }
+            }
+            for s in per.values() {
+                max = max.max(s.len());
+            }
+            assert!(band.contains(&max), "{ranks}: peak peers {max}");
+        }
+    }
+
+    #[test]
+    fn all_scales_validate() {
+        for ranks in [64, 256, 1024] {
+            generate(ranks).validate().unwrap();
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! MultiGrid_C — the standalone geometric multigrid proxy.
+//!
+//! Same V-cycle communication class as Boxlib MultiGrid, but the proxy
+//! over-decomposes the domain into more boxes than ranks and deals them out
+//! round-robin. Spatially adjacent boxes therefore live on ranks that are
+//! *scattered* in rank space: the paper reports 22 peers, a selectivity of
+//! ~5.5, a large rank distance (59.7 at 125 ranks), and — unlike the
+//! grid-aligned stencil codes — **no** dimensionality fold reaches 100 %
+//! (Table 4: 17 % in 3D at 125 ranks).
+
+use super::{grid3, Pattern};
+use crate::calibration::{lookup, MULTIGRID_C};
+use netloc_mpi::Trace;
+use netloc_topology::grid::{coords, rank_of};
+
+const ITERATIONS: u64 = 50;
+const LEVELS: u32 = 4;
+const LEVEL_DECAY: f64 = 0.3;
+/// Boxes per rank (over-decomposition).
+const BOXES_PER_RANK: u32 = 2;
+
+/// Generate the MultiGrid_C trace (125 or 1000 ranks).
+///
+/// # Panics
+/// Panics if `ranks` has no Table 1 calibration row.
+pub fn generate(ranks: u32) -> Trace {
+    let cal = lookup(MULTIGRID_C, ranks)
+        .unwrap_or_else(|| panic!("MultiGrid_C has no {ranks}-rank configuration"));
+    generate_with(ranks, cal)
+}
+
+/// Generate with an explicit (possibly extrapolated) calibration —
+/// the scale-generalized entry point behind [`crate::App::generate_scaled`].
+pub fn generate_with(ranks: u32, cal: crate::calibration::Calibration) -> Trace {
+    let nboxes = ranks * BOXES_PER_RANK;
+    let bdims3 = grid3(nboxes);
+    let bdims = [bdims3[0], bdims3[1], bdims3[2]];
+    let owner = |b: usize| (b as u32) % ranks;
+
+    let mut p = Pattern::new(ranks);
+    for level in 0..LEVELS {
+        let scale = LEVEL_DECAY.powi(level as i32);
+        for b in 0..nboxes as usize {
+            let c = coords(b, &bdims);
+            // Faces + edges on the box grid (corner couplings fold into the
+            // edge messages during restriction/prolongation).
+            for dx in -1i64..=1 {
+                for dy in -1i64..=1 {
+                    for dz in -1i64..=1 {
+                        let manhattan = dx.abs() + dy.abs() + dz.abs();
+                        if manhattan == 0 || manhattan == 3 {
+                            continue;
+                        }
+                        let nx = c[0] as i64 + dx;
+                        let ny = c[1] as i64 + dy;
+                        let nz = c[2] as i64 + dz;
+                        if nx < 0
+                            || ny < 0
+                            || nz < 0
+                            || nx >= bdims[0] as i64
+                            || ny >= bdims[1] as i64
+                            || nz >= bdims[2] as i64
+                        {
+                            continue;
+                        }
+                        let nb = rank_of(&[nx as usize, ny as usize, nz as usize], &bdims);
+                        let w = if manhattan == 1 { 20.0 } else { 1.2 } * scale;
+                        p.p2p(owner(b), owner(nb), w, ITERATIONS);
+                    }
+                }
+            }
+        }
+    }
+    p.into_trace("MultiGrid_C", cal.time_s, cal.p2p_bytes(), cal.coll_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netloc_mpi::Event;
+
+    #[test]
+    fn volume_matches_table1() {
+        let s = generate(125).stats();
+        assert!((s.total_mb() - 374.0).abs() / 374.0 < 0.01);
+        assert_eq!(s.p2p_pct(), 100.0);
+    }
+
+    #[test]
+    fn peers_stay_in_the_paper_band() {
+        // paper: 22 peers at both scales.
+        let t = generate(125);
+        let mut per: std::collections::HashMap<u32, std::collections::HashSet<u32>> =
+            Default::default();
+        for e in &t.events {
+            if let Event::Send { src, dst, .. } = e.event {
+                per.entry(src.0).or_default().insert(dst.0);
+            }
+        }
+        let max = per.values().map(|s| s.len()).max().unwrap();
+        assert!((15..=36).contains(&max), "peak peers {max}");
+    }
+
+    #[test]
+    fn round_robin_scatters_partners() {
+        // The box round-robin must prevent a perfect 3D fold: some heavy
+        // partner sits beyond Chebyshev distance 1 of the rank fold.
+        let t = generate(125);
+        let dims = [5usize, 5, 5];
+        let far = t.events.iter().any(|e| {
+            matches!(e.event, Event::Send { src, dst, .. }
+                if netloc_topology::grid::chebyshev_distance(
+                    src.0 as usize, dst.0 as usize, &dims) > 1)
+        });
+        assert!(far);
+    }
+
+    #[test]
+    fn both_scales_validate() {
+        for ranks in [125, 1000] {
+            generate(ranks).validate().unwrap();
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! CESAR Nekbone — spectral-element Poisson solve (Nek5000 proxy).
+//!
+//! Spectral elements couple through shared faces and edges; the CG
+//! iteration adds global reductions whose share varies strongly with the
+//! problem configuration (Table 1: ~0 % at 64 and 1024 ranks, 49 % at 256).
+//! At 64 ranks the element grid matches the rank cube, giving the paper's
+//! 100 % 3D rank locality.
+
+use super::{add_stencil27, grid2, grid3, Pattern, StencilWeights};
+use crate::calibration::{lookup, CESAR_NEKBONE};
+use netloc_mpi::{CollectiveOp, Trace};
+use netloc_topology::grid::{coords, rank_of};
+
+const ITERATIONS: u64 = 120;
+
+/// Generate the Nekbone trace (64, 256 or 1024 ranks).
+///
+/// # Panics
+/// Panics if `ranks` has no Table 1 calibration row.
+pub fn generate(ranks: u32) -> Trace {
+    let cal = lookup(CESAR_NEKBONE, ranks)
+        .unwrap_or_else(|| panic!("Nekbone has no {ranks}-rank configuration"));
+    generate_with(ranks, cal)
+}
+
+/// Generate with an explicit (possibly extrapolated) calibration —
+/// the scale-generalized entry point behind [`crate::App::generate_scaled`].
+pub fn generate_with(ranks: u32, cal: crate::calibration::Calibration) -> Trace {
+    let mut p = Pattern::new(ranks);
+    if ranks == 256 {
+        // The 256-rank trace ran on a plate-shaped element layout: the
+        // paper reports only 15 peers (a 2D 8-neighborhood plus a few
+        // second-ring partners), not the 26 of a cubic decomposition.
+        let d2 = grid2(ranks);
+        let dims = [d2[0], d2[1]];
+        for r in 0..ranks as usize {
+            let c = coords(r, &dims);
+            for dx in -2i64..=2 {
+                for dy in -2i64..=2 {
+                    let cheb = dx.abs().max(dy.abs());
+                    if cheb == 0 {
+                        continue;
+                    }
+                    let nx = c[0] as i64 + dx;
+                    let ny = c[1] as i64 + dy;
+                    if nx < 0 || ny < 0 || nx >= dims[0] as i64 || ny >= dims[1] as i64 {
+                        continue;
+                    }
+                    // first ring: faces heavy, diagonals medium; second
+                    // ring: only the axis partners, light.
+                    let w = match (cheb, dx == 0 || dy == 0) {
+                        (1, true) => 30.0,
+                        (1, false) => 6.0,
+                        (2, true) => 1.5,
+                        _ => continue,
+                    };
+                    let nb = rank_of(&[nx as usize, ny as usize], &dims);
+                    p.p2p(r as u32, nb as u32, w, ITERATIONS);
+                }
+            }
+        }
+    } else {
+        let dims = grid3(ranks);
+        add_stencil27(
+            &mut p,
+            &dims,
+            StencilWeights {
+                face: [36.0, 18.0, 9.0],
+                edge: 1.5,
+                corner: 0.3,
+            },
+            1.0,
+            ITERATIONS,
+            1,
+        );
+    }
+    p.coll(CollectiveOp::Allreduce, None, 1.0, 2 * ITERATIONS);
+    p.into_trace(
+        "CESAR Nekbone",
+        cal.time_s,
+        cal.p2p_bytes(),
+        cal.coll_bytes(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collective_share_varies_with_scale() {
+        let s64 = generate(64).stats();
+        let s256 = generate(256).stats();
+        assert_eq!(s64.p2p_pct(), 100.0);
+        assert!((s256.coll_pct() - 49.34).abs() < 0.5, "{}", s256.coll_pct());
+    }
+
+    #[test]
+    fn volume_matches_table1() {
+        let s = generate(1024).stats();
+        assert!((s.total_mb() - 13232.0).abs() / 13232.0 < 0.01);
+    }
+
+    #[test]
+    fn all_scales_validate() {
+        for ranks in [64, 256, 1024] {
+            generate(ranks).validate().unwrap();
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! PARTISN — deterministic Sn neutron transport with a KBA wavefront sweep.
+//!
+//! PARTISN decomposes space in 2D and sweeps wavefronts across the
+//! processor grid: the heavy traffic goes to the four sweep neighbors
+//! (±x, ±y), with the x-direction carrying more volume. A tiny periodic
+//! diagnostics exchange touches every rank (paper: peers = 167 = all).
+//! This is the paper's canonical 2D workload: Table 4 shows 100 % rank
+//! locality exactly when folded onto the 2D grid, and the 1D rank distance
+//! of 13.8 is the y-neighbor stride of the 14-wide grid.
+
+use super::{grid2, Pattern};
+use crate::calibration::{lookup, PARTISN};
+use netloc_mpi::Trace;
+use netloc_topology::grid::{coords, rank_of};
+
+const ITERATIONS: u64 = 80;
+
+/// Generate the PARTISN trace (168 ranks).
+///
+/// # Panics
+/// Panics if `ranks` has no Table 1 calibration row.
+pub fn generate(ranks: u32) -> Trace {
+    let cal = lookup(PARTISN, ranks)
+        .unwrap_or_else(|| panic!("PARTISN has no {ranks}-rank configuration"));
+    generate_with(ranks, cal)
+}
+
+/// Generate with an explicit (possibly extrapolated) calibration —
+/// the scale-generalized entry point behind [`crate::App::generate_scaled`].
+pub fn generate_with(ranks: u32, cal: crate::calibration::Calibration) -> Trace {
+    let dims2 = grid2(ranks);
+    let dims = [dims2[0], dims2[1]];
+    let mut p = Pattern::new(ranks);
+
+    for r in 0..ranks as usize {
+        let c = coords(r, &dims);
+        for (dx, dy, w) in [
+            (-1i64, 0i64, 40.0), // sweep direction: heavy
+            (1, 0, 40.0),
+            (0, -1, 15.0),
+            (0, 1, 15.0),
+        ] {
+            let nx = c[0] as i64 + dx;
+            let ny = c[1] as i64 + dy;
+            if nx < 0 || ny < 0 || nx >= dims[0] as i64 || ny >= dims[1] as i64 {
+                continue;
+            }
+            let nb = rank_of(&[nx as usize, ny as usize], &dims);
+            p.p2p(r as u32, nb as u32, w, ITERATIONS);
+        }
+    }
+
+    // Periodic diagnostics: every rank pings every rank with tiny messages.
+    for s in 0..ranks {
+        for d in 0..ranks {
+            p.p2p(s, d, 0.01, 4);
+        }
+    }
+
+    // Sparse convergence reductions (0.04 % of the volume).
+    p.coll(
+        netloc_mpi::CollectiveOp::Allreduce,
+        None,
+        1.0,
+        ITERATIONS / 4,
+    );
+
+    p.into_trace("PARTISN", cal.time_s, cal.p2p_bytes(), cal.coll_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netloc_mpi::Event;
+
+    #[test]
+    fn volume_and_split_match_table1() {
+        let s = generate(168).stats();
+        assert!((s.total_mb() - 42123.0).abs() / 42123.0 < 0.01);
+        assert!((s.p2p_pct() - 99.96).abs() < 0.1);
+    }
+
+    #[test]
+    fn peers_are_all_ranks() {
+        let t = generate(168);
+        let mut partners = std::collections::HashSet::new();
+        for e in &t.events {
+            if let Event::Send { src, dst, .. } = e.event {
+                if src.0 == 0 {
+                    partners.insert(dst.0);
+                }
+            }
+        }
+        assert_eq!(partners.len(), 167);
+    }
+
+    #[test]
+    fn grid_is_14_by_12() {
+        assert_eq!(grid2(168), [14, 12]);
+    }
+}

@@ -1,0 +1,113 @@
+//! SNAP — the SN Application Proxy (PARTISN's modern proxy with energy
+//! groups and octant pipelining).
+//!
+//! SNAP runs the same 2D KBA sweep as PARTISN but pipelines energy groups
+//! and octants on top: corner-to-corner octant reversals exchange state
+//! between a rank and its point-reflected partner (`n−1−r`), and the group
+//! pipeline couples a wider 2D neighborhood (Chebyshev radius 3 → 48
+//! partners, the paper's peer count). The reflected partner is what drives
+//! the paper's extreme 1D rank distance of 139 out of 168 while selectivity
+//! stays near 10.
+
+use super::{grid2, Pattern};
+use crate::calibration::{lookup, SNAP};
+use netloc_mpi::Trace;
+use netloc_topology::grid::{coords, rank_of};
+
+const ITERATIONS: u64 = 60;
+
+/// Generate the SNAP trace (168 ranks).
+///
+/// # Panics
+/// Panics if `ranks` has no Table 1 calibration row.
+pub fn generate(ranks: u32) -> Trace {
+    let cal =
+        lookup(SNAP, ranks).unwrap_or_else(|| panic!("SNAP has no {ranks}-rank configuration"));
+    generate_with(ranks, cal)
+}
+
+/// Generate with an explicit (possibly extrapolated) calibration —
+/// the scale-generalized entry point behind [`crate::App::generate_scaled`].
+pub fn generate_with(ranks: u32, cal: crate::calibration::Calibration) -> Trace {
+    let dims2 = grid2(ranks);
+    let dims = [dims2[0], dims2[1]];
+    let mut p = Pattern::new(ranks);
+
+    for r in 0..ranks as usize {
+        let c = coords(r, &dims);
+        // Group-pipelined sweep: Chebyshev radius-3 neighborhood with
+        // distance-decaying weight; the radius-1 sweep partners dominate.
+        for dx in -3i64..=3 {
+            for dy in -3i64..=3 {
+                if dx == 0 && dy == 0 {
+                    continue;
+                }
+                let nx = c[0] as i64 + dx;
+                let ny = c[1] as i64 + dy;
+                if nx < 0 || ny < 0 || nx >= dims[0] as i64 || ny >= dims[1] as i64 {
+                    continue;
+                }
+                let nb = rank_of(&[nx as usize, ny as usize], &dims);
+                let cheb = dx.abs().max(dy.abs());
+                let w = match cheb {
+                    1 => {
+                        if dy == 0 {
+                            30.0 // sweep direction
+                        } else if dx == 0 {
+                            15.0
+                        } else {
+                            4.0
+                        }
+                    }
+                    2 => 1.5,
+                    _ => 0.3,
+                };
+                p.p2p(r as u32, nb as u32, w, ITERATIONS);
+            }
+        }
+        // Octant reversal: exchange with the point-reflected rank.
+        let mirror = ranks - 1 - r as u32;
+        p.p2p(r as u32, mirror, 50.0, ITERATIONS);
+    }
+
+    p.into_trace("SNAP", cal.time_s, cal.p2p_bytes(), cal.coll_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netloc_mpi::Event;
+
+    #[test]
+    fn volume_matches_table1() {
+        let s = generate(168).stats();
+        assert!((s.total_mb() - 128561.0).abs() / 128561.0 < 0.01);
+        assert_eq!(s.p2p_pct(), 100.0);
+    }
+
+    #[test]
+    fn peak_peers_near_48() {
+        let t = generate(168);
+        let mut per: std::collections::HashMap<u32, std::collections::HashSet<u32>> =
+            Default::default();
+        for e in &t.events {
+            if let Event::Send { src, dst, .. } = e.event {
+                per.entry(src.0).or_default().insert(dst.0);
+            }
+        }
+        let max = per.values().map(|s| s.len()).max().unwrap();
+        // 48 pipeline partners + the mirror (which may coincide on center
+        // ranks); boundary clipping keeps some ranks below that.
+        assert!((44..=49).contains(&max), "peak peers {max}");
+    }
+
+    #[test]
+    fn mirror_partner_present() {
+        let t = generate(168);
+        let found = t
+            .events
+            .iter()
+            .any(|e| matches!(e.event, Event::Send { src, dst, .. } if src.0 == 0 && dst.0 == 167));
+        assert!(found);
+    }
+}

@@ -1,0 +1,76 @@
+//! Mapping optimizer: quantify the paper's concluding claim that "static
+//! analyses could assist to select an advanced mapping" by comparing the
+//! consecutive mapping against random, greedy, and simulated-annealing
+//! placements on the 3D torus.
+//!
+//! ```sh
+//! cargo run --release --example mapping_optimizer -- Crystal 100
+//! ```
+
+use netloc::core::{analyze_network, TrafficMatrix};
+use netloc::topology::bisect::bisection_mapping;
+use netloc::topology::optimize::{anneal_mapping, greedy_mapping, mapping_cost, AnnealParams};
+use netloc::topology::{ConfigCatalog, Mapping, Topology};
+use netloc::workloads::App;
+use rand::SeedableRng as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let app_name = args.first().map(String::as_str).unwrap_or("Crystal Router");
+    let ranks: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(100);
+
+    let Some(app) = App::ALL
+        .iter()
+        .copied()
+        .find(|a| a.name().to_lowercase().contains(&app_name.to_lowercase()))
+    else {
+        eprintln!("unknown application '{app_name}'");
+        std::process::exit(2);
+    };
+
+    let trace = app.generate(ranks);
+    let tm = TrafficMatrix::from_trace_full(&trace);
+    let traffic = tm.undirected_entries();
+    let cfg = ConfigCatalog::for_ranks(ranks as usize);
+    let torus = cfg.build_torus();
+    let nodes = torus.num_nodes();
+    println!(
+        "{} @ {ranks} ranks on a ({},{},{}) torus — hop-weighted traffic cost:\n",
+        app.name(),
+        cfg.torus_dims[0],
+        cfg.torus_dims[1],
+        cfg.torus_dims[2]
+    );
+
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+    let consecutive = Mapping::consecutive(ranks as usize, nodes);
+    let random = Mapping::random(ranks as usize, nodes, &mut rng);
+    let greedy = greedy_mapping(&torus, ranks as usize, &traffic);
+    let bisect = bisection_mapping(ranks as usize, nodes, &traffic, 4);
+    let annealed = anneal_mapping(
+        &torus,
+        greedy.clone(),
+        &traffic,
+        AnnealParams::default(),
+        &mut rng,
+    );
+
+    let base = mapping_cost(&torus, &consecutive, &traffic) as f64;
+    for (name, mapping) in [
+        ("consecutive", &consecutive),
+        ("random", &random),
+        ("bisection", &bisect),
+        ("greedy", &greedy),
+        ("greedy+SA", &annealed),
+    ] {
+        let cost = mapping_cost(&torus, mapping, &traffic);
+        let report = analyze_network(&torus, mapping, &tm);
+        println!(
+            "{:>12}: cost {:>14}  ({:>6.1}% of consecutive)  avg hops {:.3}",
+            name,
+            cost,
+            100.0 * cost as f64 / base,
+            report.avg_hops()
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Quickstart: generate a proxy-app trace, compute the paper's MPI-level
+//! locality metrics, and replay it through the three topologies.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use netloc::core::metrics::{peers, rank_locality, selectivity};
+use netloc::core::{analyze_network, TrafficMatrix};
+use netloc::topology::{ConfigCatalog, Mapping, Topology};
+use netloc::workloads::App;
+
+fn main() {
+    // 1. A workload: LULESH at 64 ranks (synthetic trace calibrated to the
+    //    paper's Table 1 row).
+    let trace = App::Lulesh.generate(64);
+    let stats = trace.stats();
+    println!(
+        "{}: {} ranks, {:.1} MB total, {:.1}% p2p, {:.2} s",
+        trace.app,
+        trace.num_ranks,
+        stats.total_mb(),
+        stats.p2p_pct(),
+        trace.exec_time_s
+    );
+
+    // 2. MPI-level metrics (hardware-agnostic).
+    let tm = TrafficMatrix::from_trace_p2p(&trace);
+    println!("peers:               {}", peers::peers(&tm).unwrap());
+    println!(
+        "rank distance (90%): {:.2}",
+        rank_locality::rank_distance_90(&tm).unwrap()
+    );
+    println!(
+        "selectivity (90%):   {:.2}",
+        selectivity::selectivity_90(&tm).unwrap()
+    );
+
+    // 3. Topological locality: replay through Table 2's configurations.
+    let full = TrafficMatrix::from_trace_full(&trace);
+    let cfg = ConfigCatalog::for_ranks(64);
+    let torus = cfg.build_torus();
+    let fattree = cfg.build_fattree();
+    let dragonfly = cfg.build_dragonfly();
+    let topos: [(&str, &dyn Topology); 3] = [
+        ("torus", &torus),
+        ("fat tree", &fattree),
+        ("dragonfly", &dragonfly),
+    ];
+    println!(
+        "\n{:>10}  {:>12}  {:>8}  {:>10}",
+        "topology", "packet hops", "hops", "util [%]"
+    );
+    for (name, topo) in topos {
+        let mapping = Mapping::consecutive(64, topo.num_nodes());
+        let report = analyze_network(topo, &mapping, &full);
+        println!(
+            "{:>10}  {:>12}  {:>8.2}  {:>10.4}",
+            name,
+            report.packet_hops,
+            report.avg_hops(),
+            report.utilization_pct(trace.exec_time_s)
+        );
+    }
+}

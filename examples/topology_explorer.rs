@@ -1,0 +1,91 @@
+//! Topology explorer: compare how one application's traffic behaves on the
+//! three topologies — hop distributions, per-link load imbalance, global
+//! link pressure, and the energy estimate of the run.
+//!
+//! ```sh
+//! cargo run --release --example topology_explorer -- AMG 216
+//! ```
+//!
+//! Omitting the arguments explores `AMG 216`.
+
+use netloc::core::energy::EnergyModel;
+use netloc::core::{analyze_network, TrafficMatrix};
+use netloc::topology::{ConfigCatalog, Mapping, Topology};
+use netloc::workloads::App;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let app_name = args.first().map(String::as_str).unwrap_or("AMG");
+    let ranks: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(216);
+
+    let Some(app) = App::ALL.iter().copied().find(|a| {
+        a.name().eq_ignore_ascii_case(app_name)
+            || a.name().to_lowercase().contains(&app_name.to_lowercase())
+    }) else {
+        eprintln!("unknown application '{app_name}'; available:");
+        for a in App::ALL {
+            eprintln!("  {}", a.name());
+        }
+        std::process::exit(2);
+    };
+    if !app.scales().contains(&ranks) {
+        eprintln!("{} is traced at {:?} ranks", app.name(), app.scales());
+        std::process::exit(2);
+    }
+
+    let trace = app.generate(ranks);
+    let tm = TrafficMatrix::from_trace_full(&trace);
+    println!(
+        "{} @ {} ranks — {:.1} MB injected over {:.2} s\n",
+        app.name(),
+        ranks,
+        tm.total_bytes() as f64 / 1e6,
+        trace.exec_time_s
+    );
+
+    let cfg = ConfigCatalog::for_ranks(ranks as usize);
+    let torus = cfg.build_torus();
+    let fattree = cfg.build_fattree();
+    let dragonfly = cfg.build_dragonfly();
+    let topos: [(&str, &dyn Topology); 3] = [
+        ("torus3d", &torus),
+        ("fattree", &fattree),
+        ("dragonfly", &dragonfly),
+    ];
+
+    println!(
+        "{:>10}  {:>7}  {:>7}  {:>11}  {:>9}  {:>9}  {:>8}  {:>11}",
+        "topology", "nodes", "links", "used links", "avg hops", "util [%]", "global%", "energy [J]"
+    );
+    for (name, topo) in topos {
+        let mapping = Mapping::consecutive(ranks as usize, topo.num_nodes());
+        let report = analyze_network(topo, &mapping, &tm);
+        let energy = EnergyModel::default().estimate(&report, trace.exec_time_s);
+        println!(
+            "{:>10}  {:>7}  {:>7}  {:>11}  {:>9.2}  {:>9.4}  {:>8.1}  {:>11.1}",
+            name,
+            topo.num_nodes(),
+            topo.links().len(),
+            report.used_links,
+            report.avg_hops(),
+            report.utilization_pct(trace.exec_time_s),
+            100.0 * report.global_packet_share(),
+            energy.static_energy_j,
+        );
+        // Load imbalance: max / mean over used links.
+        let used: Vec<u64> = report
+            .link_loads
+            .iter()
+            .copied()
+            .filter(|&b| b > 0)
+            .collect();
+        if !used.is_empty() {
+            let mean = used.iter().sum::<u64>() as f64 / used.len() as f64;
+            println!(
+                "{:>10}  hottest link carries {:.1}x the mean used-link load",
+                "",
+                report.max_link_load() as f64 / mean
+            );
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Trace round trip: serialize a generated trace to the dumpi-like text
+//! format, parse it back, and verify the analysis is unchanged — the
+//! workflow a user with real dumpi-derived traces would follow.
+//!
+//! ```sh
+//! cargo run --release --example trace_roundtrip
+//! ```
+
+use netloc::core::metrics::rank_locality;
+use netloc::core::TrafficMatrix;
+use netloc::mpi::{parse_trace, write_trace};
+use netloc::workloads::App;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = App::CrystalRouter.generate(100);
+    let text = write_trace(&trace);
+    println!(
+        "serialized {} ({} ranks) to {} lines / {} bytes of dumpi-like text",
+        trace.app,
+        trace.num_ranks,
+        text.lines().count(),
+        text.len()
+    );
+
+    // A real workflow would write this to disk:
+    let path = std::env::temp_dir().join("crystal_router_100.nldumpi");
+    std::fs::write(&path, &text)?;
+    let reread = std::fs::read_to_string(&path)?;
+    let parsed = parse_trace(&reread)?;
+    println!("parsed back from {}", path.display());
+
+    assert_eq!(parsed, trace, "round trip must be lossless");
+
+    let tm_a = TrafficMatrix::from_trace_p2p(&trace);
+    let tm_b = TrafficMatrix::from_trace_p2p(&parsed);
+    let d_a = rank_locality::rank_distance_90(&tm_a);
+    let d_b = rank_locality::rank_distance_90(&tm_b);
+    assert_eq!(d_a, d_b);
+    println!(
+        "rank distance (90%) identical across the round trip: {:.2}",
+        d_a.unwrap()
+    );
+
+    // Show the first few lines of the format.
+    println!("\nformat preview:");
+    for line in text.lines().take(8) {
+        println!("  {line}");
+    }
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -1,0 +1,491 @@
+//! `netloc` — command-line network-locality analysis for MPI traces.
+//!
+//! ```text
+//! netloc generate <app> <ranks> [-o FILE] [--binary] [--scaled]
+//! netloc stats    <TRACE>                     Table 1-style overview
+//! netloc metrics  <TRACE>                     peers, rank locality, selectivity, 1D/2D/3D folds
+//! netloc analyze  <TRACE> [--json]            every MPI-level metric at once
+//! netloc replay   <TRACE> --topology SPEC [--mapping MAP] [--json]
+//!                                             packet hops, hops̄, utilization, link classes
+//! netloc heatmap  <TRACE> [--ascii]           traffic matrix as CSV (or ASCII art)
+//! netloc timeline <TRACE> [--bins N]          injected volume over time, burstiness
+//! netloc simulate <TRACE> --topology SPEC [--mapping MAP] [--max-msgs N]
+//!                                             temporal store-and-forward replay
+//! ```
+//!
+//! `TRACE` is a file in the dumpi-like text format (see `netloc_mpi::dumpi`);
+//! `-` reads from stdin. Topology SPECs:
+//!
+//! ```text
+//! torus:X,Y,Z      fattree:RADIX,STAGES      dragonfly:A,H,P
+//! mesh:X,Y,Z       dragonfly-valiant:A,H,P   torusnd:D1,D2,…
+//! auto             (the Table 2 torus for the trace's rank count)
+//! ```
+//!
+//! Mappings: `consecutive` (default), `random:SEED`, `greedy`.
+
+use netloc::core::metrics::{dimensionality, peers, rank_locality, selectivity};
+use netloc::core::{analyze_network, classes, heatmap, timeline::Timeline, TrafficMatrix};
+use netloc::mpi::{parse_trace, parse_trace_binary, write_trace, write_trace_binary, Trace};
+use netloc::topology::optimize::greedy_mapping;
+use netloc::topology::{
+    ConfigCatalog, Dragonfly, FatTree, Mapping, Mesh3D, Topology, Torus3D, TorusNd,
+    ValiantDragonfly,
+};
+use netloc::workloads::App;
+use rand::SeedableRng as _;
+use std::io::Read as _;
+use std::process::exit;
+
+fn main() {
+    install_broken_pipe_hook();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage_and_exit();
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "generate" => generate(rest),
+        "stats" => stats(&load_trace(rest)),
+        "metrics" => metrics(&load_trace(rest)),
+        "analyze" => analyze(rest),
+        "replay" => replay(rest),
+        "heatmap" => heatmap_cmd(rest),
+        "timeline" => timeline_cmd(rest),
+        "simulate" => simulate_cmd(rest),
+        "--help" | "-h" | "help" => usage_and_exit(),
+        other => {
+            eprintln!("unknown command '{other}'");
+            usage_and_exit();
+        }
+    }
+}
+
+fn usage_and_exit() -> ! {
+    eprintln!(
+        "usage: netloc <generate|stats|metrics|analyze|replay|heatmap|timeline|simulate> …\n\
+         see the module docs (`cargo doc`) or the README for details"
+    );
+    exit(2);
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn load_trace(args: &[String]) -> Trace {
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!("missing trace file argument");
+        exit(2);
+    };
+    let bytes = if path == "-" {
+        let mut buf = Vec::new();
+        if std::io::stdin().read_to_end(&mut buf).is_err() {
+            eprintln!("failed to read stdin");
+            exit(1);
+        }
+        buf
+    } else {
+        match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                exit(1);
+            }
+        }
+    };
+    // Auto-detect the format by magic bytes.
+    let parsed = if bytes.starts_with(b"NLDUMPI") {
+        parse_trace_binary(&bytes)
+    } else {
+        match std::str::from_utf8(&bytes) {
+            Ok(text) => parse_trace(text),
+            Err(_) => {
+                eprintln!("{path}: neither binary magic nor valid UTF-8 text");
+                exit(1);
+            }
+        }
+    };
+    match parsed {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn generate(args: &[String]) {
+    let (Some(app_name), Some(ranks_s)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: netloc generate <app> <ranks> [-o FILE]");
+        exit(2);
+    };
+    let Some(app) = App::ALL
+        .iter()
+        .copied()
+        .find(|a| a.name().to_lowercase().contains(&app_name.to_lowercase()))
+    else {
+        eprintln!("unknown app '{app_name}'; known apps:");
+        for a in App::ALL {
+            eprintln!("  {} @ {:?}", a.name(), a.scales());
+        }
+        exit(2);
+    };
+    let Ok(ranks) = ranks_s.parse::<u32>() else {
+        eprintln!("bad rank count '{ranks_s}'");
+        exit(2);
+    };
+    let scaled = args.iter().any(|a| a == "--scaled");
+    if !scaled && !app.scales().contains(&ranks) {
+        eprintln!(
+            "{} is calibrated at {:?} ranks; pass --scaled to extrapolate",
+            app.name(),
+            app.scales()
+        );
+        exit(2);
+    }
+    let trace = if scaled {
+        app.generate_scaled(ranks)
+    } else {
+        app.generate(ranks)
+    };
+    let payload: Vec<u8> = if args.iter().any(|a| a == "--binary") {
+        write_trace_binary(&trace)
+    } else {
+        write_trace(&trace).into_bytes()
+    };
+    match flag_value(args, "-o") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, payload) {
+                eprintln!("cannot write {path}: {e}");
+                exit(1);
+            }
+            eprintln!("wrote {path}");
+        }
+        None => {
+            use std::io::Write as _;
+            let _ = std::io::stdout().write_all(&payload);
+        }
+    }
+}
+
+fn stats(trace: &Trace) {
+    let s = trace.stats();
+    println!("application:   {}", trace.app);
+    println!("ranks:         {}", trace.num_ranks);
+    println!("exec time:     {:.4} s", trace.exec_time_s);
+    println!("total volume:  {:.2} MB", s.total_mb());
+    println!(
+        "p2p share:     {:.2} %  ({} calls)",
+        s.p2p_pct(),
+        s.p2p_calls
+    );
+    println!(
+        "coll share:    {:.2} %  ({} calls)",
+        s.coll_pct(),
+        s.coll_calls
+    );
+    println!("throughput:    {:.3} MB/s", s.throughput_mb_s());
+    println!(
+        "communicators: {} (global only: {})",
+        trace.comms.len(),
+        trace.uses_only_global_communicators()
+    );
+}
+
+fn metrics(trace: &Trace) {
+    let tm = TrafficMatrix::from_trace_p2p(trace);
+    match peers::peers(&tm) {
+        None => println!("no point-to-point traffic — MPI-level metrics are N/A"),
+        Some(p) => {
+            println!("peers:                {p}");
+            println!(
+                "rank distance (90%):  {:.2}",
+                rank_locality::rank_distance_90(&tm).expect("has p2p")
+            );
+            println!(
+                "rank locality (90%):  {:.2} %",
+                100.0 * rank_locality::rank_locality_90(&tm).expect("has p2p")
+            );
+            println!(
+                "selectivity (90%):    {:.2}",
+                selectivity::selectivity_90(&tm).expect("has p2p")
+            );
+            for k in 1..=3 {
+                if let Some(rep) = dimensionality::folded_locality(&tm, k) {
+                    println!(
+                        "{k}D fold {:?}: locality {:.1} % (distance {:.2})",
+                        rep.dims, rep.locality_pct, rep.distance90
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn analyze(args: &[String]) {
+    let trace = load_trace(args);
+    let report = netloc::core::analyze_trace(&trace);
+    if args.iter().any(|a| a == "--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("serializable")
+        );
+        return;
+    }
+    println!("{report:#?}");
+}
+
+fn parse_topology(spec: &str, ranks: u32) -> Box<dyn Topology> {
+    let (kind, params) = spec.split_once(':').unwrap_or((spec, ""));
+    let nums: Vec<usize> = params
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse().unwrap_or_else(|_| bad_spec(spec)))
+        .collect();
+    match (kind, nums.as_slice()) {
+        ("auto", _) => {
+            let cfg = ConfigCatalog::for_ranks(ranks as usize);
+            Box::new(cfg.build_torus())
+        }
+        ("torus", [x, y, z]) => Box::new(Torus3D::new([*x, *y, *z])),
+        ("torusnd", dims) if !dims.is_empty() => Box::new(TorusNd::new(dims)),
+        ("mesh", [x, y, z]) => Box::new(Mesh3D::new([*x, *y, *z])),
+        ("fattree", [radix, stages]) => Box::new(FatTree::new(*radix, *stages)),
+        ("dragonfly", [a, h, p]) => Box::new(Dragonfly::new(*a, *h, *p)),
+        ("dragonfly-valiant", [a, h, p]) => {
+            Box::new(ValiantDragonfly::new(Dragonfly::new(*a, *h, *p)))
+        }
+        _ => bad_spec(spec),
+    }
+}
+
+fn bad_spec(spec: &str) -> ! {
+    eprintln!(
+        "bad topology spec '{spec}'; expected torus:X,Y,Z | mesh:X,Y,Z | \
+         fattree:RADIX,STAGES | dragonfly:A,H,P | dragonfly-valiant:A,H,P | auto"
+    );
+    exit(2);
+}
+
+fn replay(args: &[String]) {
+    let trace = load_trace(args);
+    let spec = flag_value(args, "--topology").unwrap_or("auto");
+    let topo = parse_topology(spec, trace.num_ranks);
+    if topo.num_nodes() < trace.num_ranks as usize {
+        eprintln!(
+            "topology has {} nodes but the trace has {} ranks",
+            topo.num_nodes(),
+            trace.num_ranks
+        );
+        exit(2);
+    }
+    let tm = TrafficMatrix::from_trace_full(&trace);
+    let ranks = trace.num_ranks as usize;
+    let mapping = match flag_value(args, "--mapping").unwrap_or("consecutive") {
+        "consecutive" => Mapping::consecutive(ranks, topo.num_nodes()),
+        "greedy" => greedy_mapping(topo.as_ref(), ranks, &tm.undirected_entries()),
+        m if m.starts_with("random") => {
+            let seed = m
+                .split_once(':')
+                .and_then(|(_, s)| s.parse().ok())
+                .unwrap_or(0u64);
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            Mapping::random(ranks, topo.num_nodes(), &mut rng)
+        }
+        other => {
+            eprintln!("bad mapping '{other}' (consecutive | random:SEED | greedy)");
+            exit(2);
+        }
+    };
+
+    let rep = analyze_network(topo.as_ref(), &mapping, &tm);
+    if args.iter().any(|a| a == "--json") {
+        #[derive(serde::Serialize)]
+        struct JsonReport<'a> {
+            topology: &'a str,
+            nodes: usize,
+            packets: u64,
+            packet_hops: u128,
+            avg_hops: f64,
+            used_links: usize,
+            total_links: usize,
+            utilization_pct: f64,
+            global_message_share: f64,
+        }
+        let j = JsonReport {
+            topology: topo.name(),
+            nodes: topo.num_nodes(),
+            packets: rep.packets,
+            packet_hops: rep.packet_hops,
+            avg_hops: rep.avg_hops(),
+            used_links: rep.used_links,
+            total_links: rep.total_links,
+            utilization_pct: rep.utilization_pct(trace.exec_time_s),
+            global_message_share: rep.global_message_share(),
+        };
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&j).expect("serializable")
+        );
+        return;
+    }
+    println!(
+        "topology:        {} ({} nodes, {} links)",
+        topo.name(),
+        topo.num_nodes(),
+        topo.links().len()
+    );
+    println!("packets:         {}", rep.packets);
+    println!("packet hops:     {}", rep.packet_hops);
+    println!("avg hops:        {:.3}", rep.avg_hops());
+    println!("used links:      {}/{}", rep.used_links, rep.total_links);
+    println!(
+        "utilization:     {:.6} %",
+        rep.utilization_pct(trace.exec_time_s)
+    );
+    if rep.global_packets > 0 {
+        println!(
+            "global share:    {:.1} % of messages, {:.1} % of packets",
+            100.0 * rep.global_message_share(),
+            100.0 * rep.global_packet_share()
+        );
+    }
+    println!("\nper link class:");
+    for u in classes::per_class_usage(topo.as_ref(), &rep, trace.exec_time_s) {
+        println!(
+            "  {:?}: {}/{} links used, {:.2} MB carried, {:.6} % utilization",
+            u.class,
+            u.used_links,
+            u.links,
+            u.bytes as f64 / 1e6,
+            100.0 * u.utilization
+        );
+    }
+}
+
+fn heatmap_cmd(args: &[String]) {
+    let trace = load_trace(args);
+    let tm = TrafficMatrix::from_trace_p2p(&trace);
+    if args.iter().any(|a| a == "--ascii") {
+        match heatmap::ascii_heatmap(&tm, 256) {
+            Some(art) => print!("{art}"),
+            None => {
+                eprintln!("trace too large for ASCII rendering (>256 ranks); use CSV");
+                exit(1);
+            }
+        }
+    } else {
+        print!("{}", heatmap::to_csv(&tm));
+    }
+}
+
+fn simulate_cmd(args: &[String]) {
+    use netloc::sim::{simulate_trace, SimConfig};
+    let trace = load_trace(args);
+    let spec = flag_value(args, "--topology").unwrap_or("auto");
+    let topo = parse_topology(spec, trace.num_ranks);
+    if topo.num_nodes() < trace.num_ranks as usize {
+        eprintln!(
+            "topology has {} nodes but the trace has {} ranks",
+            topo.num_nodes(),
+            trace.num_ranks
+        );
+        exit(2);
+    }
+    let ranks = trace.num_ranks as usize;
+    let mapping = match flag_value(args, "--mapping").unwrap_or("consecutive") {
+        "consecutive" => None,
+        "greedy" => {
+            let tm = TrafficMatrix::from_trace_full(&trace);
+            Some(greedy_mapping(
+                topo.as_ref(),
+                ranks,
+                &tm.undirected_entries(),
+            ))
+        }
+        m if m.starts_with("random") => {
+            let seed = m
+                .split_once(':')
+                .and_then(|(_, s)| s.parse().ok())
+                .unwrap_or(0u64);
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            Some(Mapping::random(ranks, topo.num_nodes(), &mut rng))
+        }
+        other => {
+            eprintln!("bad mapping '{other}'");
+            exit(2);
+        }
+    };
+    let cfg = SimConfig {
+        max_injections: flag_value(args, "--max-msgs")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(2_000_000),
+        mapping,
+        ..Default::default()
+    };
+    let rep = simulate_trace(&trace, topo.as_ref(), &cfg);
+    if args.iter().any(|a| a == "--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rep).expect("serializable")
+        );
+        return;
+    }
+    println!(
+        "topology:          {} ({} nodes)",
+        topo.name(),
+        topo.num_nodes()
+    );
+    println!(
+        "messages:          {} (sampling 1:{})",
+        rep.messages, rep.sample_stride
+    );
+    println!("mean latency:      {:.3} us", rep.mean_latency_s * 1e6);
+    println!("max latency:       {:.3} us", rep.max_latency_s * 1e6);
+    println!("mean queueing:     {:.3} us", rep.mean_queueing_s * 1e6);
+    println!("mean slowdown:     {:.3}x", rep.mean_slowdown());
+    println!("makespan:          {:.4} s", rep.makespan_s);
+    println!("used links:        {}", rep.used_links);
+    println!(
+        "measured util:     {:.6} % (static Eq.5 spreads volume over the full runtime)",
+        100.0 * rep.measured_utilization()
+    );
+}
+
+fn timeline_cmd(args: &[String]) {
+    let trace = load_trace(args);
+    let bins: usize = flag_value(args, "--bins")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(32);
+    let tl = Timeline::compute(&trace, bins);
+    println!("window: {:.4} s, bins: {bins}", tl.window_s);
+    println!("mean injected/window: {:.2} MB", tl.mean() / 1e6);
+    println!("peak injected/window: {:.2} MB", tl.peak() / 1e6);
+    println!("burstiness (peak/mean): {:.2}", tl.burstiness());
+    println!("idle windows: {:.1} %", 100.0 * tl.idle_fraction());
+    let peak = tl.peak().max(f64::MIN_POSITIVE);
+    for (i, b) in tl.bins.iter().enumerate() {
+        let bar = "#".repeat((b / peak * 50.0).round() as usize);
+        println!("{:>4} |{bar}", i);
+    }
+}
+
+/// Exit quietly when stdout is closed early (e.g. piping into `head`).
+fn install_broken_pipe_hook() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let is_pipe = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(|s| s.contains("Broken pipe"))
+            .unwrap_or(false);
+        if is_pipe {
+            std::process::exit(0);
+        }
+        default_hook(info);
+    }));
+}

@@ -1,0 +1,14 @@
+//! # netloc — facade crate
+//!
+//! Re-exports the full public API of the netloc workspace: the MPI trace
+//! model, the proxy-app workload generators, the topology models, and the
+//! locality metrics engine.
+//!
+//! See the individual crates for details:
+//! [`netloc_mpi`], [`netloc_workloads`], [`netloc_topology`], [`netloc_core`].
+
+pub use netloc_core as core;
+pub use netloc_mpi as mpi;
+pub use netloc_sim as sim;
+pub use netloc_topology as topology;
+pub use netloc_workloads as workloads;

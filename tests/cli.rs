@@ -1,0 +1,188 @@
+//! End-to-end tests of the `netloc` command-line tool.
+
+use std::process::{Command, Output};
+
+fn netloc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_netloc"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn tmp(name: &str) -> String {
+    let dir = std::env::temp_dir().join("netloc-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name).to_string_lossy().into_owned()
+}
+
+#[test]
+fn generate_stats_metrics_pipeline() {
+    let path = tmp("lulesh64.nld");
+    let gen = netloc(&["generate", "lulesh", "64", "-o", &path]);
+    assert!(gen.status.success(), "{:?}", gen);
+
+    let stats = netloc(&["stats", &path]);
+    assert!(stats.status.success());
+    let s = stdout(&stats);
+    assert!(s.contains("EXMATEX LULESH"));
+    assert!(s.contains("ranks:         64"));
+    assert!(s.contains("100.00 %"), "{s}");
+
+    let metrics = netloc(&["metrics", &path]);
+    let m = stdout(&metrics);
+    assert!(m.contains("peers:                26"), "{m}");
+    assert!(m.contains("locality 100.0 %"), "{m}"); // 3D fold
+}
+
+#[test]
+fn binary_and_text_formats_agree() {
+    let text_path = tmp("cr100.nld");
+    let bin_path = tmp("cr100.bin");
+    assert!(netloc(&["generate", "crystal", "100", "-o", &text_path])
+        .status
+        .success());
+    assert!(
+        netloc(&["generate", "crystal", "100", "--binary", "-o", &bin_path])
+            .status
+            .success()
+    );
+    let a = stdout(&netloc(&["metrics", &text_path]));
+    let b = stdout(&netloc(&["metrics", &bin_path]));
+    assert_eq!(a, b);
+    // binary file is smaller
+    let ts = std::fs::metadata(&text_path).unwrap().len();
+    let bs = std::fs::metadata(&bin_path).unwrap().len();
+    assert!(bs < ts, "binary {bs} vs text {ts}");
+}
+
+#[test]
+fn replay_reports_topology_numbers() {
+    let path = tmp("amg27.nld");
+    assert!(netloc(&["generate", "amg", "27", "-o", &path])
+        .status
+        .success());
+    let out = netloc(&["replay", &path, "--topology", "torus:3,3,3"]);
+    assert!(out.status.success());
+    let s = stdout(&out);
+    assert!(
+        s.contains("topology:        torus3d (27 nodes, 81 links)"),
+        "{s}"
+    );
+    assert!(s.contains("avg hops:"));
+    assert!(s.contains("TorusDim"));
+}
+
+#[test]
+fn replay_rejects_too_small_topology() {
+    let path = tmp("amg216.nld");
+    assert!(netloc(&["generate", "amg", "216", "-o", &path])
+        .status
+        .success());
+    let out = netloc(&["replay", &path, "--topology", "torus:3,3,3"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("27 nodes"), "{err}");
+}
+
+#[test]
+fn simulate_runs_and_reports_slowdown() {
+    let path = tmp("fft9.nld");
+    assert!(netloc(&["generate", "bigfft", "9", "-o", &path])
+        .status
+        .success());
+    let out = netloc(&["simulate", &path, "--topology", "auto"]);
+    assert!(out.status.success());
+    let s = stdout(&out);
+    assert!(s.contains("mean slowdown:"), "{s}");
+    assert!(s.contains("makespan:"));
+}
+
+#[test]
+fn scaled_generation_allows_off_catalog_sizes() {
+    let strict = netloc(&["generate", "amg", "100", "-o", &tmp("x.nld")]);
+    assert!(!strict.status.success());
+    let scaled = netloc(&[
+        "generate",
+        "amg",
+        "100",
+        "--scaled",
+        "-o",
+        &tmp("amg100.nld"),
+    ]);
+    assert!(scaled.status.success(), "{scaled:?}");
+    let m = stdout(&netloc(&["metrics", &tmp("amg100.nld")]));
+    assert!(m.contains("peers:"), "{m}");
+}
+
+#[test]
+fn heatmap_csv_has_header() {
+    let path = tmp("mini18.nld");
+    assert!(netloc(&["generate", "minife", "18", "-o", &path])
+        .status
+        .success());
+    let out = netloc(&["heatmap", &path]);
+    let s = stdout(&out);
+    assert!(s.starts_with("src,dst,bytes,messages,packets"), "{s}");
+    assert!(s.lines().count() > 18);
+}
+
+#[test]
+fn timeline_reports_burstiness() {
+    let path = tmp("snap.nld");
+    assert!(netloc(&["generate", "snap", "168", "-o", &path])
+        .status
+        .success());
+    let out = netloc(&["timeline", &path, "--bins", "8"]);
+    let s = stdout(&out);
+    assert!(s.contains("burstiness"), "{s}");
+    assert_eq!(s.lines().filter(|l| l.contains('|')).count(), 8);
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = netloc(&["frobnicate"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("usage"), "{err}");
+}
+
+#[test]
+fn malformed_trace_file_is_rejected() {
+    let path = tmp("garbage.nld");
+    std::fs::write(&path, "definitely not a trace").unwrap();
+    let out = netloc(&["stats", &path]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn replay_json_is_parseable() {
+    let path = tmp("json64.nld");
+    assert!(netloc(&["generate", "lulesh", "64", "-o", &path])
+        .status
+        .success());
+    let out = netloc(&["replay", &path, "--topology", "torus:4,4,4", "--json"]);
+    assert!(out.status.success());
+    let s = stdout(&out);
+    assert!(s.trim_start().starts_with('{'), "{s}");
+    assert!(s.contains("\"avg_hops\""));
+    assert!(s.contains("\"utilization_pct\""));
+
+    let sim = netloc(&["simulate", &path, "--topology", "torus:4,4,4", "--json"]);
+    let s = stdout(&sim);
+    assert!(s.contains("\"makespan_s\""), "{s}");
+}
+
+#[test]
+fn torusnd_spec_is_accepted() {
+    let path = tmp("nd64.nld");
+    assert!(netloc(&["generate", "lulesh", "64", "-o", &path])
+        .status
+        .success());
+    let out = netloc(&["replay", &path, "--topology", "torusnd:2,2,2,2,2,2"]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(stdout(&out).contains("torus-nd (64 nodes"));
+}

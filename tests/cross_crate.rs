@@ -1,0 +1,101 @@
+//! Cross-crate integration: trace generation → dumpi round trip → traffic
+//! matrices → topology replay, exercised through the public facade.
+
+use netloc::core::{analyze_network, heatmap, TrafficMatrix};
+use netloc::mpi::{parse_trace, write_trace};
+use netloc::topology::{ConfigCatalog, Mapping, Topology};
+use netloc::workloads::App;
+
+#[test]
+fn dumpi_roundtrip_preserves_all_catalog_traces() {
+    for (app, ranks) in netloc::workloads::catalog() {
+        if ranks > 256 {
+            continue;
+        }
+        let trace = app.generate(ranks);
+        let parsed = parse_trace(&write_trace(&trace))
+            .unwrap_or_else(|e| panic!("{} @ {ranks}: {e}", app.name()));
+        assert_eq!(parsed, trace, "{} @ {ranks}", app.name());
+    }
+}
+
+#[test]
+fn traffic_matrix_volume_equals_trace_stats() {
+    for (app, ranks) in [(App::Amg, 27), (App::CesarMocfe, 64), (App::BigFft, 9)] {
+        let trace = app.generate(ranks);
+        let stats = trace.stats();
+        let p2p = TrafficMatrix::from_trace_p2p(&trace);
+        let full = TrafficMatrix::from_trace_full(&trace);
+        assert_eq!(p2p.total_bytes(), stats.p2p_bytes, "{}", app.name());
+        assert_eq!(full.total_bytes(), stats.total_bytes(), "{}", app.name());
+    }
+}
+
+#[test]
+fn analysis_is_invariant_under_serialization() {
+    let trace = App::Snap.generate(168);
+    let roundtripped = parse_trace(&write_trace(&trace)).unwrap();
+    let cfg = ConfigCatalog::for_ranks(168);
+    let torus = cfg.build_torus();
+    let mapping = Mapping::consecutive(168, torus.num_nodes());
+    let a = analyze_network(&torus, &mapping, &TrafficMatrix::from_trace_full(&trace));
+    let b = analyze_network(
+        &torus,
+        &mapping,
+        &TrafficMatrix::from_trace_full(&roundtripped),
+    );
+    assert_eq!(a.packet_hops, b.packet_hops);
+    assert_eq!(a.link_loads, b.link_loads);
+}
+
+#[test]
+fn packet_hops_consistency_between_topologies() {
+    // The same traffic must inject the same packets everywhere; only hops
+    // differ. (Eq. 3 vs Eq. 4 coherence across the stack.)
+    let trace = App::MiniFe.generate(144);
+    let tm = TrafficMatrix::from_trace_full(&trace);
+    let cfg = ConfigCatalog::for_ranks(144);
+    let torus = cfg.build_torus();
+    let ft = cfg.build_fattree();
+    let df = cfg.build_dragonfly();
+    let mut packet_counts = Vec::new();
+    for topo in [&torus as &dyn Topology, &ft, &df] {
+        let m = Mapping::consecutive(144, topo.num_nodes());
+        let rep = analyze_network(topo, &m, &tm);
+        packet_counts.push(rep.packets);
+        let avg = rep.avg_hops();
+        assert!(
+            (rep.packet_hops as f64 - avg * rep.packets as f64).abs() < 1e-3,
+            "Eq.3/Eq.4 mismatch on {}",
+            topo.name()
+        );
+    }
+    assert!(packet_counts.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn heatmap_export_matches_matrix() {
+    let trace = App::Amg.generate(8);
+    let tm = TrafficMatrix::from_trace_p2p(&trace);
+    let csv = heatmap::to_csv(&tm);
+    // one line per communicating pair plus the header
+    assert_eq!(csv.lines().count(), tm.num_pairs() + 1);
+    let dense = heatmap::dense_matrix(&tm, 64).unwrap();
+    let dense_total: u64 = dense.iter().flatten().sum();
+    assert_eq!(dense_total, tm.total_bytes());
+}
+
+#[test]
+fn fat_tree_consecutive_mapping_ignores_unused_subtrees() {
+    // Paper §6.2: consecutive mapping on the fat tree lets unused nodes be
+    // ignored "without affecting the results".
+    let trace = App::Lulesh.generate(64);
+    let tm = TrafficMatrix::from_trace_full(&trace);
+    let ft = ConfigCatalog::for_ranks(64).build_fattree(); // 576 nodes
+    let m = Mapping::consecutive(64, ft.num_nodes());
+    let rep = analyze_network(&ft, &m, &tm);
+    // 64 consecutive ranks occupy ceil(64/24) = 3 leaf switches; hops stay
+    // in {2, 4}, far from the 576-node diameter.
+    assert!(rep.avg_hops() <= 4.0);
+    assert!(rep.used_links < ft.links().len() / 3);
+}

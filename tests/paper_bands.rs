@@ -1,0 +1,156 @@
+//! Row-by-row band validation against the paper's Table 3 MPI-level
+//! metrics.
+//!
+//! The synthetic generators reproduce pattern *classes*, so exact decimals
+//! are not expected — but every row must land in a band around the paper's
+//! value: peers within a factor of 4 (and exactly where the pattern pins it,
+//! e.g. `ranks − 1` for the all-touching apps), rank distance within a
+//! factor of 2.2, selectivity within a factor of 2.5. The table embedded
+//! here *is* the paper's Table 3 (MPI-level columns), so this test doubles
+//! as the machine-readable reference.
+
+use netloc::core::metrics::{peers, rank_locality, selectivity};
+use netloc::core::TrafficMatrix;
+use netloc::workloads::App;
+
+/// One paper row: (app, ranks, peers, rank distance 90 %, selectivity 90 %).
+type PaperRow = (App, u32, Option<u32>, Option<f64>, Option<f64>);
+
+/// The paper's Table 3 MPI-level columns.
+const PAPER_TABLE3_MPI: &[PaperRow] = &[
+    (App::Amg, 8, Some(7), Some(3.7), Some(2.8)),
+    (App::Amg, 27, Some(26), Some(8.7), Some(4.2)),
+    (App::Amg, 216, Some(127), Some(35.8), Some(5.2)),
+    (App::Amg, 1728, Some(293), Some(143.8), Some(5.6)),
+    (App::AmrMiniapp, 64, Some(39), Some(27.1), Some(8.3)),
+    (App::AmrMiniapp, 1728, Some(490), Some(348.3), Some(13.0)),
+    (App::BigFft, 9, None, None, None),
+    (App::BigFft, 100, None, None, None),
+    (App::BigFft, 1024, None, None, None),
+    (App::BoxlibCns, 64, Some(63), Some(35.1), Some(5.7)),
+    (App::BoxlibCns, 256, Some(255), Some(109.2), Some(5.4)),
+    (App::BoxlibCns, 1024, Some(1023), Some(661.5), Some(20.8)),
+    (App::BoxlibMultiGrid, 64, Some(26), Some(27.1), Some(4.4)),
+    (App::BoxlibMultiGrid, 256, Some(26), Some(54.3), Some(4.4)),
+    (App::BoxlibMultiGrid, 1024, Some(26), Some(109.1), Some(4.9)),
+    (App::CesarMocfe, 64, Some(12), Some(51.3), Some(8.9)),
+    (App::CesarMocfe, 256, Some(20), Some(195.3), Some(14.0)),
+    (App::CesarMocfe, 1024, Some(20), Some(771.8), Some(13.3)),
+    (App::CesarNekbone, 64, Some(27), Some(15.8), Some(4.8)),
+    (App::CesarNekbone, 256, Some(15), Some(28.4), Some(5.4)),
+    (App::CesarNekbone, 1024, Some(36), Some(127.9), Some(10.2)),
+    (App::CrystalRouter, 10, Some(4), Some(6.4), Some(3.0)),
+    (App::CrystalRouter, 100, Some(8), Some(44.3), Some(5.8)),
+    (App::CrystalRouter, 1000, Some(11), Some(334.3), Some(8.9)),
+    (App::ExmatexCmc, 64, None, None, None),
+    (App::ExmatexCmc, 256, None, None, None),
+    (App::ExmatexCmc, 1024, None, None, None),
+    (App::Lulesh, 64, Some(26), Some(15.7), Some(4.5)),
+    (App::Lulesh, 512, Some(26), Some(63.7), Some(5.0)),
+    (App::FillBoundary, 125, Some(26), Some(42.3), Some(4.8)),
+    (App::FillBoundary, 1000, Some(26), Some(219.1), Some(5.3)),
+    (App::MiniFe, 18, Some(8), Some(7.4), Some(3.4)),
+    (App::MiniFe, 144, Some(22), Some(31.5), Some(4.6)),
+    (App::MiniFe, 1152, Some(22), Some(91.8), Some(5.1)),
+    (App::MultiGridC, 125, Some(22), Some(59.7), Some(5.5)),
+    (App::MultiGridC, 1000, Some(22), Some(392.0), Some(5.4)),
+    (App::Partisn, 168, Some(167), Some(13.8), Some(3.4)),
+    (App::Snap, 168, Some(48), Some(139.1), Some(9.8)),
+];
+
+fn within_factor(ours: f64, paper: f64, factor: f64) -> bool {
+    let ratio = if ours > paper {
+        ours / paper
+    } else {
+        paper / ours
+    };
+    ratio <= factor
+}
+
+#[test]
+fn table3_reference_covers_the_catalog() {
+    let catalog = netloc::workloads::catalog();
+    assert_eq!(PAPER_TABLE3_MPI.len(), catalog.len());
+    for &(app, ranks, ..) in PAPER_TABLE3_MPI {
+        assert!(catalog.contains(&(app, ranks)), "{} @ {ranks}", app.name());
+    }
+}
+
+#[test]
+fn na_rows_match_collective_only_apps() {
+    for &(app, ranks, p, d, s) in PAPER_TABLE3_MPI {
+        let is_na = p.is_none();
+        assert_eq!(d.is_none(), is_na);
+        assert_eq!(s.is_none(), is_na);
+        let tm = TrafficMatrix::from_trace_p2p(&app.generate(ranks));
+        assert_eq!(
+            peers::peers(&tm).is_none(),
+            is_na,
+            "{} @ {ranks}",
+            app.name()
+        );
+    }
+}
+
+#[test]
+fn peers_land_in_band() {
+    for &(app, ranks, paper_peers, _, _) in PAPER_TABLE3_MPI {
+        let Some(paper) = paper_peers else { continue };
+        let tm = TrafficMatrix::from_trace_p2p(&app.generate(ranks));
+        let ours = peers::peers(&tm).unwrap();
+        // Apps whose pattern pins peers exactly:
+        if paper == ranks - 1 {
+            assert_eq!(ours, paper, "{} @ {ranks} must touch all ranks", app.name());
+            continue;
+        }
+        assert!(
+            within_factor(ours as f64, paper as f64, 4.0),
+            "{} @ {ranks}: peers {ours} vs paper {paper}",
+            app.name()
+        );
+    }
+}
+
+#[test]
+fn rank_distance_lands_in_band() {
+    for &(app, ranks, _, paper_dist, _) in PAPER_TABLE3_MPI {
+        let Some(paper) = paper_dist else { continue };
+        let tm = TrafficMatrix::from_trace_p2p(&app.generate(ranks));
+        let ours = rank_locality::rank_distance_90(&tm).unwrap();
+        assert!(
+            within_factor(ours, paper, 2.2),
+            "{} @ {ranks}: rank distance {ours:.1} vs paper {paper}",
+            app.name()
+        );
+    }
+}
+
+#[test]
+fn selectivity_lands_in_band() {
+    for &(app, ranks, _, _, paper_sel) in PAPER_TABLE3_MPI {
+        let Some(paper) = paper_sel else { continue };
+        let tm = TrafficMatrix::from_trace_p2p(&app.generate(ranks));
+        let ours = selectivity::selectivity_90(&tm).unwrap();
+        assert!(
+            within_factor(ours, paper, 2.5),
+            "{} @ {ranks}: selectivity {ours:.1} vs paper {paper}",
+            app.name()
+        );
+    }
+}
+
+#[test]
+fn selectivity_never_exceeds_peers() {
+    // Structural sanity the paper's Table 3 obeys everywhere.
+    for &(app, ranks, ..) in PAPER_TABLE3_MPI {
+        let tm = TrafficMatrix::from_trace_p2p(&app.generate(ranks));
+        let (Some(p), Some(s)) = (peers::peers(&tm), selectivity::selectivity_90(&tm)) else {
+            continue;
+        };
+        assert!(
+            s <= p as f64 + 1e-9,
+            "{} @ {ranks}: selectivity {s} > peers {p}",
+            app.name()
+        );
+    }
+}

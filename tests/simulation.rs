@@ -1,0 +1,112 @@
+//! Integration tests for the temporal simulator against the static model.
+
+use netloc::core::{analyze_network, TrafficMatrix};
+use netloc::sim::{expand_trace, simulate, simulate_trace, SimConfig};
+use netloc::topology::{ConfigCatalog, Mapping, Topology};
+use netloc::workloads::App;
+
+#[test]
+fn sim_and_static_agree_on_used_links() {
+    // With no subsampling, both models route exactly the same pairs.
+    let trace = App::Amg.generate(27);
+    let topo = ConfigCatalog::for_ranks(27).build_torus();
+    let mapping = Mapping::consecutive(27, topo.num_nodes());
+    let static_rep = analyze_network(&topo, &mapping, &TrafficMatrix::from_trace_full(&trace));
+    let sim = simulate_trace(&trace, &topo, &SimConfig::default());
+    assert_eq!(sim.sample_stride, 1, "no subsampling expected at this size");
+    assert_eq!(sim.used_links, static_rep.used_links);
+    assert_eq!(sim.messages, static_rep.messages);
+}
+
+#[test]
+fn sim_busy_time_matches_static_volume_without_hop_latency() {
+    // Σ link busy seconds = Σ bytes·hops / BW when hop latency is zero.
+    let trace = App::Lulesh.generate(64);
+    let topo = ConfigCatalog::for_ranks(64).build_torus();
+    let mapping = Mapping::consecutive(64, topo.num_nodes());
+    let static_rep = analyze_network(&topo, &mapping, &TrafficMatrix::from_trace_full(&trace));
+    let cfg = SimConfig {
+        hop_latency_s: 0.0,
+        ..Default::default()
+    };
+    let sim = simulate_trace(&trace, &topo, &cfg);
+    assert_eq!(sim.sample_stride, 1);
+    let expected = static_rep.link_volume_bytes as f64 / cfg.bandwidth;
+    assert!(
+        (sim.total_busy_link_s - expected).abs() / expected < 1e-9,
+        "{} vs {expected}",
+        sim.total_busy_link_s
+    );
+}
+
+#[test]
+fn spread_out_traffic_is_nearly_uncontended() {
+    // A p2p trace whose injections are spread over a very long runtime
+    // (PARTISN: 42 GB over 25 days) should see almost no queueing. Note a
+    // collective-only app would not qualify: all translated messages of
+    // one call inject at the same instant and pile onto the hub links.
+    let trace = App::Partisn.generate(168);
+    let topo = ConfigCatalog::for_ranks(168).build_torus();
+    let sim = simulate_trace(&trace, &topo, &SimConfig::default());
+    assert!(sim.mean_slowdown() < 1.05, "{}", sim.mean_slowdown());
+}
+
+#[test]
+fn bursty_all_to_all_shows_contention() {
+    let trace = App::BigFft.generate(9);
+    let topo = ConfigCatalog::for_ranks(9).build_torus();
+    let sim = simulate_trace(&trace, &topo, &SimConfig::default());
+    assert!(sim.mean_slowdown() > 1.5, "{}", sim.mean_slowdown());
+    assert!(sim.total_queueing_s > 0.0);
+}
+
+#[test]
+fn better_mapping_reduces_simulated_latency_for_scattered_apps() {
+    use netloc::topology::optimize::greedy_mapping;
+    let trace = App::CrystalRouter.generate(100);
+    let tm = TrafficMatrix::from_trace_full(&trace);
+    let topo = ConfigCatalog::for_ranks(100).build_torus();
+    let base = simulate_trace(&trace, &topo, &SimConfig::default());
+    let better = SimConfig {
+        mapping: Some(greedy_mapping(&topo, 100, &tm.undirected_entries())),
+        ..Default::default()
+    };
+    let opt = simulate_trace(&trace, &topo, &better);
+    assert!(
+        opt.mean_latency_s < base.mean_latency_s,
+        "{} vs {}",
+        opt.mean_latency_s,
+        base.mean_latency_s
+    );
+}
+
+#[test]
+fn makespan_never_precedes_last_injection() {
+    let trace = App::MiniFe.generate(18);
+    let topo = ConfigCatalog::for_ranks(18).build_torus();
+    let (injections, _) = expand_trace(&trace, 1_000_000);
+    let mapping = Mapping::consecutive(18, topo.num_nodes());
+    let sim = simulate(&topo, &mapping, &injections, &SimConfig::default());
+    let last_injection = injections.last().map(|i| i.time).unwrap_or(0.0);
+    assert!(sim.makespan_s >= last_injection);
+    assert!(sim.peak_link_busy_s <= sim.makespan_s + 1e-9);
+}
+
+#[test]
+fn subsampling_keeps_statistics_in_range() {
+    let trace = App::Lulesh.generate(64);
+    let topo = ConfigCatalog::for_ranks(64).build_torus();
+    let exact = simulate_trace(&trace, &topo, &SimConfig::default());
+    let sampled = simulate_trace(
+        &trace,
+        &topo,
+        &SimConfig {
+            max_injections: 5_000,
+            ..Default::default()
+        },
+    );
+    assert!(sampled.sample_stride > 1);
+    assert!(sampled.messages < exact.messages);
+    // Sampled mean latency should stay within an order of magnitude.
+    assert!(sampled.mean_latency_s <= exact.mean_latency_s * 10.0);
+}

@@ -1,0 +1,159 @@
+//! Structural invariants of every Table 2 topology configuration, checked
+//! through the public facade.
+
+use netloc::topology::bfs::BfsRouter;
+use netloc::topology::{ConfigCatalog, LinkClass, NodeId, Topology, ValiantDragonfly};
+
+#[test]
+fn torus_link_count_is_three_per_node() {
+    // The paper's utilization accounting assumes "three links per node"
+    // for every torus (§4.2.3); our construction must uphold that for all
+    // Table 2 rows (all dims ≥ 2 there).
+    for cfg in ConfigCatalog::table2() {
+        let t = cfg.build_torus();
+        assert_eq!(
+            t.links().len(),
+            3 * t.num_nodes(),
+            "torus {:?}",
+            cfg.torus_dims
+        );
+    }
+}
+
+#[test]
+fn fat_tree_has_s_times_capacity_links() {
+    for cfg in ConfigCatalog::table2() {
+        let ft = cfg.build_fattree();
+        let (_, stages) = cfg.fattree;
+        assert_eq!(ft.links().len(), stages * ft.capacity());
+    }
+}
+
+#[test]
+fn dragonfly_links_per_node_in_paper_band() {
+    // §4.2.3: "This results in 3.5 to 3.8 links per node in this study".
+    // Counting each physical link once, the standard config lands between
+    // 2 and 2.5 per node; counting per endpoint (as installed ports, which
+    // matches the paper's per-node accounting) doubles the non-terminal
+    // part. Check the structural ratios instead: one global link per group
+    // pair, full local graphs, p terminals per router.
+    for cfg in ConfigCatalog::table2() {
+        let df = cfg.build_dragonfly();
+        let (a, h, p) = cfg.dragonfly;
+        let g = a * h + 1;
+        let terminal = df
+            .links()
+            .iter()
+            .filter(|l| l.class == LinkClass::Terminal)
+            .count();
+        let local = df
+            .links()
+            .iter()
+            .filter(|l| l.class == LinkClass::DragonflyLocal)
+            .count();
+        let global = df
+            .links()
+            .iter()
+            .filter(|l| l.class == LinkClass::DragonflyGlobal)
+            .count();
+        assert_eq!(terminal, a * p * g);
+        assert_eq!(local, g * a * (a - 1) / 2);
+        assert_eq!(global, g * (g - 1) / 2);
+    }
+}
+
+#[test]
+fn diameters_match_closed_forms() {
+    for cfg in ConfigCatalog::table2() {
+        let torus = cfg.build_torus();
+        let expected: u32 = cfg.torus_dims.iter().map(|&d| (d / 2) as u32).sum();
+        assert_eq!(torus.diameter(), expected);
+
+        let ft = cfg.build_fattree();
+        let (_, stages) = cfg.fattree;
+        assert_eq!(
+            ft.diameter(),
+            if stages == 1 { 2 } else { 2 * stages as u32 }
+        );
+
+        assert_eq!(cfg.build_dragonfly().diameter(), 5);
+    }
+}
+
+#[test]
+fn sampled_routes_match_bfs_at_scale() {
+    // Full BFS on 13824-node fat trees is too slow for every pair; sample
+    // sources instead, on the largest row of Table 2.
+    let cfg = ConfigCatalog::for_ranks(1728);
+    let torus = cfg.build_torus();
+    let df = cfg.build_dragonfly();
+
+    let bfs = BfsRouter::new(&torus);
+    for s in (0..torus.num_nodes()).step_by(397) {
+        let dist = bfs.distances_from(NodeId(s as u32));
+        for d in (0..torus.num_nodes()).step_by(131) {
+            assert_eq!(torus.hops(NodeId(s as u32), NodeId(d as u32)), dist[d]);
+        }
+    }
+
+    let bfs = BfsRouter::new(&df);
+    for s in (0..df.num_nodes()).step_by(499) {
+        let dist = bfs.distances_from(NodeId(s as u32));
+        for d in (0..df.num_nodes()).step_by(173) {
+            let direct = df.hops(NodeId(s as u32), NodeId(d as u32));
+            let optimal = dist[d];
+            assert!(
+                direct == optimal || (direct == 5 && optimal == 4),
+                "{s}->{d}: {direct} vs {optimal}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_route_at_scale_is_within_diameter() {
+    let cfg = ConfigCatalog::for_ranks(1024);
+    let topos: Vec<Box<dyn Topology>> = vec![
+        Box::new(cfg.build_torus()),
+        Box::new(cfg.build_fattree()),
+        Box::new(cfg.build_dragonfly()),
+        Box::new(ValiantDragonfly::new(cfg.build_dragonfly())),
+    ];
+    for topo in &topos {
+        let n = topo.num_nodes();
+        let dia = topo.diameter();
+        for s in (0..n).step_by(307) {
+            for d in (0..n).step_by(211) {
+                let h = topo.hops(NodeId(s as u32), NodeId(d as u32));
+                assert!(h <= dia, "{}: {s}->{d} = {h} > {dia}", topo.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn fat_tree_hops_are_even_and_bounded() {
+    let ft = ConfigCatalog::for_ranks(1000).build_fattree(); // 3 stages
+    for s in (0..ft.num_nodes()).step_by(1021) {
+        for d in (0..ft.num_nodes()).step_by(773) {
+            let h = ft.hops(NodeId(s as u32), NodeId(d as u32));
+            assert!(
+                h.is_multiple_of(2),
+                "fat-tree hop counts are up+down symmetric"
+            );
+            assert!(h <= 6);
+        }
+    }
+}
+
+#[test]
+fn mesh_is_never_better_than_torus() {
+    // The wrap links can only help.
+    let mesh = netloc::topology::Mesh3D::new([6, 6, 6]);
+    let torus = netloc::topology::Torus3D::new([6, 6, 6]);
+    for s in 0..216u32 {
+        for d in (0..216u32).step_by(7) {
+            assert!(torus.hops(NodeId(s), NodeId(d)) <= mesh.hops(NodeId(s), NodeId(d)));
+        }
+    }
+}
