@@ -14,6 +14,7 @@
 //! repro sizes             # message-size quantiles + graph structure per app
 //! repro dims              # same traffic on 1D/2D/3D/6D tori (network dimensionality)
 //! repro taper             # oversubscribed fat trees: utilization vs slowdown
+//! repro goldens [STEM]    # canonical golden JSON (table1/table3/table4)
 //! repro summary [--full]  # the paper's headline claims, checked
 //! repro all [--full]      # everything above
 //! ```
@@ -78,6 +79,7 @@ fn main() {
         "sizes" => sizes(),
         "dims" => dims(),
         "taper" => taper(),
+        "goldens" => goldens(&args),
         "patterns" => patterns(),
         "kim" => kim(),
         "summary" => summary(max_ranks),
@@ -140,6 +142,36 @@ fn table3(max_ranks: Option<u32>, csv_dir: Option<&str>) {
 fn table4() {
     banner("Table 4: rank locality under 1D/2D/3D foldings");
     println!("{}", format::table4_text(&rows::table4()));
+}
+
+/// Print the goldens-compatible canonical JSON — exactly the bytes the
+/// committed `tests/goldens/<stem>.json` files hold. With a stem
+/// argument, prints only that table.
+fn goldens(args: &[String]) {
+    let stem = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .nth(1)
+        .map(String::as_str);
+    let all = netloc_bench::goldens::all_goldens();
+    let mut matched = false;
+    for (name, value) in &all {
+        if stem.is_some_and(|s| s != *name) {
+            continue;
+        }
+        matched = true;
+        if stem.is_none() {
+            eprintln!("--- {name} ---");
+        }
+        print!("{}", netloc_testkit::canonical_json(value));
+    }
+    if !matched {
+        eprintln!(
+            "unknown golden '{}'; known: table1, table3, table4",
+            stem.unwrap_or("")
+        );
+        std::process::exit(2);
+    }
 }
 
 fn fig1() {

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod format;
+pub mod goldens;
 pub mod rows;
 pub mod svg;
 

@@ -5,9 +5,10 @@ use netloc_core::{analyze_network, multicore, NetworkReport, TrafficMatrix};
 use netloc_mpi::Trace;
 use netloc_topology::{ConfigCatalog, Mapping, Topology, TopologyConfig};
 use netloc_workloads::App;
+use serde::Serialize;
 
 /// One row of Table 1 (workload overview).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct Table1Row {
     /// Application name.
     pub app: &'static str,
@@ -54,7 +55,7 @@ pub fn table2() -> &'static [TopologyConfig] {
 }
 
 /// The per-topology columns of one Table 3 row.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct TopoCols {
     /// Total packet hops (Eq. 3).
     pub packet_hops: u128,
@@ -82,7 +83,7 @@ impl TopoCols {
 }
 
 /// One row of Table 3 (all locality metrics for one configuration).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct Table3Row {
     /// Application name.
     pub app: &'static str,
@@ -143,7 +144,7 @@ pub fn table3(max_ranks: Option<u32>) -> Vec<Table3Row> {
 }
 
 /// One row of Table 4 (dimensionality study).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct Table4Row {
     /// Application name.
     pub app: &'static str,

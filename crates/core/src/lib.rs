@@ -30,6 +30,7 @@ pub mod metrics;
 pub mod multicore;
 pub mod netmodel;
 pub mod patterns;
+pub mod refmodel;
 pub mod report;
 pub mod timeline;
 pub mod traffic;
@@ -38,6 +39,10 @@ pub use metrics::dimensionality::{folded_locality, DimensionalityReport};
 pub use metrics::peers::peers;
 pub use metrics::rank_locality::{rank_distance_90, rank_locality_90};
 pub use metrics::selectivity::{selectivity_90, SelectivityCurve};
-pub use netmodel::{analyze_network, NetworkReport, LINK_BANDWIDTH_BYTES_PER_S, PACKET_PAYLOAD};
+pub use netmodel::{
+    analyze_network, analyze_network_chunked, NetworkReport, LINK_BANDWIDTH_BYTES_PER_S,
+    PACKET_PAYLOAD,
+};
+pub use refmodel::analyze_network_reference;
 pub use report::{analyze_trace, TraceAnalysis};
 pub use traffic::{PairTraffic, TrafficMatrix};

@@ -22,7 +22,12 @@ pub const PACKET_PAYLOAD: u64 = 4096;
 pub const LINK_BANDWIDTH_BYTES_PER_S: f64 = 12e9;
 
 /// Result of replaying one traffic matrix through one topology/mapping.
-#[derive(Debug, Clone, Serialize)]
+///
+/// Every field is an exact integer, so `Eq` is meaningful: two replays of
+/// the same configuration must agree *byte-identically*, which is what the
+/// differential harness in `netloc-testkit` asserts between this module's
+/// chunked path and the naive reference replay in [`crate::refmodel`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct NetworkReport {
     /// Total packet hops (Eq. 3): every packet contributes its route length.
     pub packet_hops: u128,
@@ -133,6 +138,21 @@ pub fn analyze_network(
     mapping: &Mapping,
     tm: &TrafficMatrix,
 ) -> NetworkReport {
+    let pairs = tm.num_pairs();
+    analyze_network_chunked(topo, mapping, tm, 512.max(pairs / 256 + 1))
+}
+
+/// [`analyze_network`] with an explicit parallel chunk size.
+///
+/// The report must not depend on how the pair list is split across workers;
+/// exposing the chunk size lets the test harness assert exactly that.
+pub fn analyze_network_chunked(
+    topo: &dyn Topology,
+    mapping: &Mapping,
+    tm: &TrafficMatrix,
+    chunk_size: usize,
+) -> NetworkReport {
+    assert!(chunk_size > 0, "chunk size must be non-zero");
     assert!(
         mapping.num_ranks() >= tm.num_ranks() as usize,
         "mapping covers {} ranks, traffic matrix has {}",
@@ -187,7 +207,7 @@ pub fn analyze_network(
 
     let pairs = tm.sorted_pairs();
     let acc = pairs
-        .par_chunks(512.max(pairs.len() / 256 + 1))
+        .par_chunks(chunk_size)
         .map(|chunk| {
             let mut acc = Acc::new(num_links);
             let mut route = Vec::new();

@@ -1,0 +1,134 @@
+//! Seeded property tests for the `NetworkReport` accessors: quantile
+//! edge shares, empty-histogram behavior, monotonicity, and the
+//! utilization guards for degenerate inputs.
+
+use netloc_core::NetworkReport;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const CASES: u64 = 64;
+
+/// A report with a random hop histogram and consistent packet count; the
+/// remaining fields are irrelevant to the accessors under test.
+fn random_report(rng: &mut ChaCha8Rng) -> NetworkReport {
+    let hop_histogram: Vec<u64> = (0..rng.gen_range(1usize..12))
+        .map(|_| rng.gen_range(0u64..50))
+        .collect();
+    let packets = hop_histogram.iter().sum();
+    let packet_hops = hop_histogram
+        .iter()
+        .enumerate()
+        .map(|(h, &c)| h as u128 * c as u128)
+        .sum();
+    NetworkReport {
+        packet_hops,
+        packets,
+        messages: packets,
+        link_volume_bytes: rng.gen_range(0u128..1 << 40),
+        used_links: rng.gen_range(0usize..64),
+        total_links: 64,
+        global_packets: 0,
+        global_messages: 0,
+        link_loads: vec![0; 64],
+        hop_histogram,
+    }
+}
+
+fn empty_report() -> NetworkReport {
+    NetworkReport {
+        packet_hops: 0,
+        packets: 0,
+        messages: 0,
+        link_volume_bytes: 0,
+        used_links: 0,
+        total_links: 0,
+        global_packets: 0,
+        global_messages: 0,
+        link_loads: Vec::new(),
+        hop_histogram: Vec::new(),
+    }
+}
+
+#[test]
+fn hop_quantile_share_zero_is_hop_zero_and_share_one_is_last_used_hop() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x9e3779b97f4a7c15);
+    for case in 0..CASES {
+        let r = random_report(&mut rng);
+        if r.packets == 0 {
+            assert_eq!(r.hop_quantile(0.0), None, "case {case}");
+            assert_eq!(r.hop_quantile(1.0), None, "case {case}");
+            continue;
+        }
+        // Share 0 is satisfied before any packet is counted.
+        assert_eq!(r.hop_quantile(0.0), Some(0), "case {case}");
+        // Share 1 needs every packet, i.e. the last nonzero bucket.
+        let last_used = r
+            .hop_histogram
+            .iter()
+            .rposition(|&c| c > 0)
+            .expect("packets > 0") as u32;
+        assert_eq!(r.hop_quantile(1.0), Some(last_used), "case {case}");
+    }
+}
+
+#[test]
+fn hop_quantile_is_none_exactly_when_empty() {
+    let r = empty_report();
+    for share in [0.0, 0.25, 0.5, 0.9, 1.0] {
+        assert_eq!(r.hop_quantile(share), None);
+    }
+}
+
+#[test]
+fn hop_quantile_is_monotone_in_the_share() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xdead_beef);
+    for case in 0..CASES {
+        let r = random_report(&mut rng);
+        if r.packets == 0 {
+            continue;
+        }
+        let mut shares: Vec<f64> = (0..8).map(|_| rng.gen_range(0.0..=1.0)).collect();
+        shares.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let quantiles: Vec<u32> = shares.iter().map(|&s| r.hop_quantile(s).unwrap()).collect();
+        assert!(
+            quantiles.windows(2).all(|w| w[0] <= w[1]),
+            "case {case}: {shares:?} -> {quantiles:?}"
+        );
+    }
+}
+
+#[test]
+#[should_panic]
+fn hop_quantile_rejects_out_of_range_shares() {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    random_report(&mut rng).hop_quantile(1.5);
+}
+
+#[test]
+fn utilization_is_zero_for_zero_links_or_nonpositive_time() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xc0ffee);
+    for case in 0..CASES {
+        let mut r = random_report(&mut rng);
+        assert_eq!(r.utilization(0.0), 0.0, "case {case}: zero time");
+        assert_eq!(r.utilization(-1.0), 0.0, "case {case}: negative time");
+        r.used_links = 0;
+        assert_eq!(r.utilization(1.0), 0.0, "case {case}: zero used links");
+    }
+    assert_eq!(empty_report().utilization(1.0), 0.0);
+}
+
+#[test]
+fn utilization_is_nonnegative_and_inversely_proportional_to_time() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xfeed);
+    for case in 0..CASES {
+        let r = random_report(&mut rng);
+        let t = rng.gen_range(1e-3..10.0);
+        let u = r.utilization(t);
+        assert!(u >= 0.0, "case {case}");
+        if r.used_links > 0 {
+            let ratio = r.utilization(2.0 * t) * 2.0;
+            assert!((ratio - u).abs() <= 1e-12 * u.max(1.0), "case {case}");
+            assert_eq!(r.utilization_pct(t), 100.0 * u, "case {case}");
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # netloc-testkit
+//!
+//! Differential verification harness for the netloc workspace:
+//!
+//! - [`corpus`] — a deterministic, seeded set of ≥20 small-but-diverse
+//!   configurations covering every topology family × mapping kind ×
+//!   several workload patterns;
+//! - [`oracle`] — differential oracles that check analytic routing
+//!   against a BFS reference for every node pair, and the rayon-chunked
+//!   replay against a naive single-threaded reference for byte-identical
+//!   [`netloc_core::NetworkReport`]s;
+//! - [`goldens`] — golden-snapshot machinery (canonical JSON with
+//!   normalized floats, readable diffs, `UPDATE_GOLDENS=1` regeneration).
+//!
+//! The harness is wired into the CLI as `netloc verify` and into the root
+//! crate's integration tests.
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod goldens;
+pub mod oracle;
+
+pub use corpus::{default_corpus, CorpusConfig, MappingKind, TopologySpec};
+pub use goldens::{canonical_json, check_golden, GoldenOutcome};
+pub use oracle::{verify_corpus, Mismatch, VerifySummary};

@@ -1,0 +1,247 @@
+//! Differential oracles: analytic routing vs BFS, and the chunked
+//! parallel replay vs the naive single-threaded reference.
+//!
+//! Both oracles run over every configuration of a corpus and return
+//! structured mismatches instead of panicking, so callers (the `netloc
+//! verify` subcommand and the integration tests) can report all failures
+//! at once with readable context.
+
+use crate::corpus::CorpusConfig;
+use netloc_core::netmodel::{analyze_network, analyze_network_chunked, NetworkReport};
+use netloc_core::refmodel::analyze_network_reference;
+use netloc_topology::bfs::{validate_walk, BfsRouter};
+use netloc_topology::{NodeId, Topology};
+
+/// One oracle violation, tied to the corpus config that produced it.
+#[derive(Debug, Clone)]
+pub struct Mismatch {
+    /// Corpus config id (see [`CorpusConfig::id`]).
+    pub config: String,
+    /// Which oracle fired: `"route"` or `"replay"`.
+    pub oracle: &'static str,
+    /// Human-readable description of the violation.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}: {}", self.oracle, self.config, self.detail)
+    }
+}
+
+/// Outcome of verifying a whole corpus.
+#[derive(Debug, Default)]
+pub struct VerifySummary {
+    /// Configs checked.
+    pub configs: usize,
+    /// Node pairs route-checked across all topologies.
+    pub route_pairs: u64,
+    /// Replay comparisons performed (reference + chunk-size variants).
+    pub replay_checks: u64,
+    /// All violations found.
+    pub mismatches: Vec<Mismatch>,
+}
+
+impl VerifySummary {
+    /// True when every oracle agreed everywhere.
+    pub fn is_clean(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// Compare the topology's analytic routing against the BFS oracle for
+/// every node pair. Checks that each route is a valid, link-disjoint walk
+/// and that its length is BFS-optimal (dragonfly minimal routing may be
+/// one hop longer on 5-hop routes when `allow_one_hop_detour`).
+///
+/// Returns violations; the second tuple element is the number of pairs
+/// checked.
+pub fn check_routes(topo: &dyn Topology, allow_one_hop_detour: bool) -> (Vec<String>, u64) {
+    let bfs = BfsRouter::new(topo);
+    let n = topo.num_nodes();
+    let mut violations = Vec::new();
+    let mut pairs = 0u64;
+    for s in 0..n {
+        let src = NodeId(s as u32);
+        let dist = bfs.distances_from(src);
+        for (d, &optimal) in dist.iter().enumerate().take(n) {
+            let dst = NodeId(d as u32);
+            pairs += 1;
+            let route = topo.route(src, dst);
+            if let Err(e) = validate_walk(topo, src, dst, &route) {
+                violations.push(format!("{s}->{d}: invalid walk: {e}"));
+                continue;
+            }
+            let direct = route.len() as u32;
+            let ok = direct == optimal || (allow_one_hop_detour && direct == 5 && optimal == 4);
+            if !ok {
+                violations.push(format!(
+                    "{s}->{d}: analytic route has {direct} hops, BFS optimum is {optimal}"
+                ));
+            }
+            if topo.hops(src, dst) != direct {
+                violations.push(format!(
+                    "{s}->{d}: hops() says {}, route() has {direct} links",
+                    topo.hops(src, dst)
+                ));
+            }
+        }
+    }
+    (violations, pairs)
+}
+
+/// Describe every field on which two reports differ (empty when equal).
+/// Field-by-field beats a single `assert_eq!` dump: corpus reports carry
+/// link-load vectors with hundreds of entries.
+pub fn report_diff(expected: &NetworkReport, actual: &NetworkReport) -> Vec<String> {
+    let mut diffs = Vec::new();
+    macro_rules! cmp {
+        ($field:ident) => {
+            if expected.$field != actual.$field {
+                diffs.push(format!(
+                    "{}: expected {:?}, got {:?}",
+                    stringify!($field),
+                    expected.$field,
+                    actual.$field
+                ));
+            }
+        };
+    }
+    cmp!(packet_hops);
+    cmp!(packets);
+    cmp!(messages);
+    cmp!(link_volume_bytes);
+    cmp!(used_links);
+    cmp!(total_links);
+    cmp!(global_packets);
+    cmp!(global_messages);
+    cmp!(hop_histogram);
+    if expected.link_loads != actual.link_loads {
+        let first = expected
+            .link_loads
+            .iter()
+            .zip(&actual.link_loads)
+            .position(|(a, b)| a != b);
+        diffs.push(match first {
+            Some(i) => format!(
+                "link_loads: first divergence at link {i}: expected {}, got {}",
+                expected.link_loads[i], actual.link_loads[i]
+            ),
+            None => format!(
+                "link_loads: length {} vs {}",
+                expected.link_loads.len(),
+                actual.link_loads.len()
+            ),
+        });
+    }
+    diffs
+}
+
+/// Differential replay check for one corpus config: the rayon-chunked
+/// production path and several explicit chunk sizes must all be
+/// byte-identical to the naive single-threaded reference.
+///
+/// Returns violations; the second tuple element is the number of replay
+/// comparisons performed.
+pub fn check_replay(cfg: &CorpusConfig) -> (Vec<String>, u64) {
+    let topo = cfg.build_topology();
+    let mapping = cfg.build_mapping(topo.num_nodes());
+    let tm = cfg.build_traffic();
+
+    let reference = analyze_network_reference(topo.as_ref(), &mapping, &tm);
+    let mut violations = Vec::new();
+    let mut checks = 0u64;
+
+    let production = analyze_network(topo.as_ref(), &mapping, &tm);
+    checks += 1;
+    for d in report_diff(&reference, &production) {
+        violations.push(format!("production path: {d}"));
+    }
+
+    // Degenerate (1), prime (7), and single-chunk sizes shake out any
+    // dependence on how pairs are split across workers.
+    for chunk in [1usize, 7, tm.num_pairs().max(1)] {
+        let chunked = analyze_network_chunked(topo.as_ref(), &mapping, &tm, chunk);
+        checks += 1;
+        for d in report_diff(&reference, &chunked) {
+            violations.push(format!("chunk size {chunk}: {d}"));
+        }
+    }
+    (violations, checks)
+}
+
+/// Run both oracles over every config of the corpus.
+pub fn verify_corpus(corpus: &[CorpusConfig]) -> VerifySummary {
+    let mut summary = VerifySummary::default();
+    // Route-check each distinct topology once — the analytic routing does
+    // not depend on mapping or workload, and re-checking 72-node
+    // dragonflies per config would triple the runtime for no coverage.
+    let mut seen_topologies = Vec::new();
+    for cfg in corpus {
+        summary.configs += 1;
+        if !seen_topologies.contains(&cfg.topology) {
+            seen_topologies.push(cfg.topology);
+            let topo = cfg.build_topology();
+            let (violations, pairs) =
+                check_routes(topo.as_ref(), cfg.topology.allows_one_hop_detour());
+            summary.route_pairs += pairs;
+            summary
+                .mismatches
+                .extend(violations.into_iter().map(|detail| Mismatch {
+                    config: cfg.id(),
+                    oracle: "route",
+                    detail,
+                }));
+        }
+        let (violations, checks) = check_replay(cfg);
+        summary.replay_checks += checks;
+        summary
+            .mismatches
+            .extend(violations.into_iter().map(|detail| Mismatch {
+                config: cfg.id(),
+                oracle: "replay",
+                detail,
+            }));
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::default_corpus;
+
+    #[test]
+    fn default_corpus_verifies_clean() {
+        let summary = verify_corpus(&default_corpus());
+        assert!(summary.configs >= 20);
+        assert!(summary.route_pairs > 0);
+        assert!(summary.replay_checks >= summary.configs as u64);
+        assert!(
+            summary.is_clean(),
+            "oracle mismatches:\n{}",
+            summary
+                .mismatches
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    #[test]
+    fn report_diff_pinpoints_field() {
+        let cfg = &default_corpus()[0];
+        let topo = cfg.build_topology();
+        let mapping = cfg.build_mapping(topo.num_nodes());
+        let tm = cfg.build_traffic();
+        let a = analyze_network_reference(topo.as_ref(), &mapping, &tm);
+        let mut b = a.clone();
+        assert!(report_diff(&a, &b).is_empty());
+        b.packets += 1;
+        b.link_loads[0] += 3;
+        let diffs = report_diff(&a, &b);
+        assert!(diffs.iter().any(|d| d.starts_with("packets")));
+        assert!(diffs.iter().any(|d| d.starts_with("link_loads")));
+    }
+}

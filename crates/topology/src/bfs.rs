@@ -60,6 +60,46 @@ impl<'a, T: Topology + ?Sized> BfsRouter<'a, T> {
     pub fn topology(&self) -> &T {
         self.topo
     }
+
+    /// All-pairs shortest-path distances, `result[s][d]` in hops. Rows are
+    /// indexed by source node id; `u32::MAX` marks unreachable vertices
+    /// (switches beyond `num_nodes` get rows too, they are plain vertices
+    /// of the link graph).
+    pub fn all_distances(&self) -> Vec<Vec<u32>> {
+        (0..self.adjacency.len())
+            .map(|s| self.distances_from(NodeId(s as u32)))
+            .collect()
+    }
+}
+
+/// Check that `route` is a valid walk from `src` to `dst` over `topo`'s
+/// links: every consecutive link shares the current vertex, no link is
+/// traversed twice, and the walk ends at `dst`. Returns a description of
+/// the first violation, for readable oracle diffs.
+pub fn validate_walk(
+    topo: &(impl Topology + ?Sized),
+    src: NodeId,
+    dst: NodeId,
+    route: &[crate::link::LinkId],
+) -> Result<(), String> {
+    let links = topo.links();
+    let mut seen = std::collections::HashSet::new();
+    let mut cur = src.0;
+    for (i, lid) in route.iter().enumerate() {
+        let link = links
+            .get(lid.idx())
+            .ok_or_else(|| format!("hop {i}: link {} out of range", lid.idx()))?;
+        if !seen.insert(*lid) {
+            return Err(format!("hop {i}: link {} repeated", lid.idx()));
+        }
+        cur = link
+            .other(cur)
+            .ok_or_else(|| format!("hop {i}: link {} does not touch node {cur}", lid.idx()))?;
+    }
+    if cur != dst.0 {
+        return Err(format!("walk ends at node {cur}, expected {}", dst.0));
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -346,6 +346,36 @@ mod tests {
     }
 
     #[test]
+    fn routes_have_no_repeated_links() {
+        let df = Dragonfly::new(4, 2, 2);
+        for s in 0..df.num_nodes() {
+            for d in 0..df.num_nodes() {
+                let route = df.route(NodeId(s as u32), NodeId(d as u32));
+                let mut seen = std::collections::HashSet::new();
+                assert!(route.iter().all(|l| seen.insert(*l)), "{s}->{d} repeats");
+            }
+        }
+    }
+
+    #[test]
+    fn routes_are_symmetric_in_length() {
+        // Minimal routing is source/destination-symmetric: the same
+        // global link serves both directions of a group pair, and the
+        // local legs mirror, so hop counts match either way.
+        let df = Dragonfly::new(4, 2, 2);
+        for s in 0..df.num_nodes() {
+            for d in 0..df.num_nodes() {
+                let (sn, dn) = (NodeId(s as u32), NodeId(d as u32));
+                assert_eq!(
+                    df.route(sn, dn).len(),
+                    df.route(dn, sn).len(),
+                    "{s}<->{d} asymmetric"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn inter_group_routes_use_exactly_one_global_link() {
         let df = Dragonfly::new(4, 2, 2);
         for s in (0..df.num_nodes()).step_by(7) {

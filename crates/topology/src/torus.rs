@@ -228,6 +228,36 @@ mod tests {
     }
 
     #[test]
+    fn routes_have_no_repeated_links() {
+        let t = Torus3D::new([4, 3, 3]);
+        for s in 0..t.num_nodes() {
+            for d in 0..t.num_nodes() {
+                let route = t.route(NodeId(s as u32), NodeId(d as u32));
+                let mut seen = std::collections::HashSet::new();
+                assert!(route.iter().all(|l| seen.insert(*l)), "{s}->{d} repeats");
+            }
+        }
+    }
+
+    #[test]
+    fn routes_are_symmetric_in_length() {
+        // Dimension-ordered routing walks each ring the short way, so the
+        // reverse route has the same hop count (though not the same links
+        // on even-sized rings, where ties break toward the positive side).
+        let t = Torus3D::new([4, 3, 2]);
+        for s in 0..t.num_nodes() {
+            for d in 0..t.num_nodes() {
+                let (sn, dn) = (NodeId(s as u32), NodeId(d as u32));
+                assert_eq!(
+                    t.route(sn, dn).len(),
+                    t.route(dn, sn).len(),
+                    "{s}<->{d} asymmetric"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn diameter_is_sum_of_half_dims() {
         assert_eq!(Torus3D::new([4, 4, 4]).diameter(), 6);
         assert_eq!(Torus3D::new([3, 3, 3]).diameter(), 3);

@@ -22,6 +22,7 @@ pub mod mocfe;
 pub mod multigrid_c;
 pub mod nekbone;
 pub mod partisn;
+pub mod seeded;
 pub mod snap;
 
 use netloc_mpi::{CollectiveOp, Payload, Rank, Trace, TraceBuilder};

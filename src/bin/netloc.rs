@@ -11,6 +11,10 @@
 //! netloc timeline <TRACE> [--bins N]          injected volume over time, burstiness
 //! netloc simulate <TRACE> --topology SPEC [--mapping MAP] [--max-msgs N]
 //!                                             temporal store-and-forward replay
+//! netloc verify   [--quiet]                   differential self-check: analytic
+//!                                             routing vs BFS and the parallel
+//!                                             replay vs a naive reference, over
+//!                                             a seeded corpus of configurations
 //! ```
 //!
 //! `TRACE` is a file in the dumpi-like text format (see `netloc_mpi::dumpi`);
@@ -53,6 +57,7 @@ fn main() {
         "heatmap" => heatmap_cmd(rest),
         "timeline" => timeline_cmd(rest),
         "simulate" => simulate_cmd(rest),
+        "verify" => verify_cmd(rest),
         "--help" | "-h" | "help" => usage_and_exit(),
         other => {
             eprintln!("unknown command '{other}'");
@@ -63,7 +68,7 @@ fn main() {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: netloc <generate|stats|metrics|analyze|replay|heatmap|timeline|simulate> …\n\
+        "usage: netloc <generate|stats|metrics|analyze|replay|heatmap|timeline|simulate|verify> …\n\
          see the module docs (`cargo doc`) or the README for details"
     );
     exit(2);
@@ -454,6 +459,36 @@ fn simulate_cmd(args: &[String]) {
         "measured util:     {:.6} % (static Eq.5 spreads volume over the full runtime)",
         100.0 * rep.measured_utilization()
     );
+}
+
+/// `netloc verify` — run the differential oracles over the seeded corpus.
+///
+/// Exits 0 with a summary when every oracle agrees everywhere, 1 with
+/// each mismatch printed otherwise.
+fn verify_cmd(args: &[String]) {
+    use netloc::testkit::{default_corpus, verify_corpus};
+    let quiet = args.iter().any(|a| a == "--quiet");
+    let corpus = default_corpus();
+    if !quiet {
+        eprintln!(
+            "verifying {} seeded configurations (topology × mapping × workload) …",
+            corpus.len()
+        );
+    }
+    let summary = verify_corpus(&corpus);
+    println!(
+        "checked {} configs: {} route pairs, {} replay comparisons",
+        summary.configs, summary.route_pairs, summary.replay_checks
+    );
+    if summary.is_clean() {
+        println!("all oracles agree: analytic routing matches BFS, parallel replay matches the single-threaded reference");
+    } else {
+        println!("{} MISMATCHES:", summary.mismatches.len());
+        for m in &summary.mismatches {
+            println!("  {m}");
+        }
+        exit(1);
+    }
 }
 
 fn timeline_cmd(args: &[String]) {

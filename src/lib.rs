@@ -10,5 +10,6 @@
 pub use netloc_core as core;
 pub use netloc_mpi as mpi;
 pub use netloc_sim as sim;
+pub use netloc_testkit as testkit;
 pub use netloc_topology as topology;
 pub use netloc_workloads as workloads;

@@ -1,0 +1,25 @@
+//! Golden-snapshot gate: the canonical JSON of the paper tables must
+//! match the files committed under `tests/goldens/` byte-for-byte.
+//!
+//! On intentional changes regenerate with
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test -q --test goldens
+//! git diff tests/goldens/   # review, then commit
+//! ```
+
+use netloc::testkit::check_golden;
+use std::path::PathBuf;
+
+fn golden_path(stem: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(format!("{stem}.json"))
+}
+
+#[test]
+fn paper_tables_match_committed_goldens() {
+    for (stem, value) in netloc_bench::goldens::all_goldens() {
+        check_golden(&golden_path(stem), &value).assert_ok(stem);
+    }
+}

@@ -1,0 +1,154 @@
+//! Offline stand-in for `rayon`, covering the subset this workspace uses:
+//! `slice.par_chunks(n).map(f).reduce(identity, op)`.
+//!
+//! Chunks are evaluated eagerly on a small scoped thread pool (bounded by
+//! `std::thread::available_parallelism`), then reduced **sequentially in
+//! chunk order**. Real rayon reduces in a nondeterministic tree order; the
+//! in-order fold here is deliberately stronger — the differential test
+//! harness asserts byte-identical reports between this path and a
+//! single-threaded reference replay, which only holds when the reduction
+//! order is fixed. All accumulators in this workspace are associative and
+//! commutative, so the result matches what upstream rayon would produce.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+pub mod prelude {
+    pub use crate::ParallelSlice;
+}
+
+/// Slices that can be split into parallel chunks.
+pub trait ParallelSlice<T: Sync> {
+    /// Split into contiguous chunks of at most `chunk_size` elements.
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParChunks {
+            data: self,
+            chunk_size,
+        }
+    }
+}
+
+/// Chunked view of a slice, ready to be mapped in parallel.
+pub struct ParChunks<'a, T> {
+    data: &'a [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Sync> ParChunks<'a, T> {
+    /// Apply `f` to every chunk. Evaluation is eager; results are kept in
+    /// chunk order for the deterministic `reduce` below.
+    pub fn map<R, F>(self, f: F) -> Map<R>
+    where
+        R: Send,
+        F: Fn(&'a [T]) -> R + Sync,
+    {
+        let chunks: Vec<&'a [T]> = self.data.chunks(self.chunk_size).collect();
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(chunks.len().max(1));
+
+        let mut results: Vec<Option<R>> = (0..chunks.len()).map(|_| None).collect();
+        if workers <= 1 || chunks.len() <= 1 {
+            for (slot, chunk) in results.iter_mut().zip(&chunks) {
+                *slot = Some(f(chunk));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let (tx, rx) = mpsc::channel::<(usize, R)>();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    let tx = tx.clone();
+                    let next = &next;
+                    let chunks = &chunks;
+                    let f = &f;
+                    scope.spawn(move || loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= chunks.len() {
+                            break;
+                        }
+                        if tx.send((i, f(chunks[i]))).is_err() {
+                            break;
+                        }
+                    });
+                }
+                drop(tx);
+                for (i, r) in rx {
+                    results[i] = Some(r);
+                }
+            });
+        }
+        Map { results }
+    }
+}
+
+/// Eagerly computed per-chunk results, reduced in chunk order.
+pub struct Map<R> {
+    results: Vec<Option<R>>,
+}
+
+impl<R> Map<R> {
+    /// Fold the chunk results left-to-right starting from `identity()`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> R
+    where
+        ID: Fn() -> R,
+        OP: Fn(R, R) -> R,
+    {
+        self.results.into_iter().flatten().fold(identity(), op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_reduce_sums_all_elements() {
+        let data: Vec<u64> = (0..10_000).collect();
+        let total = data
+            .par_chunks(128)
+            .map(|c| c.iter().sum::<u64>())
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn reduce_preserves_chunk_order() {
+        let data: Vec<u32> = (0..100).collect();
+        let cat = data
+            .par_chunks(7)
+            .map(|c| {
+                c.iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            })
+            .reduce(String::new, |a, b| {
+                if a.is_empty() {
+                    b
+                } else {
+                    format!("{a},{b}")
+                }
+            });
+        let expect = (0..100)
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        assert_eq!(cat, expect);
+    }
+
+    #[test]
+    fn empty_input_yields_identity() {
+        let data: Vec<u32> = Vec::new();
+        let sum = data
+            .par_chunks(16)
+            .map(|c| c.len())
+            .reduce(|| 0usize, |a, b| a + b);
+        assert_eq!(sum, 0);
+    }
+}

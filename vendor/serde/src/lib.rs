@@ -1,0 +1,205 @@
+//! Offline stand-in for `serde`.
+//!
+//! Real serde streams values into a generic `Serializer`; this vendored
+//! replacement materializes a [`Value`] tree instead, which `serde_json`
+//! (also vendored) renders. The API subset is exactly what the workspace
+//! uses: `#[derive(Serialize, Deserialize)]` (with the `transparent` and
+//! `skip` attributes) and `serde_json::to_string{,_pretty}`.
+//!
+//! Object fields keep declaration order, so derived structs serialize with
+//! the same field order as upstream serde.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A serialized value tree (the JSON data model, insertion-ordered maps).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Signed integer (covers every signed width).
+    Int(i128),
+    /// Unsigned integer (covers every unsigned width, incl. `u128`).
+    UInt(u128),
+    /// Floating-point number; non-finite renders as `null` like serde_json.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Map with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+/// Types convertible into a [`Value`] tree.
+pub trait Serialize {
+    /// Build the value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Marker for types that accept `#[derive(Deserialize)]`.
+///
+/// Nothing in the workspace deserializes through serde (the trace codecs
+/// are hand-written), so the trait carries no methods; the derive keeps
+/// compiling and the marker documents intent.
+pub trait Deserialize: Sized {}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u128) }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+impl_ser_uint!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(*self as i128) }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+impl_ser_int!(i8, i16, i32, i64, i128, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+impl Deserialize for f64 {}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+impl Deserialize for f32 {}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {}
+
+macro_rules! impl_ser_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+    )*};
+}
+impl_ser_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_map_to_expected_variants() {
+        assert_eq!(3u32.to_value(), Value::UInt(3));
+        assert_eq!((-3i64).to_value(), Value::Int(-3));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!("x".to_value(), Value::Str("x".into()));
+        assert_eq!(None::<u32>.to_value(), Value::Null);
+        assert_eq!(Some(1u8).to_value(), Value::UInt(1));
+    }
+
+    #[test]
+    fn containers_serialize_elementwise() {
+        assert_eq!(
+            vec![1u32, 2].to_value(),
+            Value::Array(vec![Value::UInt(1), Value::UInt(2)])
+        );
+        assert_eq!(
+            [1.5f64; 2].to_value(),
+            Value::Array(vec![Value::Float(1.5), Value::Float(1.5)])
+        );
+        assert_eq!(
+            (1u32, "a").to_value(),
+            Value::Array(vec![Value::UInt(1), Value::Str("a".into())])
+        );
+    }
+
+    // Derive-based tests live in tests/derive.rs: the generated impls
+    // reference `::serde`, which only resolves outside the crate itself.
+}

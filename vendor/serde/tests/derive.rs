@@ -1,0 +1,85 @@
+//! Derive-macro behavior tests. These must live outside the crate because
+//! the generated impls use absolute `::serde` paths.
+
+use serde::{Deserialize, Serialize, Value};
+
+#[derive(Serialize, Deserialize, Debug, PartialEq, Clone)]
+struct Demo {
+    id: u32,
+    label: String,
+    ratio: f64,
+}
+
+#[derive(Serialize, Deserialize, Debug, PartialEq, Clone, Copy)]
+#[serde(transparent)]
+struct Wrapper(u32);
+
+#[derive(Serialize, Deserialize, Debug, PartialEq)]
+enum Kind {
+    Unit,
+    Newtype(u32),
+    Struct { a: u32, b: bool },
+}
+
+#[derive(Serialize, Debug)]
+struct Borrowing<'a> {
+    name: &'a str,
+    // Written but (by design) never serialized nor read back.
+    #[allow(dead_code)]
+    #[serde(skip)]
+    scratch: usize,
+    count: u64,
+}
+
+#[test]
+fn derive_struct_keeps_field_order() {
+    let d = Demo {
+        id: 7,
+        label: "seven".into(),
+        ratio: 0.5,
+    };
+    match d.to_value() {
+        Value::Object(fields) => {
+            let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+            assert_eq!(keys, ["id", "label", "ratio"]);
+        }
+        other => panic!("expected object, got {other:?}"),
+    }
+}
+
+#[test]
+fn derive_transparent_newtype_unwraps() {
+    assert_eq!(Wrapper(9).to_value(), Value::UInt(9));
+}
+
+#[test]
+fn derive_enum_variants() {
+    assert_eq!(Kind::Unit.to_value(), Value::Str("Unit".into()));
+    assert_eq!(
+        Kind::Newtype(3).to_value(),
+        Value::Object(vec![("Newtype".into(), Value::UInt(3))])
+    );
+    match (Kind::Struct { a: 1, b: false }).to_value() {
+        Value::Object(outer) => {
+            assert_eq!(outer[0].0, "Struct");
+            assert!(matches!(outer[0].1, Value::Object(_)));
+        }
+        other => panic!("expected object, got {other:?}"),
+    }
+}
+
+#[test]
+fn derive_handles_lifetimes_and_skip() {
+    let b = Borrowing {
+        name: "x",
+        scratch: 99,
+        count: 2,
+    };
+    assert_eq!(
+        b.to_value(),
+        Value::Object(vec![
+            ("name".into(), Value::Str("x".into())),
+            ("count".into(), Value::UInt(2)),
+        ])
+    );
+}

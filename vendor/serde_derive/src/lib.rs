@@ -1,0 +1,407 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! serde facade.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no syn/quote — the
+//! build environment has no registry access). The parser covers the shapes
+//! this workspace actually declares: structs with named fields, tuple
+//! structs, enums with unit/tuple/struct variants, lifetime-only generics,
+//! and the `#[serde(transparent)]` / `#[serde(skip)]` attributes. Anything
+//! else panics at expansion time with a clear message, which is the right
+//! failure mode for a vendored shim.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (vendored Value-tree flavor).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => named_struct_body(&item, fields),
+        Shape::TupleStruct(arity) => tuple_struct_body(&item, *arity),
+        Shape::UnitStruct => "::serde::Value::Object(::std::vec::Vec::new())".to_string(),
+        Shape::Enum(variants) => enum_body(&item, variants),
+    };
+    let src = format!(
+        "impl {generics} ::serde::Serialize for {name} {generics} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}",
+        generics = item.generics,
+        name = item.name,
+    );
+    src.parse().expect("generated Serialize impl parses")
+}
+
+/// Derive the (method-less) `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!(
+        "impl {generics} ::serde::Deserialize for {name} {generics} {{}}",
+        generics = item.generics,
+        name = item.name,
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    /// Raw generics tokens including the angle brackets (e.g. `< 'a >`),
+    /// or empty. Reused verbatim on the impl; only lifetimes are supported.
+    generics: String,
+    transparent: bool,
+    shape: Shape,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    let container_attrs = take_attrs(&tokens, &mut pos);
+    let transparent = container_attrs.iter().any(|a| a.contains("transparent"));
+    skip_visibility(&tokens, &mut pos);
+
+    let kind = match &tokens[pos] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    pos += 1;
+    let name = match &tokens[pos] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    pos += 1;
+
+    let generics = take_generics(&tokens, &mut pos);
+
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("unsupported struct body: {other:?}"),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body, found {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    };
+
+    Item {
+        name,
+        generics,
+        transparent,
+        shape,
+    }
+}
+
+/// Consume leading `#[...]` attributes, returning their rendered text.
+fn take_attrs(tokens: &[TokenTree], pos: &mut usize) -> Vec<String> {
+    let mut attrs = Vec::new();
+    while let (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g))) =
+        (tokens.get(*pos), tokens.get(*pos + 1))
+    {
+        if p.as_char() != '#' || g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        attrs.push(g.stream().to_string());
+        *pos += 2;
+    }
+    attrs
+}
+
+/// Whether an attribute body (the tokens inside `#[...]`) is a
+/// `serde(...)` list containing `flag`.
+fn has_serde_flag(attrs: &[String], flag: &str) -> bool {
+    attrs
+        .iter()
+        .any(|a| a.starts_with("serde") && a.contains(flag))
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Capture `<...>` generics verbatim (lifetimes only in this workspace).
+fn take_generics(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return String::new(),
+    }
+    let mut depth = 0usize;
+    let mut out = String::new();
+    while let Some(tok) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                _ => {}
+            }
+        }
+        // Keep joint punctuation glued (a lifetime is Punct('\'', Joint)
+        // followed by an ident — `' a` would re-tokenize as a char literal).
+        out.push_str(&tok.to_string());
+        let glued = matches!(tok, TokenTree::Punct(p) if p.spacing() == proc_macro::Spacing::Joint);
+        if !glued {
+            out.push(' ');
+        }
+        *pos += 1;
+        if depth == 0 {
+            break;
+        }
+    }
+    out
+}
+
+/// Parse `name: Type, ...` fields (used for struct bodies and struct
+/// variants), honoring `#[serde(skip)]`.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let attrs = take_attrs(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        let name = match &tokens[pos] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, found {other}"),
+        };
+        pos += 1;
+        match &tokens[pos] {
+            TokenTree::Punct(p) if p.as_char() == ':' => pos += 1,
+            other => panic!("expected `:` after field `{name}`, found {other}"),
+        }
+        skip_type(&tokens, &mut pos);
+        fields.push(Field {
+            name,
+            skip: has_serde_flag(&attrs, "skip"),
+        });
+    }
+    fields
+}
+
+/// Advance past a type, stopping after the `,` that ends the field (or at
+/// end of stream). Commas inside `()`/`[]`/`{}` are invisible (groups are
+/// single trees); only `<`/`>` need explicit depth tracking.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(tok) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    *pos += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut pos = 0;
+    let mut count = 0;
+    while pos < tokens.len() {
+        take_attrs(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        skip_type(&tokens, &mut pos);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        take_attrs(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[pos] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, found {other}"),
+        };
+        pos += 1;
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantShape::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        let mut angle_depth = 0usize;
+        while let Some(tok) = tokens.get(pos) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth = angle_depth.saturating_sub(1),
+                    ',' if angle_depth == 0 => {
+                        pos += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            pos += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn named_struct_body(item: &Item, fields: &[Field]) -> String {
+    let kept: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+    if item.transparent {
+        assert!(
+            kept.len() == 1,
+            "#[serde(transparent)] requires exactly one unskipped field"
+        );
+        return format!("::serde::Serialize::to_value(&self.{})", kept[0].name);
+    }
+    let pushes: String = kept
+        .iter()
+        .map(|f| {
+            format!(
+                "__fields.push((\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n})));\n",
+                n = f.name
+            )
+        })
+        .collect();
+    format!(
+        "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n{pushes}::serde::Value::Object(__fields)"
+    )
+}
+
+fn tuple_struct_body(item: &Item, arity: usize) -> String {
+    match arity {
+        0 => "::serde::Value::Array(::std::vec::Vec::new())".to_string(),
+        // Newtype structs serialize as their inner value (serde's default,
+        // and what #[serde(transparent)] requests explicitly).
+        1 => {
+            let _ = item.transparent;
+            "::serde::Serialize::to_value(&self.0)".to_string()
+        }
+        n => {
+            let elems: Vec<String> = (0..n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+    }
+}
+
+fn enum_body(item: &Item, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let ty = &item.name;
+            let vn = &v.name;
+            match &v.shape {
+                VariantShape::Unit => {
+                    format!("{ty}::{vn} => ::serde::Value::Str(\"{vn}\".to_string())")
+                }
+                VariantShape::Tuple(1) => format!(
+                    "{ty}::{vn}(__f0) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                     ::serde::Serialize::to_value(__f0))])"
+                ),
+                VariantShape::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                    let elems: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!(
+                        "{ty}::{vn}({}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                         ::serde::Value::Array(vec![{}]))])",
+                        binds.join(", "),
+                        elems.join(", ")
+                    )
+                }
+                VariantShape::Struct(fields) => {
+                    let kept: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+                    let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                    let pushes: Vec<String> = kept
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(\"{n}\".to_string(), ::serde::Serialize::to_value({n}))",
+                                n = f.name
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{ty}::{vn} {{ {} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                         ::serde::Value::Object(vec![{}]))])",
+                        binds.join(", "),
+                        pushes.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    if arms.is_empty() {
+        // Uninhabited enum: unreachable at runtime.
+        return "match *self {}".to_string();
+    }
+    format!("match self {{ {} }}", arms.join(",\n"))
+}
