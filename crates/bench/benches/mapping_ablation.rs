@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use netloc_core::TrafficMatrix;
 use netloc_topology::optimize::{anneal_mapping, greedy_mapping, mapping_cost, AnnealParams};
-use netloc_topology::{ConfigCatalog, Mapping};
+use netloc_topology::{ConfigCatalog, Mapping, RoutedTopology};
 use netloc_workloads::App;
 use rand::SeedableRng as _;
 use std::hint::black_box;
@@ -18,28 +18,29 @@ fn bench_mapping(c: &mut Criterion) {
     let tm = TrafficMatrix::from_trace_full(&App::CrystalRouter.generate(100));
     let traffic = tm.undirected_entries();
     let torus = ConfigCatalog::for_ranks(100).build_torus();
+    let routed = RoutedTopology::auto(&torus);
 
     // Report the ablation numbers once, so `cargo bench` output carries the
     // experiment result alongside the timings.
     let consecutive = Mapping::consecutive(100, 100);
-    let greedy = greedy_mapping(&torus, 100, &traffic);
+    let greedy = greedy_mapping(&routed, 100, &traffic);
     println!(
         "[ablation] crystal_router_100 torus cost: consecutive={} greedy={}",
-        mapping_cost(&torus, &consecutive, &traffic),
-        mapping_cost(&torus, &greedy, &traffic),
+        mapping_cost(&routed, &consecutive, &traffic),
+        mapping_cost(&routed, &greedy, &traffic),
     );
 
     g.bench_function("cost_consecutive", |b| {
-        b.iter(|| black_box(mapping_cost(&torus, &consecutive, &traffic)))
+        b.iter(|| black_box(mapping_cost(&routed, &consecutive, &traffic)))
     });
     g.bench_function("greedy_construct", |b| {
-        b.iter(|| black_box(greedy_mapping(&torus, 100, &traffic)))
+        b.iter(|| black_box(greedy_mapping(&routed, 100, &traffic)))
     });
     g.bench_function("anneal_5k_iters", |b| {
         b.iter(|| {
             let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
             black_box(anneal_mapping(
-                &torus,
+                &routed,
                 consecutive.clone(),
                 &traffic,
                 AnnealParams {

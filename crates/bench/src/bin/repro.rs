@@ -16,7 +16,8 @@
 //! repro taper             # oversubscribed fat trees: utilization vs slowdown
 //! repro goldens [STEM]    # canonical golden JSON (table1/table3/table4)
 //! repro summary [--full]  # the paper's headline claims, checked
-//! repro all [--full]      # everything above
+//! repro bench [--smoke] [-o FILE]  # replay-throughput benchmark → BENCH_netmodel.json
+//! repro all [--full]      # everything above except bench
 //! ```
 //!
 //! `--full` includes the >256-rank configurations (slower but complete);
@@ -83,6 +84,7 @@ fn main() {
         "patterns" => patterns(),
         "kim" => kim(),
         "summary" => summary(max_ranks),
+        "bench" => bench(&args),
         "all" => {
             table1();
             table2();
@@ -111,6 +113,32 @@ fn main() {
 
 fn banner(title: &str) {
     println!("\n=== {title} ===\n");
+}
+
+/// `repro bench [--smoke] [-o FILE]` — replay-throughput benchmark.
+///
+/// Not part of `repro all`: the full run needs a quiet machine for
+/// meaningful timings. `--smoke` (used by CI) swaps in sub-second configs
+/// and still exercises the differential guard and the JSON schema check.
+fn bench(args: &[String]) {
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "-o")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_netmodel.json");
+    banner(if smoke {
+        "Replay benchmark (smoke mode)"
+    } else {
+        "Replay benchmark: rank-pair baseline vs node-pair/CSR replay"
+    });
+    let report = netloc_bench::netbench::run(smoke);
+    if let Err(e) = netloc_bench::netbench::write_report(&report, out) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {out} ({} rows)", report.results.len());
 }
 
 fn table1() {

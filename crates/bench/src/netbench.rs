@@ -1,0 +1,382 @@
+//! Tracked replay-throughput benchmark (`repro bench`).
+//!
+//! Measures the node-pair/CSR replay path ([`analyze_network_routed`])
+//! against the pre-route-table baseline ([`analyze_network_rank_pairs`])
+//! on the three paper-scale topologies:
+//!
+//! | config          | topology               | nodes  | route storage |
+//! |-----------------|------------------------|--------|---------------|
+//! | `torus-1728`    | `Torus3D [12,12,12]`   | 1 728  | dense CSR     |
+//! | `fat-tree-2592` | `FatTree::new(48, 3)`  | 13 824 | lazy rows     |
+//! | `dragonfly-1056`| `Dragonfly::new(8,4,4)`| 1 056  | dense CSR     |
+//!
+//! Each config replays an all-to-all matrix (the paper's BigFFT-style
+//! worst case, and the pair-densest cell of any sweep) under the paper's
+//! multicore placements: consecutive (one rank per node), block (4
+//! consecutive ranks per node) and random-block (4 ranks per node, nodes
+//! scattered at random). The block placements are where node-pair
+//! deduplication bites — up to 16× fewer unique routes at 4 ranks/node.
+//! Reported per cell: wall-clock, rank-pairs/s and packets/s for both
+//! paths plus the speedup. Every cell first asserts the two paths produce
+//! byte-identical [`NetworkReport`]s, so the benchmark doubles as a
+//! differential check.
+//!
+//! Results are written to `BENCH_netmodel.json`
+//! (`schema_version`-tagged; see [`validate_json`]). `--smoke` swaps in
+//! sub-second configs and a single timing iteration — that mode runs in
+//! CI and fails on panic (report divergence) or schema regression; the
+//! full run stays manual because it needs minutes of quiet machine.
+
+use netloc_core::sweep::MappingSpec;
+use netloc_core::{
+    analyze_network_rank_pairs, analyze_network_routed, node_pair_traffic, patterns,
+};
+use netloc_topology::{Dragonfly, FatTree, RoutedTopology, Topology, Torus3D};
+use serde::{Serialize, Value};
+use std::time::Instant;
+
+/// Version tag of the `BENCH_netmodel.json` layout. Bump on any field
+/// rename or removal; CI smoke mode fails when the written file does not
+/// match [`validate_json`] for this version.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Message payload in bytes (multiple packets per message).
+const MESSAGE_BYTES: u64 = 4096;
+/// Timing iterations per cell; the minimum is reported.
+const FULL_ITERS: usize = 3;
+
+/// One benchmark topology/workload combination.
+struct BenchConfig {
+    name: &'static str,
+    topology: Box<dyn Topology>,
+    ranks: u32,
+}
+
+fn paper_configs() -> Vec<BenchConfig> {
+    vec![
+        BenchConfig {
+            name: "torus-1728",
+            topology: Box::new(Torus3D::new([12, 12, 12])),
+            ranks: 1728,
+        },
+        BenchConfig {
+            name: "fat-tree-2592",
+            topology: Box::new(FatTree::new(48, 3)),
+            ranks: 2592,
+        },
+        BenchConfig {
+            name: "dragonfly-1056",
+            topology: Box::new(Dragonfly::new(8, 4, 4)),
+            ranks: 1056,
+        },
+    ]
+}
+
+fn smoke_configs() -> Vec<BenchConfig> {
+    vec![
+        BenchConfig {
+            name: "torus-216",
+            topology: Box::new(Torus3D::new([6, 6, 6])),
+            ranks: 216,
+        },
+        BenchConfig {
+            name: "fat-tree-64",
+            topology: Box::new(FatTree::new(8, 3)),
+            ranks: 64,
+        },
+        BenchConfig {
+            name: "dragonfly-72",
+            topology: Box::new(Dragonfly::new(4, 2, 2)),
+            ranks: 72,
+        },
+    ]
+}
+
+/// One (config, mapping) measurement.
+#[derive(Serialize)]
+pub struct BenchRow {
+    /// Config name (`torus-1728`, ...).
+    pub config: String,
+    /// Number of nodes in the topology.
+    pub nodes: usize,
+    /// Number of ranks in the workload.
+    pub ranks: u32,
+    /// Mapping label (`consecutive`, `block4`, `random`).
+    pub mapping: String,
+    /// Workload label.
+    pub workload: String,
+    /// Distinct communicating rank pairs in the matrix.
+    pub rank_pairs: usize,
+    /// Unique node pairs after collapsing under the mapping.
+    pub node_pairs: usize,
+    /// Total packets replayed.
+    pub packets: u64,
+    /// Whether the route table is a dense CSR (vs lazy per-source rows).
+    pub dense_table: bool,
+    /// One-time route-table construction cost (dense mode; ~0 for lazy).
+    pub table_build_s: f64,
+    /// Pre-PR path: best wall-clock over the timing iterations.
+    pub baseline_s: f64,
+    /// CSR node-pair path: best wall-clock over the timing iterations.
+    pub routed_s: f64,
+    /// Rank pairs replayed per second, pre-PR path.
+    pub baseline_pairs_per_s: f64,
+    /// Rank pairs replayed per second, CSR path.
+    pub routed_pairs_per_s: f64,
+    /// Packets accounted per second, pre-PR path.
+    pub baseline_packets_per_s: f64,
+    /// Packets accounted per second, CSR path.
+    pub routed_packets_per_s: f64,
+    /// `baseline_s / routed_s`.
+    pub speedup: f64,
+}
+
+/// The full benchmark report serialized to `BENCH_netmodel.json`.
+#[derive(Serialize)]
+pub struct BenchReport {
+    /// See [`SCHEMA_VERSION`].
+    pub schema_version: u32,
+    /// True when produced by `repro bench --smoke` (tiny configs; timings
+    /// are not comparable with full runs).
+    pub smoke: bool,
+    /// One row per (config, mapping) cell.
+    pub results: Vec<BenchRow>,
+}
+
+fn time_best<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Run the benchmark grid and return the report. Prints one line per cell.
+///
+/// Panics if the baseline and CSR paths ever disagree on a report — the
+/// benchmark refuses to publish numbers for divergent replays.
+pub fn run(smoke: bool) -> BenchReport {
+    let configs = if smoke {
+        smoke_configs()
+    } else {
+        paper_configs()
+    };
+    let iters = if smoke { 1 } else { FULL_ITERS };
+    let mut results = Vec::new();
+    for cfg in &configs {
+        let topo: &dyn Topology = cfg.topology.as_ref();
+        let nodes = topo.num_nodes();
+        let tm = patterns::all_to_all(cfg.ranks, MESSAGE_BYTES, 1);
+        let workload = "all-to-all".to_string();
+
+        let t = Instant::now();
+        let routed = RoutedTopology::auto(topo);
+        let table_build_s = t.elapsed().as_secs_f64();
+
+        let specs = [
+            MappingSpec::Consecutive,
+            MappingSpec::Block { cores: 4 },
+            MappingSpec::RandomBlock { cores: 4, seed: 1 },
+        ];
+        for spec in &specs {
+            let mapping = spec.build(cfg.ranks as usize, nodes);
+            let rank_pairs = tm.num_pairs();
+            let chunk = 512.max(rank_pairs / 256 + 1);
+
+            // Warm-up doubles as the differential guard: both paths must
+            // produce byte-identical reports before any number is trusted.
+            // For lazy tables this also pays the one-time row fills.
+            let base_rep = analyze_network_rank_pairs(topo, &mapping, &tm, chunk);
+            let routed_rep = analyze_network_routed(&routed, &mapping, &tm);
+            assert_eq!(
+                base_rep,
+                routed_rep,
+                "replay divergence on {} / {}",
+                cfg.name,
+                spec.label()
+            );
+
+            let node_pairs = node_pair_traffic(&mapping, &tm).len();
+            let baseline_s = time_best(iters, || {
+                std::hint::black_box(analyze_network_rank_pairs(topo, &mapping, &tm, chunk));
+            });
+            let routed_s = time_best(iters, || {
+                std::hint::black_box(analyze_network_routed(&routed, &mapping, &tm));
+            });
+
+            let packets = base_rep.packets;
+            let row = BenchRow {
+                config: cfg.name.to_string(),
+                nodes,
+                ranks: cfg.ranks,
+                mapping: spec.label(),
+                workload: workload.clone(),
+                rank_pairs,
+                node_pairs,
+                packets,
+                dense_table: routed.is_precomputed(),
+                table_build_s,
+                baseline_s,
+                routed_s,
+                baseline_pairs_per_s: rank_pairs as f64 / baseline_s,
+                routed_pairs_per_s: rank_pairs as f64 / routed_s,
+                baseline_packets_per_s: packets as f64 / baseline_s,
+                routed_packets_per_s: packets as f64 / routed_s,
+                speedup: baseline_s / routed_s,
+            };
+            println!(
+                "[bench] {:<14} {:<11} pairs={:>7} nodepairs={:>7} base={:>9.1}ms routed={:>9.1}ms speedup={:.2}x",
+                row.config,
+                row.mapping,
+                row.rank_pairs,
+                row.node_pairs,
+                row.baseline_s * 1e3,
+                row.routed_s * 1e3,
+                row.speedup
+            );
+            results.push(row);
+        }
+    }
+    BenchReport {
+        schema_version: SCHEMA_VERSION,
+        smoke,
+        results,
+    }
+}
+
+/// Validate the serialized tree, then write `report` to `path` as pretty
+/// JSON — a schema regression fails at the producer, before the file is
+/// consumed by anything downstream.
+///
+/// # Panics
+/// Panics when [`validate_json`] rejects the report's own serialization.
+pub fn write_report(report: &BenchReport, path: &str) -> std::io::Result<()> {
+    let tree = report.to_value();
+    if let Err(e) = validate_json(&tree) {
+        panic!("BENCH_netmodel.json schema regression: {e}");
+    }
+    let json = serde_json::to_string_pretty(report).expect("bench report serializes");
+    std::fs::write(path, json)
+}
+
+fn field<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
+    match v {
+        Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn finite_number(v: &Value) -> Option<f64> {
+    match v {
+        Value::Float(x) if x.is_finite() => Some(*x),
+        Value::UInt(u) => Some(*u as f64),
+        Value::Int(i) => Some(*i as f64),
+        _ => None,
+    }
+}
+
+/// Structural check of a `BENCH_netmodel.json` value tree: version match,
+/// required fields present with the right JSON types, finite non-negative
+/// timings, non-empty results. Returns the first violation found.
+pub fn validate_json(v: &Value) -> Result<(), String> {
+    match field(v, "schema_version") {
+        Some(Value::UInt(ver)) if *ver == u128::from(SCHEMA_VERSION) => {}
+        Some(Value::UInt(ver)) => {
+            return Err(format!("schema_version {ver} != expected {SCHEMA_VERSION}"))
+        }
+        _ => return Err("missing schema_version".into()),
+    }
+    if !matches!(field(v, "smoke"), Some(Value::Bool(_))) {
+        return Err("missing smoke flag".into());
+    }
+    let results = match field(v, "results") {
+        Some(Value::Array(rows)) => rows,
+        _ => return Err("missing results array".into()),
+    };
+    if results.is_empty() {
+        return Err("empty results array".into());
+    }
+    for (i, row) in results.iter().enumerate() {
+        for key in ["config", "mapping", "workload"] {
+            if !matches!(field(row, key), Some(Value::Str(_))) {
+                return Err(format!("results[{i}].{key} missing or not a string"));
+            }
+        }
+        for key in ["nodes", "ranks", "rank_pairs", "node_pairs", "packets"] {
+            if !matches!(field(row, key), Some(Value::UInt(_))) {
+                return Err(format!("results[{i}].{key} missing or not an integer"));
+            }
+        }
+        if !matches!(field(row, "dense_table"), Some(Value::Bool(_))) {
+            return Err(format!("results[{i}].dense_table missing or not a bool"));
+        }
+        for key in [
+            "table_build_s",
+            "baseline_s",
+            "routed_s",
+            "baseline_pairs_per_s",
+            "routed_pairs_per_s",
+            "baseline_packets_per_s",
+            "routed_packets_per_s",
+            "speedup",
+        ] {
+            match field(row, key).and_then(finite_number) {
+                Some(x) if x >= 0.0 => {}
+                Some(x) => {
+                    return Err(format!("results[{i}].{key} = {x} is negative"));
+                }
+                None => {
+                    return Err(format!("results[{i}].{key} missing or not a finite number"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_valid_schema() {
+        let report = run(true);
+        assert_eq!(report.results.len(), 9); // 3 configs × 3 mappings
+        validate_json(&report.to_value()).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_schema_drift() {
+        let tree = run(true).to_value();
+
+        let Value::Object(fields) = tree.clone() else {
+            panic!("report serializes to an object");
+        };
+        let without_smoke =
+            Value::Object(fields.into_iter().filter(|(k, _)| k != "smoke").collect());
+        assert!(validate_json(&without_smoke).unwrap_err().contains("smoke"));
+
+        let Value::Object(fields) = tree else {
+            panic!("report serializes to an object");
+        };
+        let bumped = Value::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| {
+                    if k == "schema_version" {
+                        (k, Value::UInt(u128::from(SCHEMA_VERSION) + 1))
+                    } else {
+                        (k, v)
+                    }
+                })
+                .collect(),
+        );
+        assert!(validate_json(&bumped)
+            .unwrap_err()
+            .contains("schema_version"));
+
+        assert!(validate_json(&Value::Null).is_err());
+    }
+}

@@ -32,6 +32,7 @@ pub mod netmodel;
 pub mod patterns;
 pub mod refmodel;
 pub mod report;
+pub mod sweep;
 pub mod timeline;
 pub mod traffic;
 
@@ -40,9 +41,11 @@ pub use metrics::peers::peers;
 pub use metrics::rank_locality::{rank_distance_90, rank_locality_90};
 pub use metrics::selectivity::{selectivity_90, SelectivityCurve};
 pub use netmodel::{
-    analyze_network, analyze_network_chunked, NetworkReport, LINK_BANDWIDTH_BYTES_PER_S,
+    analyze_network, analyze_network_chunked, analyze_network_rank_pairs, analyze_network_routed,
+    analyze_network_routed_chunked, node_pair_traffic, NetworkReport, LINK_BANDWIDTH_BYTES_PER_S,
     PACKET_PAYLOAD,
 };
 pub use refmodel::analyze_network_reference;
 pub use report::{analyze_trace, TraceAnalysis};
+pub use sweep::{sweep_grid, MappingSpec, SweepCell};
 pub use traffic::{PairTraffic, TrafficMatrix};

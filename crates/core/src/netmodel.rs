@@ -8,8 +8,9 @@
 //! quantities upper bounds ("static analyses … present an upper limit for
 //! the maximum utilization", §8).
 
-use crate::traffic::TrafficMatrix;
-use netloc_topology::{LinkClass, Mapping, Topology};
+use crate::fxhash::FxHashMap;
+use crate::traffic::{PairTraffic, TrafficMatrix};
+use netloc_topology::{LinkClass, Mapping, NodeId, RoutedTopology, Topology};
 use rayon::prelude::*;
 use serde::Serialize;
 
@@ -109,7 +110,9 @@ impl NetworkReport {
     }
 
     /// The smallest hop count within which `share` (0..=1) of the packets
-    /// stay — a quantile view of the route-length spread.
+    /// stay — a quantile view of the route-length spread. A share of 0.0
+    /// yields the smallest hop count with nonzero packet mass (not hop 0,
+    /// which may be an empty histogram bucket).
     pub fn hop_quantile(&self, share: f64) -> Option<u32> {
         assert!((0.0..=1.0).contains(&share));
         if self.packets == 0 {
@@ -119,12 +122,197 @@ impl NetworkReport {
         let mut cum = 0.0;
         for (h, &count) in self.hop_histogram.iter().enumerate() {
             cum += count as f64;
-            if cum >= target {
+            if cum > 0.0 && cum >= target {
                 return Some(h as u32);
             }
         }
         Some(self.hop_histogram.len().saturating_sub(1) as u32)
     }
+}
+
+/// Per-chunk replay accumulator; merged pairwise in chunk order, so every
+/// field must be a commutative exact sum for the chunked paths to stay
+/// byte-identical to the single-threaded reference.
+struct Acc {
+    packet_hops: u128,
+    packets: u64,
+    messages: u64,
+    link_volume: u128,
+    global_packets: u64,
+    global_messages: u64,
+    loads: Vec<u64>,
+    hop_hist: Vec<u64>,
+}
+
+impl Acc {
+    fn new(num_links: usize) -> Self {
+        Acc {
+            packet_hops: 0,
+            packets: 0,
+            messages: 0,
+            link_volume: 0,
+            global_packets: 0,
+            global_messages: 0,
+            loads: vec![0; num_links],
+            hop_hist: Vec::new(),
+        }
+    }
+
+    /// Account one pair's traffic along its route.
+    #[inline]
+    fn visit(&mut self, route: &[netloc_topology::LinkId], p: &PairTraffic, classes: &[LinkClass]) {
+        let hops = route.len();
+        self.packet_hops += hops as u128 * p.packets as u128;
+        self.packets += p.packets;
+        self.messages += p.messages;
+        self.link_volume += hops as u128 * p.bytes as u128;
+        if self.hop_hist.len() <= hops {
+            self.hop_hist.resize(hops + 1, 0);
+        }
+        self.hop_hist[hops] += p.packets;
+        if route.iter().any(|l| classes[l.idx()].is_global()) {
+            self.global_packets += p.packets;
+            self.global_messages += p.messages;
+        }
+        for l in route {
+            self.loads[l.idx()] += p.bytes;
+        }
+    }
+
+    fn merge(mut self, other: Acc) -> Acc {
+        self.packet_hops += other.packet_hops;
+        self.packets += other.packets;
+        self.messages += other.messages;
+        self.link_volume += other.link_volume;
+        self.global_packets += other.global_packets;
+        self.global_messages += other.global_messages;
+        for (a, b) in self.loads.iter_mut().zip(&other.loads) {
+            *a += b;
+        }
+        if self.hop_hist.len() < other.hop_hist.len() {
+            self.hop_hist.resize(other.hop_hist.len(), 0);
+        }
+        for (h, c) in other.hop_hist.iter().enumerate() {
+            self.hop_hist[h] += c;
+        }
+        self
+    }
+
+    fn into_report(self, num_links: usize) -> NetworkReport {
+        NetworkReport {
+            packet_hops: self.packet_hops,
+            packets: self.packets,
+            messages: self.messages,
+            link_volume_bytes: self.link_volume,
+            used_links: self.loads.iter().filter(|&&b| b > 0).count(),
+            total_links: num_links,
+            global_packets: self.global_packets,
+            global_messages: self.global_messages,
+            link_loads: self.loads,
+            hop_histogram: self.hop_hist,
+        }
+    }
+}
+
+/// Collapse the rank-pair matrix to *node-pair* aggregates under `mapping`,
+/// sorted by node pair.
+///
+/// The network model is linear in bytes/packets per route, so replaying
+/// each unique node pair once with summed traffic is exactly equivalent to
+/// replaying every rank pair — and under multi-rank-per-node (block)
+/// mappings many rank pairs collapse onto one node pair, shrinking the
+/// replay's working set. Rank pairs mapped to the *same* node are kept:
+/// their packets enter the report with an empty route (zero hops), exactly
+/// as in the rank-pair replay.
+///
+/// Aggregation walks the cached [`TrafficMatrix::sorted_pairs`] view (the
+/// hash-map collect + sort is paid once per matrix, not per mapping) and
+/// picks its strategy from the mapping:
+///
+/// * **injective** mappings (consecutive, random permutation) cannot merge
+///   anything — distinct rank pairs stay distinct — so the pair list is
+///   relabeled in place, and re-sorted only when the relabeling is not
+///   monotone (consecutive is; a permutation is not);
+/// * **many-ranks-per-node** mappings (block, random-block) hash-aggregate
+///   into the much smaller node-pair set before the final sort.
+///
+/// Both strategies end sorted by node pair and all sums are exact
+/// integers, so the result never depends on the strategy or hash order.
+pub fn node_pair_traffic(mapping: &Mapping, tm: &TrafficMatrix) -> Vec<((u32, u32), PairTraffic)> {
+    let relabel = |&((s, d), p): &((u32, u32), PairTraffic)| {
+        let key = (mapping.node_of(s as usize).0, mapping.node_of(d as usize).0);
+        (key, p)
+    };
+    let mut v: Vec<((u32, u32), PairTraffic)> = if mapping_is_injective(mapping) {
+        tm.sorted_pairs().iter().map(relabel).collect()
+    } else {
+        let mut acc: FxHashMap<(u32, u32), PairTraffic> = FxHashMap::default();
+        for (key, p) in tm.sorted_pairs().iter().map(relabel) {
+            let e = acc.entry(key).or_default();
+            e.bytes += p.bytes;
+            e.messages += p.messages;
+            e.packets += p.packets;
+        }
+        acc.into_iter().collect()
+    };
+    if !v.is_sorted_by_key(|(k, _)| *k) {
+        v.sort_unstable_by_key(|(k, _)| *k);
+    }
+    v
+}
+
+/// True when no two ranks share a node (checked with a node bitset).
+fn mapping_is_injective(mapping: &Mapping) -> bool {
+    let assignment = mapping.assignment();
+    if assignment.len() > mapping.num_nodes() {
+        return false;
+    }
+    let mut seen = vec![0u64; mapping.num_nodes().div_ceil(64)];
+    for node in assignment {
+        let (w, b) = (node.0 as usize / 64, node.0 as usize % 64);
+        if seen[w] >> b & 1 == 1 {
+            return false;
+        }
+        seen[w] |= 1 << b;
+    }
+    true
+}
+
+/// Replay already-aggregated node pairs against the routes of `routed`.
+fn replay_node_pairs(
+    routed: &RoutedTopology<'_>,
+    pairs: &[((u32, u32), PairTraffic)],
+    chunk_size: usize,
+) -> NetworkReport {
+    let topo = routed.topology();
+    let classes: Vec<LinkClass> = topo.links().iter().map(|l| l.class).collect();
+    let num_links = classes.len();
+    let acc = pairs
+        .par_chunks(chunk_size)
+        .map(|chunk| {
+            let mut acc = Acc::new(num_links);
+            let mut scratch = Vec::new();
+            for ((ns, nd), p) in chunk {
+                let route = routed.route_of(NodeId(*ns), NodeId(*nd), &mut scratch);
+                acc.visit(route, p, &classes);
+            }
+            acc
+        })
+        .reduce(|| Acc::new(num_links), Acc::merge);
+    acc.into_report(num_links)
+}
+
+fn default_chunk(pairs: usize) -> usize {
+    512.max(pairs / 256 + 1)
+}
+
+fn assert_mapping_covers(mapping: &Mapping, tm: &TrafficMatrix) {
+    assert!(
+        mapping.num_ranks() >= tm.num_ranks() as usize,
+        "mapping covers {} ranks, traffic matrix has {}",
+        mapping.num_ranks(),
+        tm.num_ranks()
+    );
 }
 
 /// Replay `tm` through `topo` under `mapping` and account every packet.
@@ -133,13 +321,16 @@ impl NetworkReport {
 /// all ranks of the matrix). Pairs mapped to the same node contribute
 /// packets with zero hops (they never enter the network), which only occurs
 /// with multi-rank-per-node mappings.
+///
+/// This one-shot entry point routes on demand (no table build). Sweeps that
+/// replay one topology many times should build a [`RoutedTopology`] once
+/// and call [`analyze_network_routed`] — or use [`crate::sweep`].
 pub fn analyze_network(
     topo: &dyn Topology,
     mapping: &Mapping,
     tm: &TrafficMatrix,
 ) -> NetworkReport {
-    let pairs = tm.num_pairs();
-    analyze_network_chunked(topo, mapping, tm, 512.max(pairs / 256 + 1))
+    analyze_network_routed(&RoutedTopology::direct(topo), mapping, tm)
 }
 
 /// [`analyze_network`] with an explicit parallel chunk size.
@@ -152,102 +343,69 @@ pub fn analyze_network_chunked(
     tm: &TrafficMatrix,
     chunk_size: usize,
 ) -> NetworkReport {
+    analyze_network_routed_chunked(&RoutedTopology::direct(topo), mapping, tm, chunk_size)
+}
+
+/// Replay against precomputed (or on-demand) routes: collapse the matrix to
+/// node pairs, then walk each unique pair's CSR route once.
+pub fn analyze_network_routed(
+    routed: &RoutedTopology<'_>,
+    mapping: &Mapping,
+    tm: &TrafficMatrix,
+) -> NetworkReport {
+    assert_mapping_covers(mapping, tm);
+    let pairs = node_pair_traffic(mapping, tm);
+    replay_node_pairs(routed, &pairs, default_chunk(pairs.len()))
+}
+
+/// [`analyze_network_routed`] with an explicit parallel chunk size.
+pub fn analyze_network_routed_chunked(
+    routed: &RoutedTopology<'_>,
+    mapping: &Mapping,
+    tm: &TrafficMatrix,
+    chunk_size: usize,
+) -> NetworkReport {
     assert!(chunk_size > 0, "chunk size must be non-zero");
-    assert!(
-        mapping.num_ranks() >= tm.num_ranks() as usize,
-        "mapping covers {} ranks, traffic matrix has {}",
-        mapping.num_ranks(),
-        tm.num_ranks()
-    );
+    assert_mapping_covers(mapping, tm);
+    let pairs = node_pair_traffic(mapping, tm);
+    replay_node_pairs(routed, &pairs, chunk_size)
+}
+
+/// The pre-route-table replay, kept as the benchmark baseline: collects and
+/// sorts the rank-pair list on every call and recomputes every route with
+/// [`Topology::route_into`] per *rank* pair (no node-pair deduplication, no
+/// CSR lookups). Byte-identical to the node-pair paths; `repro bench`
+/// measures the CSR replay's speedup against it.
+pub fn analyze_network_rank_pairs(
+    topo: &dyn Topology,
+    mapping: &Mapping,
+    tm: &TrafficMatrix,
+    chunk_size: usize,
+) -> NetworkReport {
+    assert!(chunk_size > 0, "chunk size must be non-zero");
+    assert_mapping_covers(mapping, tm);
     let classes: Vec<LinkClass> = topo.links().iter().map(|l| l.class).collect();
     let num_links = classes.len();
-
-    struct Acc {
-        packet_hops: u128,
-        packets: u64,
-        messages: u64,
-        link_volume: u128,
-        global_packets: u64,
-        global_messages: u64,
-        loads: Vec<u64>,
-        hop_hist: Vec<u64>,
-    }
-    impl Acc {
-        fn new(num_links: usize) -> Self {
-            Acc {
-                packet_hops: 0,
-                packets: 0,
-                messages: 0,
-                link_volume: 0,
-                global_packets: 0,
-                global_messages: 0,
-                loads: vec![0; num_links],
-                hop_hist: Vec::new(),
-            }
-        }
-        fn merge(mut self, other: Acc) -> Acc {
-            self.packet_hops += other.packet_hops;
-            self.packets += other.packets;
-            self.messages += other.messages;
-            self.link_volume += other.link_volume;
-            self.global_packets += other.global_packets;
-            self.global_messages += other.global_messages;
-            for (a, b) in self.loads.iter_mut().zip(&other.loads) {
-                *a += b;
-            }
-            if self.hop_hist.len() < other.hop_hist.len() {
-                self.hop_hist.resize(other.hop_hist.len(), 0);
-            }
-            for (h, c) in other.hop_hist.iter().enumerate() {
-                self.hop_hist[h] += c;
-            }
-            self
-        }
-    }
-
-    let pairs = tm.sorted_pairs();
+    let mut pairs: Vec<((u32, u32), PairTraffic)> = tm.iter().map(|(k, p)| (*k, *p)).collect();
+    pairs.sort_unstable_by_key(|(k, _)| *k);
     let acc = pairs
         .par_chunks(chunk_size)
         .map(|chunk| {
             let mut acc = Acc::new(num_links);
             let mut route = Vec::new();
-            for &((src, dst), p) in chunk {
-                let (ns, nd) = (mapping.node_of(src as usize), mapping.node_of(dst as usize));
+            for ((src, dst), p) in chunk {
+                let (ns, nd) = (
+                    mapping.node_of(*src as usize),
+                    mapping.node_of(*dst as usize),
+                );
                 route.clear();
                 topo.route_into(ns, nd, &mut route);
-                let hops = route.len() as u128;
-                acc.packet_hops += hops * p.packets as u128;
-                acc.packets += p.packets;
-                acc.messages += p.messages;
-                acc.link_volume += hops * p.bytes as u128;
-                if acc.hop_hist.len() <= route.len() {
-                    acc.hop_hist.resize(route.len() + 1, 0);
-                }
-                acc.hop_hist[route.len()] += p.packets;
-                if route.iter().any(|l| classes[l.idx()].is_global()) {
-                    acc.global_packets += p.packets;
-                    acc.global_messages += p.messages;
-                }
-                for l in &route {
-                    acc.loads[l.idx()] += p.bytes;
-                }
+                acc.visit(&route, p, &classes);
             }
             acc
         })
         .reduce(|| Acc::new(num_links), Acc::merge);
-
-    NetworkReport {
-        packet_hops: acc.packet_hops,
-        packets: acc.packets,
-        messages: acc.messages,
-        link_volume_bytes: acc.link_volume,
-        used_links: acc.loads.iter().filter(|&&b| b > 0).count(),
-        total_links: num_links,
-        global_packets: acc.global_packets,
-        global_messages: acc.global_messages,
-        link_loads: acc.loads,
-        hop_histogram: acc.hop_hist,
-    }
+    acc.into_report(num_links)
 }
 
 #[cfg(test)]
@@ -393,6 +551,74 @@ mod tests {
         // empty report has no quantiles
         let empty = analyze_network(&topo, &m, &TrafficMatrix::new(64));
         assert_eq!(empty.hop_quantile(0.5), None);
+    }
+
+    #[test]
+    fn hop_quantile_zero_skips_empty_buckets() {
+        // 4-node ring, neighbor traffic only: every route is exactly one
+        // hop, so hop_histogram[0] == 0 and the 0-quantile must be 1.
+        let topo = Torus3D::new([4, 1, 1]);
+        let m = Mapping::consecutive(4, 4);
+        let mut tm = TrafficMatrix::new(4);
+        for r in 0..4u32 {
+            tm.record(r, (r + 1) % 4, 64, 1);
+        }
+        let rep = analyze_network(&topo, &m, &tm);
+        assert_eq!(rep.hop_histogram[0], 0);
+        assert_eq!(rep.hop_quantile(0.0), Some(1));
+    }
+
+    #[test]
+    fn block_mapping_collapses_rank_pairs_to_node_pairs() {
+        // 8 ranks, 4 cores per node: ranks 0..4 on node 0, 4..8 on node 1.
+        let m = Mapping::block(8, 4, 8);
+        let mut tm = TrafficMatrix::new(8);
+        for s in 0..8u32 {
+            for d in 0..8u32 {
+                if s != d {
+                    tm.record(s, d, 100, 1);
+                }
+            }
+        }
+        let pairs = node_pair_traffic(&m, &tm);
+        // 56 rank pairs collapse to 4 node pairs: (0,0), (0,1), (1,0), (1,1).
+        assert_eq!(pairs.len(), 4);
+        assert_eq!(
+            pairs.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![(0, 0), (0, 1), (1, 0), (1, 1)]
+        );
+        // Same-node pairs survive with their packets (replayed at 0 hops).
+        let same: u64 = pairs
+            .iter()
+            .filter(|((a, b), _)| a == b)
+            .map(|(_, p)| p.packets)
+            .sum();
+        assert_eq!(same, 2 * 4 * 3); // 12 intra-node rank pairs per node
+        let total: u64 = pairs.iter().map(|(_, p)| p.packets).sum();
+        assert_eq!(total, tm.total_packets());
+    }
+
+    #[test]
+    fn routed_paths_match_rank_pair_baseline() {
+        let topo = Dragonfly::new(4, 2, 2);
+        let mut tm = TrafficMatrix::new(72);
+        for r in 0..72u32 {
+            tm.record(r, (r * 31 + 5) % 72, 3000 + r as u64, 1 + r as u64 % 3);
+        }
+        for mapping in [Mapping::consecutive(72, 72), Mapping::block(72, 4, 72)] {
+            let baseline = analyze_network_rank_pairs(&topo, &mapping, &tm, 64);
+            let dense = RoutedTopology::dense(&topo);
+            let lazy = RoutedTopology::lazy(&topo);
+            assert_eq!(analyze_network(&topo, &mapping, &tm), baseline);
+            assert_eq!(analyze_network_routed(&dense, &mapping, &tm), baseline);
+            assert_eq!(analyze_network_routed(&lazy, &mapping, &tm), baseline);
+            for chunk in [1, 7, 1024] {
+                assert_eq!(
+                    analyze_network_routed_chunked(&dense, &mapping, &tm, chunk),
+                    baseline
+                );
+            }
+        }
     }
 
     #[test]

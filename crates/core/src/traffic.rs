@@ -3,6 +3,7 @@
 use crate::fxhash::FxHashMap;
 use crate::netmodel::PACKET_PAYLOAD;
 use netloc_mpi::{translate_collective, Event, Trace};
+use std::sync::OnceLock;
 
 /// Aggregated traffic between one ordered rank pair.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -29,6 +30,13 @@ pub struct PairTraffic {
 pub struct TrafficMatrix {
     num_ranks: u32,
     pairs: FxHashMap<(u32, u32), PairTraffic>,
+    /// Frozen sorted view of `pairs`, built on first [`sorted_pairs`] call
+    /// and dropped by [`record`] — replays and sweeps read the matrix many
+    /// times between mutations, so the collect + sort must not repeat.
+    ///
+    /// [`sorted_pairs`]: TrafficMatrix::sorted_pairs
+    /// [`record`]: TrafficMatrix::record
+    sorted: OnceLock<Vec<((u32, u32), PairTraffic)>>,
 }
 
 impl TrafficMatrix {
@@ -37,6 +45,7 @@ impl TrafficMatrix {
         TrafficMatrix {
             num_ranks,
             pairs: FxHashMap::default(),
+            sorted: OnceLock::new(),
         }
     }
 
@@ -46,6 +55,7 @@ impl TrafficMatrix {
         if src == dst || repeat == 0 {
             return;
         }
+        self.sorted.take();
         let e = self.pairs.entry((src, dst)).or_default();
         e.bytes += bytes * repeat;
         e.messages += repeat;
@@ -122,12 +132,15 @@ impl TrafficMatrix {
         self.pairs.iter()
     }
 
-    /// Collect the pairs into a vector sorted by `(src, dst)` —
-    /// deterministic order for reports and parallel sweeps.
-    pub fn sorted_pairs(&self) -> Vec<((u32, u32), PairTraffic)> {
-        let mut v: Vec<_> = self.pairs.iter().map(|(k, p)| (*k, *p)).collect();
-        v.sort_unstable_by_key(|(k, _)| *k);
-        v
+    /// The pairs sorted by `(src, dst)` — deterministic order for reports
+    /// and parallel sweeps. Computed once per matrix state and cached;
+    /// [`TrafficMatrix::record`] invalidates the cache.
+    pub fn sorted_pairs(&self) -> &[((u32, u32), PairTraffic)] {
+        self.sorted.get_or_init(|| {
+            let mut v: Vec<_> = self.pairs.iter().map(|(k, p)| (*k, *p)).collect();
+            v.sort_unstable_by_key(|(k, _)| *k);
+            v
+        })
     }
 
     /// Outgoing volume per destination for one source rank, sorted by
@@ -261,5 +274,18 @@ mod tests {
         tm.record(1, 2, 3, 1);
         let keys: Vec<_> = tm.sorted_pairs().iter().map(|(k, _)| *k).collect();
         assert_eq!(keys, vec![(0, 3), (1, 2), (3, 0)]);
+    }
+
+    #[test]
+    fn sorted_pairs_cache_invalidated_by_record() {
+        let mut tm = TrafficMatrix::new(4);
+        tm.record(2, 1, 10, 1);
+        assert_eq!(tm.sorted_pairs().len(), 1);
+        // Cache is warm now; a record must drop it, not serve stale pairs.
+        tm.record(0, 3, 5, 2);
+        let keys: Vec<_> = tm.sorted_pairs().iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![(0, 3), (2, 1)]);
+        // Repeated reads return the same frozen slice.
+        assert_eq!(tm.sorted_pairs().as_ptr(), tm.sorted_pairs().as_ptr());
     }
 }

@@ -50,7 +50,7 @@ fn empty_report() -> NetworkReport {
 }
 
 #[test]
-fn hop_quantile_share_zero_is_hop_zero_and_share_one_is_last_used_hop() {
+fn hop_quantile_share_zero_is_first_used_hop_and_share_one_is_last_used_hop() {
     let mut rng = ChaCha8Rng::seed_from_u64(0x9e3779b97f4a7c15);
     for case in 0..CASES {
         let r = random_report(&mut rng);
@@ -59,8 +59,14 @@ fn hop_quantile_share_zero_is_hop_zero_and_share_one_is_last_used_hop() {
             assert_eq!(r.hop_quantile(1.0), None, "case {case}");
             continue;
         }
-        // Share 0 is satisfied before any packet is counted.
-        assert_eq!(r.hop_quantile(0.0), Some(0), "case {case}");
+        // Share 0 is the smallest hop count with nonzero packet mass —
+        // leading empty buckets (hop 0 in particular) must be skipped.
+        let first_used = r
+            .hop_histogram
+            .iter()
+            .position(|&c| c > 0)
+            .expect("packets > 0") as u32;
+        assert_eq!(r.hop_quantile(0.0), Some(first_used), "case {case}");
         // Share 1 needs every packet, i.e. the last nonzero bucket.
         let last_used = r
             .hop_histogram
@@ -69,6 +75,27 @@ fn hop_quantile_share_zero_is_hop_zero_and_share_one_is_last_used_hop() {
             .expect("packets > 0") as u32;
         assert_eq!(r.hop_quantile(1.0), Some(last_used), "case {case}");
     }
+}
+
+#[test]
+fn hop_quantile_zero_skips_leading_empty_buckets() {
+    // Deterministic regression case: all mass at hops 3 and 5, nothing at
+    // 0..=2 — the 0-quantile is 3, never 0.
+    let r = NetworkReport {
+        packet_hops: 3 * 10 + 5 * 4,
+        packets: 14,
+        messages: 14,
+        link_volume_bytes: 0,
+        used_links: 1,
+        total_links: 4,
+        global_packets: 0,
+        global_messages: 0,
+        link_loads: vec![0; 4],
+        hop_histogram: vec![0, 0, 0, 10, 0, 4],
+    };
+    assert_eq!(r.hop_quantile(0.0), Some(3));
+    assert_eq!(r.hop_quantile(0.5), Some(3));
+    assert_eq!(r.hop_quantile(1.0), Some(5));
 }
 
 #[test]

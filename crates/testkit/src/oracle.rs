@@ -7,17 +7,20 @@
 //! at once with readable context.
 
 use crate::corpus::CorpusConfig;
-use netloc_core::netmodel::{analyze_network, analyze_network_chunked, NetworkReport};
+use netloc_core::netmodel::{
+    analyze_network, analyze_network_chunked, analyze_network_rank_pairs, analyze_network_routed,
+    NetworkReport,
+};
 use netloc_core::refmodel::analyze_network_reference;
 use netloc_topology::bfs::{validate_walk, BfsRouter};
-use netloc_topology::{NodeId, Topology};
+use netloc_topology::{NodeId, RoutedTopology, Topology};
 
 /// One oracle violation, tied to the corpus config that produced it.
 #[derive(Debug, Clone)]
 pub struct Mismatch {
     /// Corpus config id (see [`CorpusConfig::id`]).
     pub config: String,
-    /// Which oracle fired: `"route"` or `"replay"`.
+    /// Which oracle fired: `"route"`, `"route-table"`, or `"replay"`.
     pub oracle: &'static str,
     /// Human-readable description of the violation.
     pub detail: String,
@@ -61,13 +64,15 @@ pub fn check_routes(topo: &dyn Topology, allow_one_hop_detour: bool) -> (Vec<Str
     let n = topo.num_nodes();
     let mut violations = Vec::new();
     let mut pairs = 0u64;
+    let mut route = Vec::new();
     for s in 0..n {
         let src = NodeId(s as u32);
         let dist = bfs.distances_from(src);
         for (d, &optimal) in dist.iter().enumerate().take(n) {
             let dst = NodeId(d as u32);
             pairs += 1;
-            let route = topo.route(src, dst);
+            route.clear();
+            topo.route_into(src, dst, &mut route);
             if let Err(e) = validate_walk(topo, src, dst, &route) {
                 violations.push(format!("{s}->{d}: invalid walk: {e}"));
                 continue;
@@ -83,6 +88,59 @@ pub fn check_routes(topo: &dyn Topology, allow_one_hop_detour: bool) -> (Vec<Str
                 violations.push(format!(
                     "{s}->{d}: hops() says {}, route() has {direct} links",
                     topo.hops(src, dst)
+                ));
+            }
+        }
+    }
+    (violations, pairs)
+}
+
+/// Compare the precomputed CSR storage against direct routing for every
+/// node pair: the dense [`RouteTable`](netloc_topology::RouteTable) and the
+/// lazy per-source rows must both return routes *byte-identical* to
+/// [`Topology::route_into`], with matching CSR hop counts.
+///
+/// Returns violations; the second tuple element is the number of pairs
+/// checked (each pair checks dense and lazy storage).
+pub fn check_route_table(topo: &dyn Topology) -> (Vec<String>, u64) {
+    let table = topo.route_table();
+    let lazy = RoutedTopology::lazy(topo);
+    let n = topo.num_nodes();
+    let mut violations = Vec::new();
+    let mut pairs = 0u64;
+    let mut direct = Vec::new();
+    let mut scratch = Vec::new();
+    if table.num_nodes() != n {
+        violations.push(format!(
+            "table covers {} nodes, topology has {n}",
+            table.num_nodes()
+        ));
+        return (violations, pairs);
+    }
+    for s in 0..n {
+        let src = NodeId(s as u32);
+        for d in 0..n {
+            let dst = NodeId(d as u32);
+            pairs += 1;
+            direct.clear();
+            topo.route_into(src, dst, &mut direct);
+            let stored = table.route_of(src, dst);
+            if stored != direct {
+                violations.push(format!(
+                    "{s}->{d}: dense CSR route {stored:?} != route_into {direct:?}"
+                ));
+            }
+            if table.hops(src, dst) as usize != direct.len() {
+                violations.push(format!(
+                    "{s}->{d}: dense CSR hops {} != route length {}",
+                    table.hops(src, dst),
+                    direct.len()
+                ));
+            }
+            let lazy_route = lazy.route_of(src, dst, &mut scratch);
+            if lazy_route != direct {
+                violations.push(format!(
+                    "{s}->{d}: lazy row route {lazy_route:?} != route_into {direct:?}"
                 ));
             }
         }
@@ -137,9 +195,11 @@ pub fn report_diff(expected: &NetworkReport, actual: &NetworkReport) -> Vec<Stri
     diffs
 }
 
-/// Differential replay check for one corpus config: the rayon-chunked
-/// production path and several explicit chunk sizes must all be
-/// byte-identical to the naive single-threaded reference.
+/// Differential replay check for one corpus config: every production
+/// replay path — the node-pair-deduplicated default, the same replay over
+/// dense and lazy CSR route storage, the legacy rank-pair baseline, and
+/// several explicit chunk sizes — must be byte-identical to the naive
+/// single-threaded reference.
 ///
 /// Returns violations; the second tuple element is the number of replay
 /// comparisons performed.
@@ -156,6 +216,25 @@ pub fn check_replay(cfg: &CorpusConfig) -> (Vec<String>, u64) {
     checks += 1;
     for d in report_diff(&reference, &production) {
         violations.push(format!("production path: {d}"));
+    }
+
+    // The node-pair replay over precomputed CSR storage, in both modes.
+    for (label, routed) in [
+        ("dense route table", RoutedTopology::dense(topo.as_ref())),
+        ("lazy route rows", RoutedTopology::lazy(topo.as_ref())),
+    ] {
+        let routed_report = analyze_network_routed(&routed, &mapping, &tm);
+        checks += 1;
+        for d in report_diff(&reference, &routed_report) {
+            violations.push(format!("{label}: {d}"));
+        }
+    }
+
+    // The pre-deduplication rank-pair baseline kept for benchmarking.
+    let legacy = analyze_network_rank_pairs(topo.as_ref(), &mapping, &tm, 512);
+    checks += 1;
+    for d in report_diff(&reference, &legacy) {
+        violations.push(format!("rank-pair baseline: {d}"));
     }
 
     // Degenerate (1), prime (7), and single-chunk sizes shake out any
@@ -190,6 +269,15 @@ pub fn verify_corpus(corpus: &[CorpusConfig]) -> VerifySummary {
                 .extend(violations.into_iter().map(|detail| Mismatch {
                     config: cfg.id(),
                     oracle: "route",
+                    detail,
+                }));
+            let (violations, pairs) = check_route_table(topo.as_ref());
+            summary.route_pairs += pairs;
+            summary
+                .mismatches
+                .extend(violations.into_iter().map(|detail| Mismatch {
+                    config: cfg.id(),
+                    oracle: "route-table",
                     detail,
                 }));
         }
@@ -227,6 +315,40 @@ mod tests {
                 .collect::<Vec<_>>()
                 .join("\n")
         );
+    }
+
+    #[test]
+    fn route_tables_byte_identical_on_all_corpus_topologies() {
+        for cfg in default_corpus() {
+            let topo = cfg.build_topology();
+            let (violations, pairs) = check_route_table(topo.as_ref());
+            assert!(pairs > 0);
+            assert!(
+                violations.is_empty(),
+                "{}: {}",
+                cfg.id(),
+                violations.join("\n")
+            );
+        }
+    }
+
+    #[test]
+    fn dedup_replay_equals_reference_on_all_corpus_configs() {
+        for cfg in default_corpus() {
+            let topo = cfg.build_topology();
+            let mapping = cfg.build_mapping(topo.num_nodes());
+            let tm = cfg.build_traffic();
+            let reference = analyze_network_reference(topo.as_ref(), &mapping, &tm);
+            let routed = RoutedTopology::dense(topo.as_ref());
+            // Full-struct equality, not field spot-checks: NetworkReport is
+            // all exact integers, so == is the strongest possible oracle.
+            assert_eq!(
+                analyze_network_routed(&routed, &mapping, &tm),
+                reference,
+                "{}",
+                cfg.id()
+            );
+        }
     }
 
     #[test]

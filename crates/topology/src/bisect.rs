@@ -135,7 +135,7 @@ fn bisect(slice: &mut [usize], adj: &[Vec<(usize, u64)>], passes: usize) {
 mod tests {
     use super::*;
     use crate::optimize::mapping_cost;
-    use crate::{Mapping, Torus3D};
+    use crate::{Mapping, RoutedTopology, Torus3D};
 
     fn clique_traffic(groups: &[&[usize]], heavy: u64) -> Vec<TrafficEntry> {
         let mut t = Vec::new();
@@ -162,8 +162,9 @@ mod tests {
         let traffic = clique_traffic(&[&[0, 2, 4, 6], &[1, 3, 5, 7]], 1000);
         let m = bisection_mapping(8, 8, &traffic, 4);
         let torus = Torus3D::new([8, 1, 1]);
+        let rt = RoutedTopology::auto(&torus);
         let consecutive = Mapping::consecutive(8, 8);
-        assert!(mapping_cost(&torus, &m, &traffic) < mapping_cost(&torus, &consecutive, &traffic));
+        assert!(mapping_cost(&rt, &m, &traffic) < mapping_cost(&rt, &consecutive, &traffic));
     }
 
     #[test]
@@ -178,10 +179,11 @@ mod tests {
             })
             .collect();
         let torus = Torus3D::new([16, 1, 1]);
+        let rt = RoutedTopology::auto(&torus);
         let m = bisection_mapping(16, 16, &traffic, 4);
         let consecutive = Mapping::consecutive(16, 16);
-        let c_bis = mapping_cost(&torus, &m, &traffic);
-        let c_con = mapping_cost(&torus, &consecutive, &traffic);
+        let c_bis = mapping_cost(&rt, &m, &traffic);
+        let c_con = mapping_cost(&rt, &consecutive, &traffic);
         assert!(c_bis <= 2 * c_con, "{c_bis} vs {c_con}");
     }
 

@@ -4,9 +4,16 @@
 //! `Topology::hops` inside tight loops; for repeated queries on a fixed
 //! topology a dense distance matrix is much faster than re-deriving routes.
 //! Memory is one `u16` per node pair (a 1728-node torus costs ~6 MB).
+//!
+//! Construction derives each distance from the deterministic route length
+//! (not per-source BFS — dragonfly minimal routes may be one hop longer
+//! than the BFS optimum, and the matrix must agree with `Topology::hops`),
+//! parallelized over source nodes with rayon.
 
-use crate::link::NodeId;
+use crate::link::{LinkId, NodeId};
+use crate::routetable::RouteTable;
 use crate::Topology;
+use rayon::prelude::*;
 
 /// Dense all-pairs hop-distance matrix for one topology.
 #[derive(Debug, Clone)]
@@ -16,16 +23,57 @@ pub struct DistanceMatrix {
 }
 
 impl DistanceMatrix {
-    /// Precompute all pairwise hop distances of `topo`.
+    /// Precompute all pairwise hop distances of `topo`, in parallel over
+    /// source nodes.
     ///
     /// # Panics
     /// Panics if a distance exceeds `u16::MAX` (no realistic topology does).
     pub fn new(topo: &dyn Topology) -> Self {
         let n = topo.num_nodes();
+        let sources: Vec<u32> = (0..n as u32).collect();
+        let dist = sources
+            .par_chunks((n / 64).max(1))
+            .map(|srcs| {
+                let mut rows = Vec::with_capacity(srcs.len() * n);
+                let mut route: Vec<LinkId> = Vec::new();
+                for &s in srcs {
+                    for d in 0..n {
+                        route.clear();
+                        topo.route_into(NodeId(s), NodeId(d as u32), &mut route);
+                        rows.push(u16::try_from(route.len()).expect("hop count fits u16"));
+                    }
+                }
+                rows
+            })
+            .reduce(Vec::new, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            });
+        DistanceMatrix { n, dist }
+    }
+
+    /// The old serial construction via per-pair [`Topology::hops`]; kept as
+    /// the reference the parallel route-length build is tested against.
+    pub fn new_reference(topo: &dyn Topology) -> Self {
+        let n = topo.num_nodes();
         let mut dist = vec![0u16; n * n];
         for s in 0..n {
             for d in 0..n {
                 let h = topo.hops(NodeId(s as u32), NodeId(d as u32));
+                dist[s * n + d] = u16::try_from(h).expect("hop count fits u16");
+            }
+        }
+        DistanceMatrix { n, dist }
+    }
+
+    /// Read the distances off an already-built dense route table — pure
+    /// CSR offset differences, no routing at all.
+    pub fn from_route_table(table: &RouteTable) -> Self {
+        let n = table.num_nodes();
+        let mut dist = vec![0u16; n * n];
+        for s in 0..n {
+            for d in 0..n {
+                let h = table.hops(NodeId(s as u32), NodeId(d as u32));
                 dist[s * n + d] = u16::try_from(h).expect("hop count fits u16");
             }
         }
@@ -78,6 +126,26 @@ mod tests {
                     m.hops(NodeId(s as u32), NodeId(d as u32)),
                     t.hops(NodeId(s as u32), NodeId(d as u32))
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_equals_reference_and_route_table() {
+        for topo in [
+            &Torus3D::new([4, 3, 2]) as &dyn Topology,
+            &FatTree::new(8, 2),
+            &Dragonfly::new(4, 2, 2),
+        ] {
+            let new = DistanceMatrix::new(topo);
+            let reference = DistanceMatrix::new_reference(topo);
+            let from_table = DistanceMatrix::from_route_table(&topo.route_table());
+            for s in 0..topo.num_nodes() {
+                for d in 0..topo.num_nodes() {
+                    let (sn, dn) = (NodeId(s as u32), NodeId(d as u32));
+                    assert_eq!(new.hops(sn, dn), reference.hops(sn, dn), "{s}->{d}");
+                    assert_eq!(new.hops(sn, dn), from_table.hops(sn, dn), "{s}->{d}");
+                }
             }
         }
     }

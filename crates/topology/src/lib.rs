@@ -49,6 +49,7 @@ pub mod link;
 pub mod mapping;
 pub mod mesh;
 pub mod optimize;
+pub mod routetable;
 pub mod tapered;
 pub mod torus;
 pub mod torus_nd;
@@ -61,6 +62,7 @@ pub use fattree::FatTree;
 pub use link::{Link, LinkClass, LinkId, NodeId};
 pub use mapping::Mapping;
 pub use mesh::Mesh3D;
+pub use routetable::{RouteTable, RoutedTopology, SourceRow};
 pub use tapered::TaperedFatTree;
 pub use torus::Torus3D;
 pub use torus_nd::TorusNd;
@@ -101,6 +103,13 @@ pub trait Topology: Sync {
         let mut out = Vec::new();
         self.route_into(src, dst, &mut out);
         out
+    }
+
+    /// Precompute every route of this topology into a dense CSR
+    /// [`RouteTable`] (parallel build; see `routetable` for the memory
+    /// bound and a lazy alternative for very large machines).
+    fn route_table(&self) -> RouteTable {
+        RouteTable::build(self)
     }
 
     /// The topology's diameter in hops (maximum over node pairs).

@@ -61,6 +61,21 @@ impl Mapping {
         }
     }
 
+    /// Build from an explicit placement (`assignment[rank] = node`) where
+    /// several ranks may share a node (multicore placements).
+    ///
+    /// # Panics
+    /// Panics if a node is out of range.
+    pub fn from_nodes(assignment: Vec<NodeId>, nodes: usize) -> Self {
+        for n in &assignment {
+            assert!(n.idx() < nodes, "node {n} out of range");
+        }
+        Mapping {
+            node_of_rank: assignment,
+            num_nodes: nodes,
+        }
+    }
+
     /// Build from an explicit permutation (`assignment[rank] = node`).
     ///
     /// # Panics

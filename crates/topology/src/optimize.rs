@@ -8,9 +8,15 @@
 //! `Σ bytes(src,dst) · hops(node(src), node(dst))` — exactly the paper's
 //! *packet hops* objective up to packetization.
 
+//! Both optimizers query hop distances in their innermost loops, so they
+//! take a [`RoutedTopology`] rather than a bare topology: with dense or
+//! lazy route storage every `hops` query is a CSR offset difference
+//! instead of a route derivation. Wrap a topology with
+//! [`RoutedTopology::auto`] (or `direct` to opt out of precomputation).
+
 use crate::link::NodeId;
 use crate::mapping::Mapping;
-use crate::Topology;
+use crate::routetable::RoutedTopology;
 use rand::Rng;
 
 /// One aggregated traffic entry between two ranks.
@@ -25,11 +31,15 @@ pub struct TrafficEntry {
 }
 
 /// Hop-weighted traffic cost of a mapping (bytes × hops, summed).
-pub fn mapping_cost(topo: &dyn Topology, mapping: &Mapping, traffic: &[TrafficEntry]) -> u128 {
+pub fn mapping_cost(
+    routed: &RoutedTopology<'_>,
+    mapping: &Mapping,
+    traffic: &[TrafficEntry],
+) -> u128 {
     traffic
         .iter()
         .map(|t| {
-            let h = topo.hops(mapping.node_of(t.src), mapping.node_of(t.dst));
+            let h = routed.hops(mapping.node_of(t.src), mapping.node_of(t.dst));
             t.bytes as u128 * h as u128
         })
         .sum()
@@ -38,8 +48,12 @@ pub fn mapping_cost(topo: &dyn Topology, mapping: &Mapping, traffic: &[TrafficEn
 /// Greedy constructive mapping: ranks are placed in order of total traffic
 /// degree; each rank goes to the free node minimizing the hop-weighted cost
 /// to its already-placed partners.
-pub fn greedy_mapping(topo: &dyn Topology, num_ranks: usize, traffic: &[TrafficEntry]) -> Mapping {
-    let nodes = topo.num_nodes();
+pub fn greedy_mapping(
+    routed: &RoutedTopology<'_>,
+    num_ranks: usize,
+    traffic: &[TrafficEntry],
+) -> Mapping {
+    let nodes = routed.num_nodes();
     assert!(num_ranks <= nodes);
 
     // Adjacency with merged both-direction volumes.
@@ -84,7 +98,9 @@ pub fn greedy_mapping(topo: &dyn Topology, num_ranks: usize, traffic: &[TrafficE
             let cand = NodeId(n as u32);
             let cost: u128 = partners[next]
                 .iter()
-                .filter_map(|&(p, b)| node_of[p].map(|pn| b as u128 * topo.hops(cand, pn) as u128))
+                .filter_map(|&(p, b)| {
+                    node_of[p].map(|pn| b as u128 * routed.hops(cand, pn) as u128)
+                })
                 .sum();
             if cost < best_cost {
                 best_cost = cost;
@@ -132,7 +148,7 @@ impl Default for AnnealParams {
 ///
 /// Deterministic for a fixed RNG; returns the best mapping encountered.
 pub fn anneal_mapping<R: Rng>(
-    topo: &dyn Topology,
+    routed: &RoutedTopology<'_>,
     start: Mapping,
     traffic: &[TrafficEntry],
     params: AnnealParams,
@@ -154,12 +170,12 @@ pub fn anneal_mapping<R: Rng>(
         partners[r]
             .iter()
             .filter(|&&(p, _)| p != skip)
-            .map(|&(p, b)| b as u128 * topo.hops(m.node_of(r), m.node_of(p)) as u128)
+            .map(|&(p, b)| b as u128 * routed.hops(m.node_of(r), m.node_of(p)) as u128)
             .sum()
     };
 
     let mut current = start;
-    let mut cost = mapping_cost(topo, &current, traffic);
+    let mut cost = mapping_cost(routed, &current, traffic);
     let mut best = current.clone();
     let mut best_cost = cost;
     let mut temp = cost as f64 * params.initial_temp_frac / num_ranks as f64;
@@ -194,7 +210,7 @@ pub fn anneal_mapping<R: Rng>(
         }
     }
     // `cost` drifted by the double-counting factor; recompute for honesty.
-    if mapping_cost(topo, &current, traffic) < mapping_cost(topo, &best, traffic) {
+    if mapping_cost(routed, &current, traffic) < mapping_cost(routed, &best, traffic) {
         best = current;
     }
     best
@@ -222,8 +238,12 @@ mod tests {
         let t = Torus3D::new([4, 4, 4]);
         let m = Mapping::consecutive(64, 64);
         let traffic = ring_traffic(64);
-        let c = mapping_cost(&t, &m, &traffic);
+        let c = mapping_cost(&RoutedTopology::auto(&t), &m, &traffic);
         assert!(c > 0);
+        // Cost is a pure function of the mapping — identical across all
+        // route storage modes.
+        assert_eq!(c, mapping_cost(&RoutedTopology::direct(&t), &m, &traffic));
+        assert_eq!(c, mapping_cost(&RoutedTopology::lazy(&t), &m, &traffic));
     }
 
     #[test]
@@ -244,16 +264,17 @@ mod tests {
                 }
             }
         }
-        let greedy = greedy_mapping(&t, 8, &traffic);
+        let rt = RoutedTopology::auto(&t);
+        let greedy = greedy_mapping(&rt, 8, &traffic);
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
         let random = Mapping::random(8, 32, &mut rng);
-        assert!(mapping_cost(&t, &greedy, &traffic) <= mapping_cost(&t, &random, &traffic));
+        assert!(mapping_cost(&rt, &greedy, &traffic) <= mapping_cost(&rt, &random, &traffic));
     }
 
     #[test]
     fn greedy_is_injective_and_complete() {
         let t = Torus3D::new([3, 3, 3]);
-        let m = greedy_mapping(&t, 27, &ring_traffic(27));
+        let m = greedy_mapping(&RoutedTopology::auto(&t), 27, &ring_traffic(27));
         let mut nodes: Vec<_> = m.assignment().to_vec();
         nodes.sort();
         nodes.dedup();
@@ -263,12 +284,13 @@ mod tests {
     #[test]
     fn annealing_does_not_worsen_best_cost() {
         let t = Torus3D::new([4, 4, 4]);
+        let rt = RoutedTopology::auto(&t);
         let traffic = ring_traffic(64);
         let start = Mapping::consecutive(64, 64);
-        let start_cost = mapping_cost(&t, &start, &traffic);
+        let start_cost = mapping_cost(&rt, &start, &traffic);
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
         let annealed = anneal_mapping(
-            &t,
+            &rt,
             start,
             &traffic,
             AnnealParams {
@@ -277,7 +299,7 @@ mod tests {
             },
             &mut rng,
         );
-        assert!(mapping_cost(&t, &annealed, &traffic) <= start_cost);
+        assert!(mapping_cost(&rt, &annealed, &traffic) <= start_cost);
     }
 
     #[test]
@@ -285,7 +307,13 @@ mod tests {
         let t = Torus3D::new([2, 1, 1]);
         let start = Mapping::consecutive(1, 2);
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
-        let m = anneal_mapping(&t, start.clone(), &[], AnnealParams::default(), &mut rng);
+        let m = anneal_mapping(
+            &RoutedTopology::direct(&t),
+            start.clone(),
+            &[],
+            AnnealParams::default(),
+            &mut rng,
+        );
         assert_eq!(m, start);
     }
 }

@@ -1,0 +1,440 @@
+//! Precomputed CSR route tables — the topology-side half of the two-level
+//! replay engine.
+//!
+//! The paper's results grid is a large *static* sweep: every application
+//! trace is replayed through 3 topologies × 3 mappings × several machine
+//! sizes (§4.2, Tables 4–6). The routes of a fixed topology never change
+//! between those replays, so recomputing them per replay (as
+//! `route_into` callers in tight loops used to do) wastes the dominant
+//! share of replay time. A [`RouteTable`] materializes every route of a
+//! topology once, in a flat CSR layout that replays read back as plain
+//! slices:
+//!
+//! ```text
+//! offsets: [0, .., o(s·n + d), o(s·n + d + 1), ..]    (n² + 1 entries, u32)
+//! links:   [... route(s, d) = links[o(s·n+d) .. o(s·n+d+1)] ...]
+//! ```
+//!
+//! ## Memory bound
+//!
+//! A dense table costs exactly `4·(n² + 1)` bytes of offsets plus
+//! `4·Σ_{s,d} hops(s, d)` bytes of link ids — i.e. `4n²·(1 + hops̄′)`
+//! where `hops̄′` is the mean route length over *all* ordered pairs. At
+//! the paper's largest scales (Table 2):
+//!
+//! | topology            | nodes  | dense size |
+//! |---------------------|--------|------------|
+//! | torus 12×12×12      | 1 728  | ≈ 113 MiB  |
+//! | dragonfly (8,4,4)   | 1 056  | ≈  21 MiB  |
+//! | fat tree (48,3)     | 13 824 | ≈ 4.3 GiB  |
+//!
+//! Dense is therefore the default only up to [`DENSE_PAIR_LIMIT`] ordered
+//! pairs ([`RoutedTopology::auto`]); beyond that the lazy per-source-row
+//! mode computes one [`SourceRow`] (`4·(n + 1) + 4·Σ_d hops(s, d)` bytes)
+//! per *touched* source on demand, which is exactly what a replay with far
+//! fewer communicating nodes than machine nodes needs.
+//!
+//! Construction is embarrassingly parallel over sources and uses rayon
+//! (`par_chunks`); the chunk results are concatenated in source order, so
+//! the table bytes are deterministic.
+
+use crate::link::{LinkId, NodeId};
+use crate::Topology;
+use rayon::prelude::*;
+use std::sync::OnceLock;
+
+/// Ordered-pair count up to which [`RoutedTopology::auto`] picks a dense
+/// table (4M pairs ≈ a 2 000-node machine ≈ 150–200 MiB with typical mean
+/// route lengths; see the module docs for the exact bound).
+pub const DENSE_PAIR_LIMIT: usize = 4_000_000;
+
+/// CSR routes from one source node to every destination of a topology.
+///
+/// The lazy building block of the replay engine: `offsets` has `n + 1`
+/// entries and `route(src, d) = links[offsets[d] .. offsets[d + 1]]`.
+#[derive(Debug, Clone)]
+pub struct SourceRow {
+    offsets: Vec<u32>,
+    links: Vec<LinkId>,
+}
+
+impl SourceRow {
+    /// Materialize all routes out of `src`.
+    ///
+    /// # Panics
+    /// Panics if the row holds more than `u32::MAX` link ids (impossible
+    /// for any topology whose diameter × node count fits in 32 bits).
+    pub fn build<T: Topology + ?Sized>(topo: &T, src: NodeId) -> Self {
+        let n = topo.num_nodes();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut links = Vec::new();
+        offsets.push(0);
+        for d in 0..n {
+            topo.route_into(src, NodeId(d as u32), &mut links);
+            offsets.push(u32::try_from(links.len()).expect("row links fit u32"));
+        }
+        SourceRow { offsets, links }
+    }
+
+    /// The precomputed route to `dst` as a link slice.
+    #[inline]
+    pub fn route_of(&self, dst: NodeId) -> &[LinkId] {
+        &self.links[self.offsets[dst.idx()] as usize..self.offsets[dst.idx() + 1] as usize]
+    }
+
+    /// Hop count to `dst` (CSR row-length difference; no route walk).
+    #[inline]
+    pub fn hops(&self, dst: NodeId) -> u32 {
+        self.offsets[dst.idx() + 1] - self.offsets[dst.idx()]
+    }
+
+    /// Number of destinations (= nodes of the topology).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+}
+
+/// Dense all-pairs CSR route table of one topology.
+///
+/// See the module docs for the layout and the memory bound. Routes are
+/// byte-identical to what [`Topology::route_into`] produces — the
+/// `netloc-testkit` route-table oracle asserts exactly that over the
+/// whole verification corpus.
+#[derive(Debug, Clone)]
+pub struct RouteTable {
+    n: usize,
+    offsets: Vec<u32>,
+    links: Vec<LinkId>,
+}
+
+impl RouteTable {
+    /// Precompute every route of `topo`, in parallel over source nodes.
+    ///
+    /// # Panics
+    /// Panics if the table would hold more than `u32::MAX` link ids; use
+    /// the lazy mode of [`RoutedTopology`] for machines that large.
+    pub fn build<T: Topology + ?Sized>(topo: &T) -> Self {
+        let n = topo.num_nodes();
+        let sources: Vec<u32> = (0..n as u32).collect();
+        // A handful of sources per chunk keeps all workers busy without
+        // drowning the (in-order, deterministic) concatenation in tiny
+        // intermediate vectors.
+        let chunk = (n / 64).max(1);
+        let (row_lens, links) = sources
+            .par_chunks(chunk)
+            .map(|srcs| {
+                let mut lens: Vec<u32> = Vec::with_capacity(srcs.len() * n);
+                let mut links: Vec<LinkId> = Vec::new();
+                for &s in srcs {
+                    let mut prev = links.len();
+                    for d in 0..n {
+                        topo.route_into(NodeId(s), NodeId(d as u32), &mut links);
+                        lens.push((links.len() - prev) as u32);
+                        prev = links.len();
+                    }
+                }
+                (lens, links)
+            })
+            .reduce(
+                || (Vec::new(), Vec::new()),
+                |mut a, mut b| {
+                    a.0.append(&mut b.0);
+                    a.1.append(&mut b.1);
+                    a
+                },
+            );
+        let mut offsets = Vec::with_capacity(n * n + 1);
+        offsets.push(0u32);
+        let mut acc = 0u64;
+        for &len in &row_lens {
+            acc += u64::from(len);
+            offsets.push(u32::try_from(acc).expect("dense CSR links fit u32"));
+        }
+        debug_assert_eq!(acc as usize, links.len());
+        RouteTable { n, offsets, links }
+    }
+
+    /// Number of nodes the table covers.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// The precomputed route as a link slice.
+    #[inline]
+    pub fn route_of(&self, src: NodeId, dst: NodeId) -> &[LinkId] {
+        let i = src.idx() * self.n + dst.idx();
+        &self.links[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Hop count of a pair (CSR offset difference; no route walk).
+    #[inline]
+    pub fn hops(&self, src: NodeId, dst: NodeId) -> u32 {
+        let i = src.idx() * self.n + dst.idx();
+        self.offsets[i + 1] - self.offsets[i]
+    }
+
+    /// Total link ids stored (Σ hops over all ordered pairs).
+    #[inline]
+    pub fn total_route_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Exact heap footprint of the CSR arrays in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u32>()
+            + self.links.len() * std::mem::size_of::<LinkId>()
+    }
+}
+
+/// Route storage of a [`RoutedTopology`].
+enum Storage {
+    /// Full dense CSR table.
+    Dense(RouteTable),
+    /// Per-source CSR rows, built on first touch (thread-safe).
+    Lazy(Vec<OnceLock<SourceRow>>),
+    /// No caching: every lookup routes into the caller's scratch buffer.
+    Direct,
+}
+
+/// A topology bundled with precomputed (or on-demand) routes — the handle
+/// the replay engine and the mapping optimizers consume.
+///
+/// All three modes answer [`route_of`](RoutedTopology::route_of) and
+/// [`hops`](RoutedTopology::hops) with identical values; they only trade
+/// memory for lookup cost:
+///
+/// * [`dense`](RoutedTopology::dense) — one [`RouteTable`], O(1) slice
+///   lookups, `O(n²·hops̄)` memory. Best for sweeps at paper scale.
+/// * [`lazy`](RoutedTopology::lazy) — one [`SourceRow`] per *touched*
+///   source, built on first use. Best when the machine is much larger
+///   than the communicating node set (e.g. the 13 824-node fat tree).
+/// * [`direct`](RoutedTopology::direct) — no caching; lookups route into
+///   a caller-provided scratch buffer. Best for one-shot replays.
+pub struct RoutedTopology<'a> {
+    topo: &'a dyn Topology,
+    storage: Storage,
+}
+
+impl<'a> RoutedTopology<'a> {
+    /// Precompute the full dense table up front.
+    pub fn dense(topo: &'a dyn Topology) -> Self {
+        RoutedTopology {
+            storage: Storage::Dense(RouteTable::build(topo)),
+            topo,
+        }
+    }
+
+    /// Wrap an already-built table (e.g. from [`Topology::route_table`]).
+    ///
+    /// # Panics
+    /// Panics if the table's node count does not match the topology's.
+    pub fn with_table(topo: &'a dyn Topology, table: RouteTable) -> Self {
+        assert_eq!(
+            table.num_nodes(),
+            topo.num_nodes(),
+            "route table built for a different machine size"
+        );
+        RoutedTopology {
+            storage: Storage::Dense(table),
+            topo,
+        }
+    }
+
+    /// Build per-source rows lazily, on first touch of each source.
+    pub fn lazy(topo: &'a dyn Topology) -> Self {
+        let rows = (0..topo.num_nodes()).map(|_| OnceLock::new()).collect();
+        RoutedTopology {
+            storage: Storage::Lazy(rows),
+            topo,
+        }
+    }
+
+    /// No precomputation: lookups route into the caller's scratch buffer.
+    pub fn direct(topo: &'a dyn Topology) -> Self {
+        RoutedTopology {
+            storage: Storage::Direct,
+            topo,
+        }
+    }
+
+    /// Dense when the machine has at most [`DENSE_PAIR_LIMIT`] ordered
+    /// pairs, lazy above (see the module docs for the memory bound).
+    pub fn auto(topo: &'a dyn Topology) -> Self {
+        let n = topo.num_nodes();
+        if n.saturating_mul(n) <= DENSE_PAIR_LIMIT {
+            Self::dense(topo)
+        } else {
+            Self::lazy(topo)
+        }
+    }
+
+    /// The wrapped topology.
+    #[inline]
+    pub fn topology(&self) -> &'a dyn Topology {
+        self.topo
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.topo.num_nodes()
+    }
+
+    /// The dense table, when this handle holds one.
+    pub fn table(&self) -> Option<&RouteTable> {
+        match &self.storage {
+            Storage::Dense(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Whether lookups are served from precomputed CSR storage.
+    pub fn is_precomputed(&self) -> bool {
+        !matches!(self.storage, Storage::Direct)
+    }
+
+    /// The route of a pair. Dense and lazy modes return a slice into CSR
+    /// storage and leave `scratch` untouched; direct mode clears and
+    /// fills `scratch`. Callers in tight loops reuse one scratch buffer
+    /// and never allocate per pair.
+    #[inline]
+    pub fn route_of<'s>(
+        &'s self,
+        src: NodeId,
+        dst: NodeId,
+        scratch: &'s mut Vec<LinkId>,
+    ) -> &'s [LinkId] {
+        match &self.storage {
+            Storage::Dense(table) => table.route_of(src, dst),
+            Storage::Lazy(rows) => rows[src.idx()]
+                .get_or_init(|| SourceRow::build(self.topo, src))
+                .route_of(dst),
+            Storage::Direct => {
+                scratch.clear();
+                self.topo.route_into(src, dst, scratch);
+                scratch
+            }
+        }
+    }
+
+    /// Hop count of a pair. Dense and lazy modes read it off the CSR
+    /// offsets; direct mode defers to [`Topology::hops`] (closed-form on
+    /// most topologies).
+    #[inline]
+    pub fn hops(&self, src: NodeId, dst: NodeId) -> u32 {
+        match &self.storage {
+            Storage::Dense(table) => table.hops(src, dst),
+            Storage::Lazy(rows) => rows[src.idx()]
+                .get_or_init(|| SourceRow::build(self.topo, src))
+                .hops(dst),
+            Storage::Direct => self.topo.hops(src, dst),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dragonfly, FatTree, Torus3D};
+
+    fn all_topos() -> Vec<Box<dyn Topology>> {
+        vec![
+            Box::new(Torus3D::new([3, 3, 2])),
+            Box::new(FatTree::new(8, 2)),
+            Box::new(Dragonfly::new(4, 2, 2)),
+        ]
+    }
+
+    #[test]
+    fn dense_table_matches_route_into_everywhere() {
+        for topo in all_topos() {
+            let table = topo.route_table();
+            let n = topo.num_nodes();
+            let mut buf = Vec::new();
+            for s in 0..n {
+                for d in 0..n {
+                    let (s, d) = (NodeId(s as u32), NodeId(d as u32));
+                    buf.clear();
+                    topo.route_into(s, d, &mut buf);
+                    assert_eq!(table.route_of(s, d), &buf[..], "{}: {s}->{d}", topo.name());
+                    assert_eq!(table.hops(s, d), buf.len() as u32);
+                }
+            }
+            assert_eq!(table.num_nodes(), n);
+        }
+    }
+
+    #[test]
+    fn lazy_and_direct_agree_with_dense() {
+        for topo in all_topos() {
+            let dense = RoutedTopology::dense(topo.as_ref());
+            let lazy = RoutedTopology::lazy(topo.as_ref());
+            let direct = RoutedTopology::direct(topo.as_ref());
+            let n = topo.num_nodes();
+            let (mut b1, mut b2, mut b3) = (Vec::new(), Vec::new(), Vec::new());
+            for s in (0..n).step_by(3) {
+                for d in (0..n).rev().step_by(2) {
+                    let (s, d) = (NodeId(s as u32), NodeId(d as u32));
+                    let r = dense.route_of(s, d, &mut b1).to_vec();
+                    assert_eq!(lazy.route_of(s, d, &mut b2), &r[..]);
+                    assert_eq!(direct.route_of(s, d, &mut b3), &r[..]);
+                    assert_eq!(dense.hops(s, d), r.len() as u32);
+                    assert_eq!(lazy.hops(s, d), r.len() as u32);
+                    assert_eq!(direct.hops(s, d), r.len() as u32);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn source_row_matches_table_row() {
+        let topo = Torus3D::new([4, 3, 2]);
+        let table = RouteTable::build(&topo);
+        for s in 0..topo.num_nodes() {
+            let row = SourceRow::build(&topo, NodeId(s as u32));
+            assert_eq!(row.num_nodes(), topo.num_nodes());
+            for d in 0..topo.num_nodes() {
+                let (sn, dn) = (NodeId(s as u32), NodeId(d as u32));
+                assert_eq!(row.route_of(dn), table.route_of(sn, dn));
+                assert_eq!(row.hops(dn), table.hops(sn, dn));
+            }
+        }
+    }
+
+    #[test]
+    fn memory_accounting_is_exact() {
+        let topo = Torus3D::new([3, 3, 3]);
+        let table = RouteTable::build(&topo);
+        let n = topo.num_nodes();
+        assert_eq!(
+            table.memory_bytes(),
+            4 * (n * n + 1) + 4 * table.total_route_links()
+        );
+        // Σ hops over ordered pairs of the 3×3×3 torus: mean distance is
+        // (6·1 + 12·2 + 8·3)/26 per source... just cross-check the matrix.
+        let expect: usize = (0..n)
+            .flat_map(|s| (0..n).map(move |d| (s, d)))
+            .map(|(s, d)| topo.hops(NodeId(s as u32), NodeId(d as u32)) as usize)
+            .sum();
+        assert_eq!(table.total_route_links(), expect);
+    }
+
+    #[test]
+    fn auto_picks_dense_for_small_machines() {
+        let small = Torus3D::new([4, 4, 4]);
+        assert!(RoutedTopology::auto(&small).table().is_some());
+        assert!(RoutedTopology::auto(&small).is_precomputed());
+        assert!(!RoutedTopology::direct(&small).is_precomputed());
+    }
+
+    #[test]
+    #[should_panic(expected = "different machine size")]
+    fn with_table_rejects_size_mismatch() {
+        let a = Torus3D::new([2, 2, 2]);
+        let b = Torus3D::new([3, 3, 3]);
+        let table = RouteTable::build(&a);
+        RoutedTopology::with_table(&b, table);
+    }
+}

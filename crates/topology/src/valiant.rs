@@ -133,13 +133,15 @@ mod tests {
     fn intra_group_routes_are_unchanged() {
         let base = df();
         let v = ValiantDragonfly::new(df());
+        let (mut vr, mut br) = (Vec::new(), Vec::new());
         // nodes 0..8 are group 0
         for s in 0..8u32 {
             for d in 0..8u32 {
-                assert_eq!(
-                    v.route(NodeId(s), NodeId(d)),
-                    base.route(NodeId(s), NodeId(d))
-                );
+                vr.clear();
+                br.clear();
+                v.route_into(NodeId(s), NodeId(d), &mut vr);
+                base.route_into(NodeId(s), NodeId(d), &mut br);
+                assert_eq!(vr, br, "{s}->{d}");
             }
         }
     }
@@ -149,13 +151,15 @@ mod tests {
         let v = ValiantDragonfly::new(df());
         let base = df();
         let mut detoured = 0;
+        let mut route = Vec::new();
         for s in (0..v.num_nodes()).step_by(3) {
             for d in (0..v.num_nodes()).step_by(5) {
                 let (s, d) = (NodeId(s as u32), NodeId(d as u32));
                 if base.group_of(s) == base.group_of(d) || s == d {
                     continue;
                 }
-                let route = v.route(s, d);
+                route.clear();
+                v.route_into(s, d, &mut route);
                 let globals = route.iter().filter(|l| base.is_global_link(**l)).count();
                 assert_eq!(globals, 2, "{s}->{d}");
                 detoured += 1;

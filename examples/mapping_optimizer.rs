@@ -10,7 +10,7 @@
 use netloc::core::{analyze_network, TrafficMatrix};
 use netloc::topology::bisect::bisection_mapping;
 use netloc::topology::optimize::{anneal_mapping, greedy_mapping, mapping_cost, AnnealParams};
-use netloc::topology::{ConfigCatalog, Mapping, Topology};
+use netloc::topology::{ConfigCatalog, Mapping, RoutedTopology, Topology};
 use netloc::workloads::App;
 use rand::SeedableRng as _;
 
@@ -43,19 +43,21 @@ fn main() {
     );
 
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+    // One route-table build serves every optimizer run and cost query.
+    let routed = RoutedTopology::auto(&torus);
     let consecutive = Mapping::consecutive(ranks as usize, nodes);
     let random = Mapping::random(ranks as usize, nodes, &mut rng);
-    let greedy = greedy_mapping(&torus, ranks as usize, &traffic);
+    let greedy = greedy_mapping(&routed, ranks as usize, &traffic);
     let bisect = bisection_mapping(ranks as usize, nodes, &traffic, 4);
     let annealed = anneal_mapping(
-        &torus,
+        &routed,
         greedy.clone(),
         &traffic,
         AnnealParams::default(),
         &mut rng,
     );
 
-    let base = mapping_cost(&torus, &consecutive, &traffic) as f64;
+    let base = mapping_cost(&routed, &consecutive, &traffic) as f64;
     for (name, mapping) in [
         ("consecutive", &consecutive),
         ("random", &random),
@@ -63,7 +65,7 @@ fn main() {
         ("greedy", &greedy),
         ("greedy+SA", &annealed),
     ] {
-        let cost = mapping_cost(&torus, mapping, &traffic);
+        let cost = mapping_cost(&routed, mapping, &traffic);
         let report = analyze_network(&torus, mapping, &tm);
         println!(
             "{:>12}: cost {:>14}  ({:>6.1}% of consecutive)  avg hops {:.3}",

@@ -33,7 +33,7 @@ use netloc::core::{analyze_network, classes, heatmap, timeline::Timeline, Traffi
 use netloc::mpi::{parse_trace, parse_trace_binary, write_trace, write_trace_binary, Trace};
 use netloc::topology::optimize::greedy_mapping;
 use netloc::topology::{
-    ConfigCatalog, Dragonfly, FatTree, Mapping, Mesh3D, Topology, Torus3D, TorusNd,
+    ConfigCatalog, Dragonfly, FatTree, Mapping, Mesh3D, RoutedTopology, Topology, Torus3D, TorusNd,
     ValiantDragonfly,
 };
 use netloc::workloads::App;
@@ -292,7 +292,11 @@ fn replay(args: &[String]) {
     let ranks = trace.num_ranks as usize;
     let mapping = match flag_value(args, "--mapping").unwrap_or("consecutive") {
         "consecutive" => Mapping::consecutive(ranks, topo.num_nodes()),
-        "greedy" => greedy_mapping(topo.as_ref(), ranks, &tm.undirected_entries()),
+        "greedy" => greedy_mapping(
+            &RoutedTopology::auto(topo.as_ref()),
+            ranks,
+            &tm.undirected_entries(),
+        ),
         m if m.starts_with("random") => {
             let seed = m
                 .split_once(':')
@@ -407,7 +411,7 @@ fn simulate_cmd(args: &[String]) {
         "greedy" => {
             let tm = TrafficMatrix::from_trace_full(&trace);
             Some(greedy_mapping(
-                topo.as_ref(),
+                &RoutedTopology::auto(topo.as_ref()),
                 ranks,
                 &tm.undirected_entries(),
             ))

@@ -63,12 +63,17 @@ fn bursty_all_to_all_shows_contention() {
 #[test]
 fn better_mapping_reduces_simulated_latency_for_scattered_apps() {
     use netloc::topology::optimize::greedy_mapping;
+    use netloc::topology::RoutedTopology;
     let trace = App::CrystalRouter.generate(100);
     let tm = TrafficMatrix::from_trace_full(&trace);
     let topo = ConfigCatalog::for_ranks(100).build_torus();
     let base = simulate_trace(&trace, &topo, &SimConfig::default());
     let better = SimConfig {
-        mapping: Some(greedy_mapping(&topo, 100, &tm.undirected_entries())),
+        mapping: Some(greedy_mapping(
+            &RoutedTopology::auto(&topo),
+            100,
+            &tm.undirected_entries(),
+        )),
         ..Default::default()
     };
     let opt = simulate_trace(&trace, &topo, &better);
