@@ -1,0 +1,118 @@
+//! Canonical serialization and content digests — the keying layer shared
+//! by the golden-snapshot harness (`netloc-testkit`) and the analysis
+//! service (`netloc-service`).
+//!
+//! Two callers need byte-identical renderings of the same report: golden
+//! tests compare committed files against live output, and the service's
+//! content-addressed result cache stores the exact response bytes it will
+//! serve again. Both go through [`canonical_json`]: floats rounded to a
+//! fixed number of decimals, insertion-ordered fields, pretty-printed with
+//! a trailing newline. Identical inputs render identically on every
+//! platform.
+//!
+//! The digest half ([`content_digest`], [`digest_hex`]) turns arbitrary
+//! bytes (a trace file, a canonical spec string) into a stable 64-bit
+//! fingerprint for cache keys. It reuses the workspace [`crate::fxhash`]
+//! mixer with the input length folded in first, so inputs differing only
+//! by trailing zero-padding of the last 8-byte chunk still hash apart.
+//! FxHash is not collision-resistant against adversaries; cache consumers
+//! must verify the full canonical key on lookup (the service's result
+//! cache does exactly that) rather than trust the hash alone.
+
+use crate::fxhash::FxBuildHasher;
+use serde::{Serialize, Value};
+use std::hash::{BuildHasher, Hasher};
+
+/// Decimal places floats are rounded to before rendering. Reports carry
+/// averages and shares derived from exact integer counters; nine places
+/// keeps every meaningful digit of those while flushing any
+/// platform-dependent last-ulp noise out of committed or cached bytes.
+pub const FLOAT_DECIMALS: i32 = 9;
+
+/// Round every float in the tree to [`FLOAT_DECIMALS`] places.
+pub fn normalize(value: Value) -> Value {
+    match value {
+        Value::Float(f) => {
+            let scale = 10f64.powi(FLOAT_DECIMALS);
+            let rounded = (f * scale).round() / scale;
+            // Avoid "-0.0" leaking into committed files.
+            Value::Float(if rounded == 0.0 { 0.0 } else { rounded })
+        }
+        Value::Array(items) => Value::Array(items.into_iter().map(normalize).collect()),
+        Value::Object(fields) => {
+            Value::Object(fields.into_iter().map(|(k, v)| (k, normalize(v))).collect())
+        }
+        other => other,
+    }
+}
+
+/// Canonical rendering: normalized floats, pretty-printed JSON, trailing
+/// newline. Byte-stable for identical inputs on every platform.
+pub fn canonical_json<T: Serialize + ?Sized>(value: &T) -> String {
+    let normalized = normalize(value.to_value());
+    let mut out = serde_json::to_string_pretty(&normalized).expect("infallible renderer");
+    out.push('\n');
+    out
+}
+
+/// Stable 64-bit content digest of raw bytes.
+///
+/// The length is mixed in ahead of the data so `b"ab"` and `b"ab\0"` (which
+/// pad to the same final 8-byte chunk) digest differently.
+pub fn content_digest(bytes: &[u8]) -> u64 {
+    let mut h = FxBuildHasher::default().build_hasher();
+    h.write_usize(bytes.len());
+    h.write(bytes);
+    h.finish()
+}
+
+/// A digest as the fixed-width lowercase hex string used in canonical
+/// cache-key strings and `statusz` output.
+pub fn digest_hex(digest: u64) -> String {
+    format!("{digest:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_rounds_floats_and_kills_negative_zero() {
+        let v = Value::Array(vec![
+            Value::Float(0.123_456_789_123),
+            Value::Float(-0.0),
+            Value::Float(2.0),
+        ]);
+        match normalize(v) {
+            Value::Array(items) => {
+                assert_eq!(items[0], Value::Float(0.123_456_789));
+                assert_eq!(items[1], Value::Float(0.0));
+                assert_eq!(items[2], Value::Float(2.0));
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn canonical_json_is_stable_and_newline_terminated() {
+        let a = canonical_json(&vec![1.0f64, 0.5]);
+        let b = canonical_json(&vec![1.0f64, 0.5]);
+        assert_eq!(a, b);
+        assert!(a.ends_with('\n'));
+        assert!(a.contains("1.0"));
+    }
+
+    #[test]
+    fn digest_distinguishes_trailing_padding() {
+        assert_ne!(content_digest(b"ab"), content_digest(b"ab\0"));
+        assert_ne!(content_digest(b""), content_digest(b"\0"));
+        assert_eq!(content_digest(b"same"), content_digest(b"same"));
+    }
+
+    #[test]
+    fn digest_hex_is_fixed_width() {
+        assert_eq!(digest_hex(0).len(), 16);
+        assert_eq!(digest_hex(u64::MAX), "ffffffffffffffff");
+        assert_eq!(digest_hex(0xab), "00000000000000ab");
+    }
+}

@@ -22,6 +22,7 @@
 
 #![warn(missing_docs)]
 
+pub mod canon;
 pub mod classes;
 pub mod energy;
 pub mod fxhash;

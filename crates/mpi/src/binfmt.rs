@@ -203,6 +203,16 @@ impl<'a> Reader<'a> {
         self.pos += len;
         Ok(s)
     }
+
+    /// A safe `Vec::with_capacity` for counts decoded from the input:
+    /// every element still to be parsed takes at least one byte, so a
+    /// legitimate count never exceeds the remaining input length. Clamping
+    /// the *preallocation* (not the parsed count — oversized counts still
+    /// fail later with a byte offset) keeps a corrupted varint from
+    /// requesting gigabytes before the first element is even read.
+    fn bounded_vec<T>(&self, count: usize) -> Vec<T> {
+        Vec::with_capacity(count.min(self.buf.len().saturating_sub(self.pos)))
+    }
 }
 
 /// Parse a trace from the binary format.
@@ -228,7 +238,7 @@ pub fn parse_trace_binary(buf: &[u8]) -> Result<Trace> {
         if size > (ranks as usize).max(1) {
             return Err(r.err("communicator larger than the world"));
         }
-        let mut members = Vec::with_capacity(size);
+        let mut members = r.bounded_vec(size);
         for _ in 0..size {
             members.push(Rank(r.varint()? as u32));
         }
@@ -240,7 +250,7 @@ pub fn parse_trace_binary(buf: &[u8]) -> Result<Trace> {
         // every event takes at least a few bytes: cheap sanity bound
         return Err(r.err("event count exceeds input size"));
     }
-    let mut events = Vec::with_capacity(num_events as usize);
+    let mut events = r.bounded_vec(num_events as usize);
     for _ in 0..num_events {
         let time = r.f64()?;
         let kind = r.byte()?;
@@ -276,7 +286,7 @@ pub fn parse_trace_binary(buf: &[u8]) -> Result<Trace> {
                         if len > (ranks as usize).max(1) {
                             return Err(r.err("payload vector larger than the world"));
                         }
-                        let mut v = Vec::with_capacity(len);
+                        let mut v = r.bounded_vec(len);
                         for _ in 0..len {
                             v.push(r.varint()?);
                         }

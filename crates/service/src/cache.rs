@@ -1,0 +1,295 @@
+//! The two-level shared state of the analysis server.
+//!
+//! **Level 1 — [`TopoCache`]:** one [`RouteTable`] per distinct canonical
+//! topology spec, shared across every worker thread via `Arc<OnceLock<_>>`.
+//! The per-spec `OnceLock` gives single-flight semantics: when eight
+//! concurrent requests name the same topology, exactly one thread builds
+//! the CSR table (the expensive part of a replay, per PR 3) and the other
+//! seven block on the lock and then share the finished `Arc`. Topologies
+//! above [`DENSE_PAIR_LIMIT`] ordered pairs are never table-cached — the
+//! caller falls back to per-request lazy rows, mirroring
+//! `RoutedTopology::auto`.
+//!
+//! **Level 2 — [`ResultCache`]:** content-addressed response bytes. The key
+//! is the canonical string `digest(trace)|topology|mapping` (specs in their
+//! canonical `Display` form, so `torus:04,4,4` and `torus:4,4,4` share an
+//! entry); the index is its fxhash. FxHash is not collision-resistant, so a
+//! lookup only counts as a hit when the stored full key matches — a
+//! colliding entry is treated as a miss and overwritten. Eviction is LRU by
+//! total cached bytes.
+
+use netloc_core::canon::content_digest;
+use netloc_topology::routetable::DENSE_PAIR_LIMIT;
+use netloc_topology::{RouteTable, Topology};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Level-1 cache: canonical topology spec → shared route table.
+#[derive(Default)]
+pub struct TopoCache {
+    cells: Mutex<HashMap<String, Arc<OnceLock<Arc<RouteTable>>>>>,
+    builds: AtomicU64,
+}
+
+impl TopoCache {
+    /// The shared table for `canonical_spec`, building it from `topo` on
+    /// first use (single-flight: concurrent callers block on one build).
+    /// Returns `None` for machines too large for a dense table; those run
+    /// with per-request lazy rows instead.
+    pub fn shared_table(
+        &self,
+        canonical_spec: &str,
+        topo: &dyn Topology,
+    ) -> Option<Arc<RouteTable>> {
+        let n = topo.num_nodes();
+        if n.saturating_mul(n) > DENSE_PAIR_LIMIT {
+            return None;
+        }
+        let cell = {
+            let mut cells = self.cells.lock().expect("topo cache lock");
+            Arc::clone(
+                cells
+                    .entry(canonical_spec.to_string())
+                    .or_insert_with(|| Arc::new(OnceLock::new())),
+            )
+        };
+        let table = cell.get_or_init(|| {
+            self.builds.fetch_add(1, Ordering::Relaxed);
+            Arc::new(RouteTable::build(topo))
+        });
+        Some(Arc::clone(table))
+    }
+
+    /// Route tables actually built so far (== distinct cached specs; the
+    /// integration tests assert it stays at one per spec under
+    /// concurrency).
+    pub fn tables_built(&self) -> u64 {
+        self.builds.load(Ordering::Relaxed)
+    }
+
+    /// Number of specs with a cache cell (built or in flight).
+    pub fn specs_cached(&self) -> usize {
+        self.cells.lock().expect("topo cache lock").len()
+    }
+}
+
+struct Entry {
+    /// Full canonical key, verified on every lookup (fxhash may collide).
+    key: String,
+    bytes: Arc<Vec<u8>>,
+    /// Recency stamp; the freshest stamp in `recency` wins.
+    seq: u64,
+}
+
+struct LruState {
+    entries: HashMap<u64, Entry>,
+    /// Recency list, oldest first. May hold stale (hash, seq) pairs for
+    /// entries that were touched again later; eviction skips those.
+    recency: std::collections::VecDeque<(u64, u64)>,
+    total_bytes: usize,
+    next_seq: u64,
+}
+
+/// Level-2 cache: canonical request key → exact response bytes, LRU by
+/// total byte size.
+pub struct ResultCache {
+    state: Mutex<LruState>,
+    capacity_bytes: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ResultCache {
+    /// An empty cache bounded to `capacity_bytes` of response bodies.
+    pub fn new(capacity_bytes: usize) -> Self {
+        ResultCache {
+            state: Mutex::new(LruState {
+                entries: HashMap::new(),
+                recency: std::collections::VecDeque::new(),
+                total_bytes: 0,
+                next_seq: 0,
+            }),
+            capacity_bytes,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up the exact bytes cached for `key`, refreshing its recency.
+    /// Counts a hit or miss either way.
+    pub fn get(&self, key: &str) -> Option<Arc<Vec<u8>>> {
+        let hash = content_digest(key.as_bytes());
+        let mut s = self.state.lock().expect("result cache lock");
+        match s.entries.get(&hash) {
+            Some(entry) if entry.key == key => {
+                let bytes = Arc::clone(&entry.bytes);
+                let seq = s.next_seq;
+                s.next_seq += 1;
+                s.entries.get_mut(&hash).expect("present").seq = seq;
+                s.recency.push_back((hash, seq));
+                drop(s);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(bytes)
+            }
+            _ => {
+                drop(s);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert (or replace) the bytes for `key`, evicting least-recently
+    /// used entries until the total fits the capacity. Bodies larger than
+    /// the whole capacity are not cached at all.
+    pub fn insert(&self, key: &str, bytes: Arc<Vec<u8>>) {
+        if bytes.len() > self.capacity_bytes {
+            return;
+        }
+        let hash = content_digest(key.as_bytes());
+        let mut s = self.state.lock().expect("result cache lock");
+        if let Some(old) = s.entries.remove(&hash) {
+            // Same key racing with itself, or an fxhash collision: either
+            // way the newcomer replaces the old bytes.
+            s.total_bytes -= old.bytes.len();
+        }
+        let seq = s.next_seq;
+        s.next_seq += 1;
+        s.total_bytes += bytes.len();
+        s.entries.insert(
+            hash,
+            Entry {
+                key: key.to_string(),
+                bytes,
+                seq,
+            },
+        );
+        s.recency.push_back((hash, seq));
+        while s.total_bytes > self.capacity_bytes {
+            let Some((old_hash, old_seq)) = s.recency.pop_front() else {
+                break;
+            };
+            let evict = matches!(s.entries.get(&old_hash), Some(e) if e.seq == old_seq);
+            if evict {
+                let old = s.entries.remove(&old_hash).expect("checked");
+                s.total_bytes -= old.bytes.len();
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+            // Stale recency stamps (the entry was touched again later, or
+            // was already replaced) are simply discarded.
+        }
+    }
+
+    /// Counters and occupancy for `statusz`.
+    pub fn stats(&self) -> ResultCacheStats {
+        let s = self.state.lock().expect("result cache lock");
+        ResultCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: s.entries.len(),
+            bytes: s.total_bytes,
+            capacity_bytes: self.capacity_bytes,
+        }
+    }
+}
+
+/// A `statusz` snapshot of the result cache.
+#[derive(Debug, Clone, Serialize)]
+pub struct ResultCacheStats {
+    /// Lookups that returned cached bytes.
+    pub hits: u64,
+    /// Lookups that found nothing (or a colliding key).
+    pub misses: u64,
+    /// Entries evicted to stay under the byte capacity.
+    pub evictions: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+    /// Bytes currently cached.
+    pub bytes: usize,
+    /// Configured byte capacity.
+    pub capacity_bytes: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netloc_topology::Torus3D;
+
+    #[test]
+    fn topo_cache_builds_once_across_threads() {
+        let cache = Arc::new(TopoCache::default());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    let topo = Torus3D::new([3, 3, 3]);
+                    cache.shared_table("torus:3,3,3", &topo).unwrap()
+                })
+            })
+            .collect();
+        let tables: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(cache.tables_built(), 1, "single-flight build");
+        assert_eq!(cache.specs_cached(), 1);
+        for t in &tables[1..] {
+            assert!(Arc::ptr_eq(&tables[0], t), "all callers share one table");
+        }
+    }
+
+    #[test]
+    fn topo_cache_declines_oversized_machines() {
+        let cache = TopoCache::default();
+        // 44³ = 85 184 nodes → 7.3e9 ordered pairs, far over the limit.
+        let big = Torus3D::new([44, 44, 44]);
+        assert!(cache.shared_table("torus:44,44,44", &big).is_none());
+        assert_eq!(cache.tables_built(), 0);
+    }
+
+    #[test]
+    fn result_cache_hit_miss_and_byte_identity() {
+        let cache = ResultCache::new(1024);
+        assert!(cache.get("k1").is_none());
+        cache.insert("k1", Arc::new(b"body-1".to_vec()));
+        assert_eq!(cache.get("k1").unwrap().as_slice(), b"body-1");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn result_cache_evicts_lru_by_bytes() {
+        let cache = ResultCache::new(100);
+        cache.insert("a", Arc::new(vec![0u8; 40]));
+        cache.insert("b", Arc::new(vec![0u8; 40]));
+        // Touch "a" so "b" is the least recently used…
+        assert!(cache.get("a").is_some());
+        // …then overflow: "b" must go, "a" must stay.
+        cache.insert("c", Arc::new(vec![0u8; 40]));
+        assert!(cache.get("a").is_some(), "recently used entry evicted");
+        assert!(cache.get("b").is_none(), "LRU entry kept");
+        assert!(cache.get("c").is_some());
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert!(s.bytes <= 100);
+    }
+
+    #[test]
+    fn result_cache_skips_bodies_larger_than_capacity() {
+        let cache = ResultCache::new(10);
+        cache.insert("huge", Arc::new(vec![0u8; 11]));
+        assert!(cache.get("huge").is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn result_cache_replaces_on_reinsert() {
+        let cache = ResultCache::new(1024);
+        cache.insert("k", Arc::new(b"old".to_vec()));
+        cache.insert("k", Arc::new(b"new".to_vec()));
+        assert_eq!(cache.get("k").unwrap().as_slice(), b"new");
+        assert_eq!(cache.stats().entries, 1);
+    }
+}

@@ -1,0 +1,345 @@
+//! Endpoint dispatch: JSON request → analysis → canonical JSON response.
+//!
+//! Every parse step reports *where* it failed: JSON body errors carry the
+//! byte offset from the vendored parser, trace errors reuse the
+//! `netloc_mpi` error types (line numbers for dumpi text, byte offsets for
+//! the binary format), and spec errors echo the offending spec string.
+//! Handlers never panic on request content — specs are validated before
+//! any constructor runs — so a worker thread survives arbitrary input.
+
+use crate::cache::ResultCacheStats;
+use crate::http::{Request, Response};
+use crate::payload;
+use crate::server::AppState;
+use netloc_core::canon::{canonical_json, content_digest, digest_hex};
+use netloc_mpi::{parse_trace, Trace};
+use netloc_topology::{MappingSpec, RoutedTopology, TopologySpec};
+use netloc_workloads::App;
+use serde::{Serialize, Value};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Route one framed request to its handler.
+pub fn handle(state: &AppState, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/v1/healthz") => healthz(),
+        ("GET", "/v1/statusz") => statusz(state),
+        ("POST", "/v1/analyze") => analyze(state, &req.body),
+        ("POST", "/v1/sweep") => sweep(state, &req.body),
+        ("POST", "/v1/stats") => stats(&req.body),
+        ("POST", "/v1/metrics") => metrics(&req.body),
+        ("POST", "/v1/shutdown") => shutdown(state),
+        (_, "/v1/healthz" | "/v1/statusz") => Response::error(405, "use GET"),
+        (_, "/v1/analyze" | "/v1/sweep" | "/v1/stats" | "/v1/metrics" | "/v1/shutdown") => {
+            Response::error(405, "use POST")
+        }
+        (_, path) => Response::error(404, &format!("no such endpoint '{path}'")),
+    }
+}
+
+fn healthz() -> Response {
+    Response::json(b"{\n  \"status\": \"ok\"\n}\n".to_vec())
+}
+
+/// `statusz` payload: counters for the queue, the result cache, and the
+/// route-table cache.
+#[derive(Serialize)]
+struct StatuszResponse {
+    workers: usize,
+    queue_capacity: usize,
+    queue_depth: usize,
+    requests_served: u64,
+    requests_rejected: u64,
+    result_cache: ResultCacheStats,
+    route_tables_built: u64,
+    route_table_specs: usize,
+}
+
+fn statusz(state: &AppState) -> Response {
+    let body = canonical_json(&StatuszResponse {
+        workers: state.config.workers,
+        queue_capacity: state.queue.capacity(),
+        queue_depth: state.queue.depth(),
+        requests_served: state.served.load(Ordering::Relaxed),
+        requests_rejected: state.rejected.load(Ordering::Relaxed),
+        result_cache: state.result_cache.stats(),
+        route_tables_built: state.topo_cache.tables_built(),
+        route_table_specs: state.topo_cache.specs_cached(),
+    });
+    Response::json(body.into_bytes())
+}
+
+fn shutdown(state: &AppState) -> Response {
+    state.shutdown_requested.store(true, Ordering::SeqCst);
+    Response::json(b"{\n  \"status\": \"shutting down\"\n}\n".to_vec())
+}
+
+// ---- request decoding ------------------------------------------------
+
+/// The fields shared by every analysis request body.
+struct AnalysisInput {
+    trace: Trace,
+    /// Hex content digest of the trace *source* (inline text bytes, or the
+    /// canonical workload spec) — the first component of the cache key.
+    digest: String,
+}
+
+fn parse_json_body(body: &[u8]) -> Result<Value, Response> {
+    let text = std::str::from_utf8(body).map_err(|e| {
+        Response::error(
+            400,
+            &format!("body is not UTF-8 (byte {})", e.valid_up_to()),
+        )
+    })?;
+    serde_json::from_str(text).map_err(|e| Response::error(400, &e.to_string()))
+}
+
+fn obj(value: &Value) -> Result<&[(String, Value)], Response> {
+    match value {
+        Value::Object(fields) => Ok(fields),
+        _ => Err(Response::error(400, "request body must be a JSON object")),
+    }
+}
+
+fn field<'a>(fields: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
+    fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+fn str_field<'a>(fields: &'a [(String, Value)], name: &str) -> Result<Option<&'a str>, Response> {
+    match field(fields, name) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Str(s)) => Ok(Some(s)),
+        Some(_) => Err(Response::error(400, &format!("'{name}' must be a string"))),
+    }
+}
+
+/// Decode the trace source: inline dumpi text (`"trace"`) or a generated
+/// workload spec (`"workload": "APP:RANKS"`).
+fn decode_trace(fields: &[(String, Value)]) -> Result<AnalysisInput, Response> {
+    match (str_field(fields, "trace")?, str_field(fields, "workload")?) {
+        (Some(_), Some(_)) => Err(Response::error(
+            400,
+            "give either 'trace' or 'workload', not both",
+        )),
+        (Some(text), None) => {
+            let trace =
+                parse_trace(text).map_err(|e| Response::error(400, &format!("bad trace: {e}")))?;
+            Ok(AnalysisInput {
+                trace,
+                digest: digest_hex(content_digest(text.as_bytes())),
+            })
+        }
+        (None, Some(spec)) => {
+            let (trace, canonical) = generate_workload(spec)?;
+            Ok(AnalysisInput {
+                trace,
+                digest: digest_hex(content_digest(canonical.as_bytes())),
+            })
+        }
+        (None, None) => Err(Response::error(
+            400,
+            "missing trace source: set 'trace' (inline dumpi text) or 'workload' (\"APP:RANKS\")",
+        )),
+    }
+}
+
+/// `"lulesh:64"` → the deterministic generated trace plus the canonical
+/// spec string (`workload:LULESH:64`) its digest is taken from.
+fn generate_workload(spec: &str) -> Result<(Trace, String), Response> {
+    let bad = || {
+        Response::error(
+            400,
+            &format!("bad workload spec '{spec}'; expected APP:RANKS, e.g. \"lulesh:64\""),
+        )
+    };
+    let (name, ranks_s) = spec.split_once(':').ok_or_else(bad)?;
+    let ranks: u32 = ranks_s.trim().parse().map_err(|_| bad())?;
+    if ranks == 0 || ranks > 1 << 20 {
+        return Err(Response::error(
+            400,
+            &format!("workload rank count {ranks} out of range (1..=1048576)"),
+        ));
+    }
+    let app = resolve_app(name.trim()).map_err(|e| Response::error(400, &e))?;
+    let trace = if app.scales().contains(&ranks) {
+        app.generate(ranks)
+    } else {
+        app.generate_scaled(ranks)
+    };
+    Ok((trace, format!("workload:{}:{ranks}", app.name())))
+}
+
+/// Resolve a user-supplied app name: exact case-insensitive match first,
+/// then a *unique* case-insensitive substring match, so `"lulesh"` finds
+/// `EXMATEX LULESH` but an ambiguous fragment is rejected with the
+/// candidate list.
+fn resolve_app(name: &str) -> Result<App, String> {
+    let known = || {
+        App::ALL
+            .iter()
+            .map(|a| a.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    if let Some(app) = App::ALL
+        .iter()
+        .copied()
+        .find(|a| a.name().eq_ignore_ascii_case(name))
+    {
+        return Ok(app);
+    }
+    let lower = name.to_ascii_lowercase();
+    let matches: Vec<App> = App::ALL
+        .iter()
+        .copied()
+        .filter(|a| a.name().to_ascii_lowercase().contains(&lower))
+        .collect();
+    match matches.as_slice() {
+        [app] => Ok(*app),
+        [] => Err(format!("unknown app '{name}'; known: {}", known())),
+        many => Err(format!(
+            "ambiguous app '{name}' matches: {}",
+            many.iter().map(|a| a.name()).collect::<Vec<_>>().join(", ")
+        )),
+    }
+}
+
+fn decode_topology(fields: &[(String, Value)], ranks: u32) -> Result<TopologySpec, Response> {
+    let raw = str_field(fields, "topology")?.unwrap_or("auto");
+    let spec: TopologySpec = raw
+        .parse()
+        .map_err(|e| Response::error(400, &format!("{e}")))?;
+    Ok(spec.resolve(ranks))
+}
+
+fn decode_mapping(fields: &[(String, Value)]) -> Result<MappingSpec, Response> {
+    str_field(fields, "mapping")?
+        .unwrap_or("consecutive")
+        .parse()
+        .map_err(|e| Response::error(400, &format!("{e}")))
+}
+
+// ---- analysis endpoints ----------------------------------------------
+
+/// Build the topology and its routed view, then run `work` against it.
+/// Shared-table when the topo cache accepts the machine size, per-request
+/// lazy rows otherwise; both produce identical reports.
+fn with_routed<T>(
+    state: &AppState,
+    topo_spec: &TopologySpec,
+    work: impl FnOnce(&RoutedTopology<'_>) -> T,
+) -> Result<T, Response> {
+    let topo = topo_spec
+        .build()
+        .map_err(|e| Response::error(400, &format!("{e}")))?;
+    let canonical = topo_spec.to_string();
+    let routed = match state.topo_cache.shared_table(&canonical, topo.as_ref()) {
+        Some(table) => RoutedTopology::with_shared_table(topo.as_ref(), table),
+        None => RoutedTopology::lazy(topo.as_ref()),
+    };
+    Ok(work(&routed))
+}
+
+fn analyze(state: &AppState, body: &[u8]) -> Response {
+    let value = match parse_json_body(body) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let result = (|| {
+        let fields = obj(&value)?;
+        let input = decode_trace(fields)?;
+        let topo_spec = decode_topology(fields, input.trace.num_ranks)?;
+        let map_spec = decode_mapping(fields)?;
+
+        // Content-addressed lookup before any route computation: a hit
+        // returns the exact bytes served last time.
+        let key = format!("analyze|{}|{topo_spec}|{map_spec}", input.digest);
+        if let Some(bytes) = state.result_cache.get(&key) {
+            return Ok(Response::json(bytes.as_ref().clone()));
+        }
+
+        let resp = with_routed(state, &topo_spec, |routed| {
+            payload::analyze(
+                &input.trace,
+                input.digest.clone(),
+                &topo_spec,
+                &map_spec,
+                routed,
+            )
+        })?
+        .map_err(|e| Response::error(400, &format!("{e}")))?;
+        let bytes = Arc::new(canonical_json(&resp).into_bytes());
+        state.result_cache.insert(&key, Arc::clone(&bytes));
+        Ok(Response::json(bytes.as_ref().clone()))
+    })();
+    result.unwrap_or_else(|resp| resp)
+}
+
+fn sweep(state: &AppState, body: &[u8]) -> Response {
+    let value = match parse_json_body(body) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let result = (|| {
+        let fields = obj(&value)?;
+        let input = decode_trace(fields)?;
+        let topo_spec = decode_topology(fields, input.trace.num_ranks)?;
+        let map_specs: Vec<MappingSpec> = match field(fields, "mappings") {
+            None | Some(Value::Null) => vec![MappingSpec::Consecutive],
+            Some(Value::Array(items)) => {
+                if items.is_empty() || items.len() > 64 {
+                    return Err(Response::error(400, "'mappings' needs 1..=64 entries"));
+                }
+                items
+                    .iter()
+                    .map(|item| match item {
+                        Value::Str(s) => {
+                            s.parse().map_err(|e| Response::error(400, &format!("{e}")))
+                        }
+                        _ => Err(Response::error(400, "'mappings' entries must be strings")),
+                    })
+                    .collect::<Result<_, _>>()?
+            }
+            Some(_) => return Err(Response::error(400, "'mappings' must be an array")),
+        };
+        let resp = with_routed(state, &topo_spec, |routed| {
+            payload::sweep(
+                &input.trace,
+                input.digest.clone(),
+                &topo_spec,
+                &map_specs,
+                routed,
+            )
+        })?
+        .map_err(|e| Response::error(400, &format!("{e}")))?;
+        Ok(Response::json(canonical_json(&resp).into_bytes()))
+    })();
+    result.unwrap_or_else(|resp| resp)
+}
+
+fn stats(body: &[u8]) -> Response {
+    trace_only(body, |trace| {
+        payload::StatsResponse::from_trace(trace).to_value()
+    })
+}
+
+fn metrics(body: &[u8]) -> Response {
+    trace_only(body, |trace| {
+        payload::MetricsResponse::from_trace(trace).to_value()
+    })
+}
+
+fn trace_only(body: &[u8], compute: impl FnOnce(&Trace) -> Value) -> Response {
+    let value = match parse_json_body(body) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let result = (|| {
+        let fields = obj(&value)?;
+        let input = decode_trace(fields)?;
+        Ok(Response::json(
+            canonical_json(&compute(&input.trace)).into_bytes(),
+        ))
+    })();
+    result.unwrap_or_else(|resp| resp)
+}

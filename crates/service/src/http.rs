@@ -1,0 +1,311 @@
+//! Minimal HTTP/1.1 framing over blocking sockets.
+//!
+//! The server speaks just enough HTTP for JSON request/response tooling:
+//! one request per connection (`Connection: close`), `Content-Length`
+//! bodies, no chunked encoding, no keep-alive. Both directions are capped —
+//! headers at [`MAX_HEADER_BYTES`], bodies at the server's configured
+//! limit — so a hostile peer cannot make a worker buffer unbounded input.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Header-section ceiling (request line + headers). Analysis requests
+/// carry everything interesting in the body; 16 KiB of headers is already
+/// generous.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// A parsed request: method, path, and the raw body bytes.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, …), uppercased as received.
+    pub method: String,
+    /// Request path including any query string, e.g. `/v1/analyze`.
+    pub path: String,
+    /// Raw body bytes (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read off the socket.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Malformed framing (bad request line, unparsable `Content-Length`…).
+    Bad(String),
+    /// Body or header section exceeds the configured limit → HTTP 413.
+    TooLarge(usize),
+    /// Socket-level failure or timeout; the connection is just dropped.
+    Io(std::io::Error),
+}
+
+impl ReadError {
+    /// Render as the error response to send back, if any (`None` for I/O
+    /// failures, where the peer is gone or too slow to care).
+    pub fn to_response(&self) -> Option<Response> {
+        match self {
+            ReadError::Bad(msg) => Some(Response::error(400, msg)),
+            ReadError::TooLarge(limit) => Some(Response::error(
+                413,
+                &format!("request body exceeds the {limit}-byte limit"),
+            )),
+            ReadError::Io(_) => None,
+        }
+    }
+}
+
+/// Read and frame one request. `max_body` caps the `Content-Length` the
+/// server is willing to buffer.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, ReadError> {
+    // Accumulate until the blank line that ends the header section.
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let header_end = loop {
+        if let Some(pos) = find_header_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEADER_BYTES {
+            return Err(ReadError::TooLarge(MAX_HEADER_BYTES));
+        }
+        let n = stream.read(&mut chunk).map_err(ReadError::Io)?;
+        if n == 0 {
+            return Err(ReadError::Bad("connection closed mid-headers".into()));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..header_end])
+        .map_err(|_| ReadError::Bad("non-UTF-8 header section".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m.to_ascii_uppercase(), p.to_string()),
+        _ => return Err(ReadError::Bad(format!("bad request line '{request_line}'"))),
+    };
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| ReadError::Bad(format!("bad Content-Length '{value}'")))?;
+            }
+        }
+    }
+    if content_length > max_body {
+        return Err(ReadError::TooLarge(max_body));
+    }
+
+    // Body: whatever was already buffered past the headers, then the rest.
+    let mut body = buf[header_end + 4..].to_vec();
+    if body.len() > content_length {
+        return Err(ReadError::Bad("body longer than Content-Length".into()));
+    }
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(ReadError::Io)?;
+        if n == 0 {
+            return Err(ReadError::Bad("connection closed mid-body".into()));
+        }
+        body.extend_from_slice(&chunk[..n]);
+        if body.len() > content_length {
+            return Err(ReadError::Bad("body longer than Content-Length".into()));
+        }
+    }
+    Ok(Request { method, path, body })
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// An HTTP response ready to serialize: status, extra headers, JSON body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Status code (200, 400, 429, …).
+    pub status: u16,
+    /// Extra headers beyond the always-present `Content-Type`,
+    /// `Content-Length`, and `Connection: close`.
+    pub headers: Vec<(String, String)>,
+    /// Response body (canonical JSON throughout the service).
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `200 OK` JSON response.
+    pub fn json(body: Vec<u8>) -> Self {
+        Response {
+            status: 200,
+            headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// An error response with a JSON `{"error": …}` body.
+    pub fn error(status: u16, message: &str) -> Self {
+        let body = format!("{{\n  \"error\": {}\n}}\n", json_escape(message));
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// The `429 Too Many Requests` backpressure response, with the
+    /// `Retry-After` hint the acceptor promises when the queue is full.
+    pub fn busy(retry_after_s: u32) -> Self {
+        let mut resp = Response::error(429, "analysis queue is full; retry shortly");
+        resp.headers
+            .push(("Retry-After".into(), retry_after_s.to_string()));
+        resp
+    }
+
+    /// Serialize onto the socket. Errors are ignored by callers (the peer
+    /// may have hung up), so this returns the raw I/O result for tests.
+    pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            reason(self.status),
+            self.body.len()
+        );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// Close a connection politely after the response has been written.
+///
+/// Closing a socket while unread request bytes sit in its receive buffer
+/// makes the kernel send RST instead of FIN, which can destroy the
+/// response before the peer reads it — exactly the rejection paths (413,
+/// 429) where we answered without consuming the body. Half-close the
+/// write side, then discard input until the peer's EOF (bounded by the
+/// stream's read timeout and a byte budget so a firehose peer cannot pin
+/// the thread).
+pub fn finish(stream: &mut TcpStream) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut scratch = [0u8; 4096];
+    let mut budget: usize = 1 << 20;
+    while budget > 0 {
+        match stream.read(&mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => budget = budget.saturating_sub(n),
+        }
+    }
+}
+
+/// Reason phrase for the status codes the service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Escape a string as a JSON string literal (quotes included).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Round-trip a raw request through a real socket pair.
+    fn frame(raw: &[u8], max_body: usize) -> Result<Request, ReadError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(raw).unwrap();
+        client.shutdown(std::net::Shutdown::Write).unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        read_request(&mut server_side, max_body)
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = frame(
+            b"POST /v1/analyze HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/analyze");
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = frame(b"GET /v1/healthz HTTP/1.1\r\n\r\n", 1024).unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_without_buffering() {
+        let err = frame(b"POST /x HTTP/1.1\r\nContent-Length: 999999\r\n\r\n", 1024).unwrap_err();
+        match err {
+            ReadError::TooLarge(limit) => assert_eq!(limit, 1024),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        assert_eq!(err.to_response().unwrap().status, 413);
+    }
+
+    #[test]
+    fn truncated_request_is_a_clean_error() {
+        assert!(matches!(
+            frame(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc", 1024),
+            Err(ReadError::Bad(_))
+        ));
+        assert!(matches!(frame(b"", 1024), Err(ReadError::Bad(_))));
+    }
+
+    #[test]
+    fn error_response_is_json_with_escapes() {
+        let r = Response::error(400, "bad \"spec\"\nline2");
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(body.contains("\\\"spec\\\""));
+        assert!(body.contains("\\n"));
+        assert_eq!(r.status, 400);
+    }
+
+    #[test]
+    fn busy_response_carries_retry_after() {
+        let r = Response::busy(1);
+        assert_eq!(r.status, 429);
+        assert!(r
+            .headers
+            .iter()
+            .any(|(n, v)| n == "Retry-After" && v == "1"));
+    }
+}

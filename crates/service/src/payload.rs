@@ -1,0 +1,405 @@
+//! Response payloads — the single definition of every JSON body the
+//! service emits.
+//!
+//! The CLI's `--json` flags (`netloc stats --json`, `netloc metrics
+//! --json`, `netloc serve`'s siblings) render these same structs through
+//! [`netloc_core::canon::canonical_json`], which is what makes server
+//! responses and CLI output diffable byte-for-byte, and what lets the
+//! integration tests compare a served response against a direct
+//! `analyze_network_routed` call down to the last byte.
+
+use netloc_core::metrics::{dimensionality, peers, rank_locality, selectivity};
+use netloc_core::{analyze_network_routed, NetworkReport, TrafficMatrix};
+use netloc_mpi::Trace;
+use netloc_topology::{MappingSpec, RoutedTopology, SpecError, TopologySpec};
+use serde::Serialize;
+
+/// Identifying metadata of the analyzed trace, embedded in every
+/// replay-style response.
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceMeta {
+    /// Application name from the trace.
+    pub app: String,
+    /// World size.
+    pub ranks: u32,
+    /// Execution time in seconds (trace metadata).
+    pub exec_time_s: f64,
+    /// Content digest of the trace source (hex), the first component of
+    /// the result-cache key.
+    pub digest: String,
+}
+
+impl TraceMeta {
+    /// Metadata for `trace`, whose source bytes digested to `digest`.
+    pub fn new(trace: &Trace, digest: String) -> Self {
+        TraceMeta {
+            app: trace.app.clone(),
+            ranks: trace.num_ranks,
+            exec_time_s: trace.exec_time_s,
+            digest,
+        }
+    }
+}
+
+/// `POST /v1/analyze` — one topology × mapping replay.
+#[derive(Debug, Clone, Serialize)]
+pub struct AnalyzeResponse {
+    /// The analyzed trace.
+    pub trace: TraceMeta,
+    /// Canonical topology spec (after `auto` resolution).
+    pub topology: String,
+    /// Compute nodes of the topology.
+    pub nodes: usize,
+    /// Canonical mapping spec.
+    pub mapping: String,
+    /// Messages injected.
+    pub messages: u64,
+    /// Packets injected.
+    pub packets: u64,
+    /// Total packet hops (paper Eq. 3).
+    pub packet_hops: u128,
+    /// Average hops per packet (Eq. 4).
+    pub avg_hops: f64,
+    /// Links carrying at least one byte.
+    pub used_links: usize,
+    /// All links of the topology.
+    pub total_links: usize,
+    /// Utilization in percent (Eq. 5 over the trace's execution time).
+    pub utilization_pct: f64,
+    /// Share of messages crossing a dragonfly global link.
+    pub global_message_share: f64,
+    /// Share of packets crossing a dragonfly global link.
+    pub global_packet_share: f64,
+    /// Hop histogram (index = hops, value = packets).
+    pub hop_histogram: Vec<u64>,
+}
+
+impl AnalyzeResponse {
+    /// Assemble from a finished report. Pure data shuffling — the test
+    /// suite builds the expected bytes through this same constructor from
+    /// a direct `analyze_network_routed` call.
+    pub fn from_report(
+        trace: TraceMeta,
+        topology: &TopologySpec,
+        nodes: usize,
+        mapping: &MappingSpec,
+        exec_time_s: f64,
+        report: &NetworkReport,
+    ) -> Self {
+        AnalyzeResponse {
+            trace,
+            topology: topology.to_string(),
+            nodes,
+            mapping: mapping.to_string(),
+            messages: report.messages,
+            packets: report.packets,
+            packet_hops: report.packet_hops,
+            avg_hops: report.avg_hops(),
+            used_links: report.used_links,
+            total_links: report.total_links,
+            utilization_pct: report.utilization_pct(exec_time_s),
+            global_message_share: report.global_message_share(),
+            global_packet_share: report.global_packet_share(),
+            hop_histogram: report.hop_histogram.clone(),
+        }
+    }
+}
+
+/// Replay `trace` on `routed` (built from the already-resolved
+/// `topo_spec`) under `map_spec`, producing the response payload.
+///
+/// This is the service's entire analysis path; the caller decides how
+/// `routed` was obtained (shared cached table or per-request lazy rows),
+/// which cannot change the result — only how fast it arrives.
+pub fn analyze(
+    trace: &Trace,
+    trace_digest: String,
+    topo_spec: &TopologySpec,
+    map_spec: &MappingSpec,
+    routed: &RoutedTopology<'_>,
+) -> Result<AnalyzeResponse, SpecError> {
+    let tm = TrafficMatrix::from_trace_full(trace);
+    let ranks = trace.num_ranks as usize;
+    let mapping = map_spec.build_with_traffic(ranks, routed, &tm.undirected_entries())?;
+    let report = analyze_network_routed(routed, &mapping, &tm);
+    Ok(AnalyzeResponse::from_report(
+        TraceMeta::new(trace, trace_digest),
+        topo_spec,
+        routed.num_nodes(),
+        map_spec,
+        trace.exec_time_s,
+        &report,
+    ))
+}
+
+/// One cell of a `POST /v1/sweep` response.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepCellResponse {
+    /// Canonical mapping spec of this cell.
+    pub mapping: String,
+    /// Packets injected.
+    pub packets: u64,
+    /// Total packet hops.
+    pub packet_hops: u128,
+    /// Average hops per packet.
+    pub avg_hops: f64,
+    /// Links carrying at least one byte.
+    pub used_links: usize,
+    /// Utilization in percent.
+    pub utilization_pct: f64,
+    /// Share of messages crossing a dragonfly global link.
+    pub global_message_share: f64,
+}
+
+/// `POST /v1/sweep` — one topology, many mappings, shared routes.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepResponse {
+    /// The analyzed trace.
+    pub trace: TraceMeta,
+    /// Canonical topology spec.
+    pub topology: String,
+    /// Compute nodes of the topology.
+    pub nodes: usize,
+    /// One cell per requested mapping, in request order.
+    pub cells: Vec<SweepCellResponse>,
+}
+
+/// Replay `trace` under every mapping in `map_specs` over one shared
+/// `routed` — the grid column the paper's Tables 4–6 are made of.
+pub fn sweep(
+    trace: &Trace,
+    trace_digest: String,
+    topo_spec: &TopologySpec,
+    map_specs: &[MappingSpec],
+    routed: &RoutedTopology<'_>,
+) -> Result<SweepResponse, SpecError> {
+    let tm = TrafficMatrix::from_trace_full(trace);
+    let ranks = trace.num_ranks as usize;
+    let undirected = tm.undirected_entries();
+    let mut cells = Vec::with_capacity(map_specs.len());
+    for spec in map_specs {
+        let mapping = spec.build_with_traffic(ranks, routed, &undirected)?;
+        let report = analyze_network_routed(routed, &mapping, &tm);
+        cells.push(SweepCellResponse {
+            mapping: spec.to_string(),
+            packets: report.packets,
+            packet_hops: report.packet_hops,
+            avg_hops: report.avg_hops(),
+            used_links: report.used_links,
+            utilization_pct: report.utilization_pct(trace.exec_time_s),
+            global_message_share: report.global_message_share(),
+        });
+    }
+    Ok(SweepResponse {
+        trace: TraceMeta::new(trace, trace_digest),
+        topology: topo_spec.to_string(),
+        nodes: routed.num_nodes(),
+        cells,
+    })
+}
+
+/// `POST /v1/stats` and `netloc stats --json` — the Table 1-style trace
+/// overview.
+#[derive(Debug, Clone, Serialize)]
+pub struct StatsResponse {
+    /// Application name.
+    pub app: String,
+    /// World size.
+    pub ranks: u32,
+    /// Execution time in seconds.
+    pub exec_time_s: f64,
+    /// Total injected volume in MB (p2p + translated collectives).
+    pub total_mb: f64,
+    /// Point-to-point share of the volume, percent.
+    pub p2p_pct: f64,
+    /// Point-to-point calls (repeats expanded).
+    pub p2p_calls: u64,
+    /// Collective share of the volume, percent.
+    pub coll_pct: f64,
+    /// Collective calls (repeats expanded).
+    pub coll_calls: u64,
+    /// Injected throughput in MB/s.
+    pub throughput_mb_s: f64,
+    /// Number of sub-communicators (world excluded).
+    pub communicators: usize,
+    /// Whether every collective runs on the global communicator.
+    pub global_only: bool,
+}
+
+impl StatsResponse {
+    /// Compute the overview for `trace`.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let s = trace.stats();
+        StatsResponse {
+            app: trace.app.clone(),
+            ranks: trace.num_ranks,
+            exec_time_s: trace.exec_time_s,
+            total_mb: s.total_mb(),
+            p2p_pct: s.p2p_pct(),
+            p2p_calls: s.p2p_calls,
+            coll_pct: s.coll_pct(),
+            coll_calls: s.coll_calls,
+            throughput_mb_s: s.throughput_mb_s(),
+            communicators: trace.comms.len(),
+            global_only: trace.uses_only_global_communicators(),
+        }
+    }
+}
+
+/// One k-dimensional fold of [`MetricsResponse`].
+#[derive(Debug, Clone, Serialize)]
+pub struct FoldResponse {
+    /// Folded grid dimensions.
+    pub dims: Vec<usize>,
+    /// Topological locality in percent.
+    pub locality_pct: f64,
+    /// 90%-traffic distance on the folded grid.
+    pub distance90: f64,
+}
+
+/// `POST /v1/metrics` and `netloc metrics --json` — the MPI-level
+/// locality metrics (§3 of the paper). All fields are `null` for traces
+/// without point-to-point traffic.
+#[derive(Debug, Clone, Serialize)]
+pub struct MetricsResponse {
+    /// Application name.
+    pub app: String,
+    /// World size.
+    pub ranks: u32,
+    /// Maximum communication peers over the ranks.
+    pub peers: Option<u32>,
+    /// Rank distance covering 90% of the traffic.
+    pub rank_distance_90: Option<f64>,
+    /// Rank locality (1 / rank distance), percent.
+    pub rank_locality_90_pct: Option<f64>,
+    /// Number of peers covering 90% of the traffic.
+    pub selectivity_90: Option<f64>,
+    /// 1D/2D/3D folded localities (empty without p2p traffic).
+    pub folds: Vec<FoldResponse>,
+}
+
+impl MetricsResponse {
+    /// Compute the metrics for `trace`.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let tm = TrafficMatrix::from_trace_p2p(trace);
+        let has_p2p = peers::peers(&tm).is_some();
+        let folds = if has_p2p {
+            (1..=3)
+                .filter_map(|k| dimensionality::folded_locality(&tm, k))
+                .map(|rep| FoldResponse {
+                    dims: rep.dims,
+                    locality_pct: rep.locality_pct,
+                    distance90: rep.distance90,
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        MetricsResponse {
+            app: trace.app.clone(),
+            ranks: trace.num_ranks,
+            peers: peers::peers(&tm),
+            rank_distance_90: rank_locality::rank_distance_90(&tm),
+            rank_locality_90_pct: rank_locality::rank_locality_90(&tm).map(|l| 100.0 * l),
+            selectivity_90: selectivity::selectivity_90(&tm),
+            folds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netloc_core::canon::canonical_json;
+    use netloc_mpi::{CollectiveOp, Payload, Rank, TraceBuilder};
+
+    fn sample() -> Trace {
+        let mut b = TraceBuilder::new("sample", 8).exec_time_s(2.0);
+        for r in 0..8u32 {
+            b.send(Rank(r), Rank((r + 1) % 8), 4096, 2);
+        }
+        b.collective(CollectiveOp::Allreduce, None, Payload::Uniform(64), 1);
+        b.build()
+    }
+
+    #[test]
+    fn analyze_matches_direct_library_call() {
+        let trace = sample();
+        let topo_spec: TopologySpec = "torus:2,2,2".parse().unwrap();
+        let map_spec: MappingSpec = "consecutive".parse().unwrap();
+        let topo = topo_spec.build().unwrap();
+        let routed = RoutedTopology::auto(topo.as_ref());
+        let resp = analyze(&trace, "d".into(), &topo_spec, &map_spec, &routed).unwrap();
+
+        let tm = TrafficMatrix::from_trace_full(&trace);
+        let mapping = map_spec.build(8, 8).unwrap();
+        let direct = analyze_network_routed(&routed, &mapping, &tm);
+        assert_eq!(resp.packets, direct.packets);
+        assert_eq!(resp.packet_hops, direct.packet_hops);
+        assert_eq!(resp.avg_hops, direct.avg_hops());
+        assert_eq!(resp.topology, "torus:2,2,2");
+        assert_eq!(resp.mapping, "consecutive");
+    }
+
+    #[test]
+    fn analyze_rejects_overfull_topology() {
+        let trace = sample();
+        let topo_spec: TopologySpec = "torus:1,1,2".parse().unwrap();
+        let topo = topo_spec.build().unwrap();
+        let routed = RoutedTopology::auto(topo.as_ref());
+        let err = analyze(
+            &trace,
+            "d".into(),
+            &topo_spec,
+            &MappingSpec::Consecutive,
+            &routed,
+        );
+        assert!(err.is_err(), "8 ranks on 2 nodes must fail");
+    }
+
+    #[test]
+    fn sweep_cells_agree_with_individual_analyze() {
+        let trace = sample();
+        let topo_spec: TopologySpec = "torus:2,2,2".parse().unwrap();
+        let specs: Vec<MappingSpec> = ["consecutive", "random:3"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let topo = topo_spec.build().unwrap();
+        let routed = RoutedTopology::auto(topo.as_ref());
+        let swept = sweep(&trace, "d".into(), &topo_spec, &specs, &routed).unwrap();
+        assert_eq!(swept.cells.len(), 2);
+        for (cell, spec) in swept.cells.iter().zip(&specs) {
+            let single = analyze(&trace, "d".into(), &topo_spec, spec, &routed).unwrap();
+            assert_eq!(cell.mapping, spec.to_string());
+            assert_eq!(cell.packets, single.packets);
+            assert_eq!(cell.packet_hops, single.packet_hops);
+            assert_eq!(cell.used_links, single.used_links);
+        }
+    }
+
+    #[test]
+    fn stats_and_metrics_render_canonically() {
+        let trace = sample();
+        let stats = canonical_json(&StatsResponse::from_trace(&trace));
+        assert!(stats.contains("\"app\": \"sample\""));
+        assert!(stats.ends_with('\n'));
+        let metrics = canonical_json(&MetricsResponse::from_trace(&trace));
+        assert!(metrics.contains("\"peers\""));
+        // Ring pattern: every rank talks to exactly one neighbor.
+        let m = MetricsResponse::from_trace(&trace);
+        assert_eq!(m.peers, Some(1));
+        assert_eq!(m.folds.len(), 3);
+    }
+
+    #[test]
+    fn metrics_without_p2p_are_null() {
+        let mut b = TraceBuilder::new("coll-only", 4).exec_time_s(1.0);
+        b.collective(CollectiveOp::Allreduce, None, Payload::Uniform(64), 1);
+        let m = MetricsResponse::from_trace(&b.build());
+        assert_eq!(m.peers, None);
+        assert!(m.folds.is_empty());
+        let json = canonical_json(&m);
+        assert!(json.contains("\"peers\": null"));
+    }
+}

@@ -1,0 +1,155 @@
+//! The bounded job queue behind the acceptor/worker split.
+//!
+//! The acceptor thread pushes accepted connections; worker threads block
+//! on [`JobQueue::pop`]. The queue is the backpressure point: when it is
+//! full, [`JobQueue::push`] fails immediately and the acceptor answers
+//! `429 Too Many Requests` itself instead of letting connections pile up
+//! invisibly in the kernel backlog. Closing the queue wakes every worker;
+//! they drain whatever is still queued and then exit, which is exactly the
+//! graceful-shutdown drain the server promises.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPSC queue with blocking pop and non-blocking push.
+pub struct JobQueue<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// An empty queue holding at most `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        JobQueue {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueue without blocking. Returns the item back when the queue is
+    /// full or closed — the caller turns that into a 429 (full) or drops
+    /// the connection (closed).
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut s = self.state.lock().expect("queue lock");
+        if s.closed || s.items.len() >= self.capacity {
+            return Err(item);
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue, blocking while the queue is empty and open. Returns `None`
+    /// only once the queue is closed *and* drained — a worker that sees
+    /// `None` has no work left, ever.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.ready.wait(s).expect("queue lock");
+        }
+    }
+
+    /// Close the queue: future pushes fail, and poppers drain the
+    /// remaining items before seeing `None`.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Items currently queued (for `statusz`).
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_fails_exactly_at_capacity() {
+        let q = JobQueue::new(2);
+        assert!(q.push(1).is_ok());
+        assert!(q.push(2).is_ok());
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.push(3).is_ok(), "popping frees a slot");
+    }
+
+    #[test]
+    fn close_drains_then_returns_none() {
+        let q = JobQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert_eq!(q.push(9), Err(9), "closed queue rejects pushes");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "None is sticky");
+    }
+
+    #[test]
+    fn blocked_poppers_wake_on_close() {
+        let q = Arc::new(JobQueue::<u32>::new(1));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        // Give the poppers a moment to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        q.close();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn items_cross_threads_in_order() {
+        let q = Arc::new(JobQueue::new(16));
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                for i in 0..100u32 {
+                    while q.push(i).is_err() {
+                        std::thread::yield_now();
+                    }
+                }
+                q.close();
+            })
+        };
+        let mut got = Vec::new();
+        while let Some(i) = q.pop() {
+            got.push(i);
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,258 @@
+//! Server lifecycle: listener + acceptor thread + worker pool.
+//!
+//! One thread accepts connections and pushes them onto the bounded
+//! [`JobQueue`]; `workers` threads pop, frame the request, and answer.
+//! Backpressure happens at the acceptor: a full queue is answered with
+//! `429 Too Many Requests` + `Retry-After` *immediately*, on the acceptor
+//! thread, so saturation is visible to clients instead of queueing
+//! invisibly in the kernel backlog.
+//!
+//! Shutdown (whether from [`RunningServer::shutdown`], `POST
+//! /v1/shutdown`, or SIGTERM via [`signal`]) follows one drain protocol:
+//! set the stop flag, nudge the blocked `accept()` with a loopback
+//! connection, join the acceptor, close the queue — which lets workers
+//! finish everything already accepted before they see `None` — and join
+//! the workers. In-flight requests always complete.
+
+use crate::cache::{ResultCache, TopoCache};
+use crate::handlers;
+use crate::http::{read_request, Response};
+use crate::queue::JobQueue;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port (tests).
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Bounded queue capacity between acceptor and workers.
+    pub queue_capacity: usize,
+    /// Largest request body accepted (bytes) before answering 413.
+    pub max_body_bytes: usize,
+    /// Result-cache capacity in bytes.
+    pub result_cache_bytes: usize,
+    /// Socket read/write timeout per request.
+    pub io_timeout: Duration,
+    /// Artificial per-request delay before handling — a test hook for
+    /// deterministically saturating the queue. Zero in production.
+    pub handler_delay: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:8642".into(),
+            workers: 4,
+            queue_capacity: 64,
+            max_body_bytes: 8 * 1024 * 1024,
+            result_cache_bytes: 64 * 1024 * 1024,
+            io_timeout: Duration::from_secs(10),
+            handler_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// Shared state every worker sees: caches, counters, config.
+pub struct AppState {
+    /// The server's configuration.
+    pub config: ServerConfig,
+    /// Level-1 cache: canonical topology spec → shared route table.
+    pub topo_cache: TopoCache,
+    /// Level-2 cache: canonical request key → response bytes.
+    pub result_cache: ResultCache,
+    /// The connection queue (workers pop, acceptor pushes).
+    pub queue: Arc<JobQueue<TcpStream>>,
+    /// Requests answered by a handler (any status).
+    pub served: AtomicU64,
+    /// Connections bounced with 429 by the acceptor.
+    pub rejected: AtomicU64,
+    /// Set by `POST /v1/shutdown`; the process driving the server polls
+    /// this (see [`RunningServer::shutdown_requested`]).
+    pub shutdown_requested: AtomicBool,
+}
+
+/// Constructor namespace for the analysis server.
+pub struct Server;
+
+impl Server {
+    /// Bind, spawn the acceptor and worker threads, and return the
+    /// running server.
+    pub fn start(config: ServerConfig) -> std::io::Result<RunningServer> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let queue = Arc::new(JobQueue::new(config.queue_capacity));
+        let stop = Arc::new(AtomicBool::new(false));
+        let state = Arc::new(AppState {
+            topo_cache: TopoCache::default(),
+            result_cache: ResultCache::new(config.result_cache_bytes),
+            queue: Arc::clone(&queue),
+            served: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            shutdown_requested: AtomicBool::new(false),
+            config,
+        });
+
+        let acceptor = {
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("netloc-acceptor".into())
+                .spawn(move || acceptor_loop(listener, state, stop))?
+        };
+        let workers = (0..state.config.workers.max(1))
+            .map(|i| {
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("netloc-worker-{i}"))
+                    .spawn(move || worker_loop(state))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+
+        Ok(RunningServer {
+            addr,
+            state,
+            stop,
+            acceptor,
+            workers,
+        })
+    }
+}
+
+fn acceptor_loop(listener: TcpListener, state: Arc<AppState>, stop: Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            // The wake-up connection (or a straggler) — drop and leave.
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let _ = stream.set_read_timeout(Some(state.config.io_timeout));
+        let _ = stream.set_write_timeout(Some(state.config.io_timeout));
+        if let Err(mut bounced) = state.queue.push(stream) {
+            // Queue full (or closing): answer the backpressure signal
+            // right here, without tying up a worker.
+            state.rejected.fetch_add(1, Ordering::Relaxed);
+            if Response::busy(1).write_to(&mut bounced).is_ok() {
+                crate::http::finish(&mut bounced);
+            }
+        }
+    }
+}
+
+fn worker_loop(state: Arc<AppState>) {
+    while let Some(mut stream) = state.queue.pop() {
+        if state.config.handler_delay > Duration::ZERO {
+            std::thread::sleep(state.config.handler_delay);
+        }
+        let response = match read_request(&mut stream, state.config.max_body_bytes) {
+            Ok(request) => {
+                // A handler panic must not take the worker down with it:
+                // answer 500 and keep serving.
+                let handled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    handlers::handle(&state, &request)
+                }));
+                state.served.fetch_add(1, Ordering::Relaxed);
+                handled.unwrap_or_else(|_| {
+                    Response::error(500, "internal error while handling the request")
+                })
+            }
+            Err(read_err) => match read_err.to_response() {
+                Some(resp) => resp,
+                None => continue, // peer gone or timed out; nothing to say
+            },
+        };
+        if response.write_to(&mut stream).is_ok() {
+            crate::http::finish(&mut stream);
+        }
+    }
+}
+
+/// A started server: its address, shared state, and thread handles.
+pub struct RunningServer {
+    addr: SocketAddr,
+    state: Arc<AppState>,
+    stop: Arc<AtomicBool>,
+    acceptor: std::thread::JoinHandle<()>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl RunningServer {
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state (counters and caches), mainly for tests and the
+    /// CLI shutdown poll.
+    pub fn state(&self) -> &AppState {
+        &self.state
+    }
+
+    /// Whether a client asked the server to stop via `POST /v1/shutdown`.
+    pub fn shutdown_requested(&self) -> bool {
+        self.state.shutdown_requested.load(Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown: stop accepting, drain every queued and
+    /// in-flight request, join all threads. Blocks until done.
+    pub fn shutdown(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor's blocking accept() with a loopback touch.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.acceptor.join();
+        // No new pushes can happen now; closing lets workers drain the
+        // backlog and then exit.
+        self.state.queue.close();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Minimal SIGTERM/SIGINT latching without a `libc` dependency: a raw
+/// `signal(2)` registration flips an atomic the serving loop polls.
+#[cfg(unix)]
+pub mod signal {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERMINATED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        TERMINATED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// Install handlers for SIGTERM (15) and SIGINT (2).
+    pub fn install() {
+        #[allow(clippy::fn_to_numeric_cast)]
+        let handler = on_signal as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(15, handler);
+            signal(2, handler);
+        }
+    }
+
+    /// Whether a termination signal has arrived since [`install`].
+    pub fn termed() -> bool {
+        TERMINATED.load(Ordering::SeqCst)
+    }
+}
+
+/// Non-unix stub: no signals to latch; `termed` never fires.
+#[cfg(not(unix))]
+pub mod signal {
+    /// No-op on this platform.
+    pub fn install() {}
+
+    /// Always `false` on this platform.
+    pub fn termed() -> bool {
+        false
+    }
+}

@@ -1,0 +1,118 @@
+//! A tiny blocking HTTP/1.1 client for exercising `netloc-service`.
+//!
+//! Deliberately minimal (std-only, one request per connection,
+//! `Connection: close`) — just enough to drive the analysis server from
+//! integration tests and smoke checks without pulling in an HTTP stack.
+//! The response keeps raw header lines and body bytes so tests can assert
+//! on exact wire content (`Retry-After`, byte-identical JSON bodies).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed HTTP response: status code, header lines, body bytes.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code from the status line (200, 429, …).
+    pub status: u16,
+    /// Header `(name, value)` pairs in arrival order, names as received.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// First header matching `name` (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (panics if it is not — service bodies always
+    /// are).
+    pub fn body_str(&self) -> &str {
+        std::str::from_utf8(&self.body).expect("service responses are UTF-8 JSON")
+    }
+}
+
+/// `GET path` against the server at `addr`.
+pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<HttpResponse> {
+    request(addr, "GET", path, b"")
+}
+
+/// `POST path` with a JSON body against the server at `addr`.
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> std::io::Result<HttpResponse> {
+    request(addr, "POST", path, body.as_bytes())
+}
+
+fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> std::io::Result<HttpResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> std::io::Result<HttpResponse> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("no header terminator in response"))?;
+    let head =
+        std::str::from_utf8(&raw[..header_end]).map_err(|_| bad("non-UTF-8 response headers"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad(&format!("bad status line '{status_line}'")))?;
+    let headers = lines
+        .filter_map(|line| {
+            line.split_once(':')
+                .map(|(n, v)| (n.trim().to_string(), v.trim().to_string()))
+        })
+        .collect();
+    Ok(HttpResponse {
+        status,
+        headers,
+        body: raw[header_end + 4..].to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_response() {
+        let raw = b"HTTP/1.1 429 Too Many Requests\r\nContent-Type: application/json\r\nRetry-After: 1\r\nContent-Length: 2\r\n\r\n{}";
+        let resp = parse_response(raw).unwrap();
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.header("retry-after"), Some("1"));
+        assert_eq!(resp.body_str(), "{}");
+    }
+
+    #[test]
+    fn garbage_is_an_error_not_a_panic() {
+        assert!(parse_response(b"not http at all").is_err());
+        assert!(parse_response(b"HTTP/1.1 abc\r\n\r\n").is_err());
+    }
+}

@@ -13,41 +13,14 @@
 //! git diff tests/goldens/                 # review what moved, then commit
 //! ```
 
-use serde::{Serialize, Value};
+use serde::Serialize;
 use std::fs;
 use std::path::Path;
 
-/// Decimal places floats are rounded to before rendering. Reports carry
-/// averages and shares derived from exact integer counters; nine places
-/// keeps every meaningful digit of those while flushing any
-/// platform-dependent last-ulp noise out of the committed files.
-const FLOAT_DECIMALS: i32 = 9;
-
-/// Round every float in the tree to [`FLOAT_DECIMALS`] places.
-pub fn normalize(value: Value) -> Value {
-    match value {
-        Value::Float(f) => {
-            let scale = 10f64.powi(FLOAT_DECIMALS);
-            let rounded = (f * scale).round() / scale;
-            // Avoid "-0.0" leaking into committed files.
-            Value::Float(if rounded == 0.0 { 0.0 } else { rounded })
-        }
-        Value::Array(items) => Value::Array(items.into_iter().map(normalize).collect()),
-        Value::Object(fields) => {
-            Value::Object(fields.into_iter().map(|(k, v)| (k, normalize(v))).collect())
-        }
-        other => other,
-    }
-}
-
-/// Canonical golden rendering: normalized floats, pretty-printed JSON,
-/// trailing newline. Byte-stable for identical inputs on every platform.
-pub fn canonical_json<T: Serialize + ?Sized>(value: &T) -> String {
-    let normalized = normalize(value.to_value());
-    let mut out = serde_json::to_string_pretty(&normalized).expect("infallible renderer");
-    out.push('\n');
-    out
-}
+// The canonical rendering moved to `netloc_core::canon` so the analysis
+// service can share it (its result cache stores exactly these bytes);
+// re-exported here so golden-test callers keep their import paths.
+pub use netloc_core::canon::{canonical_json, normalize};
 
 /// Outcome of a golden comparison.
 #[derive(Debug)]
@@ -142,29 +115,10 @@ mod tests {
     use super::*;
 
     #[test]
-    fn normalize_rounds_floats_and_kills_negative_zero() {
-        let v = Value::Array(vec![
-            Value::Float(0.123_456_789_123),
-            Value::Float(-0.0),
-            Value::Float(2.0),
-        ]);
-        match normalize(v) {
-            Value::Array(items) => {
-                assert_eq!(items[0], Value::Float(0.123_456_789));
-                assert_eq!(items[1], Value::Float(0.0));
-                assert_eq!(items[2], Value::Float(2.0));
-            }
-            other => panic!("expected array, got {other:?}"),
-        }
-    }
-
-    #[test]
-    fn canonical_json_is_stable_and_newline_terminated() {
-        let a = canonical_json(&vec![1.0f64, 0.5]);
-        let b = canonical_json(&vec![1.0f64, 0.5]);
-        assert_eq!(a, b);
-        assert!(a.ends_with('\n'));
-        assert!(a.contains("1.0"));
+    fn canonical_json_reexport_is_live() {
+        // Rendering details are tested in `netloc_core::canon`; this pins
+        // the re-export so golden callers keep compiling against testkit.
+        assert!(canonical_json(&vec![1.0f64]).ends_with("\n"));
     }
 
     #[test]

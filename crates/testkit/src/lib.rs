@@ -10,17 +10,21 @@
 //!   replay against a naive single-threaded reference for byte-identical
 //!   [`netloc_core::NetworkReport`]s;
 //! - [`goldens`] — golden-snapshot machinery (canonical JSON with
-//!   normalized floats, readable diffs, `UPDATE_GOLDENS=1` regeneration).
+//!   normalized floats, readable diffs, `UPDATE_GOLDENS=1` regeneration);
+//! - [`client`] — a std-only blocking HTTP client for integration tests
+//!   against `netloc-service`.
 //!
 //! The harness is wired into the CLI as `netloc verify` and into the root
 //! crate's integration tests.
 
 #![warn(missing_docs)]
 
+pub mod client;
 pub mod corpus;
 pub mod goldens;
 pub mod oracle;
 
+pub use client::HttpResponse;
 pub use corpus::{default_corpus, CorpusConfig, MappingKind, TopologySpec};
 pub use goldens::{canonical_json, check_golden, GoldenOutcome};
 pub use oracle::{check_route_table, verify_corpus, Mismatch, VerifySummary};

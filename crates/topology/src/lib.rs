@@ -50,6 +50,7 @@ pub mod mapping;
 pub mod mesh;
 pub mod optimize;
 pub mod routetable;
+pub mod spec;
 pub mod tapered;
 pub mod torus;
 pub mod torus_nd;
@@ -63,6 +64,7 @@ pub use link::{Link, LinkClass, LinkId, NodeId};
 pub use mapping::Mapping;
 pub use mesh::Mesh3D;
 pub use routetable::{RouteTable, RoutedTopology, SourceRow};
+pub use spec::{MappingSpec, SpecError, TopologySpec};
 pub use tapered::TaperedFatTree;
 pub use torus::Torus3D;
 pub use torus_nd::TorusNd;

@@ -41,7 +41,7 @@
 use crate::link::{LinkId, NodeId};
 use crate::Topology;
 use rayon::prelude::*;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// Ordered-pair count up to which [`RoutedTopology::auto`] picks a dense
 /// table (4M pairs ≈ a 2 000-node machine ≈ 150–200 MiB with typical mean
@@ -190,8 +190,12 @@ impl RouteTable {
 
 /// Route storage of a [`RoutedTopology`].
 enum Storage {
-    /// Full dense CSR table.
+    /// Full dense CSR table, owned by this handle.
     Dense(RouteTable),
+    /// Full dense CSR table shared with other handles (e.g. the analysis
+    /// service's per-topology cache, where every concurrent request
+    /// against the same topology spec reads one table).
+    Shared(Arc<RouteTable>),
     /// Per-source CSR rows, built on first touch (thread-safe).
     Lazy(Vec<OnceLock<SourceRow>>),
     /// No caching: every lookup routes into the caller's scratch buffer.
@@ -242,6 +246,24 @@ impl<'a> RoutedTopology<'a> {
         }
     }
 
+    /// Borrow an already-built table behind an [`Arc`] without cloning its
+    /// CSR arrays — many handles (one per concurrent request) can replay
+    /// over one shared table.
+    ///
+    /// # Panics
+    /// Panics if the table's node count does not match the topology's.
+    pub fn with_shared_table(topo: &'a dyn Topology, table: Arc<RouteTable>) -> Self {
+        assert_eq!(
+            table.num_nodes(),
+            topo.num_nodes(),
+            "route table built for a different machine size"
+        );
+        RoutedTopology {
+            storage: Storage::Shared(table),
+            topo,
+        }
+    }
+
     /// Build per-source rows lazily, on first touch of each source.
     pub fn lazy(topo: &'a dyn Topology) -> Self {
         let rows = (0..topo.num_nodes()).map(|_| OnceLock::new()).collect();
@@ -282,10 +304,11 @@ impl<'a> RoutedTopology<'a> {
         self.topo.num_nodes()
     }
 
-    /// The dense table, when this handle holds one.
+    /// The dense table, when this handle holds (or shares) one.
     pub fn table(&self) -> Option<&RouteTable> {
         match &self.storage {
             Storage::Dense(t) => Some(t),
+            Storage::Shared(t) => Some(t),
             _ => None,
         }
     }
@@ -308,6 +331,7 @@ impl<'a> RoutedTopology<'a> {
     ) -> &'s [LinkId] {
         match &self.storage {
             Storage::Dense(table) => table.route_of(src, dst),
+            Storage::Shared(table) => table.route_of(src, dst),
             Storage::Lazy(rows) => rows[src.idx()]
                 .get_or_init(|| SourceRow::build(self.topo, src))
                 .route_of(dst),
@@ -326,6 +350,7 @@ impl<'a> RoutedTopology<'a> {
     pub fn hops(&self, src: NodeId, dst: NodeId) -> u32 {
         match &self.storage {
             Storage::Dense(table) => table.hops(src, dst),
+            Storage::Shared(table) => table.hops(src, dst),
             Storage::Lazy(rows) => rows[src.idx()]
                 .get_or_init(|| SourceRow::build(self.topo, src))
                 .hops(dst),
@@ -427,6 +452,38 @@ mod tests {
         assert!(RoutedTopology::auto(&small).table().is_some());
         assert!(RoutedTopology::auto(&small).is_precomputed());
         assert!(!RoutedTopology::direct(&small).is_precomputed());
+    }
+
+    #[test]
+    fn shared_table_agrees_with_dense_across_handles() {
+        let topo = Torus3D::new([3, 3, 2]);
+        let table = Arc::new(RouteTable::build(&topo));
+        let a = RoutedTopology::with_shared_table(&topo, Arc::clone(&table));
+        let b = RoutedTopology::with_shared_table(&topo, Arc::clone(&table));
+        let dense = RoutedTopology::dense(&topo);
+        let (mut s1, mut s2, mut s3) = (Vec::new(), Vec::new(), Vec::new());
+        for s in 0..topo.num_nodes() {
+            for d in 0..topo.num_nodes() {
+                let (s, d) = (NodeId(s as u32), NodeId(d as u32));
+                let r = dense.route_of(s, d, &mut s1).to_vec();
+                assert_eq!(a.route_of(s, d, &mut s2), &r[..]);
+                assert_eq!(b.route_of(s, d, &mut s3), &r[..]);
+                assert_eq!(a.hops(s, d), r.len() as u32);
+            }
+        }
+        assert!(a.is_precomputed());
+        assert!(a.table().is_some());
+        // Three consumers, one CSR allocation.
+        assert_eq!(Arc::strong_count(&table), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "different machine size")]
+    fn shared_table_rejects_size_mismatch() {
+        let a = Torus3D::new([2, 2, 2]);
+        let b = Torus3D::new([3, 3, 3]);
+        let table = Arc::new(RouteTable::build(&a));
+        RoutedTopology::with_shared_table(&b, table);
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! netloc generate <app> <ranks> [-o FILE] [--binary] [--scaled]
-//! netloc stats    <TRACE>                     Table 1-style overview
-//! netloc metrics  <TRACE>                     peers, rank locality, selectivity, 1D/2D/3D folds
+//! netloc stats    <TRACE> [--json]            Table 1-style overview
+//! netloc metrics  <TRACE> [--json]            peers, rank locality, selectivity, 1D/2D/3D folds
 //! netloc analyze  <TRACE> [--json]            every MPI-level metric at once
 //! netloc replay   <TRACE> --topology SPEC [--mapping MAP] [--json]
 //!                                             packet hops, hops̄, utilization, link classes
@@ -11,6 +11,8 @@
 //! netloc timeline <TRACE> [--bins N]          injected volume over time, burstiness
 //! netloc simulate <TRACE> --topology SPEC [--mapping MAP] [--max-msgs N]
 //!                                             temporal store-and-forward replay
+//! netloc serve    [--addr A] [--workers N] [--cache-mb M] [--queue Q]
+//!                                             the netloc-service analysis server
 //! netloc verify   [--quiet]                   differential self-check: analytic
 //!                                             routing vs BFS and the parallel
 //!                                             replay vs a naive reference, over
@@ -18,7 +20,8 @@
 //! ```
 //!
 //! `TRACE` is a file in the dumpi-like text format (see `netloc_mpi::dumpi`);
-//! `-` reads from stdin. Topology SPECs:
+//! `-` reads from stdin. Topology SPECs (parsed by `netloc_topology::spec`,
+//! shared with the analysis service):
 //!
 //! ```text
 //! torus:X,Y,Z      fattree:RADIX,STAGES      dragonfly:A,H,P
@@ -26,18 +29,21 @@
 //! auto             (the Table 2 torus for the trace's rank count)
 //! ```
 //!
-//! Mappings: `consecutive` (default), `random:SEED`, `greedy`.
+//! Mappings: `consecutive` (default), `block:CORES`, `random[:SEED]`,
+//! `random-block:CORES,SEED`, `greedy`.
+//!
+//! `--json` renders through `netloc_core::canon::canonical_json`, the same
+//! canonicalizer the service uses — CLI and server output are diffable
+//! byte-for-byte.
 
+use netloc::core::canon::canonical_json;
 use netloc::core::metrics::{dimensionality, peers, rank_locality, selectivity};
 use netloc::core::{analyze_network, classes, heatmap, timeline::Timeline, TrafficMatrix};
 use netloc::mpi::{parse_trace, parse_trace_binary, write_trace, write_trace_binary, Trace};
+use netloc::service::payload::{MetricsResponse, StatsResponse};
 use netloc::topology::optimize::greedy_mapping;
-use netloc::topology::{
-    ConfigCatalog, Dragonfly, FatTree, Mapping, Mesh3D, RoutedTopology, Topology, Torus3D, TorusNd,
-    ValiantDragonfly,
-};
+use netloc::topology::{MappingSpec, RoutedTopology, Topology, TopologySpec};
 use netloc::workloads::App;
-use rand::SeedableRng as _;
 use std::io::Read as _;
 use std::process::exit;
 
@@ -50,13 +56,14 @@ fn main() {
     let rest = &args[1..];
     match cmd.as_str() {
         "generate" => generate(rest),
-        "stats" => stats(&load_trace(rest)),
-        "metrics" => metrics(&load_trace(rest)),
+        "stats" => stats(&load_trace(rest), rest),
+        "metrics" => metrics(&load_trace(rest), rest),
         "analyze" => analyze(rest),
         "replay" => replay(rest),
         "heatmap" => heatmap_cmd(rest),
         "timeline" => timeline_cmd(rest),
         "simulate" => simulate_cmd(rest),
+        "serve" => serve_cmd(rest),
         "verify" => verify_cmd(rest),
         "--help" | "-h" | "help" => usage_and_exit(),
         other => {
@@ -68,7 +75,7 @@ fn main() {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: netloc <generate|stats|metrics|analyze|replay|heatmap|timeline|simulate|verify> …\n\
+        "usage: netloc <generate|stats|metrics|analyze|replay|heatmap|timeline|simulate|serve|verify> …\n\
          see the module docs (`cargo doc`) or the README for details"
     );
     exit(2);
@@ -177,7 +184,11 @@ fn generate(args: &[String]) {
     }
 }
 
-fn stats(trace: &Trace) {
+fn stats(trace: &Trace, args: &[String]) {
+    if args.iter().any(|a| a == "--json") {
+        print!("{}", canonical_json(&StatsResponse::from_trace(trace)));
+        return;
+    }
     let s = trace.stats();
     println!("application:   {}", trace.app);
     println!("ranks:         {}", trace.num_ranks);
@@ -201,7 +212,11 @@ fn stats(trace: &Trace) {
     );
 }
 
-fn metrics(trace: &Trace) {
+fn metrics(trace: &Trace, args: &[String]) {
+    if args.iter().any(|a| a == "--json") {
+        print!("{}", canonical_json(&MetricsResponse::from_trace(trace)));
+        return;
+    }
     let tm = TrafficMatrix::from_trace_p2p(trace);
     match peers::peers(&tm) {
         None => println!("no point-to-point traffic — MPI-level metrics are N/A"),
@@ -244,36 +259,44 @@ fn analyze(args: &[String]) {
     println!("{report:#?}");
 }
 
+/// Parse and build `--topology` through `netloc_topology::spec` — the
+/// same grammar (and the same canonicalization) the analysis service
+/// uses for its cache keys.
 fn parse_topology(spec: &str, ranks: u32) -> Box<dyn Topology> {
-    let (kind, params) = spec.split_once(':').unwrap_or((spec, ""));
-    let nums: Vec<usize> = params
-        .split(',')
-        .filter(|s| !s.is_empty())
-        .map(|s| s.parse().unwrap_or_else(|_| bad_spec(spec)))
-        .collect();
-    match (kind, nums.as_slice()) {
-        ("auto", _) => {
-            let cfg = ConfigCatalog::for_ranks(ranks as usize);
-            Box::new(cfg.build_torus())
-        }
-        ("torus", [x, y, z]) => Box::new(Torus3D::new([*x, *y, *z])),
-        ("torusnd", dims) if !dims.is_empty() => Box::new(TorusNd::new(dims)),
-        ("mesh", [x, y, z]) => Box::new(Mesh3D::new([*x, *y, *z])),
-        ("fattree", [radix, stages]) => Box::new(FatTree::new(*radix, *stages)),
-        ("dragonfly", [a, h, p]) => Box::new(Dragonfly::new(*a, *h, *p)),
-        ("dragonfly-valiant", [a, h, p]) => {
-            Box::new(ValiantDragonfly::new(Dragonfly::new(*a, *h, *p)))
-        }
-        _ => bad_spec(spec),
-    }
+    let parsed: TopologySpec = spec.parse().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(2);
+    });
+    parsed.resolve(ranks).build().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(2);
+    })
 }
 
-fn bad_spec(spec: &str) -> ! {
-    eprintln!(
-        "bad topology spec '{spec}'; expected torus:X,Y,Z | mesh:X,Y,Z | \
-         fattree:RADIX,STAGES | dragonfly:A,H,P | dragonfly-valiant:A,H,P | auto"
-    );
-    exit(2);
+/// Parse `--mapping` through the shared spec grammar.
+fn parse_mapping(spec: &str) -> MappingSpec {
+    spec.parse().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(2);
+    })
+}
+
+/// Instantiate a mapping spec, serving `greedy` through the optimizer.
+fn build_mapping(
+    spec: &MappingSpec,
+    ranks: usize,
+    topo: &dyn Topology,
+    tm: &TrafficMatrix,
+) -> netloc::topology::Mapping {
+    match spec {
+        MappingSpec::Greedy => {
+            greedy_mapping(&RoutedTopology::auto(topo), ranks, &tm.undirected_entries())
+        }
+        other => other.build(ranks, topo.num_nodes()).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(2);
+        }),
+    }
 }
 
 fn replay(args: &[String]) {
@@ -290,26 +313,8 @@ fn replay(args: &[String]) {
     }
     let tm = TrafficMatrix::from_trace_full(&trace);
     let ranks = trace.num_ranks as usize;
-    let mapping = match flag_value(args, "--mapping").unwrap_or("consecutive") {
-        "consecutive" => Mapping::consecutive(ranks, topo.num_nodes()),
-        "greedy" => greedy_mapping(
-            &RoutedTopology::auto(topo.as_ref()),
-            ranks,
-            &tm.undirected_entries(),
-        ),
-        m if m.starts_with("random") => {
-            let seed = m
-                .split_once(':')
-                .and_then(|(_, s)| s.parse().ok())
-                .unwrap_or(0u64);
-            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-            Mapping::random(ranks, topo.num_nodes(), &mut rng)
-        }
-        other => {
-            eprintln!("bad mapping '{other}' (consecutive | random:SEED | greedy)");
-            exit(2);
-        }
-    };
+    let map_spec = parse_mapping(flag_value(args, "--mapping").unwrap_or("consecutive"));
+    let mapping = build_mapping(&map_spec, ranks, topo.as_ref(), &tm);
 
     let rep = analyze_network(topo.as_ref(), &mapping, &tm);
     if args.iter().any(|a| a == "--json") {
@@ -406,27 +411,12 @@ fn simulate_cmd(args: &[String]) {
         exit(2);
     }
     let ranks = trace.num_ranks as usize;
-    let mapping = match flag_value(args, "--mapping").unwrap_or("consecutive") {
-        "consecutive" => None,
-        "greedy" => {
+    let map_spec = parse_mapping(flag_value(args, "--mapping").unwrap_or("consecutive"));
+    let mapping = match &map_spec {
+        MappingSpec::Consecutive => None,
+        spec => {
             let tm = TrafficMatrix::from_trace_full(&trace);
-            Some(greedy_mapping(
-                &RoutedTopology::auto(topo.as_ref()),
-                ranks,
-                &tm.undirected_entries(),
-            ))
-        }
-        m if m.starts_with("random") => {
-            let seed = m
-                .split_once(':')
-                .and_then(|(_, s)| s.parse().ok())
-                .unwrap_or(0u64);
-            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-            Some(Mapping::random(ranks, topo.num_nodes(), &mut rng))
-        }
-        other => {
-            eprintln!("bad mapping '{other}'");
-            exit(2);
+            Some(build_mapping(spec, ranks, topo.as_ref(), &tm))
         }
     };
     let cfg = SimConfig {
@@ -463,6 +453,54 @@ fn simulate_cmd(args: &[String]) {
         "measured util:     {:.6} % (static Eq.5 spreads volume over the full runtime)",
         100.0 * rep.measured_utilization()
     );
+}
+
+/// `netloc serve` — run the netloc-service analysis server until a
+/// termination signal or a `POST /v1/shutdown`, then drain and exit 0.
+fn serve_cmd(args: &[String]) {
+    use netloc::service::{signal, Server, ServerConfig};
+    let mut cfg = ServerConfig::default();
+    if let Some(addr) = flag_value(args, "--addr") {
+        cfg.addr = addr.to_string();
+    }
+    let numeric = |name: &str| {
+        flag_value(args, name).map(|v| {
+            v.parse::<usize>().unwrap_or_else(|_| {
+                eprintln!("bad value '{v}' for {name}");
+                exit(2);
+            })
+        })
+    };
+    if let Some(w) = numeric("--workers") {
+        cfg.workers = w.clamp(1, 256);
+    }
+    if let Some(q) = numeric("--queue") {
+        cfg.queue_capacity = q.clamp(1, 65_536);
+    }
+    if let Some(mb) = numeric("--cache-mb") {
+        cfg.result_cache_bytes = mb.clamp(1, 16_384) * 1024 * 1024;
+    }
+    let running = match Server::start(cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot start server: {e}");
+            exit(1);
+        }
+    };
+    eprintln!(
+        "netloc-service listening on http://{} ({} workers, queue {}, cache {} MiB)",
+        running.addr(),
+        running.state().config.workers,
+        running.state().config.queue_capacity,
+        running.state().config.result_cache_bytes / (1024 * 1024),
+    );
+    signal::install();
+    while !signal::termed() && !running.shutdown_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    eprintln!("shutting down: draining in-flight requests …");
+    running.shutdown();
+    eprintln!("netloc-service stopped cleanly");
 }
 
 /// `netloc verify` — run the differential oracles over the seeded corpus.

@@ -9,6 +9,7 @@
 
 pub use netloc_core as core;
 pub use netloc_mpi as mpi;
+pub use netloc_service as service;
 pub use netloc_sim as sim;
 pub use netloc_testkit as testkit;
 pub use netloc_topology as topology;

@@ -177,6 +177,41 @@ fn replay_json_is_parseable() {
 }
 
 #[test]
+fn stats_and_metrics_json_match_service_payloads() {
+    let path = tmp("jstats64.nld");
+    assert!(netloc(&["generate", "lulesh", "64", "-o", &path])
+        .status
+        .success());
+    let trace = netloc::mpi::parse_trace(&std::fs::read_to_string(&path).unwrap()).unwrap();
+
+    // `netloc stats --json` must print the exact canonical bytes the
+    // service's /v1/stats endpoint serves for the same trace.
+    let stats = netloc(&["stats", &path, "--json"]);
+    assert!(stats.status.success());
+    let expected = netloc::core::canon::canonical_json(
+        &netloc::service::payload::StatsResponse::from_trace(&trace),
+    );
+    assert_eq!(stdout(&stats), expected);
+
+    let metrics = netloc(&["metrics", &path, "--json"]);
+    assert!(metrics.status.success());
+    let expected = netloc::core::canon::canonical_json(
+        &netloc::service::payload::MetricsResponse::from_trace(&trace),
+    );
+    assert_eq!(stdout(&metrics), expected);
+
+    // Both parse as strict JSON with the headline fields present.
+    for out in [stdout(&stats), stdout(&metrics)] {
+        let value = serde_json::from_str(&out).expect("canonical output is valid JSON");
+        let serde::Value::Object(fields) = value else {
+            panic!("expected a JSON object: {out}")
+        };
+        assert!(fields.iter().any(|(k, _)| k == "app"), "{out}");
+        assert!(fields.iter().any(|(k, _)| k == "ranks"), "{out}");
+    }
+}
+
+#[test]
 fn torusnd_spec_is_accepted() {
     let path = tmp("nd64.nld");
     assert!(netloc(&["generate", "lulesh", "64", "-o", &path])

@@ -391,6 +391,48 @@ fn binary_parser_survives_mutation() {
     });
 }
 
+/// The binary parser survives truncation and bit flips over the whole
+/// corpus — the hardening the analysis service relies on when it parses
+/// untrusted uploads. Every corruption must yield either a clean `Err`
+/// (with a byte offset) or a trace that still validates; never a panic,
+/// and never an allocation driven by a corrupted count.
+#[test]
+fn binary_parser_survives_corpus_corruption() {
+    let corpus: Vec<Vec<u8>> = netloc::testkit::default_corpus()
+        .iter()
+        .map(|cfg| netloc::mpi::write_trace_binary(&cfg.build_trace()))
+        .collect();
+    assert!(!corpus.is_empty());
+    check("binary_parser_survives_corpus_corruption", |rng| {
+        let base = &corpus[rng.gen_range(0..corpus.len())];
+        let mut bin = base.clone();
+        // Truncate to a random prefix about half the time: every
+        // prefix length, including zero, must fail cleanly.
+        if rng.gen_range(0u8..2) == 0 {
+            bin.truncate(rng.gen_range(0..=bin.len()));
+        }
+        // ...and flip up to 16 random bits. Varint length bytes and
+        // count fields are prime targets here; a flipped high bit can
+        // turn a small count into a multi-gigabyte one.
+        if !bin.is_empty() {
+            for _ in 0..rng.gen_range(0usize..16) {
+                let idx = rng.gen_range(0..bin.len());
+                bin[idx] ^= 1 << rng.gen_range(0u32..8);
+            }
+        }
+        match netloc::mpi::parse_trace_binary(&bin) {
+            Ok(t) => assert!(t.validate().is_ok()),
+            Err(e) => {
+                let msg = e.to_string();
+                assert!(
+                    !msg.is_empty(),
+                    "parse error must carry a diagnostic: {msg}"
+                );
+            }
+        }
+    });
+}
+
 /// Grid foldings: exact product, descending dims, chebyshev symmetry
 /// and triangle inequality.
 #[test]

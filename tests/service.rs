@@ -1,0 +1,344 @@
+//! Integration tests for the `netloc-service` analysis server: concurrent
+//! byte-identity against direct library calls, cache accounting,
+//! backpressure, and graceful shutdown.
+
+use netloc::core::canon::{canonical_json, content_digest, digest_hex};
+use netloc::core::{analyze_network_routed, TrafficMatrix};
+use netloc::mpi::{parse_trace, write_trace, CollectiveOp, Payload, Rank, TraceBuilder};
+use netloc::service::http::json_escape;
+use netloc::service::payload::{AnalyzeResponse, TraceMeta};
+use netloc::service::{RunningServer, Server, ServerConfig};
+use netloc::testkit::client;
+use netloc::topology::{MappingSpec, RoutedTopology, TopologySpec};
+use std::time::Duration;
+
+fn start(config: ServerConfig) -> RunningServer {
+    Server::start(config).expect("server starts on an ephemeral port")
+}
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 4,
+        queue_capacity: 32,
+        ..ServerConfig::default()
+    }
+}
+
+/// A 27-rank trace with enough structure to exercise routing and the
+/// collective translation.
+fn sample_trace_text() -> String {
+    let mut b = TraceBuilder::new("itest", 27).exec_time_s(3.0);
+    for r in 0..27u32 {
+        b.send(Rank(r), Rank((r * 5 + 1) % 27), 10_000 + r as u64, 2);
+    }
+    b.collective(CollectiveOp::Allreduce, None, Payload::Uniform(4096), 3);
+    write_trace(&b.build())
+}
+
+fn analyze_body(trace_text: &str, topology: &str, mapping: &str) -> String {
+    format!(
+        "{{\"trace\": {}, \"topology\": \"{topology}\", \"mapping\": \"{mapping}\"}}",
+        json_escape(trace_text)
+    )
+}
+
+/// The expected `/v1/analyze` bytes, computed through a *direct*
+/// `analyze_network_routed` call plus the shared payload/canonicalizer —
+/// no service code paths involved in the replay itself.
+fn expected_analyze_bytes(trace_text: &str, topology: &str, mapping: &str) -> Vec<u8> {
+    let trace = parse_trace(trace_text).unwrap();
+    let topo_spec: TopologySpec = topology.parse().unwrap();
+    let topo_spec = topo_spec.resolve(trace.num_ranks);
+    let map_spec: MappingSpec = mapping.parse().unwrap();
+    let topo = topo_spec.build().unwrap();
+    let routed = RoutedTopology::auto(topo.as_ref());
+    let tm = TrafficMatrix::from_trace_full(&trace);
+    let m = map_spec
+        .build_with_traffic(trace.num_ranks as usize, &routed, &tm.undirected_entries())
+        .unwrap();
+    let report = analyze_network_routed(&routed, &m, &tm);
+    let digest = digest_hex(content_digest(trace_text.as_bytes()));
+    let resp = AnalyzeResponse::from_report(
+        TraceMeta::new(&trace, digest),
+        &topo_spec,
+        topo.num_nodes(),
+        &map_spec,
+        trace.exec_time_s,
+        &report,
+    );
+    canonical_json(&resp).into_bytes()
+}
+
+/// Pull an unsigned counter out of a (possibly nested) JSON object.
+fn json_counter(body: &str, path: &[&str]) -> u64 {
+    let mut value = serde_json::from_str(body).expect("valid JSON");
+    for key in path {
+        let serde::Value::Object(fields) = value else {
+            panic!("expected object at '{key}'")
+        };
+        value = fields
+            .into_iter()
+            .find(|(k, _)| k == key)
+            .unwrap_or_else(|| panic!("missing field '{key}'"))
+            .1;
+    }
+    match value {
+        serde::Value::UInt(n) => n as u64,
+        serde::Value::Int(n) => n as u64,
+        other => panic!("expected number, got {other:?}"),
+    }
+}
+
+#[test]
+fn concurrent_clients_byte_identical_with_cache_accounting() {
+    let server = start(test_config());
+    let addr = server.addr();
+    let trace_text = sample_trace_text();
+    let body = analyze_body(&trace_text, "torus:3,3,3", "consecutive");
+    let expected = expected_analyze_bytes(&trace_text, "torus:3,3,3", "consecutive");
+
+    // Warm-up: the one and only miss for this key.
+    let warm = client::post(addr, "/v1/analyze", &body).unwrap();
+    assert_eq!(warm.status, 200, "{}", warm.body_str());
+    assert_eq!(warm.body, expected, "fresh response != direct library call");
+
+    // ≥8 overlapping clients, same request: every byte identical, all
+    // served from the result cache.
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let body = body.clone();
+            std::thread::spawn(move || client::post(addr, "/v1/analyze", &body).unwrap())
+        })
+        .collect();
+    for h in handles {
+        let resp = h.join().unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, expected, "concurrent response diverged");
+    }
+
+    let statusz = client::get(addr, "/v1/statusz").unwrap();
+    assert_eq!(statusz.status, 200);
+    let s = statusz.body_str();
+    assert_eq!(
+        json_counter(s, &["result_cache", "misses"]),
+        1,
+        "exactly the warm-up misses: {s}"
+    );
+    assert_eq!(
+        json_counter(s, &["result_cache", "hits"]),
+        8,
+        "all 8 concurrent requests hit: {s}"
+    );
+    assert_eq!(
+        json_counter(s, &["route_tables_built"]),
+        1,
+        "one RouteTable for one distinct spec: {s}"
+    );
+    assert_eq!(server.state().topo_cache.tables_built(), 1);
+
+    // Two spellings of one topology share a table (canonical keying), and
+    // a genuinely new spec builds exactly one more.
+    for spelling in ["torus:04,4,4", "torus:4,4,4", "torus:4, 4,4"] {
+        let resp = client::post(
+            addr,
+            "/v1/analyze",
+            &analyze_body(&trace_text, spelling, "random:5"),
+        )
+        .unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body_str());
+        assert_eq!(
+            resp.body,
+            expected_analyze_bytes(&trace_text, spelling, "random:5"),
+            "spelling '{spelling}' diverged"
+        );
+    }
+    assert_eq!(
+        server.state().topo_cache.tables_built(),
+        2,
+        "canonicalization must collapse spellings to one table"
+    );
+    let s2 = client::get(addr, "/v1/statusz").unwrap();
+    // The three spellings canonicalize to one cache key: 1 miss + 2 hits.
+    assert_eq!(json_counter(s2.body_str(), &["result_cache", "misses"]), 2);
+    assert_eq!(json_counter(s2.body_str(), &["result_cache", "hits"]), 10);
+
+    server.shutdown();
+}
+
+#[test]
+fn sweep_stats_metrics_and_workload_endpoints() {
+    let server = start(test_config());
+    let addr = server.addr();
+    let trace_text = sample_trace_text();
+
+    let sweep_body = format!(
+        "{{\"trace\": {}, \"topology\": \"torus:3,3,3\", \"mappings\": [\"consecutive\", \"random:3\"]}}",
+        json_escape(&trace_text)
+    );
+    let sweep = client::post(addr, "/v1/sweep", &sweep_body).unwrap();
+    assert_eq!(sweep.status, 200, "{}", sweep.body_str());
+    let s = sweep.body_str();
+    assert!(s.contains("\"mapping\": \"consecutive\""), "{s}");
+    assert!(s.contains("\"mapping\": \"random:3\""), "{s}");
+    assert!(s.contains("\"topology\": \"torus:3,3,3\""), "{s}");
+
+    // /v1/stats must serve the exact bytes `netloc stats --json` prints.
+    let trace = parse_trace(&trace_text).unwrap();
+    let stats_expected =
+        canonical_json(&netloc::service::payload::StatsResponse::from_trace(&trace));
+    let stats_body = format!("{{\"trace\": {}}}", json_escape(&trace_text));
+    let stats = client::post(addr, "/v1/stats", &stats_body).unwrap();
+    assert_eq!(stats.status, 200);
+    assert_eq!(stats.body_str(), stats_expected);
+
+    let metrics_expected = canonical_json(&netloc::service::payload::MetricsResponse::from_trace(
+        &trace,
+    ));
+    let metrics = client::post(addr, "/v1/metrics", &stats_body).unwrap();
+    assert_eq!(metrics.status, 200);
+    assert_eq!(metrics.body_str(), metrics_expected);
+
+    // Generated workloads skip the trace upload entirely.
+    let workload = client::post(
+        addr,
+        "/v1/analyze",
+        "{\"workload\": \"lulesh:64\", \"topology\": \"auto\"}",
+    )
+    .unwrap();
+    assert_eq!(workload.status, 200, "{}", workload.body_str());
+    assert!(workload.body_str().contains("\"app\": \"EXMATEX LULESH\""));
+
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_precise_errors() {
+    let server = start(ServerConfig {
+        max_body_bytes: 64 * 1024,
+        ..test_config()
+    });
+    let addr = server.addr();
+
+    let health = client::get(addr, "/v1/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    assert!(health.body_str().contains("\"ok\""));
+
+    // Broken JSON → 400 with the parser's byte offset.
+    let bad_json = client::post(addr, "/v1/analyze", "{\"trace\": ").unwrap();
+    assert_eq!(bad_json.status, 400);
+    assert!(
+        bad_json.body_str().contains("byte"),
+        "error must carry a byte offset: {}",
+        bad_json.body_str()
+    );
+
+    // Valid JSON, broken trace → 400 citing the trace parser.
+    let bad_trace =
+        client::post(addr, "/v1/analyze", "{\"trace\": \"not a dumpi trace\"}").unwrap();
+    assert_eq!(bad_trace.status, 400);
+    assert!(bad_trace.body_str().contains("bad trace"));
+
+    // Bad topology spec → 400 echoing the spec grammar, not a panic.
+    let trace_text = sample_trace_text();
+    let bad_spec = client::post(
+        addr,
+        "/v1/analyze",
+        &analyze_body(&trace_text, "torus:0,0,0", "consecutive"),
+    )
+    .unwrap();
+    assert_eq!(bad_spec.status, 400);
+
+    // Topology too small for the ranks → 400, not a panic.
+    let overfull = client::post(
+        addr,
+        "/v1/analyze",
+        &analyze_body(&trace_text, "torus:2,2,2", "consecutive"),
+    )
+    .unwrap();
+    assert_eq!(overfull.status, 400, "{}", overfull.body_str());
+
+    // Oversized body → 413 before any parsing.
+    let huge = format!("{{\"trace\": \"{}\"}}", "x".repeat(100 * 1024));
+    let too_large = client::post(addr, "/v1/analyze", &huge).unwrap();
+    assert_eq!(too_large.status, 413);
+
+    assert_eq!(client::post(addr, "/v1/healthz", "{}").unwrap().status, 405);
+    assert_eq!(client::get(addr, "/v1/nothing").unwrap().status, 404);
+
+    server.shutdown();
+}
+
+#[test]
+fn saturated_queue_returns_429_and_retry_succeeds() {
+    // One slow worker + a one-slot queue: overlapping requests must be
+    // bounced with 429 immediately instead of piling up.
+    let server = start(ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        handler_delay: Duration::from_millis(300),
+        ..test_config()
+    });
+    let addr = server.addr();
+
+    let handles: Vec<_> = (0..8)
+        .map(|_| std::thread::spawn(move || client::get(addr, "/v1/healthz").unwrap()))
+        .collect();
+    let responses: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let ok = responses.iter().filter(|r| r.status == 200).count();
+    let busy = responses.iter().filter(|r| r.status == 429).count();
+    assert_eq!(ok + busy, 8, "no hangs, no other statuses");
+    assert!(ok >= 1, "the in-service request completes");
+    assert!(busy >= 1, "overload must be visible as 429");
+    for r in responses.iter().filter(|r| r.status == 429) {
+        assert_eq!(
+            r.header("Retry-After"),
+            Some("1"),
+            "429 must carry Retry-After"
+        );
+    }
+
+    // After the burst drains, the same request succeeds on retry.
+    let retry = client::get(addr, "/v1/healthz").unwrap();
+    assert_eq!(retry.status, 200, "retry after backpressure must succeed");
+
+    let statusz = client::get(addr, "/v1/statusz").unwrap();
+    assert!(json_counter(statusz.body_str(), &["requests_rejected"]) >= busy as u64);
+
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_in_flight_requests() {
+    let server = start(ServerConfig {
+        workers: 1,
+        queue_capacity: 4,
+        handler_delay: Duration::from_millis(300),
+        ..test_config()
+    });
+    let addr = server.addr();
+
+    // Get a request accepted (and sitting in the slow worker)…
+    let in_flight = std::thread::spawn(move || client::get(addr, "/v1/healthz").unwrap());
+    std::thread::sleep(Duration::from_millis(100));
+
+    // …then shut down. The drain guarantee: the request still completes.
+    server.shutdown();
+    let resp = in_flight.join().unwrap();
+    assert_eq!(resp.status, 200, "in-flight request dropped by shutdown");
+}
+
+#[test]
+fn shutdown_endpoint_flags_the_server_loop() {
+    let server = start(test_config());
+    let addr = server.addr();
+    assert!(!server.shutdown_requested());
+    let resp = client::post(addr, "/v1/shutdown", "{}").unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp.body_str().contains("shutting down"));
+    assert!(
+        server.shutdown_requested(),
+        "the serve loop polls this flag to exit"
+    );
+    server.shutdown();
+}

@@ -1,10 +1,15 @@
 //! Offline stand-in for `serde_json`: renders the vendored serde [`Value`]
-//! tree as JSON text.
+//! tree as JSON text, and parses JSON text back into a [`Value`] tree.
 //!
 //! Formatting matches the upstream conventions this workspace depends on:
 //! finite floats with an integral value print with a trailing `.0` (so
 //! `1.0_f64` renders as `1.0`, not `1`), non-finite floats render as
 //! `null`, and pretty output uses two-space indentation.
+//!
+//! The parser ([`from_str`]) is strict JSON (RFC 8259 minus `\uXXXX`
+//! surrogate pairs collapsing to one char — basic escapes and BMP code
+//! points are supported) and reports every rejection with the byte offset
+//! it occurred at, which the netloc service surfaces in 400 responses.
 
 use serde::{Serialize, Value};
 use std::fmt;
@@ -104,6 +109,283 @@ fn write_float(out: &mut String, f: f64) {
     }
 }
 
+// ---- parser ----------------------------------------------------------
+
+/// Parse error: what went wrong and the byte offset it happened at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the rejection.
+    pub message: String,
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "json parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a JSON document into a [`Value`] tree.
+///
+/// Strict: exactly one top-level value, no trailing input (whitespace
+/// excepted), no comments, no trailing commas. Numbers without `.`/`e`
+/// that fit an integer parse as [`Value::UInt`]/[`Value::Int`]; everything
+/// else numeric parses as [`Value::Float`].
+pub fn from_str(input: &str) -> std::result::Result<Value, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the JSON value"));
+    }
+    Ok(value)
+}
+
+/// Nesting depth cap: deep enough for any real request, shallow enough
+/// that hostile input cannot overflow the parser's recursion stack.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, expected: u8) -> std::result::Result<(), ParseError> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", expected as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> std::result::Result<(), ParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> std::result::Result<Value, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.eat_literal("null").map(|()| Value::Null),
+            Some(b't') => self.eat_literal("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.eat_literal("false").map(|()| Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(&format!("unexpected character '{}'", c as char))),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> std::result::Result<Value, ParseError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> std::result::Result<Value, ParseError> {
+        self.eat(b'{')?;
+        let mut fields: Vec<(String, Value)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(&format!("duplicate object key \"{key}\"")));
+            }
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> std::result::Result<String, ParseError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| self.err("non-ascii \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.err("\\u escape is not a scalar value"))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                0x00..=0x1f => return Err(self.err("unescaped control character in string")),
+                _ => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // byte stream is valid UTF-8 by construction).
+                    let rest = &self.bytes[self.pos..];
+                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> std::result::Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let int_start = self.pos;
+        let int_digits = self.digit_run()?;
+        if int_digits > 1 && self.bytes[int_start] == b'0' {
+            return Err(ParseError {
+                message: "leading zero in number".into(),
+                offset: start,
+            });
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            self.digit_run()?;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            self.digit_run()?;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        if !is_float {
+            if let Ok(u) = text.parse::<u128>() {
+                return Ok(Value::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i128>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| ParseError {
+                message: "invalid number".into(),
+                offset: start,
+            })
+    }
+
+    /// Consume one or more ASCII digits; returns how many.
+    fn digit_run(&mut self) -> std::result::Result<usize, ParseError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a digit"));
+        }
+        Ok(self.pos - start)
+    }
+}
+
 fn write_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
@@ -158,5 +440,81 @@ mod tests {
     #[test]
     fn empty_containers_stay_tight() {
         assert_eq!(to_string_pretty(&Vec::<u32>::new()).unwrap(), "[]");
+    }
+
+    #[test]
+    fn parse_roundtrips_compact_rendering() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::UInt(1)),
+            (
+                "b".into(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
+            ("c".into(), Value::Str("x\"y\nz".into())),
+            ("d".into(), Value::Float(0.25)),
+            ("e".into(), Value::Int(-7)),
+        ]);
+        let text = to_string(&v).unwrap();
+        assert_eq!(from_str(&text).unwrap(), v);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(from_str(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_number_variants() {
+        assert_eq!(from_str("0").unwrap(), Value::UInt(0));
+        assert_eq!(from_str("-3").unwrap(), Value::Int(-3));
+        assert_eq!(from_str("1.5").unwrap(), Value::Float(1.5));
+        assert_eq!(from_str("2e3").unwrap(), Value::Float(2000.0));
+        assert_eq!(from_str("-0.5").unwrap(), Value::Float(-0.5));
+        assert!(from_str("01").is_err());
+        assert!(from_str("1.").is_err());
+        assert!(from_str("--1").is_err());
+    }
+
+    #[test]
+    fn parse_escapes_and_unicode() {
+        assert_eq!(
+            from_str(r#""a\tb\u0041\"""#).unwrap(),
+            Value::Str("a\tbA\"".into())
+        );
+        assert_eq!(from_str("\"héllo\"").unwrap(), Value::Str("héllo".into()));
+        assert!(from_str("\"\\q\"").is_err());
+        assert!(from_str("\"\\u12\"").is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_byte_offsets() {
+        let err = from_str("{\"a\": }").unwrap_err();
+        assert_eq!(err.offset, 6, "{err}");
+        let err = from_str("[1, 2,]").unwrap_err();
+        assert_eq!(err.offset, 6, "{err}");
+        let err = from_str("{\"a\":1} x").unwrap_err();
+        assert_eq!(err.offset, 8, "{err}");
+        assert!(err.to_string().contains("byte 8"));
+    }
+
+    #[test]
+    fn parse_rejects_duplicate_keys_and_deep_nesting() {
+        assert!(from_str("{\"k\":1,\"k\":2}").is_err());
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(from_str(&deep).is_err());
+        let ok = "[".repeat(50) + &"]".repeat(50);
+        assert!(from_str(&ok).is_ok());
+    }
+
+    #[test]
+    fn parse_rejects_truncation_anywhere() {
+        let text = r#"{"a": [1, 2.5, "s"], "b": {"c": null, "d": true}}"#;
+        assert!(from_str(text).is_ok());
+        for cut in 1..text.len() {
+            if !text.is_char_boundary(cut) {
+                continue;
+            }
+            assert!(
+                from_str(&text[..cut]).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
     }
 }
