@@ -17,7 +17,8 @@
 //! repro goldens [STEM]    # canonical golden JSON (table1/table3/table4)
 //! repro summary [--full]  # the paper's headline claims, checked
 //! repro bench [--smoke] [-o FILE]  # replay-throughput benchmark → BENCH_netmodel.json
-//! repro all [--full]      # everything above except bench
+//! repro bench-ingest [--smoke] [-o FILE]  # trace-ingest benchmark → BENCH_ingest.json
+//! repro all [--full]      # everything above except the benches
 //! ```
 //!
 //! `--full` includes the >256-rank configurations (slower but complete);
@@ -27,6 +28,126 @@ use netloc_bench::format;
 use netloc_bench::rows;
 use netloc_topology::grid;
 use netloc_workloads::App;
+
+/// Allocator that recycles large blocks instead of returning them to the OS.
+///
+/// glibc hands multi-megabyte allocations straight to `mmap` and releases
+/// them with `munmap` on free, so every benchmark iteration that builds a
+/// fresh ~100 MB event vector or traffic matrix re-faults all of its pages
+/// and the timings measure the kernel's page-fault path instead of the
+/// ingest/replay code. Caching freed blocks of an exact size (benchmark
+/// iterations allocate identical shapes) keeps the pages resident across
+/// iterations for both the sequential and parallel paths alike.
+mod block_cache {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::cell::UnsafeCell;
+    use std::ptr;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Blocks below this size stay on glibc's fast paths already.
+    const MIN_BYTES: usize = 4 << 20;
+    const SLOTS: usize = 64;
+
+    /// A cached block: pointer plus the layout it was freed with.
+    #[derive(Clone, Copy)]
+    struct Block {
+        ptr: *mut u8,
+        size: usize,
+        align: usize,
+    }
+
+    const EMPTY: Block = Block {
+        ptr: ptr::null_mut(),
+        size: 0,
+        align: 1,
+    };
+
+    struct Table(UnsafeCell<([Block; SLOTS], usize)>);
+    // Access is serialised by LOCK below.
+    unsafe impl Sync for Table {}
+
+    static LOCK: AtomicBool = AtomicBool::new(false);
+    static TABLE: Table = Table(UnsafeCell::new(([EMPTY; SLOTS], 0)));
+
+    pub struct BlockCache;
+
+    fn cacheable(layout: Layout) -> bool {
+        layout.size() >= MIN_BYTES && layout.align() <= 16
+    }
+
+    fn locked<R>(f: impl FnOnce(&mut [Block; SLOTS], &mut usize) -> R) -> R {
+        while LOCK
+            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            std::hint::spin_loop();
+        }
+        // Safety: the spinlock above gives this thread exclusive table access.
+        let (table, cursor) = unsafe { &mut *TABLE.0.get() };
+        let r = f(table, cursor);
+        LOCK.store(false, Ordering::Release);
+        r
+    }
+
+    unsafe impl GlobalAlloc for BlockCache {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            if cacheable(layout) {
+                // Layouts must match exactly: `dealloc` is later called with
+                // the layout of *this* request, so handing out a larger or
+                // differently aligned block would corrupt the underlying
+                // allocator.
+                let hit = locked(|table, _| {
+                    table
+                        .iter_mut()
+                        .find(|b| {
+                            !b.ptr.is_null() && b.size == layout.size() && b.align == layout.align()
+                        })
+                        .map(|b| std::mem::replace(b, EMPTY).ptr)
+                });
+                if let Some(p) = hit {
+                    return p;
+                }
+            }
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            let block = Block {
+                ptr,
+                size: layout.size(),
+                align: layout.align(),
+            };
+            if cacheable(layout) {
+                // Stash into a free slot, or evict round-robin so stale
+                // sizes from earlier benchmark phases cannot pin the table.
+                let evicted = locked(|table, cursor| {
+                    if let Some(slot) = table.iter_mut().find(|b| b.ptr.is_null()) {
+                        *slot = block;
+                        return None;
+                    }
+                    *cursor = (*cursor + 1) % SLOTS;
+                    Some(std::mem::replace(&mut table[*cursor], block))
+                });
+                match evicted {
+                    None => return,
+                    Some(old) => {
+                        // Safety: `old` was stashed with the layout its owner
+                        // passed to `dealloc`, which per the GlobalAlloc
+                        // contract matches its allocation layout.
+                        let layout = Layout::from_size_align(old.size, old.align)
+                            .expect("cached block layout was valid at stash time");
+                        System.dealloc(old.ptr, layout);
+                        return;
+                    }
+                }
+            }
+            System.dealloc(ptr, layout);
+        }
+    }
+}
+
+#[global_allocator]
+static ALLOC: block_cache::BlockCache = block_cache::BlockCache;
 
 fn main() {
     install_broken_pipe_hook();
@@ -85,6 +206,7 @@ fn main() {
         "kim" => kim(),
         "summary" => summary(max_ranks),
         "bench" => bench(&args),
+        "bench-ingest" => bench_ingest(&args),
         "all" => {
             table1();
             table2();
@@ -135,6 +257,34 @@ fn bench(args: &[String]) {
     });
     let report = netloc_bench::netbench::run(smoke);
     if let Err(e) = netloc_bench::netbench::write_report(&report, out) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {out} ({} rows)", report.results.len());
+}
+
+/// `repro bench-ingest [--smoke] [-o FILE]` — trace-ingest benchmark:
+/// the parallel zero-copy pipeline vs the sequential parse + three event
+/// walks, on generated 1M-event traces.
+///
+/// Not part of `repro all` for the same reason as `bench`; `--smoke`
+/// (used by CI) shrinks the traces and still asserts the parallel
+/// pipeline equals the sequential baseline before timing.
+fn bench_ingest(args: &[String]) {
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "-o")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_ingest.json");
+    banner(if smoke {
+        "Ingest benchmark (smoke mode)"
+    } else {
+        "Ingest benchmark: sequential parse + 3 walks vs parallel fused pipeline"
+    });
+    let report = netloc_bench::ingestbench::run(smoke);
+    if let Err(e) = netloc_bench::ingestbench::write_report(&report, out) {
         eprintln!("cannot write {out}: {e}");
         std::process::exit(1);
     }

@@ -10,6 +10,7 @@
 
 pub mod format;
 pub mod goldens;
+pub mod ingestbench;
 pub mod netbench;
 pub mod rows;
 pub mod svg;

@@ -1,0 +1,698 @@
+//! Parallel fused trace ingest: bytes → (trace, traffic matrices, stats).
+//!
+//! The sequential pipeline runs four passes over a trace — parse, then
+//! [`TrafficMatrix::from_trace_full`], [`TrafficMatrix::from_trace_p2p`],
+//! and [`TraceStats::compute`] each re-walk `trace.events`. This module
+//! fuses the three analysis passes into one chunk-parallel fold and pairs
+//! it with the zero-copy parser
+//! [`parse_trace_bytes`](netloc_mpi::parse_trace_bytes):
+//!
+//! * events are split into one chunk per rayon worker;
+//! * each worker folds its chunk into a private [`Shard`] — full matrix
+//!   cells, p2p-only cells, and Table 1 counters accumulated together,
+//!   with collectives expanded through the allocation-free
+//!   [`for_each_translated`] callback;
+//! * shards merge pairwise (plain `u64` additions) and the merged cells
+//!   become the final [`TrafficMatrix`]s.
+//!
+//! Every per-pair update uses exactly [`TrafficMatrix::record`]'s
+//! arithmetic, and `u64` addition is associative/commutative, so the result
+//! is identical — same pairs, bytes, message and packet counts — to the
+//! sequential constructors. The differential oracle in `netloc-testkit`
+//! asserts that over the whole corpus; the property tests assert invariance
+//! under worker count and chunk size.
+//!
+//! For small rank counts each shard accumulates into a dense `n × n` cell
+//! array (branch-free indexed adds on the hot path) and converts to the
+//! hash-map form once at the end; large rank counts or wide fan-outs fall
+//! back to hash-map shards so memory stays bounded by actual pair counts.
+
+use crate::fxhash::FxHashMap;
+use crate::netmodel::PACKET_PAYLOAD;
+use crate::traffic::{PairTraffic, TrafficMatrix};
+use netloc_mpi::{
+    collective_volume, for_each_translated, parse_trace_bytes, CollectiveOp, CommId, Event,
+    Payload, TimedEvent, Trace, TraceStats,
+};
+use rayon::prelude::*;
+
+/// Everything the analysis layers need from one trace, produced by a single
+/// fused pass: the trace itself, the full (p2p + translated collectives)
+/// traffic matrix, the p2p-only matrix, and the Table 1 statistics.
+#[derive(Debug, Clone)]
+pub struct IngestResult {
+    /// The parsed trace (header, communicators, events).
+    pub trace: Trace,
+    /// Full traffic matrix: p2p plus translated collectives
+    /// (identical to [`TrafficMatrix::from_trace_full`]).
+    pub matrix: TrafficMatrix,
+    /// Point-to-point-only matrix
+    /// (identical to [`TrafficMatrix::from_trace_p2p`]).
+    pub p2p: TrafficMatrix,
+    /// Table 1 statistics (identical to [`TraceStats::compute`]).
+    pub stats: TraceStats,
+}
+
+/// Parse dumpi-format bytes with the chunk-parallel zero-copy parser and
+/// fold the events into matrices and stats in one pass.
+pub fn ingest_trace_bytes(bytes: &[u8]) -> netloc_mpi::Result<IngestResult> {
+    Ok(ingest_trace(parse_trace_bytes(bytes)?))
+}
+
+/// Fold an already-parsed trace into matrices and stats in one
+/// chunk-parallel pass.
+pub fn ingest_trace(trace: Trace) -> IngestResult {
+    ingest_trace_chunked(trace, 0)
+}
+
+/// [`ingest_trace`] with an explicit events-per-chunk size
+/// (`0` = one chunk per rayon worker).
+///
+/// The result is invariant in the chunk size; the knob exists for the
+/// invariance property tests.
+pub fn ingest_trace_chunked(trace: Trace, chunk_events: usize) -> IngestResult {
+    let workers = rayon::max_workers().max(1);
+    let chunk = if chunk_events > 0 {
+        chunk_events
+    } else {
+        trace.events.len().div_ceil(workers).max(1)
+    };
+    let shard_count = trace.events.len().div_ceil(chunk).max(1);
+    let n = trace.num_ranks;
+    let use_dense = dense_shards_fit(n, shard_count);
+
+    let shard = trace
+        .events
+        .par_chunks(chunk)
+        .map(|events| Some(fold_chunk(&trace, events, use_dense)))
+        .reduce(
+            || None,
+            |a, b| match (a, b) {
+                (Some(mut x), Some(y)) => {
+                    x.merge(y);
+                    Some(x)
+                }
+                (x, None) | (None, x) => x,
+            },
+        )
+        .unwrap_or_else(|| Shard::new(n, false));
+
+    let (full_pairs, p2p_pairs, counters) = shard.into_parts(&trace);
+    let stats = TraceStats {
+        ranks: trace.num_ranks,
+        exec_time_s: trace.exec_time_s,
+        p2p_bytes: counters.p2p_bytes,
+        coll_bytes: counters.coll_bytes,
+        p2p_calls: counters.p2p_calls,
+        coll_calls: counters.coll_calls,
+    };
+    let matrix = TrafficMatrix::from_parts(n, full_pairs);
+    let p2p = TrafficMatrix::from_parts(n, p2p_pairs);
+    IngestResult {
+        trace,
+        matrix,
+        p2p,
+        stats,
+    }
+}
+
+/// Dense cells cost `n² × sizeof(Cell)` bytes *per shard*, and all shards
+/// are alive until the merge. Use them only while the whole fleet stays
+/// within a fixed budget; otherwise hash-map shards bound memory by the
+/// number of pairs actually touched.
+fn dense_shards_fit(num_ranks: u32, shard_count: usize) -> bool {
+    const DENSE_BUDGET_BYTES: usize = 256 << 20;
+    let n = num_ranks as usize;
+    n > 0
+        && n <= 1024
+        && n.pow(2)
+            .saturating_mul(std::mem::size_of::<Cell>())
+            .saturating_mul(shard_count)
+            <= DENSE_BUDGET_BYTES
+}
+
+/// One dense accumulator cell: the full-matrix entry and the p2p-only entry
+/// for a single ordered rank pair.
+#[derive(Debug, Clone, Copy, Default)]
+struct Cell {
+    full: PairTraffic,
+    p2p: PairTraffic,
+}
+
+/// Pair map backing one [`TrafficMatrix`].
+type PairMap = FxHashMap<(u32, u32), PairTraffic>;
+
+/// Table 1 counters accumulated alongside the matrix cells.
+#[derive(Debug, Clone, Copy, Default)]
+struct Counters {
+    p2p_bytes: u64,
+    coll_bytes: u64,
+    p2p_calls: u64,
+    coll_calls: u64,
+}
+
+/// Aggregation key for collectives with [`Payload::Uniform`]: under a
+/// uniform payload every pair emitted by [`for_each_translated`] carries the
+/// same byte count, and the pair *set* depends only on the operation, the
+/// communicator, and (for rooted operations) the local root. Events sharing
+/// a key therefore sum into per-phase scalars and expand into matrix cells
+/// once per shard instead of once per event — an `Allreduce` on a 512-rank
+/// communicator is 2·n cell updates per *key* rather than per *call*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CollKey {
+    op: CollectiveOp,
+    comm: u32,
+    /// Communicator-local root for rooted operations, 0 otherwise.
+    root: u32,
+}
+
+/// Per-pair sums of one collective phase (already multiplied by repeats).
+#[derive(Debug, Clone, Copy, Default)]
+struct PhaseAcc {
+    bytes: u64,
+    messages: u64,
+    packets: u64,
+}
+
+impl PhaseAcc {
+    /// Fold one event's per-pair contribution in: `bytes` per pair,
+    /// `repeat` calls. Zero-byte phases never reach here — the translation
+    /// suppresses zero-byte messages entirely.
+    fn add_event(&mut self, bytes: u64, repeat: u64) {
+        self.bytes += bytes * repeat;
+        self.messages += repeat;
+        self.packets += bytes.div_ceil(PACKET_PAYLOAD).max(1) * repeat;
+    }
+
+    fn merge(&mut self, other: &PhaseAcc) {
+        self.bytes += other.bytes;
+        self.messages += other.messages;
+        self.packets += other.packets;
+    }
+}
+
+/// Accumulated phases of one [`CollKey`]. Two-phase operations
+/// (`Allreduce`, `ReduceScatter`) use both slots: `a` is the gather-to-hub
+/// half, `b` the fan-out-from-hub half; single-phase operations use `a`.
+#[derive(Debug, Clone, Copy, Default)]
+struct CollAcc {
+    a: PhaseAcc,
+    b: PhaseAcc,
+}
+
+/// One worker's private accumulator.
+struct Shard {
+    num_ranks: u32,
+    counters: Counters,
+    /// Dense `n × n` cells (index `src · n + dst`) when the budget allows.
+    dense: Option<Box<[Cell]>>,
+    /// Hash-map fallback (full matrix / p2p-only), mirroring
+    /// [`TrafficMatrix`]'s own storage.
+    full: FxHashMap<(u32, u32), PairTraffic>,
+    p2p: FxHashMap<(u32, u32), PairTraffic>,
+    /// Deferred uniform-payload collectives, expanded in [`Shard::into_parts`].
+    coll: FxHashMap<CollKey, CollAcc>,
+}
+
+impl Shard {
+    fn new(num_ranks: u32, use_dense: bool) -> Self {
+        Shard {
+            num_ranks,
+            counters: Counters::default(),
+            dense: use_dense
+                .then(|| vec![Cell::default(); (num_ranks as usize).pow(2)].into_boxed_slice()),
+            full: FxHashMap::default(),
+            p2p: FxHashMap::default(),
+            coll: FxHashMap::default(),
+        }
+    }
+
+    /// Add another shard's cells and counters into this one.
+    fn merge(&mut self, other: Shard) {
+        self.counters.p2p_bytes += other.counters.p2p_bytes;
+        self.counters.coll_bytes += other.counters.coll_bytes;
+        self.counters.p2p_calls += other.counters.p2p_calls;
+        self.counters.coll_calls += other.counters.coll_calls;
+        let add = |a: &mut PairTraffic, b: &PairTraffic| {
+            a.bytes += b.bytes;
+            a.messages += b.messages;
+            a.packets += b.packets;
+        };
+        match (&mut self.dense, other.dense) {
+            (Some(mine), Some(theirs)) => {
+                for (a, b) in mine.iter_mut().zip(theirs.iter()) {
+                    add(&mut a.full, &b.full);
+                    add(&mut a.p2p, &b.p2p);
+                }
+            }
+            (None, Some(theirs)) => {
+                // Only reachable if shard layouts ever diverge; fold back
+                // into the hash maps rather than assuming uniformity.
+                let n = self.num_ranks as usize;
+                for (i, cell) in theirs.iter().enumerate() {
+                    let key = ((i / n) as u32, (i % n) as u32);
+                    if cell.full.messages > 0 {
+                        add(self.full.entry(key).or_default(), &cell.full);
+                    }
+                    if cell.p2p.messages > 0 {
+                        add(self.p2p.entry(key).or_default(), &cell.p2p);
+                    }
+                }
+            }
+            (Some(mine), None) => {
+                let n = self.num_ranks as usize;
+                for (&(s, d), p) in &other.full {
+                    add(&mut mine[s as usize * n + d as usize].full, p);
+                }
+                for (&(s, d), p) in &other.p2p {
+                    add(&mut mine[s as usize * n + d as usize].p2p, p);
+                }
+            }
+            (None, None) => {
+                for (k, p) in other.full {
+                    add(self.full.entry(k).or_default(), &p);
+                }
+                for (k, p) in other.p2p {
+                    add(self.p2p.entry(k).or_default(), &p);
+                }
+            }
+        }
+        for (k, acc) in other.coll {
+            let mine = self.coll.entry(k).or_default();
+            mine.a.merge(&acc.a);
+            mine.b.merge(&acc.b);
+        }
+    }
+
+    /// Convert to the pair maps that back [`TrafficMatrix`]. A pair exists
+    /// in the sequential matrix iff `record` ran for it at least once, i.e.
+    /// iff its message count is nonzero (zero-byte messages still count
+    /// messages and packets, so `messages`, not `bytes`, is the witness).
+    fn into_parts(self, trace: &Trace) -> (PairMap, PairMap, Counters) {
+        let Shard {
+            num_ranks,
+            counters,
+            mut dense,
+            mut full,
+            mut p2p,
+            coll,
+        } = self;
+        let n = num_ranks as usize;
+        if let Some(dense) = &mut dense {
+            for (key, acc) in &coll {
+                expand_coll(trace, key, acc, |src, dst, phase| {
+                    let cell = &mut dense[src as usize * n + dst as usize];
+                    cell.full.bytes += phase.bytes;
+                    cell.full.messages += phase.messages;
+                    cell.full.packets += phase.packets;
+                });
+            }
+        } else {
+            for (key, acc) in &coll {
+                expand_coll(trace, key, acc, |src, dst, phase| {
+                    let e = full.entry((src, dst)).or_default();
+                    e.bytes += phase.bytes;
+                    e.messages += phase.messages;
+                    e.packets += phase.packets;
+                });
+            }
+        }
+        if let Some(dense) = dense {
+            debug_assert!(full.is_empty() && p2p.is_empty());
+            // Pre-size the maps: insert-with-growth roughly triples the
+            // conversion cost at high rank counts.
+            let (mut nf, mut np) = (0usize, 0usize);
+            for cell in dense.iter() {
+                nf += usize::from(cell.full.messages > 0);
+                np += usize::from(cell.p2p.messages > 0);
+            }
+            full.reserve(nf);
+            p2p.reserve(np);
+            for (i, cell) in dense.iter().enumerate() {
+                let key = ((i / n) as u32, (i % n) as u32);
+                if cell.full.messages > 0 {
+                    full.insert(key, cell.full);
+                }
+                if cell.p2p.messages > 0 {
+                    p2p.insert(key, cell.p2p);
+                }
+            }
+        }
+        (full, p2p, counters)
+    }
+}
+
+/// Fold one event chunk into a fresh shard: matrix cells and Table 1
+/// counters from the same walk, collectives expanded via callback.
+///
+/// The event walk is monomorphized per storage form so the per-record
+/// closure fully inlines — the dense path is a handful of indexed adds.
+fn fold_chunk(trace: &Trace, events: &[TimedEvent], use_dense: bool) -> Shard {
+    let mut shard = Shard::new(trace.num_ranks, use_dense);
+    if let Some(mut dense) = shard.dense.take() {
+        let n = shard.num_ranks as usize;
+        fold_events(
+            trace,
+            events,
+            &mut shard.counters,
+            &mut shard.coll,
+            |src, dst, bytes, repeat, is_p2p| {
+                if src == dst || repeat == 0 {
+                    return;
+                }
+                let add_bytes = bytes * repeat;
+                let add_packets = bytes.div_ceil(PACKET_PAYLOAD).max(1) * repeat;
+                let cell = &mut dense[src as usize * n + dst as usize];
+                cell.full.bytes += add_bytes;
+                cell.full.messages += repeat;
+                cell.full.packets += add_packets;
+                if is_p2p {
+                    cell.p2p.bytes += add_bytes;
+                    cell.p2p.messages += repeat;
+                    cell.p2p.packets += add_packets;
+                }
+            },
+        );
+        shard.dense = Some(dense);
+    } else {
+        let (full, p2p) = (&mut shard.full, &mut shard.p2p);
+        fold_events(
+            trace,
+            events,
+            &mut shard.counters,
+            &mut shard.coll,
+            |src, dst, bytes, repeat, is_p2p| {
+                if src == dst || repeat == 0 {
+                    return;
+                }
+                let add_bytes = bytes * repeat;
+                let add_packets = bytes.div_ceil(PACKET_PAYLOAD).max(1) * repeat;
+                let apply = |e: &mut PairTraffic| {
+                    e.bytes += add_bytes;
+                    e.messages += repeat;
+                    e.packets += add_packets;
+                };
+                apply(full.entry((src, dst)).or_default());
+                if is_p2p {
+                    apply(p2p.entry((src, dst)).or_default());
+                }
+            },
+        );
+    }
+    shard
+}
+
+/// Walk the events once, feeding every (src, dst, bytes, repeat, is_p2p)
+/// record and the Table 1 counters to the caller's accumulator.
+///
+/// Uniform-payload collectives are deferred into `coll` (see [`CollKey`])
+/// instead of being expanded per event; everything else goes through
+/// `record` with exactly the sequential constructors' arithmetic.
+fn fold_events(
+    trace: &Trace,
+    events: &[TimedEvent],
+    counters: &mut Counters,
+    coll: &mut FxHashMap<CollKey, CollAcc>,
+    mut record: impl FnMut(u32, u32, u64, u64, bool),
+) {
+    for te in events {
+        match &te.event {
+            Event::Send {
+                src, dst, repeat, ..
+            } => {
+                let bytes = te.event.p2p_bytes().expect("send has bytes");
+                counters.p2p_bytes += bytes * repeat;
+                counters.p2p_calls += repeat;
+                record(src.0, dst.0, bytes, *repeat, true);
+            }
+            Event::Collective {
+                op,
+                comm,
+                root,
+                payload,
+                repeat,
+            } => {
+                if let Some(c) = trace.comms.get(*comm) {
+                    counters.coll_bytes += collective_volume(*op, c, *root, payload) * repeat;
+                    if !defer_uniform_coll(coll, *op, comm.0, c.size(), *root, payload, *repeat) {
+                        for_each_translated(*op, c, *root, payload, |src, dst, bytes| {
+                            record(src.0, dst.0, bytes, *repeat, false);
+                        });
+                    }
+                }
+                counters.coll_calls += repeat;
+            }
+        }
+    }
+}
+
+/// Try to fold one collective event into the deferred per-key sums.
+/// Returns `false` for shapes whose per-pair bytes vary by position
+/// ([`Payload::PerRank`]) — those expand per event via `record`.
+fn defer_uniform_coll(
+    coll: &mut FxHashMap<CollKey, CollAcc>,
+    op: CollectiveOp,
+    comm: u32,
+    size: usize,
+    root: Option<usize>,
+    payload: &Payload,
+    repeat: u64,
+) -> bool {
+    let Payload::Uniform(v) = payload else {
+        return false;
+    };
+    if size <= 1 || repeat == 0 {
+        // No traffic either way; nothing to defer.
+        return true;
+    }
+    // Per-pair bytes of each phase, mirroring `for_each_translated`.
+    let (a, b) = match op {
+        CollectiveOp::Barrier => (0, 0),
+        CollectiveOp::Bcast
+        | CollectiveOp::Gather
+        | CollectiveOp::Gatherv
+        | CollectiveOp::Reduce
+        | CollectiveOp::Scatter
+        | CollectiveOp::Scatterv
+        | CollectiveOp::Allgather
+        | CollectiveOp::Allgatherv
+        | CollectiveOp::Alltoall
+        | CollectiveOp::Scan => (*v, 0),
+        CollectiveOp::Alltoallv => (*v / (size as u64 - 1), 0),
+        CollectiveOp::Allreduce => (*v, *v),
+        CollectiveOp::ReduceScatter => (payload.total(size), *v),
+    };
+    if a == 0 && b == 0 {
+        return true;
+    }
+    let root = if op.is_rooted() {
+        root.unwrap_or(0).min(size - 1) as u32
+    } else {
+        0
+    };
+    let acc = coll.entry(CollKey { op, comm, root }).or_default();
+    if a > 0 {
+        acc.a.add_event(a, repeat);
+    }
+    if b > 0 {
+        acc.b.add_event(b, repeat);
+    }
+    true
+}
+
+/// Expand one deferred collective key into per-pair cell updates, visiting
+/// exactly the pair set `for_each_translated` emits for the operation (the
+/// suppressed self-pairs included). The per-pair sums were accumulated with
+/// the per-event arithmetic, so adding them here is identical to having
+/// expanded each event — `u64` addition commutes. The differential oracle
+/// and the chunk-invariance property tests pin this equivalence against the
+/// sequential path.
+fn expand_coll(
+    trace: &Trace,
+    key: &CollKey,
+    acc: &CollAcc,
+    mut add: impl FnMut(u32, u32, &PhaseAcc),
+) {
+    let Some(c) = trace.comms.get(CommId(key.comm)) else {
+        return;
+    };
+    let n = c.size();
+    let member = |i: usize| c.members[i];
+    let to_root = |r: usize, phase: &PhaseAcc, add: &mut dyn FnMut(u32, u32, &PhaseAcc)| {
+        if phase.messages == 0 {
+            return;
+        }
+        let root = member(r);
+        for i in 0..n {
+            let src = member(i);
+            if src != root {
+                add(src.0, root.0, phase);
+            }
+        }
+    };
+    let from_root = |r: usize, phase: &PhaseAcc, add: &mut dyn FnMut(u32, u32, &PhaseAcc)| {
+        if phase.messages == 0 {
+            return;
+        }
+        let root = member(r);
+        for i in 0..n {
+            let dst = member(i);
+            if root != dst {
+                add(root.0, dst.0, phase);
+            }
+        }
+    };
+    match key.op {
+        CollectiveOp::Barrier => {}
+        CollectiveOp::Bcast | CollectiveOp::Scatter | CollectiveOp::Scatterv => {
+            from_root(key.root as usize, &acc.a, &mut add);
+        }
+        CollectiveOp::Gather | CollectiveOp::Gatherv | CollectiveOp::Reduce => {
+            to_root(key.root as usize, &acc.a, &mut add);
+        }
+        CollectiveOp::Allgather
+        | CollectiveOp::Allgatherv
+        | CollectiveOp::Alltoall
+        | CollectiveOp::Alltoallv => {
+            if acc.a.messages > 0 {
+                for i in 0..n {
+                    let src = member(i);
+                    for j in 0..n {
+                        let dst = member(j);
+                        if src != dst {
+                            add(src.0, dst.0, &acc.a);
+                        }
+                    }
+                }
+            }
+        }
+        CollectiveOp::Scan => {
+            if acc.a.messages > 0 {
+                for i in 0..n - 1 {
+                    let (src, dst) = (member(i), member(i + 1));
+                    if src != dst {
+                        add(src.0, dst.0, &acc.a);
+                    }
+                }
+            }
+        }
+        CollectiveOp::Allreduce | CollectiveOp::ReduceScatter => {
+            to_root(0, &acc.a, &mut add);
+            from_root(0, &acc.b, &mut add);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netloc_mpi::{write_trace, CollectiveOp, Datatype, Payload, Rank, TraceBuilder};
+
+    fn mixed_trace(ranks: u32) -> Trace {
+        let mut b = TraceBuilder::new("ingest-test", ranks).exec_time_s(3.5);
+        let sub = b.register_comm((0..ranks.min(5)).map(Rank).collect());
+        for i in 0..200u32 {
+            b.send(
+                Rank(i % ranks),
+                Rank((i * 7 + 1) % ranks),
+                64 + u64::from(i) * 13,
+                1 + u64::from(i % 4),
+            );
+        }
+        b.send_typed(Rank(0), Rank(1), 100, Datatype::Double, 3, 2);
+        b.send(Rank(1), Rank(1), 999, 5); // self-traffic: counted in stats, not matrix
+        b.collective(CollectiveOp::Allreduce, None, Payload::Uniform(512), 4);
+        b.collective(CollectiveOp::Alltoall, None, Payload::Uniform(33), 2);
+        b.collective_on(
+            CollectiveOp::Gatherv,
+            sub,
+            Some(1),
+            Payload::PerRank((0..u64::from(ranks.min(5))).map(|i| i * 11).collect()),
+            3,
+        );
+        b.collective(CollectiveOp::Barrier, None, Payload::Uniform(0), 7);
+        b.build()
+    }
+
+    fn assert_matches_sequential(trace: &Trace, result: &IngestResult) {
+        let full = TrafficMatrix::from_trace_full(trace);
+        let p2p = TrafficMatrix::from_trace_p2p(trace);
+        let stats = TraceStats::compute(trace);
+        assert_eq!(result.stats, stats);
+        for (a, b) in [(&result.matrix, &full), (&result.p2p, &p2p)] {
+            assert_eq!(a.num_ranks(), b.num_ranks());
+            assert_eq!(a.sorted_pairs(), b.sorted_pairs());
+        }
+    }
+
+    #[test]
+    fn fused_fold_matches_sequential_passes() {
+        let trace = mixed_trace(16);
+        let result = ingest_trace(trace.clone());
+        assert_matches_sequential(&trace, &result);
+        assert_eq!(result.trace, trace);
+    }
+
+    #[test]
+    fn result_invariant_under_chunk_size() {
+        let trace = mixed_trace(16);
+        let baseline = ingest_trace_chunked(trace.clone(), 1_000_000);
+        for chunk in [1usize, 3, 17, 64] {
+            let got = ingest_trace_chunked(trace.clone(), chunk);
+            assert_eq!(got.stats, baseline.stats, "chunk={chunk}");
+            assert_eq!(
+                got.matrix.sorted_pairs(),
+                baseline.matrix.sorted_pairs(),
+                "chunk={chunk}"
+            );
+            assert_eq!(
+                got.p2p.sorted_pairs(),
+                baseline.p2p.sorted_pairs(),
+                "chunk={chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn hash_shards_match_dense_shards() {
+        // Rank count above the dense ceiling exercises the hash fallback.
+        let trace = mixed_trace(1500);
+        let result = ingest_trace(trace.clone());
+        assert_matches_sequential(&trace, &result);
+    }
+
+    #[test]
+    fn ingest_from_bytes_roundtrips() {
+        let trace = mixed_trace(8);
+        let text = write_trace(&trace);
+        let result = ingest_trace_bytes(text.as_bytes()).unwrap();
+        assert_eq!(result.trace, trace);
+        assert_matches_sequential(&trace, &result);
+    }
+
+    #[test]
+    fn empty_trace_ingests_to_empty_result() {
+        let trace = TraceBuilder::new("empty", 4).exec_time_s(1.0).build();
+        let result = ingest_trace(trace.clone());
+        assert_matches_sequential(&trace, &result);
+        assert_eq!(result.matrix.num_pairs(), 0);
+    }
+
+    #[test]
+    fn unknown_comm_counts_calls_but_no_bytes() {
+        let mut trace = mixed_trace(8);
+        trace.events.push(netloc_mpi::TimedEvent {
+            time: 0.9,
+            event: Event::Collective {
+                op: CollectiveOp::Bcast,
+                comm: netloc_mpi::CommId(99),
+                root: Some(0),
+                payload: Payload::Uniform(1000),
+                repeat: 6,
+            },
+        });
+        let result = ingest_trace(trace.clone());
+        assert_matches_sequential(&trace, &result);
+        assert!(result.stats.coll_calls >= 6);
+    }
+}

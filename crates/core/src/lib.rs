@@ -27,6 +27,7 @@ pub mod classes;
 pub mod energy;
 pub mod fxhash;
 pub mod heatmap;
+pub mod ingest;
 pub mod metrics;
 pub mod multicore;
 pub mod netmodel;
@@ -37,6 +38,7 @@ pub mod sweep;
 pub mod timeline;
 pub mod traffic;
 
+pub use ingest::{ingest_trace, ingest_trace_bytes, ingest_trace_chunked, IngestResult};
 pub use metrics::dimensionality::{folded_locality, DimensionalityReport};
 pub use metrics::peers::peers;
 pub use metrics::rank_locality::{rank_distance_90, rank_locality_90};

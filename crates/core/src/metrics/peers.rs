@@ -6,8 +6,10 @@ use crate::traffic::TrafficMatrix;
 /// Distinct p2p destination count per source rank.
 pub fn peers_per_rank(tm: &TrafficMatrix) -> Vec<u32> {
     let mut counts = vec![0u32; tm.num_ranks() as usize];
-    for (&(s, _), _) in tm.iter() {
-        counts[s as usize] += 1;
+    let mut profile = Vec::new();
+    for src in 0..tm.num_ranks() {
+        tm.out_profile_into(src, &mut profile);
+        counts[src as usize] = profile.len() as u32;
     }
     counts
 }

@@ -4,27 +4,36 @@
 use super::crossing_point;
 use crate::metrics::rank_locality::TRAFFIC_SHARE;
 use crate::traffic::TrafficMatrix;
+use rayon::prelude::*;
 
 /// Per-source-rank selectivity: the (interpolated) number of destination
 /// ranks, taken in order of decreasing exchanged volume, needed to cover
 /// `share` of the rank's total outgoing p2p volume. `None` for ranks
 /// without outgoing traffic.
 pub fn rank_selectivity(tm: &TrafficMatrix, src: u32, share: f64) -> Option<f64> {
-    let profile = tm.out_profile(src);
+    let mut profile = Vec::new();
+    tm.out_profile_into(src, &mut profile);
+    rank_selectivity_of(&profile, share, &mut Vec::new())
+}
+
+/// [`rank_selectivity`] over an already-extracted out-profile, with a
+/// reusable scratch buffer for the cumulative curve.
+fn rank_selectivity_of(
+    profile: &[(u32, u64)],
+    share: f64,
+    points: &mut Vec<(f64, f64)>,
+) -> Option<f64> {
     let total: u64 = profile.iter().map(|&(_, b)| b).sum();
     if total == 0 {
         return None;
     }
+    points.clear();
     let mut cum = 0u64;
-    let points: Vec<(f64, f64)> = profile
-        .iter()
-        .enumerate()
-        .map(|(i, &(_, b))| {
-            cum += b;
-            ((i + 1) as f64, cum as f64)
-        })
-        .collect();
-    crossing_point(&points, share * total as f64)
+    points.extend(profile.iter().enumerate().map(|(i, &(_, b))| {
+        cum += b;
+        ((i + 1) as f64, cum as f64)
+    }));
+    crossing_point(points, share * total as f64)
 }
 
 /// The application's *selectivity (90 %)*: the mean per-rank selectivity
@@ -39,8 +48,11 @@ pub fn selectivity_90(tm: &TrafficMatrix) -> Option<f64> {
 pub fn selectivity_quantile(tm: &TrafficMatrix, share: f64) -> Option<f64> {
     let mut sum = 0.0;
     let mut count = 0usize;
+    let mut profile = Vec::new();
+    let mut points = Vec::new();
     for src in 0..tm.num_ranks() {
-        if let Some(s) = rank_selectivity(tm, src, share) {
+        tm.out_profile_into(src, &mut profile);
+        if let Some(s) = rank_selectivity_of(&profile, share, &mut points) {
             sum += s;
             count += 1;
         }
@@ -62,25 +74,42 @@ impl SelectivityCurve {
     /// Ranks without outgoing traffic are skipped; ranks whose partner list
     /// is shorter than the longest are padded with full coverage (their
     /// curve has already saturated at 1.0).
+    ///
+    /// Per-rank curves are extracted in parallel rank blocks; the averaging
+    /// stays a sequential fold in rank order so the floating-point result is
+    /// bit-identical whatever the worker count.
     pub fn compute(tm: &TrafficMatrix) -> Option<Self> {
-        let mut curves: Vec<Vec<f64>> = Vec::new();
-        for src in 0..tm.num_ranks() {
-            let profile = tm.out_profile(src);
-            let total: u64 = profile.iter().map(|&(_, b)| b).sum();
-            if total == 0 {
-                continue;
-            }
-            let mut cum = 0u64;
-            curves.push(
-                profile
-                    .iter()
-                    .map(|&(_, b)| {
-                        cum += b;
-                        cum as f64 / total as f64
-                    })
-                    .collect(),
-            );
-        }
+        let ranks: Vec<u32> = (0..tm.num_ranks()).collect();
+        tm.sorted_pairs(); // prime the shared cache outside the fan-out
+        let block = ranks.len().div_ceil(rayon::max_workers().max(1)).max(1);
+        let curves: Vec<Vec<f64>> = ranks
+            .par_chunks(block)
+            .map(|block| {
+                let mut out: Vec<Vec<f64>> = Vec::new();
+                let mut profile = Vec::new();
+                for &src in block {
+                    tm.out_profile_into(src, &mut profile);
+                    let total: u64 = profile.iter().map(|&(_, b)| b).sum();
+                    if total == 0 {
+                        continue;
+                    }
+                    let mut cum = 0u64;
+                    out.push(
+                        profile
+                            .iter()
+                            .map(|&(_, b)| {
+                                cum += b;
+                                cum as f64 / total as f64
+                            })
+                            .collect(),
+                    );
+                }
+                out
+            })
+            .reduce(Vec::new, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            });
         if curves.is_empty() {
             return None;
         }

@@ -49,6 +49,17 @@ impl TrafficMatrix {
         }
     }
 
+    /// Assemble a matrix from an already-accumulated pair map. Used by the
+    /// parallel ingest fold in [`crate::ingest`], whose shards aggregate
+    /// with exactly [`TrafficMatrix::record`]'s arithmetic before merging.
+    pub(crate) fn from_parts(num_ranks: u32, pairs: FxHashMap<(u32, u32), PairTraffic>) -> Self {
+        TrafficMatrix {
+            num_ranks,
+            pairs,
+            sorted: OnceLock::new(),
+        }
+    }
+
     /// Record `repeat` messages of `bytes` bytes from `src` to `dst`.
     pub fn record(&mut self, src: u32, dst: u32, bytes: u64, repeat: u64) {
         debug_assert!(src < self.num_ranks && dst < self.num_ranks);
@@ -146,14 +157,23 @@ impl TrafficMatrix {
     /// Outgoing volume per destination for one source rank, sorted by
     /// volume descending (the paper's Figure 1 view).
     pub fn out_profile(&self, src: u32) -> Vec<(u32, u64)> {
-        let mut v: Vec<(u32, u64)> = self
-            .pairs
-            .iter()
-            .filter(|((s, _), _)| *s == src)
-            .map(|((_, d), p)| (*d, p.bytes))
-            .collect();
-        v.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut v = Vec::new();
+        self.out_profile_into(src, &mut v);
         v
+    }
+
+    /// [`TrafficMatrix::out_profile`] into a caller-owned buffer, so
+    /// per-rank loops (selectivity curves, peers) reuse one allocation
+    /// instead of collecting a fresh `Vec` per rank. Reads the cached
+    /// [`TrafficMatrix::sorted_pairs`] view, where each source's pairs form
+    /// one contiguous run — a binary search replaces the full-map scan.
+    pub fn out_profile_into(&self, src: u32, out: &mut Vec<(u32, u64)>) {
+        out.clear();
+        let sorted = self.sorted_pairs();
+        let lo = sorted.partition_point(|&((s, _), _)| s < src);
+        let hi = lo + sorted[lo..].partition_point(|&((s, _), _)| s == src);
+        out.extend(sorted[lo..hi].iter().map(|&((_, d), p)| (d, p.bytes)));
+        out.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     }
 
     /// Total outgoing bytes of one rank.

@@ -185,14 +185,32 @@ pub fn translate_collective(
     root: Option<usize>,
     payload: &Payload,
 ) -> Vec<TranslatedMessage> {
+    let mut out = Vec::new();
+    for_each_translated(op, comm, root, payload, |src, dst, bytes| {
+        out.push(TranslatedMessage { src, dst, bytes });
+    });
+    out
+}
+
+/// Callback form of [`translate_collective`]: invoke `emit(src, dst, bytes)`
+/// for every translated message, in the same order, without materializing a
+/// `Vec`. This is the allocation-free primitive the fused ingest fold uses —
+/// an all-to-all over a large communicator expands to `n·(n-1)` messages,
+/// and the accumulator only ever needs them one at a time.
+pub fn for_each_translated(
+    op: CollectiveOp,
+    comm: &Communicator,
+    root: Option<usize>,
+    payload: &Payload,
+    mut emit: impl FnMut(Rank, Rank, u64),
+) {
     let n = comm.size();
     if n <= 1 {
-        return Vec::new();
+        return;
     }
-    let mut out = Vec::new();
     let mut push = |src: Rank, dst: Rank, bytes: u64| {
         if src != dst && bytes > 0 {
-            out.push(TranslatedMessage { src, dst, bytes });
+            emit(src, dst, bytes);
         }
     };
     let member = |i: usize| comm.members[i];
@@ -273,7 +291,6 @@ pub fn translate_collective(
             }
         }
     }
-    out
 }
 
 /// Total number of bytes injected into the network by one collective call,

@@ -30,7 +30,9 @@ use crate::rank::Rank;
 use crate::trace::{Trace, TraceBuilder};
 use std::fmt::Write as _;
 
-const MAGIC: &str = "#NETLOC-DUMPI 1";
+pub(crate) const MAGIC: &str = "#NETLOC-DUMPI 1";
+
+pub use crate::dumpi_bytes::{parse_trace_bytes, parse_trace_bytes_chunked};
 
 /// Serialize a trace to the dumpi-like text format.
 pub fn write_trace(trace: &Trace) -> String {
@@ -40,8 +42,14 @@ pub fn write_trace(trace: &Trace) -> String {
     let _ = writeln!(out, "ranks {}", trace.num_ranks);
     let _ = writeln!(out, "time {}", trace.exec_time_s);
     for comm in trace.comms.iter().skip(1) {
-        let members: Vec<String> = comm.members.iter().map(|r| r.0.to_string()).collect();
-        let _ = writeln!(out, "comm {} {}", comm.id.0, members.join(","));
+        let _ = write!(out, "comm {} ", comm.id.0);
+        for (i, r) in comm.members.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}", r.0);
+        }
+        out.push('\n');
     }
     for te in &trace.events {
         match &te.event {
@@ -72,24 +80,28 @@ pub fn write_trace(trace: &Trace) -> String {
                 payload,
                 repeat,
             } => {
-                let root_s = root.map_or("-".to_string(), |r| r.to_string());
-                let payload_s = match payload {
-                    Payload::Uniform(b) => format!("u:{b}"),
-                    Payload::PerRank(v) => {
-                        let items: Vec<String> = v.iter().map(|b| b.to_string()).collect();
-                        format!("v:{}", items.join(","))
+                let _ = write!(out, "coll {} {} ", op.name(), comm.0);
+                match root {
+                    Some(r) => {
+                        let _ = write!(out, "{r}");
                     }
-                };
-                let _ = writeln!(
-                    out,
-                    "coll {} {} {} {} {} {}",
-                    op.name(),
-                    comm.0,
-                    root_s,
-                    payload_s,
-                    repeat,
-                    te.time
-                );
+                    None => out.push('-'),
+                }
+                match payload {
+                    Payload::Uniform(b) => {
+                        let _ = write!(out, " u:{b}");
+                    }
+                    Payload::PerRank(v) => {
+                        out.push_str(" v:");
+                        for (i, b) in v.iter().enumerate() {
+                            if i > 0 {
+                                out.push(',');
+                            }
+                            let _ = write!(out, "{b}");
+                        }
+                    }
+                }
+                let _ = writeln!(out, " {} {}", repeat, te.time);
             }
         }
     }

@@ -1,0 +1,1114 @@
+//! Zero-copy, chunk-parallel parser for the dumpi-like text format.
+//!
+//! [`parse_trace_bytes`] is a drop-in accelerated replacement for
+//! [`parse_trace`](crate::dumpi::parse_trace): it scans `&[u8]` directly —
+//! no per-line `String`, no per-record `Vec<&str>` — decodes integer fields
+//! in place, and parses the record body in parallel rayon chunks split at
+//! newline boundaries. The sequential parser stays the reference
+//! implementation, and this one is contractually **observably identical**
+//! to it: same [`Trace`] for every valid input, same first error (line
+//! number and message) for every malformed one. The differential oracle in
+//! `netloc-testkit` and the corruption property tests enforce that contract
+//! over the whole corpus.
+//!
+//! How the equivalence is kept cheap:
+//!
+//! * The *header prefix* (magic, `app`/`ranks`/`time`/`comm` lines up to
+//!   the first `send`/`coll`) is parsed sequentially with exactly the
+//!   reference's state machine — header handling is stateful and a few
+//!   dozen lines at most.
+//! * The *body* is split at newline boundaries into chunks; workers parse
+//!   chunks independently. Body records are stateless, so chunks compose;
+//!   per-chunk line counts turn a chunk-relative error line into the
+//!   absolute one, and the earliest failing chunk wins — which is the
+//!   byte-order-first error, exactly like the sequential scan.
+//! * Anything that would make body parsing stateful or non-ASCII —
+//!   a header record *after* the first event (legal, if unusual), or any
+//!   byte ≥ 0x80 (Unicode trimming rules) — falls back to the sequential
+//!   reference parser wholesale. Correctness never depends on the fast
+//!   path covering a case.
+
+use crate::collective::{CollectiveOp, Payload};
+use crate::comm::CommId;
+use crate::datatype::Datatype;
+use crate::dumpi::{parse_trace, MAGIC};
+use crate::error::{MpiError, Result};
+use crate::event::{Event, TimedEvent};
+use crate::rank::Rank;
+use crate::trace::{Trace, TraceBuilder};
+use rayon::prelude::*;
+
+/// Floor for the auto-selected parallel chunk size, in bytes. Chunks much
+/// smaller than this spend more time on per-chunk bookkeeping than parsing.
+const MIN_CHUNK_BYTES: usize = 64 * 1024;
+/// Ceiling for the auto-selected chunk size (keeps per-chunk event vectors
+/// and peak memory bounded on huge traces).
+const MAX_CHUNK_BYTES: usize = 8 << 20;
+
+/// Parse a trace from the dumpi-like text format, scanning raw bytes with
+/// chunk-parallel body parsing.
+///
+/// Produces exactly the same result as
+/// [`parse_trace`](crate::dumpi::parse_trace) — identical [`Trace`] on
+/// success and an identical first error (same line number, same message)
+/// on malformed input.
+pub fn parse_trace_bytes(bytes: &[u8]) -> Result<Trace> {
+    parse_trace_bytes_chunked(bytes, 0)
+}
+
+/// [`parse_trace_bytes`] with an explicit body chunk size in bytes
+/// (`0` = pick automatically from the rayon worker count).
+///
+/// The result is invariant in `chunk_bytes`; the knob exists so the
+/// property tests can force many chunk geometries.
+pub fn parse_trace_bytes_chunked(bytes: &[u8], chunk_bytes: usize) -> Result<Trace> {
+    if !bytes.is_ascii() {
+        // Unicode whitespace handling (trim / split_whitespace) is part of
+        // the reference semantics; delegate rather than replicate it.
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| MpiError::Invalid("trace bytes are not valid UTF-8".into()))?;
+        return parse_trace(text);
+    }
+
+    let prefix = parse_prefix(bytes)?;
+    let events = match prefix.end {
+        PrefixEnd::Eof => Vec::new(),
+        PrefixEnd::Body { offset, first_line } => {
+            let body = &bytes[offset..];
+            let target = chunk_target(chunk_bytes, body.len());
+            let chunks = split_at_newlines(body, target);
+            let outcomes: Vec<ChunkOutcome> = if chunks.len() <= 1 {
+                chunks.iter().map(|c| parse_chunk(c)).collect()
+            } else {
+                chunks
+                    .par_chunks(1)
+                    .map(|one| vec![parse_chunk(one[0])])
+                    .reduce(Vec::new, |mut a, mut b| {
+                        a.append(&mut b);
+                        a
+                    })
+            };
+            // The earliest non-clean chunk decides: its error is the first
+            // error in byte order, and a stateful (header) record anywhere
+            // sends the whole input through the reference parser.
+            let total: usize = outcomes
+                .iter()
+                .map(|o| match o {
+                    ChunkOutcome::Clean { events, .. } => events.len(),
+                    _ => 0,
+                })
+                .sum();
+            let single = outcomes.len() == 1;
+            let mut events: Vec<TimedEvent> = Vec::with_capacity(if single { 0 } else { total });
+            let mut lines_before = first_line - 1;
+            let mut fallback = false;
+            let mut error = None;
+            for outcome in outcomes {
+                match outcome {
+                    ChunkOutcome::Clean { events: ev, lines } => {
+                        if single {
+                            // Move the one chunk's vector instead of copying
+                            // it — the common single-worker / small-input
+                            // shape.
+                            events = ev;
+                        } else {
+                            events.extend(ev);
+                        }
+                        lines_before += lines;
+                    }
+                    ChunkOutcome::Fail { rel_line, msg } => {
+                        error = Some(MpiError::parse(lines_before + rel_line, msg));
+                        break;
+                    }
+                    ChunkOutcome::Stateful => {
+                        fallback = true;
+                        break;
+                    }
+                }
+            }
+            if fallback {
+                let text = std::str::from_utf8(bytes).expect("checked ASCII above");
+                return parse_trace(text);
+            }
+            if let Some(e) = error {
+                return Err(e);
+            }
+            events
+        }
+    };
+
+    let builder = prefix
+        .builder
+        .ok_or_else(|| MpiError::Invalid("missing 'ranks' header".into()))?;
+    let exec_time = prefix
+        .exec_time
+        .ok_or_else(|| MpiError::Invalid("missing 'time' header".into()))?;
+    let mut trace = builder.exec_time_s(exec_time).build();
+    trace.events = events;
+    trace.validate()?;
+    Ok(trace)
+}
+
+/// Where the header prefix ended.
+enum PrefixEnd {
+    /// The input holds only header records.
+    Eof,
+    /// The first `send`/`coll` record starts at byte `offset`, on 1-based
+    /// line `first_line`.
+    Body { offset: usize, first_line: usize },
+}
+
+struct Prefix {
+    builder: Option<TraceBuilder>,
+    exec_time: Option<f64>,
+    end: PrefixEnd,
+}
+
+fn parse_prefix(bytes: &[u8]) -> Result<Prefix> {
+    let mut lines = Lines::new(bytes);
+    let Some((_, _, first)) = lines.next() else {
+        return Err(MpiError::parse(1, "empty input"));
+    };
+    if trim(first) != MAGIC.as_bytes() {
+        return Err(MpiError::parse(
+            1,
+            format!("missing magic header, expected '{MAGIC}'"),
+        ));
+    }
+
+    let mut app: Option<String> = None;
+    let mut builder: Option<TraceBuilder> = None;
+    let mut exec_time: Option<f64> = None;
+
+    for (ln, start, raw) in lines {
+        let line = trim(raw);
+        if line.is_empty() || line[0] == b'#' {
+            continue;
+        }
+        let (kind, rest) = split_at_space(line);
+        match kind {
+            b"app" => app = Some(ascii_str(rest).to_string()),
+            b"ranks" => {
+                let n: u32 = num(ln, "rank count", rest)?;
+                builder = Some(TraceBuilder::new(
+                    app.clone().unwrap_or_else(|| "unknown".into()),
+                    n,
+                ));
+            }
+            b"time" => exec_time = Some(num(ln, "time", rest)?),
+            b"comm" => parse_comm_line(ln, rest, builder.as_mut())?,
+            b"send" | b"coll" => {
+                if builder.is_none() {
+                    return Err(MpiError::parse(
+                        ln,
+                        format!("'{}' before 'ranks' header", ascii_str(kind)),
+                    ));
+                }
+                return Ok(Prefix {
+                    builder,
+                    exec_time,
+                    end: PrefixEnd::Body {
+                        offset: start,
+                        first_line: ln,
+                    },
+                });
+            }
+            other => {
+                return Err(MpiError::parse(
+                    ln,
+                    format!("unknown record kind '{}'", ascii_str(other)),
+                ));
+            }
+        }
+    }
+    Ok(Prefix {
+        builder,
+        exec_time,
+        end: PrefixEnd::Eof,
+    })
+}
+
+fn parse_comm_line(ln: usize, rest: &[u8], builder: Option<&mut TraceBuilder>) -> Result<()> {
+    let b = builder.ok_or_else(|| MpiError::parse(ln, "'comm' before 'ranks' header"))?;
+    let (id_s, members_s) = match rest.iter().position(|&c| c == b' ') {
+        Some(i) => (&rest[..i], Some(&rest[i + 1..])),
+        None => (rest, None),
+    };
+    let id: u32 = num(ln, "comm id", id_s)?;
+    let members_s =
+        members_s.ok_or_else(|| MpiError::parse(ln, "comm record missing member list"))?;
+    let mut members = Vec::new();
+    for part in members_s.split(|&c| c == b',') {
+        members.push(Rank(num_u32(ln, "comm member", part)?));
+    }
+    let got = b.register_comm(members);
+    if got.0 != id {
+        return Err(MpiError::parse(
+            ln,
+            format!("non-sequential comm id {id}, expected {}", got.0),
+        ));
+    }
+    Ok(())
+}
+
+/// Result of parsing one body chunk.
+enum ChunkOutcome {
+    /// Every record line parsed; `lines` is the chunk's line count, used to
+    /// absolutize error lines of later chunks.
+    Clean {
+        events: Vec<TimedEvent>,
+        lines: usize,
+    },
+    /// First parse error of the chunk, with a chunk-relative 1-based line.
+    Fail { rel_line: usize, msg: String },
+    /// A header record (`app`/`ranks`/`time`/`comm`) appeared mid-body;
+    /// the caller re-parses sequentially for exact stateful semantics.
+    Stateful,
+}
+
+/// Outcome of the streaming fast path on one record line.
+enum Flow {
+    /// The line was consumed (event pushed, or blank/comment skipped);
+    /// the cursor sits at the start of the next line.
+    Done,
+    /// A header record kind — the caller falls back wholesale.
+    Stateful,
+    /// Anything unusual (malformed field, odd token shape, unknown kind):
+    /// re-parse this one line with the reference-exact slice logic.
+    Slow,
+}
+
+fn parse_chunk(chunk: &[u8]) -> ChunkOutcome {
+    let mut events = Vec::with_capacity(chunk.len() / 24 + 1);
+    let mut pos = 0usize;
+    let mut ln = 0usize;
+    while pos < chunk.len() {
+        ln += 1;
+        let line_start = pos;
+        match parse_record(chunk, &mut pos, &mut events) {
+            Flow::Done => {}
+            Flow::Stateful => return ChunkOutcome::Stateful,
+            Flow::Slow => {
+                // Rare path: derive the exact reference behavior (field
+                // count checked before field values, space-delimited kind,
+                // reference field evaluation order) for this line only.
+                let end = line_start
+                    + chunk[line_start..]
+                        .iter()
+                        .position(|&b| b == b'\n')
+                        .unwrap_or(chunk.len() - line_start);
+                match parse_line_slow(ln, &chunk[line_start..end], &mut events) {
+                    Ok(Slow::Done) => pos = (end + 1).min(chunk.len()),
+                    Ok(Slow::Stateful) => return ChunkOutcome::Stateful,
+                    Err(e) => {
+                        let MpiError::Parse { line, msg } = e else {
+                            unreachable!("body records only produce parse errors")
+                        };
+                        return ChunkOutcome::Fail {
+                            rel_line: line,
+                            msg,
+                        };
+                    }
+                }
+            }
+        }
+    }
+    ChunkOutcome::Clean { events, lines: ln }
+}
+
+/// Where the slow path ended up: done with the line, or a stateful header
+/// record that needs the whole-input fallback.
+enum Slow {
+    Done,
+    Stateful,
+}
+
+/// Reference-exact parse of a single body line (same dispatch as the
+/// sequential parser: trim, space-delimited kind, whitespace-split fields).
+fn parse_line_slow(ln: usize, raw: &[u8], out: &mut Vec<TimedEvent>) -> Result<Slow> {
+    let line = trim(raw);
+    if line.is_empty() || line[0] == b'#' {
+        return Ok(Slow::Done);
+    }
+    let (kind, rest) = split_at_space(line);
+    match kind {
+        b"send" => parse_send(ln, rest, out).map(|()| Slow::Done),
+        b"coll" => parse_coll(ln, rest, out).map(|()| Slow::Done),
+        b"app" | b"ranks" | b"time" | b"comm" => Ok(Slow::Stateful),
+        other => Err(MpiError::parse(
+            ln,
+            format!("unknown record kind '{}'", ascii_str(other)),
+        )),
+    }
+}
+
+/// Streaming fast path for one line: a single forward scan that tokenizes
+/// and decodes in place. Consumes through the line's `\n` on success;
+/// leaves recovery to [`parse_line_slow`] otherwise.
+fn parse_record(chunk: &[u8], pos: &mut usize, out: &mut Vec<TimedEvent>) -> Flow {
+    let len = chunk.len();
+    let mut p = *pos;
+    while p < len && is_sep(chunk[p]) {
+        p += 1;
+    }
+    if p >= len {
+        *pos = p;
+        return Flow::Done;
+    }
+    match chunk[p] {
+        b'\n' => {
+            *pos = p + 1;
+            return Flow::Done;
+        }
+        b'#' => {
+            // Comment: skip to the end of the line.
+            let nl = chunk[p..]
+                .iter()
+                .position(|&b| b == b'\n')
+                .map_or(len, |i| p + i + 1);
+            *pos = nl;
+            return Flow::Done;
+        }
+        _ => {}
+    }
+    // Hot shortcut: well-formed bodies are runs of `send ` / `coll ` lines;
+    // dodge the generic kind scan for those.
+    let rest = &chunk[p..];
+    if rest.starts_with(b"send ") {
+        return fast_send(chunk, p + 5, pos, out);
+    }
+    if rest.starts_with(b"coll ") {
+        return fast_coll(chunk, p + 5, pos, out);
+    }
+    // The record kind is *space*-delimited (the reference splits the line at
+    // the first `' '`), unlike the whitespace-delimited fields after it.
+    let ks = p;
+    while p < len && chunk[p] != b' ' && chunk[p] != b'\n' {
+        p += 1;
+    }
+    match &chunk[ks..p] {
+        b"send" => fast_send(chunk, p, pos, out),
+        b"coll" => fast_coll(chunk, p, pos, out),
+        b"app" | b"ranks" | b"time" | b"comm" => Flow::Stateful,
+        _ => Flow::Slow,
+    }
+}
+
+/// `send src dst count datatype tag repeat time`, decoded in one scan.
+fn fast_send(chunk: &[u8], mut p: usize, pos: &mut usize, out: &mut Vec<TimedEvent>) -> Flow {
+    let Some(src) = tok_u32(chunk, &mut p) else {
+        return Flow::Slow;
+    };
+    let Some(dst) = tok_u32(chunk, &mut p) else {
+        return Flow::Slow;
+    };
+    let Some(count) = tok_u64(chunk, &mut p) else {
+        return Flow::Slow;
+    };
+    // `byte` dominates real traces; recognize it without the generic
+    // token scan + name lookup. Anything else takes the general path.
+    let dt = {
+        let mut q = p;
+        while q < chunk.len() && is_sep(chunk[q]) {
+            q += 1;
+        }
+        if chunk.len() > q + 4
+            && &chunk[q..q + 4] == b"byte"
+            && (is_sep(chunk[q + 4]) || chunk[q + 4] == b'\n')
+        {
+            p = q + 4;
+            Datatype::Byte
+        } else {
+            match Datatype::from_name(ascii_str(tok(chunk, &mut p))) {
+                Some(dt) => dt,
+                None => return Flow::Slow,
+            }
+        }
+    };
+    let Some(tag) = tok_u32(chunk, &mut p) else {
+        return Flow::Slow;
+    };
+    let Some(repeat) = tok_u64(chunk, &mut p) else {
+        return Flow::Slow;
+    };
+    let Some(time) = tok_f64(chunk, &mut p) else {
+        return Flow::Slow;
+    };
+    let Some(next) = line_end(chunk, p) else {
+        return Flow::Slow;
+    };
+    out.push(TimedEvent {
+        time,
+        event: Event::Send {
+            src: Rank(src),
+            dst: Rank(dst),
+            count,
+            datatype: dt,
+            tag,
+            repeat,
+        },
+    });
+    *pos = next;
+    Flow::Done
+}
+
+/// `coll op comm root payload repeat time`, decoded in one scan.
+fn fast_coll(chunk: &[u8], mut p: usize, pos: &mut usize, out: &mut Vec<TimedEvent>) -> Flow {
+    let Some(op) = CollectiveOp::from_name(ascii_str(tok(chunk, &mut p))) else {
+        return Flow::Slow;
+    };
+    let Some(comm) = tok_u32(chunk, &mut p) else {
+        return Flow::Slow;
+    };
+    let rt = tok(chunk, &mut p);
+    let root = if rt == b"-" {
+        None
+    } else {
+        match atoi(rt).map(usize::try_from) {
+            Some(Ok(r)) => Some(r),
+            _ => return Flow::Slow,
+        }
+    };
+    let pt = tok(chunk, &mut p);
+    let payload = if let Some(b) = pt.strip_prefix(b"u:") {
+        match atoi(b) {
+            Some(v) => Payload::Uniform(v),
+            None => return Flow::Slow,
+        }
+    } else if let Some(list) = pt.strip_prefix(b"v:") {
+        let mut v = Vec::new();
+        for part in list.split(|&c| c == b',') {
+            match atoi(part) {
+                Some(x) => v.push(x),
+                None => return Flow::Slow,
+            }
+        }
+        Payload::PerRank(v)
+    } else {
+        return Flow::Slow;
+    };
+    let Some(repeat) = tok_u64(chunk, &mut p) else {
+        return Flow::Slow;
+    };
+    let Some(time) = tok_f64(chunk, &mut p) else {
+        return Flow::Slow;
+    };
+    let Some(next) = line_end(chunk, p) else {
+        return Flow::Slow;
+    };
+    out.push(TimedEvent {
+        time,
+        event: Event::Collective {
+            op,
+            comm: CommId(comm),
+            root,
+            payload,
+            repeat,
+        },
+    });
+    *pos = next;
+    Flow::Done
+}
+
+fn parse_send(ln: usize, rest: &[u8], out: &mut Vec<TimedEvent>) -> Result<()> {
+    let mut f: [&[u8]; 7] = [b""; 7];
+    let n = split_fields(rest, &mut f);
+    if n != 7 {
+        return Err(MpiError::parse(
+            ln,
+            format!("send record needs 7 fields, got {n}"),
+        ));
+    }
+    let dt = Datatype::from_name(ascii_str(f[3]))
+        .ok_or_else(|| MpiError::parse(ln, format!("unknown datatype '{}'", ascii_str(f[3]))))?;
+    out.push(TimedEvent {
+        time: num(ln, "time", f[6])?,
+        event: Event::Send {
+            src: Rank(num_u32(ln, "src", f[0])?),
+            dst: Rank(num_u32(ln, "dst", f[1])?),
+            count: num_u64(ln, "count", f[2])?,
+            datatype: dt,
+            tag: num_u32(ln, "tag", f[4])?,
+            repeat: num_u64(ln, "repeat", f[5])?,
+        },
+    });
+    Ok(())
+}
+
+fn parse_coll(ln: usize, rest: &[u8], out: &mut Vec<TimedEvent>) -> Result<()> {
+    let mut f: [&[u8]; 6] = [b""; 6];
+    let n = split_fields(rest, &mut f);
+    if n != 6 {
+        return Err(MpiError::parse(
+            ln,
+            format!("coll record needs 6 fields, got {n}"),
+        ));
+    }
+    let op = CollectiveOp::from_name(ascii_str(f[0]))
+        .ok_or_else(|| MpiError::parse(ln, format!("unknown collective '{}'", ascii_str(f[0]))))?;
+    let comm = CommId(num_u32(ln, "comm id", f[1])?);
+    let root = if f[2] == b"-" {
+        None
+    } else {
+        Some(num_usize(ln, "root", f[2])?)
+    };
+    let payload = match f[3].iter().position(|&c| c == b':') {
+        Some(i) if &f[3][..i] == b"u" => Payload::Uniform(num_u64(ln, "payload", &f[3][i + 1..])?),
+        Some(i) if &f[3][..i] == b"v" => {
+            let list = &f[3][i + 1..];
+            let mut v = Vec::new();
+            for part in list.split(|&c| c == b',') {
+                v.push(num_u64(ln, "payload entry", part)?);
+            }
+            Payload::PerRank(v)
+        }
+        _ => {
+            return Err(MpiError::parse(
+                ln,
+                format!(
+                    "bad payload '{}', expected u:<n> or v:<a,b,…>",
+                    ascii_str(f[3])
+                ),
+            ));
+        }
+    };
+    out.push(TimedEvent {
+        time: num(ln, "time", f[5])?,
+        event: Event::Collective {
+            op,
+            comm,
+            root,
+            payload,
+            repeat: num_u64(ln, "repeat", f[4])?,
+        },
+    });
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Byte-level building blocks, each mirroring one `str` operation the
+// reference parser uses (for ASCII input the behaviors coincide exactly).
+// ---------------------------------------------------------------------------
+
+/// The ASCII subset of `char::is_whitespace` (what `str::trim` and
+/// `split_whitespace` strip on pure-ASCII input). Note this includes
+/// vertical tab and form feed, which `u8::is_ascii_whitespace` partly
+/// disagrees on.
+#[inline]
+const fn is_ws(b: u8) -> bool {
+    matches!(b, b'\t' | b'\n' | 0x0b | 0x0c | b'\r' | b' ')
+}
+
+/// Intra-line separators: every ASCII whitespace byte except `\n`, which
+/// terminates the line (matching `str::lines` + `split_whitespace`).
+#[inline]
+const fn is_sep(b: u8) -> bool {
+    matches!(b, b'\t' | 0x0b | 0x0c | b'\r' | b' ')
+}
+
+/// Next whitespace-delimited token on the current line (empty at line end).
+#[inline]
+fn tok<'a>(s: &'a [u8], pos: &mut usize) -> &'a [u8] {
+    let mut p = *pos;
+    while p < s.len() && is_sep(s[p]) {
+        p += 1;
+    }
+    let start = p;
+    while p < s.len() && !is_sep(s[p]) && s[p] != b'\n' {
+        p += 1;
+    }
+    *pos = p;
+    &s[start..p]
+}
+
+const ASCII_ZEROS: u64 = 0x3030_3030_3030_3030;
+
+/// Per-byte `0x80` marker on every byte of `w` that is *not* an ASCII digit.
+///
+/// `x = b ^ b'0'` maps digits to 0..=9; a byte is a non-digit iff its low
+/// seven bits exceed 9 (detected by the carry into bit 7 of `+ 0x76`) or its
+/// high bit was already set.
+#[inline]
+const fn nondigit_bits(w: u64) -> u64 {
+    let x = w ^ ASCII_ZEROS;
+    let hi = x & 0x8080_8080_8080_8080;
+    (((x & 0x7F7F_7F7F_7F7F_7F7F).wrapping_add(0x7676_7676_7676_7676)) | hi) & 0x8080_8080_8080_8080
+}
+
+/// Decode eight ASCII digits (first character in the lowest byte) to their
+/// decimal value with three multiply-accumulate steps instead of a
+/// byte-at-a-time loop whose exit branch mispredicts on every
+/// variable-width field.
+#[inline]
+const fn parse8(w: u64) -> u64 {
+    let v = (w & 0x0F0F_0F0F_0F0F_0F0F).wrapping_mul(2561) >> 8;
+    let v = (v & 0x00FF_00FF_00FF_00FF).wrapping_mul(6_553_601) >> 16;
+    (v & 0x0000_FFFF_0000_FFFF).wrapping_mul(42_949_672_960_001) >> 32
+}
+
+/// Scan and decode one decimal `u64` token in place. `None` (empty token,
+/// non-digit byte, overflow) sends the line to the slow path, which
+/// reproduces the reference error exactly.
+///
+/// The hot shape reads the next eight bytes at once: the digit-run length
+/// comes out of [`nondigit_bits`] branch-free, and [`parse8`] decodes the
+/// (zero-padded) run without a loop. Runs of 8+ digits and tokens within
+/// eight bytes of the buffer end take the scalar loop instead.
+#[inline]
+fn tok_u64(s: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut p = *pos;
+    while p < s.len() && is_sep(s[p]) {
+        p += 1;
+    }
+    if let Some(win) = s.get(p..p + 8) {
+        let w = u64::from_le_bytes(win.try_into().expect("8-byte slice"));
+        let k = (nondigit_bits(w).trailing_zeros() as usize) / 8;
+        if k == 0 {
+            return None;
+        }
+        if k < 8 {
+            let next = win[k];
+            if !is_sep(next) && next != b'\n' {
+                return None;
+            }
+            *pos = p + k;
+            // Shift the k digits up so the vacated low bytes read as
+            // leading zeros (their low nibbles are 0).
+            return Some(parse8(w << (8 * (8 - k))));
+        }
+    }
+    scalar_u64(s, pos, p)
+}
+
+/// Byte-at-a-time `u64` decode from `start` (separators already skipped):
+/// the fallback for 8+-digit runs and for tokens near the buffer end.
+fn scalar_u64(s: &[u8], pos: &mut usize, start: usize) -> Option<u64> {
+    let mut p = start;
+    let mut v: u64 = 0;
+    while p < s.len() {
+        let d = s[p].wrapping_sub(b'0');
+        if d > 9 {
+            break;
+        }
+        v = v.checked_mul(10)?.checked_add(d as u64)?;
+        p += 1;
+    }
+    if p == start || (p < s.len() && !is_sep(s[p]) && s[p] != b'\n') {
+        return None;
+    }
+    *pos = p;
+    Some(v)
+}
+
+#[inline]
+fn tok_u32(s: &[u8], pos: &mut usize) -> Option<u32> {
+    tok_u64(s, pos).and_then(|v| u32::try_from(v).ok())
+}
+
+/// Decode one `f64` token: an exact fast path for plain short decimals,
+/// falling back to `str::parse` (identical rounding either way — mantissa
+/// and power of ten are both exactly representable on the fast path, so
+/// the single division is correctly rounded just like the reference).
+#[inline]
+fn tok_f64(s: &[u8], pos: &mut usize) -> Option<f64> {
+    let t = tok(s, pos);
+    if t.is_empty() {
+        return None;
+    }
+    fast_f64(t).or_else(|| ascii_str(t).parse().ok())
+}
+
+#[inline]
+fn fast_f64(t: &[u8]) -> Option<f64> {
+    const POW10: [f64; 18] = [
+        1e0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11, 1e12, 1e13, 1e14, 1e15, 1e16,
+        1e17,
+    ];
+    // 17+ bytes means 16+ digits, whose mantissa cannot be exact in an
+    // `f64`; skip the doomed scan (shortest-roundtrip `Display` output of
+    // an arbitrary double is usually this long).
+    if t.len() > 16 {
+        return None;
+    }
+    let mut m: u64 = 0;
+    let mut digits = 0usize;
+    let mut frac_len = usize::MAX; // MAX = no '.' seen yet
+    for (i, &b) in t.iter().enumerate() {
+        let d = b.wrapping_sub(b'0');
+        if d <= 9 {
+            m = m * 10 + u64::from(d);
+            digits += 1;
+        } else if b == b'.' && frac_len == usize::MAX {
+            frac_len = t.len() - i - 1;
+        } else {
+            return None;
+        }
+    }
+    if digits == 0 || digits > 17 || m > (1u64 << 53) {
+        return None;
+    }
+    Some(m as f64 / POW10[if frac_len == usize::MAX { 0 } else { frac_len }])
+}
+
+/// After the last field: only separators may remain before the newline.
+/// Returns the position just past the line on success.
+#[inline]
+fn line_end(s: &[u8], mut p: usize) -> Option<usize> {
+    while p < s.len() && is_sep(s[p]) {
+        p += 1;
+    }
+    if p >= s.len() {
+        Some(p)
+    } else if s[p] == b'\n' {
+        Some(p + 1)
+    } else {
+        None
+    }
+}
+
+#[inline]
+fn trim(mut s: &[u8]) -> &[u8] {
+    while let [first, rest @ ..] = s {
+        if is_ws(*first) {
+            s = rest;
+        } else {
+            break;
+        }
+    }
+    while let [rest @ .., last] = s {
+        if is_ws(*last) {
+            s = rest;
+        } else {
+            break;
+        }
+    }
+    s
+}
+
+/// `str::split_once(' ')` with the whole line as fallback.
+#[inline]
+fn split_at_space(line: &[u8]) -> (&[u8], &[u8]) {
+    match line.iter().position(|&b| b == b' ') {
+        Some(i) => (&line[..i], &line[i + 1..]),
+        None => (line, b""),
+    }
+}
+
+/// `split_whitespace`: writes up to `out.len()` tokens, returns the *total*
+/// token count (the sequential parser reports the real count in its
+/// field-count error messages).
+fn split_fields<'a>(s: &'a [u8], out: &mut [&'a [u8]]) -> usize {
+    let mut n = 0;
+    let mut i = 0;
+    while i < s.len() {
+        if is_ws(s[i]) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < s.len() && !is_ws(s[i]) {
+            i += 1;
+        }
+        if n < out.len() {
+            out[n] = &s[start..i];
+        }
+        n += 1;
+    }
+    n
+}
+
+#[inline]
+fn ascii_str(s: &[u8]) -> &str {
+    // Callers only pass subslices of input already verified ASCII.
+    std::str::from_utf8(s).unwrap_or("")
+}
+
+/// Exact replica of the reference parser's `num` helper (message included),
+/// used for `f64` fields and as the slow path of the integer decoders.
+fn num<T: std::str::FromStr>(ln: usize, field: &str, s: &[u8]) -> Result<T> {
+    let s = ascii_str(s);
+    s.parse()
+        .map_err(|_| MpiError::parse(ln, format!("bad {field}: '{s}'")))
+}
+
+/// Fast in-place decimal decode. `Some(v)` guarantees `str::parse::<u64>`
+/// would succeed with the same value; anything else (sign prefixes,
+/// overflow, empty, stray bytes) defers to the exact slow path.
+#[inline]
+fn atoi(s: &[u8]) -> Option<u64> {
+    if s.is_empty() || s.len() > 20 {
+        return None;
+    }
+    let mut v: u64 = 0;
+    for &b in s {
+        let d = b.wrapping_sub(b'0');
+        if d > 9 {
+            return None;
+        }
+        v = v.checked_mul(10)?.checked_add(d as u64)?;
+    }
+    Some(v)
+}
+
+#[inline]
+fn num_u64(ln: usize, field: &str, s: &[u8]) -> Result<u64> {
+    match atoi(s) {
+        Some(v) => Ok(v),
+        None => num(ln, field, s),
+    }
+}
+
+#[inline]
+fn num_u32(ln: usize, field: &str, s: &[u8]) -> Result<u32> {
+    match atoi(s) {
+        Some(v) if v <= u32::MAX as u64 => Ok(v as u32),
+        _ => num(ln, field, s),
+    }
+}
+
+#[inline]
+fn num_usize(ln: usize, field: &str, s: &[u8]) -> Result<usize> {
+    match atoi(s).map(usize::try_from) {
+        Some(Ok(v)) => Ok(v),
+        _ => num(ln, field, s),
+    }
+}
+
+/// Line iterator matching `str::lines` numbering: yields
+/// `(1-based line, byte offset of line start, line without `\n`/`\r\n`)`.
+struct Lines<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Lines<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Lines {
+            bytes,
+            pos: 0,
+            line: 0,
+        }
+    }
+}
+
+impl<'a> Iterator for Lines<'a> {
+    type Item = (usize, usize, &'a [u8]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.bytes.len() {
+            return None;
+        }
+        let start = self.pos;
+        let rest = &self.bytes[start..];
+        let (mut line, next_pos) = match rest.iter().position(|&b| b == b'\n') {
+            Some(i) => (&rest[..i], start + i + 1),
+            None => (rest, self.bytes.len()),
+        };
+        // `str::lines` strips `\r` only as part of `\r\n`; a bare trailing
+        // `\r` on the final unterminated line survives there but is
+        // whitespace-trimmed by every consumer, so stripping it here is
+        // observationally identical.
+        if let [head @ .., b'\r'] = line {
+            line = head;
+        }
+        self.pos = next_pos;
+        self.line += 1;
+        Some((self.line, start, line))
+    }
+}
+
+fn chunk_target(requested: usize, body_len: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    let workers = rayon::max_workers();
+    if workers <= 1 {
+        return body_len.max(1);
+    }
+    (body_len / (workers * 4)).clamp(MIN_CHUNK_BYTES, MAX_CHUNK_BYTES)
+}
+
+/// Split `body` into chunks of roughly `target` bytes, each ending on a
+/// newline (except possibly the last), so every line lives in one chunk.
+fn split_at_newlines(body: &[u8], target: usize) -> Vec<&[u8]> {
+    let target = target.max(1);
+    let mut chunks = Vec::with_capacity(body.len() / target + 1);
+    let mut start = 0;
+    while start < body.len() {
+        let mut end = (start + target).min(body.len());
+        if end < body.len() {
+            match body[end..].iter().position(|&b| b == b'\n') {
+                Some(i) => end += i + 1,
+                None => end = body.len(),
+            }
+        }
+        chunks.push(&body[start..end]);
+        start = end;
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dumpi::write_trace;
+
+    /// Both parsers on the same input must agree on everything observable.
+    fn assert_agrees(text: &str) {
+        for chunk in [0usize, 1, 7, 24, 1 << 20] {
+            let seq = parse_trace(text);
+            let par = parse_trace_bytes_chunked(text.as_bytes(), chunk);
+            match (seq, par) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "trace mismatch (chunk={chunk})\n{text}"),
+                (Err(a), Err(b)) => assert_eq!(
+                    a.to_string(),
+                    b.to_string(),
+                    "error mismatch (chunk={chunk})\n{text}"
+                ),
+                (a, b) => panic!("outcome mismatch (chunk={chunk}): {a:?} vs {b:?}\n{text}"),
+            }
+        }
+    }
+
+    fn sample_text() -> String {
+        let mut b = TraceBuilder::new("LULESH", 8).exec_time_s(54.14);
+        let sub = b.register_comm(vec![Rank(0), Rank(2), Rank(4)]);
+        b.send(Rank(0), Rank(1), 4096, 100);
+        b.send_typed(Rank(3), Rank(7), 64, Datatype::Double, 9, 2);
+        b.collective(CollectiveOp::Allreduce, None, Payload::Uniform(512), 10);
+        b.collective_on(
+            CollectiveOp::Gatherv,
+            sub,
+            Some(1),
+            Payload::PerRank(vec![10, 20, 30]),
+            3,
+        );
+        write_trace(&b.build())
+    }
+
+    #[test]
+    fn parses_roundtripped_trace_identically() {
+        assert_agrees(&sample_text());
+    }
+
+    #[test]
+    fn agrees_on_edge_case_inputs() {
+        let m = MAGIC;
+        for text in [
+            "".to_string(),
+            "\n".to_string(),
+            " \n\n".to_string(),
+            "not magic\n".to_string(),
+            m.to_string(),
+            format!("{m}\n"),
+            format!("{m}\napp x\n"),
+            format!("{m}\napp x\nranks 4\n"),
+            format!("{m}\nranks 4\ntime 1\n"), // no app -> "unknown"
+            format!("{m}\napp x\nranks 4\ntime 2.5\n\n# c\n"),
+            format!("{m}\napp two words here\nranks 4\ntime 1\n"),
+            format!("{m}\napp x\nranks 4\ntime 1\nsend 0 1 10 byte 0 1 0.5\n"),
+            format!("{m}\napp x\nranks 4\ntime 1\nsend 0 1 10 byte 0 1 0.5"),
+            format!("{m}\r\napp x\r\nranks 4\r\ntime 1\r\nsend 0 1 10 byte 0 1 0.5\r\n"),
+            format!("{m}\napp x\nranks 4\ntime 1\n  send 0 1 10 byte 0 1 0.5  \n"),
+            format!("{m}\napp x\nranks 4\ntime 1\ncoll barrier 0 - u:0 1 0.1\n"),
+            format!("{m}\napp x\nranks 4\ntime 1\ncoll gatherv 0 1 v:1,2,3,4 2 0.1\n"),
+            format!("{m}\napp x\nranks 4\ntime 1\ncomm 1 0,2\ncoll bcast 1 0 u:8 1 0.1\n"),
+        ] {
+            assert_agrees(&text);
+        }
+    }
+
+    #[test]
+    fn agrees_on_malformed_inputs_with_same_error_line() {
+        let m = MAGIC;
+        for text in [
+            format!("{m}\nsend 0 1 10 byte 0 1 0.0\n"),
+            format!("{m}\ncoll barrier 0 - u:0 1 0.0\n"),
+            format!("{m}\ncomm 1 0,1\n"),
+            format!("{m}\napp x\nranks 4\ntime 1\nfrobnicate 1 2\n"),
+            format!("{m}\napp x\nranks 4\ntime 1\nsend 0 1 10 byte 0 1\n"),
+            format!("{m}\napp x\nranks 4\ntime 1\nsend 0 1 10 byte 0 1 0.5 9\n"),
+            format!("{m}\napp x\nranks 4\ntime 1\nsend 0 1 10 quux 0 1 0.5\n"),
+            format!("{m}\napp x\nranks 4\ntime 1\nsend a 1 10 byte 0 1 0.5\n"),
+            format!("{m}\napp x\nranks 4\ntime 1\nsend 0 1 10 byte 0 1 zzz\n"),
+            format!("{m}\napp x\nranks 4\ntime 1\nsend 0 1 99999999999999999999999 byte 0 1 0\n"),
+            format!("{m}\napp x\nranks 4\ntime 1\ncoll ibcast 0 - u:1 1 0.5\n"),
+            format!("{m}\napp x\nranks 4\ntime 1\ncoll bcast 0 0 w:9 1 0.5\n"),
+            format!("{m}\napp x\nranks 4\ntime 1\ncoll bcast 0 0 u:x 1 0.5\n"),
+            format!("{m}\napp x\nranks 4\ntime 1\ncoll bcast 0 0 v:1,x 1 0.5\n"),
+            format!("{m}\napp x\nranks 4\ntime 1\ncoll bcast 0 q u:1 1 0.5\n"),
+            format!("{m}\napp x\nranks q\n"),
+            format!("{m}\napp x\nranks 4\ntime q\n"),
+            format!("{m}\napp x\nranks 4\ntime 1\ncomm 7 0,1\n"),
+            format!("{m}\napp x\nranks 4\ntime 1\ncomm 1\n"),
+            format!("{m}\napp x\nranks 4\ntime 1\ncomm 1 0,q\n"),
+            format!("{m}\napp x\nranks 2\ntime 1\nsend 0 9 10 byte 0 1 0.0\n"),
+            // error in a later line, exercising line accounting across chunks
+            format!(
+                "{m}\napp x\nranks 4\ntime 1\n{}send 0 x 1 byte 0 1 0.0\n",
+                "send 0 1 10 byte 0 1 0.5\n".repeat(50)
+            ),
+        ] {
+            assert_agrees(&text);
+        }
+    }
+
+    #[test]
+    fn header_after_body_falls_back_to_reference() {
+        let m = MAGIC;
+        // `time` after the first event is legal sequentially (last one
+        // wins); the chunked path must detect it and agree.
+        for text in [
+            format!("{m}\napp x\nranks 4\ntime 1\nsend 0 1 10 byte 0 1 0.0\ntime 9\n"),
+            format!("{m}\napp x\nranks 4\ntime 1\nsend 0 1 10 byte 0 1 0.0\ncomm 1 0,1\ncoll bcast 1 0 u:8 1 0.1\n"),
+            format!("{m}\napp x\nranks 4\ntime 1\nsend 0 1 10 byte 0 1 0.0\nranks 2\n"),
+        ] {
+            assert_agrees(&text);
+        }
+    }
+
+    #[test]
+    fn non_ascii_input_matches_reference() {
+        let m = MAGIC;
+        // U+00A0 is Unicode whitespace the ASCII fast path cannot trim.
+        assert_agrees(&format!("{m}\napp caf\u{e9}\nranks 4\ntime 1\n"));
+        assert_agrees(&format!("{m}\u{a0}\napp x\nranks 4\ntime 1\n"));
+    }
+
+    #[test]
+    fn invalid_utf8_is_rejected() {
+        let err = parse_trace_bytes(b"#NETLOC-DUMPI 1\n\xff\xfe\n").unwrap_err();
+        assert!(err.to_string().contains("UTF-8"), "{err}");
+    }
+
+    #[test]
+    fn many_chunks_reassemble_in_order() {
+        let mut b = TraceBuilder::new("big", 32).exec_time_s(2.0);
+        for i in 0..500u32 {
+            b.send(
+                Rank(i % 32),
+                Rank((i + 1) % 32),
+                100 + u64::from(i),
+                1 + u64::from(i % 3),
+            );
+        }
+        let text = write_trace(&b.build());
+        // Force tiny chunks so the body spans dozens of them.
+        let seq = parse_trace(&text).unwrap();
+        let par = parse_trace_bytes_chunked(text.as_bytes(), 64).unwrap();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let text = sample_text();
+        let baseline = parse_trace_bytes(text.as_bytes()).unwrap();
+        for workers in [1usize, 2, 4] {
+            let prev = rayon::set_max_workers(workers);
+            let got = parse_trace_bytes_chunked(text.as_bytes(), 32).unwrap();
+            rayon::set_max_workers(prev);
+            assert_eq!(baseline, got, "workers={workers}");
+        }
+    }
+}

@@ -32,6 +32,7 @@ pub mod collective;
 pub mod comm;
 pub mod datatype;
 pub mod dumpi;
+mod dumpi_bytes;
 pub mod error;
 pub mod event;
 pub mod rank;
@@ -41,11 +42,12 @@ pub mod transform;
 
 pub use binfmt::{parse_trace_binary, write_trace_binary};
 pub use collective::{
-    collective_volume, translate_collective, CollectiveOp, Payload, TranslatedMessage,
+    collective_volume, for_each_translated, translate_collective, CollectiveOp, Payload,
+    TranslatedMessage,
 };
 pub use comm::{CommId, CommRegistry, Communicator};
 pub use datatype::Datatype;
-pub use dumpi::{parse_trace, write_trace};
+pub use dumpi::{parse_trace, parse_trace_bytes, parse_trace_bytes_chunked, write_trace};
 pub use error::{MpiError, Result};
 pub use event::{Event, TimedEvent};
 pub use rank::Rank;

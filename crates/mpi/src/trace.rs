@@ -47,6 +47,13 @@ impl Trace {
                 self.exec_time_s
             )));
         }
+        // The member-range check is invariant per communicator; find each
+        // communicator's first out-of-range member once instead of
+        // rescanning the member list for every collective event.
+        let mut bad_member: Vec<Option<Rank>> = Vec::new();
+        while let Some(c) = self.comms.get(CommId(bad_member.len() as u32)) {
+            bad_member.push(c.members.iter().copied().find(|m| m.0 >= self.num_ranks));
+        }
         for (i, te) in self.events.iter().enumerate() {
             match &te.event {
                 Event::Send { src, dst, .. } => {
@@ -86,13 +93,11 @@ impl Trace {
                             )));
                         }
                     }
-                    for m in &c.members {
-                        if m.0 >= self.num_ranks {
-                            return Err(MpiError::Invalid(format!(
-                                "communicator {} references rank {m} beyond {} ranks",
-                                comm.0, self.num_ranks
-                            )));
-                        }
+                    if let Some(m) = bad_member[comm.0 as usize] {
+                        return Err(MpiError::Invalid(format!(
+                            "communicator {} references rank {m} beyond {} ranks",
+                            comm.0, self.num_ranks
+                        )));
                     }
                 }
             }

@@ -12,7 +12,8 @@ use crate::http::{Request, Response};
 use crate::payload;
 use crate::server::AppState;
 use netloc_core::canon::{canonical_json, content_digest, digest_hex};
-use netloc_mpi::{parse_trace, Trace};
+use netloc_core::{ingest_trace, ingest_trace_bytes, IngestResult};
+use netloc_mpi::Trace;
 use netloc_topology::{MappingSpec, RoutedTopology, TopologySpec};
 use netloc_workloads::App;
 use serde::{Serialize, Value};
@@ -26,8 +27,8 @@ pub fn handle(state: &AppState, req: &Request) -> Response {
         ("GET", "/v1/statusz") => statusz(state),
         ("POST", "/v1/analyze") => analyze(state, &req.body),
         ("POST", "/v1/sweep") => sweep(state, &req.body),
-        ("POST", "/v1/stats") => stats(&req.body),
-        ("POST", "/v1/metrics") => metrics(&req.body),
+        ("POST", "/v1/stats") => stats(state, &req.body),
+        ("POST", "/v1/metrics") => metrics(state, &req.body),
         ("POST", "/v1/shutdown") => shutdown(state),
         (_, "/v1/healthz" | "/v1/statusz") => Response::error(405, "use GET"),
         (_, "/v1/analyze" | "/v1/sweep" | "/v1/stats" | "/v1/metrics" | "/v1/shutdown") => {
@@ -53,6 +54,8 @@ struct StatuszResponse {
     result_cache: ResultCacheStats,
     route_tables_built: u64,
     route_table_specs: usize,
+    traces_ingested: u64,
+    ingest_events: u64,
 }
 
 fn statusz(state: &AppState) -> Response {
@@ -65,6 +68,8 @@ fn statusz(state: &AppState) -> Response {
         result_cache: state.result_cache.stats(),
         route_tables_built: state.topo_cache.tables_built(),
         route_table_specs: state.topo_cache.specs_cached(),
+        traces_ingested: state.traces_ingested.load(Ordering::Relaxed),
+        ingest_events: state.ingest_events.load(Ordering::Relaxed),
     });
     Response::json(body.into_bytes())
 }
@@ -76,9 +81,11 @@ fn shutdown(state: &AppState) -> Response {
 
 // ---- request decoding ------------------------------------------------
 
-/// The fields shared by every analysis request body.
+/// The fields shared by every analysis request body: the fused ingest
+/// result (trace + traffic matrices + stats from one pass) and the cache
+/// key component.
 struct AnalysisInput {
-    trace: Trace,
+    ingest: IngestResult,
     /// Hex content digest of the trace *source* (inline text bytes, or the
     /// canonical workload spec) — the first component of the cache key.
     digest: String,
@@ -114,33 +121,42 @@ fn str_field<'a>(fields: &'a [(String, Value)], name: &str) -> Result<Option<&'a
 }
 
 /// Decode the trace source: inline dumpi text (`"trace"`) or a generated
-/// workload spec (`"workload": "APP:RANKS"`).
-fn decode_trace(fields: &[(String, Value)]) -> Result<AnalysisInput, Response> {
-    match (str_field(fields, "trace")?, str_field(fields, "workload")?) {
-        (Some(_), Some(_)) => Err(Response::error(
-            400,
-            "give either 'trace' or 'workload', not both",
-        )),
+/// workload spec (`"workload": "APP:RANKS"`). Inline text goes through the
+/// chunked zero-copy parser; either source is folded into traffic matrices
+/// and stats in the same pass.
+fn decode_trace(state: &AppState, fields: &[(String, Value)]) -> Result<AnalysisInput, Response> {
+    let input = match (str_field(fields, "trace")?, str_field(fields, "workload")?) {
+        (Some(_), Some(_)) => {
+            return Err(Response::error(
+                400,
+                "give either 'trace' or 'workload', not both",
+            ))
+        }
         (Some(text), None) => {
-            let trace =
-                parse_trace(text).map_err(|e| Response::error(400, &format!("bad trace: {e}")))?;
-            Ok(AnalysisInput {
-                trace,
+            let ingest = ingest_trace_bytes(text.as_bytes())
+                .map_err(|e| Response::error(400, &format!("bad trace: {e}")))?;
+            AnalysisInput {
+                ingest,
                 digest: digest_hex(content_digest(text.as_bytes())),
-            })
+            }
         }
         (None, Some(spec)) => {
             let (trace, canonical) = generate_workload(spec)?;
-            Ok(AnalysisInput {
-                trace,
+            AnalysisInput {
+                ingest: ingest_trace(trace),
                 digest: digest_hex(content_digest(canonical.as_bytes())),
-            })
+            }
         }
-        (None, None) => Err(Response::error(
+        (None, None) => return Err(Response::error(
             400,
             "missing trace source: set 'trace' (inline dumpi text) or 'workload' (\"APP:RANKS\")",
         )),
-    }
+    };
+    state.traces_ingested.fetch_add(1, Ordering::Relaxed);
+    state
+        .ingest_events
+        .fetch_add(input.ingest.trace.events.len() as u64, Ordering::Relaxed);
+    Ok(input)
 }
 
 /// `"lulesh:64"` → the deterministic generated trace plus the canonical
@@ -247,8 +263,8 @@ fn analyze(state: &AppState, body: &[u8]) -> Response {
     };
     let result = (|| {
         let fields = obj(&value)?;
-        let input = decode_trace(fields)?;
-        let topo_spec = decode_topology(fields, input.trace.num_ranks)?;
+        let input = decode_trace(state, fields)?;
+        let topo_spec = decode_topology(fields, input.ingest.trace.num_ranks)?;
         let map_spec = decode_mapping(fields)?;
 
         // Content-addressed lookup before any route computation: a hit
@@ -260,7 +276,8 @@ fn analyze(state: &AppState, body: &[u8]) -> Response {
 
         let resp = with_routed(state, &topo_spec, |routed| {
             payload::analyze(
-                &input.trace,
+                &input.ingest.trace,
+                &input.ingest.matrix,
                 input.digest.clone(),
                 &topo_spec,
                 &map_spec,
@@ -282,8 +299,8 @@ fn sweep(state: &AppState, body: &[u8]) -> Response {
     };
     let result = (|| {
         let fields = obj(&value)?;
-        let input = decode_trace(fields)?;
-        let topo_spec = decode_topology(fields, input.trace.num_ranks)?;
+        let input = decode_trace(state, fields)?;
+        let topo_spec = decode_topology(fields, input.ingest.trace.num_ranks)?;
         let map_specs: Vec<MappingSpec> = match field(fields, "mappings") {
             None | Some(Value::Null) => vec![MappingSpec::Consecutive],
             Some(Value::Array(items)) => {
@@ -304,7 +321,8 @@ fn sweep(state: &AppState, body: &[u8]) -> Response {
         };
         let resp = with_routed(state, &topo_spec, |routed| {
             payload::sweep(
-                &input.trace,
+                &input.ingest.trace,
+                &input.ingest.matrix,
                 input.digest.clone(),
                 &topo_spec,
                 &map_specs,
@@ -317,28 +335,32 @@ fn sweep(state: &AppState, body: &[u8]) -> Response {
     result.unwrap_or_else(|resp| resp)
 }
 
-fn stats(body: &[u8]) -> Response {
-    trace_only(body, |trace| {
-        payload::StatsResponse::from_trace(trace).to_value()
+fn stats(state: &AppState, body: &[u8]) -> Response {
+    trace_only(state, body, |ingest| {
+        payload::StatsResponse::from_parts(&ingest.trace, &ingest.stats).to_value()
     })
 }
 
-fn metrics(body: &[u8]) -> Response {
-    trace_only(body, |trace| {
-        payload::MetricsResponse::from_trace(trace).to_value()
+fn metrics(state: &AppState, body: &[u8]) -> Response {
+    trace_only(state, body, |ingest| {
+        payload::MetricsResponse::from_matrix(&ingest.trace, &ingest.p2p).to_value()
     })
 }
 
-fn trace_only(body: &[u8], compute: impl FnOnce(&Trace) -> Value) -> Response {
+fn trace_only(
+    state: &AppState,
+    body: &[u8],
+    compute: impl FnOnce(&IngestResult) -> Value,
+) -> Response {
     let value = match parse_json_body(body) {
         Ok(v) => v,
         Err(resp) => return resp,
     };
     let result = (|| {
         let fields = obj(&value)?;
-        let input = decode_trace(fields)?;
+        let input = decode_trace(state, fields)?;
         Ok(Response::json(
-            canonical_json(&compute(&input.trace)).into_bytes(),
+            canonical_json(&compute(&input.ingest)).into_bytes(),
         ))
     })();
     result.unwrap_or_else(|resp| resp)

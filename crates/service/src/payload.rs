@@ -10,7 +10,7 @@
 
 use netloc_core::metrics::{dimensionality, peers, rank_locality, selectivity};
 use netloc_core::{analyze_network_routed, NetworkReport, TrafficMatrix};
-use netloc_mpi::Trace;
+use netloc_mpi::{Trace, TraceStats};
 use netloc_topology::{MappingSpec, RoutedTopology, SpecError, TopologySpec};
 use serde::Serialize;
 
@@ -108,20 +108,24 @@ impl AnalyzeResponse {
 /// Replay `trace` on `routed` (built from the already-resolved
 /// `topo_spec`) under `map_spec`, producing the response payload.
 ///
+/// `tm` is the trace's full traffic matrix, precomputed by the parallel
+/// ingest fold when the request was decoded (identical to
+/// `TrafficMatrix::from_trace_full`).
+///
 /// This is the service's entire analysis path; the caller decides how
 /// `routed` was obtained (shared cached table or per-request lazy rows),
 /// which cannot change the result — only how fast it arrives.
 pub fn analyze(
     trace: &Trace,
+    tm: &TrafficMatrix,
     trace_digest: String,
     topo_spec: &TopologySpec,
     map_spec: &MappingSpec,
     routed: &RoutedTopology<'_>,
 ) -> Result<AnalyzeResponse, SpecError> {
-    let tm = TrafficMatrix::from_trace_full(trace);
     let ranks = trace.num_ranks as usize;
     let mapping = map_spec.build_with_traffic(ranks, routed, &tm.undirected_entries())?;
-    let report = analyze_network_routed(routed, &mapping, &tm);
+    let report = analyze_network_routed(routed, &mapping, tm);
     Ok(AnalyzeResponse::from_report(
         TraceMeta::new(trace, trace_digest),
         topo_spec,
@@ -165,21 +169,22 @@ pub struct SweepResponse {
 }
 
 /// Replay `trace` under every mapping in `map_specs` over one shared
-/// `routed` — the grid column the paper's Tables 4–6 are made of.
+/// `routed` — the grid column the paper's Tables 4–6 are made of. `tm` is
+/// the trace's precomputed full traffic matrix (see [`analyze`]).
 pub fn sweep(
     trace: &Trace,
+    tm: &TrafficMatrix,
     trace_digest: String,
     topo_spec: &TopologySpec,
     map_specs: &[MappingSpec],
     routed: &RoutedTopology<'_>,
 ) -> Result<SweepResponse, SpecError> {
-    let tm = TrafficMatrix::from_trace_full(trace);
     let ranks = trace.num_ranks as usize;
     let undirected = tm.undirected_entries();
     let mut cells = Vec::with_capacity(map_specs.len());
     for spec in map_specs {
         let mapping = spec.build_with_traffic(ranks, routed, &undirected)?;
-        let report = analyze_network_routed(routed, &mapping, &tm);
+        let report = analyze_network_routed(routed, &mapping, tm);
         cells.push(SweepCellResponse {
             mapping: spec.to_string(),
             packets: report.packets,
@@ -229,7 +234,12 @@ pub struct StatsResponse {
 impl StatsResponse {
     /// Compute the overview for `trace`.
     pub fn from_trace(trace: &Trace) -> Self {
-        let s = trace.stats();
+        Self::from_parts(trace, &trace.stats())
+    }
+
+    /// Assemble the overview from already-computed statistics (the fused
+    /// ingest fold produces them alongside the traffic matrices).
+    pub fn from_parts(trace: &Trace, s: &TraceStats) -> Self {
         StatsResponse {
             app: trace.app.clone(),
             ranks: trace.num_ranks,
@@ -281,11 +291,16 @@ pub struct MetricsResponse {
 impl MetricsResponse {
     /// Compute the metrics for `trace`.
     pub fn from_trace(trace: &Trace) -> Self {
-        let tm = TrafficMatrix::from_trace_p2p(trace);
-        let has_p2p = peers::peers(&tm).is_some();
+        Self::from_matrix(trace, &TrafficMatrix::from_trace_p2p(trace))
+    }
+
+    /// Compute the metrics from an already-built p2p traffic matrix (the
+    /// fused ingest fold produces it alongside the stats).
+    pub fn from_matrix(trace: &Trace, tm: &TrafficMatrix) -> Self {
+        let has_p2p = peers::peers(tm).is_some();
         let folds = if has_p2p {
             (1..=3)
-                .filter_map(|k| dimensionality::folded_locality(&tm, k))
+                .filter_map(|k| dimensionality::folded_locality(tm, k))
                 .map(|rep| FoldResponse {
                     dims: rep.dims,
                     locality_pct: rep.locality_pct,
@@ -298,10 +313,10 @@ impl MetricsResponse {
         MetricsResponse {
             app: trace.app.clone(),
             ranks: trace.num_ranks,
-            peers: peers::peers(&tm),
-            rank_distance_90: rank_locality::rank_distance_90(&tm),
-            rank_locality_90_pct: rank_locality::rank_locality_90(&tm).map(|l| 100.0 * l),
-            selectivity_90: selectivity::selectivity_90(&tm),
+            peers: peers::peers(tm),
+            rank_distance_90: rank_locality::rank_distance_90(tm),
+            rank_locality_90_pct: rank_locality::rank_locality_90(tm).map(|l| 100.0 * l),
+            selectivity_90: selectivity::selectivity_90(tm),
             folds,
         }
     }
@@ -329,9 +344,9 @@ mod tests {
         let map_spec: MappingSpec = "consecutive".parse().unwrap();
         let topo = topo_spec.build().unwrap();
         let routed = RoutedTopology::auto(topo.as_ref());
-        let resp = analyze(&trace, "d".into(), &topo_spec, &map_spec, &routed).unwrap();
-
         let tm = TrafficMatrix::from_trace_full(&trace);
+        let resp = analyze(&trace, &tm, "d".into(), &topo_spec, &map_spec, &routed).unwrap();
+
         let mapping = map_spec.build(8, 8).unwrap();
         let direct = analyze_network_routed(&routed, &mapping, &tm);
         assert_eq!(resp.packets, direct.packets);
@@ -349,6 +364,7 @@ mod tests {
         let routed = RoutedTopology::auto(topo.as_ref());
         let err = analyze(
             &trace,
+            &TrafficMatrix::from_trace_full(&trace),
             "d".into(),
             &topo_spec,
             &MappingSpec::Consecutive,
@@ -367,10 +383,11 @@ mod tests {
             .collect();
         let topo = topo_spec.build().unwrap();
         let routed = RoutedTopology::auto(topo.as_ref());
-        let swept = sweep(&trace, "d".into(), &topo_spec, &specs, &routed).unwrap();
+        let tm = TrafficMatrix::from_trace_full(&trace);
+        let swept = sweep(&trace, &tm, "d".into(), &topo_spec, &specs, &routed).unwrap();
         assert_eq!(swept.cells.len(), 2);
         for (cell, spec) in swept.cells.iter().zip(&specs) {
-            let single = analyze(&trace, "d".into(), &topo_spec, spec, &routed).unwrap();
+            let single = analyze(&trace, &tm, "d".into(), &topo_spec, spec, &routed).unwrap();
             assert_eq!(cell.mapping, spec.to_string());
             assert_eq!(cell.packets, single.packets);
             assert_eq!(cell.packet_hops, single.packet_hops);
@@ -386,6 +403,16 @@ mod tests {
         assert!(stats.ends_with('\n'));
         let metrics = canonical_json(&MetricsResponse::from_trace(&trace));
         assert!(metrics.contains("\"peers\""));
+        // The fused ingest pass renders the same bytes as the per-call path.
+        let ing = netloc_core::ingest_trace(trace.clone());
+        assert_eq!(
+            canonical_json(&StatsResponse::from_parts(&ing.trace, &ing.stats)),
+            stats
+        );
+        assert_eq!(
+            canonical_json(&MetricsResponse::from_matrix(&ing.trace, &ing.p2p)),
+            metrics
+        );
         // Ring pattern: every rank talks to exactly one neighbor.
         let m = MetricsResponse::from_trace(&trace);
         assert_eq!(m.peers, Some(1));

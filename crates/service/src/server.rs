@@ -71,6 +71,10 @@ pub struct AppState {
     pub served: AtomicU64,
     /// Connections bounced with 429 by the acceptor.
     pub rejected: AtomicU64,
+    /// Trace sources decoded through the fused ingest pipeline.
+    pub traces_ingested: AtomicU64,
+    /// Total trace events folded by the ingest pipeline.
+    pub ingest_events: AtomicU64,
     /// Set by `POST /v1/shutdown`; the process driving the server polls
     /// this (see [`RunningServer::shutdown_requested`]).
     pub shutdown_requested: AtomicBool,
@@ -93,6 +97,8 @@ impl Server {
             queue: Arc::clone(&queue),
             served: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            traces_ingested: AtomicU64::new(0),
+            ingest_events: AtomicU64::new(0),
             shutdown_requested: AtomicBool::new(false),
             config,
         });

@@ -27,4 +27,4 @@ pub mod oracle;
 pub use client::HttpResponse;
 pub use corpus::{default_corpus, CorpusConfig, MappingKind, TopologySpec};
 pub use goldens::{canonical_json, check_golden, GoldenOutcome};
-pub use oracle::{check_route_table, verify_corpus, Mismatch, VerifySummary};
+pub use oracle::{check_ingest, check_route_table, verify_corpus, Mismatch, VerifySummary};

@@ -12,15 +12,20 @@ use netloc_core::netmodel::{
     NetworkReport,
 };
 use netloc_core::refmodel::analyze_network_reference;
+use netloc_core::{ingest_trace_chunked, TrafficMatrix};
+use netloc_mpi::{parse_trace, parse_trace_bytes_chunked, write_trace};
 use netloc_topology::bfs::{validate_walk, BfsRouter};
 use netloc_topology::{NodeId, RoutedTopology, Topology};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
 /// One oracle violation, tied to the corpus config that produced it.
 #[derive(Debug, Clone)]
 pub struct Mismatch {
     /// Corpus config id (see [`CorpusConfig::id`]).
     pub config: String,
-    /// Which oracle fired: `"route"`, `"route-table"`, or `"replay"`.
+    /// Which oracle fired: `"route"`, `"route-table"`, `"replay"`, or
+    /// `"ingest"`.
     pub oracle: &'static str,
     /// Human-readable description of the violation.
     pub detail: String,
@@ -41,6 +46,10 @@ pub struct VerifySummary {
     pub route_pairs: u64,
     /// Replay comparisons performed (reference + chunk-size variants).
     pub replay_checks: u64,
+    /// Ingest comparisons performed: byte parser vs reference parser
+    /// (clean and corrupted text) and fused parallel fold vs the
+    /// sequential matrix/stats passes.
+    pub ingest_checks: u64,
     /// All violations found.
     pub mismatches: Vec<Mismatch>,
 }
@@ -249,6 +258,104 @@ pub fn check_replay(cfg: &CorpusConfig) -> (Vec<String>, u64) {
     (violations, checks)
 }
 
+/// Differential ingest check for one corpus config: the chunked zero-copy
+/// byte parser must reproduce the reference text parser exactly — equal
+/// traces on the round-tripped corpus text at several chunk sizes,
+/// *identical first error* (same `Display` string, line number included)
+/// on seeded corruptions of that text — and the fused parallel fold must
+/// produce the same traffic matrices and Table 1 stats as the sequential
+/// `from_trace_full`/`from_trace_p2p`/`stats()` passes.
+///
+/// Returns violations; the second tuple element is the number of ingest
+/// comparisons performed.
+pub fn check_ingest(cfg: &CorpusConfig) -> (Vec<String>, u64) {
+    let mut violations = Vec::new();
+    let mut checks = 0u64;
+    let trace = cfg.build_trace();
+    let text = write_trace(&trace);
+
+    // Byte parser vs reference parser on the clean round-tripped text,
+    // across degenerate, prime, and default chunk splits.
+    for chunk in [0usize, 1, 113] {
+        checks += 1;
+        match parse_trace_bytes_chunked(text.as_bytes(), chunk) {
+            Ok(t) if t == trace => {}
+            Ok(_) => violations.push(format!(
+                "byte parser (chunk {chunk}) trace differs from the reference parser"
+            )),
+            Err(e) => violations.push(format!(
+                "byte parser (chunk {chunk}) failed on clean text: {e}"
+            )),
+        }
+    }
+
+    // Fused parallel fold vs the three sequential passes.
+    let seq_full = TrafficMatrix::from_trace_full(&trace);
+    let seq_p2p = TrafficMatrix::from_trace_p2p(&trace);
+    let seq_stats = trace.stats();
+    for chunk in [0usize, 1, 7] {
+        checks += 1;
+        let ing = ingest_trace_chunked(trace.clone(), chunk);
+        if ing.stats != seq_stats {
+            violations.push(format!(
+                "fused stats (chunk {chunk}): {:?} != sequential {seq_stats:?}",
+                ing.stats
+            ));
+        }
+        for (label, fused, seq) in [
+            ("full matrix", &ing.matrix, &seq_full),
+            ("p2p matrix", &ing.p2p, &seq_p2p),
+        ] {
+            if fused.num_ranks() != seq.num_ranks() || fused.sorted_pairs() != seq.sorted_pairs() {
+                violations.push(format!(
+                    "fused {label} (chunk {chunk}) differs from the sequential pass ({} vs {} pairs)",
+                    fused.num_pairs(),
+                    seq.num_pairs()
+                ));
+            }
+        }
+    }
+
+    // Seeded corruptions: both parsers must agree on the outcome — the
+    // same trace, or the same first error by byte offset (compared as the
+    // rendered message, so line numbers must match too). Mutations stay
+    // in the ASCII range so the text remains valid UTF-8 and the byte
+    // parser exercises its chunked path rather than the UTF-8 bailout.
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x0069_6e67_6573_7400);
+    for _ in 0..4 {
+        checks += 1;
+        let mut bytes = text.clone().into_bytes();
+        if rng.gen_range(0u8..4) == 0 {
+            bytes.truncate(rng.gen_range(0..=bytes.len()));
+        }
+        if !bytes.is_empty() {
+            for _ in 0..rng.gen_range(1usize..6) {
+                let idx = rng.gen_range(0..bytes.len());
+                bytes[idx] = rng.gen_range(0u8..128);
+            }
+        }
+        let corrupted = String::from_utf8(bytes).expect("ASCII mutations stay UTF-8");
+        let reference = parse_trace(&corrupted);
+        let chunked = parse_trace_bytes_chunked(corrupted.as_bytes(), 37);
+        let agree = match (&reference, &chunked) {
+            (Ok(a), Ok(b)) => a == b,
+            (Err(a), Err(b)) => a.to_string() == b.to_string(),
+            _ => false,
+        };
+        if !agree {
+            violations.push(format!(
+                "parsers disagree on corrupted text: reference {:?}, byte parser {:?}",
+                reference
+                    .as_ref()
+                    .map(|_| "Ok")
+                    .map_err(ToString::to_string),
+                chunked.as_ref().map(|_| "Ok").map_err(ToString::to_string),
+            ));
+        }
+    }
+    (violations, checks)
+}
+
 /// Run both oracles over every config of the corpus.
 pub fn verify_corpus(corpus: &[CorpusConfig]) -> VerifySummary {
     let mut summary = VerifySummary::default();
@@ -290,6 +397,15 @@ pub fn verify_corpus(corpus: &[CorpusConfig]) -> VerifySummary {
                 oracle: "replay",
                 detail,
             }));
+        let (violations, checks) = check_ingest(cfg);
+        summary.ingest_checks += checks;
+        summary
+            .mismatches
+            .extend(violations.into_iter().map(|detail| Mismatch {
+                config: cfg.id(),
+                oracle: "ingest",
+                detail,
+            }));
     }
     summary
 }
@@ -305,6 +421,7 @@ mod tests {
         assert!(summary.configs >= 20);
         assert!(summary.route_pairs > 0);
         assert!(summary.replay_checks >= summary.configs as u64);
+        assert!(summary.ingest_checks >= summary.configs as u64);
         assert!(
             summary.is_clean(),
             "oracle mismatches:\n{}",
@@ -349,6 +466,37 @@ mod tests {
                 cfg.id()
             );
         }
+    }
+
+    #[test]
+    fn ingest_oracle_clean_on_all_corpus_configs() {
+        for cfg in default_corpus() {
+            let (violations, checks) = check_ingest(&cfg);
+            assert!(checks >= 10, "{}: only {checks} ingest checks", cfg.id());
+            assert!(
+                violations.is_empty(),
+                "{}: {}",
+                cfg.id(),
+                violations.join("\n")
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_text_keeps_line_numbers_in_both_parsers() {
+        // A bad record appended after a full corpus trace must be
+        // reported at its actual (late) line number by the sequential
+        // parser and the chunked byte parser alike.
+        let cfg = &default_corpus()[0];
+        let mut text = write_trace(&cfg.build_trace());
+        text.push_str("send 0 1 bogus F64 0 1 0.5\n");
+        let line = text.lines().count();
+        let a = parse_trace(&text).unwrap_err().to_string();
+        let b = parse_trace_bytes_chunked(text.as_bytes(), 13)
+            .unwrap_err()
+            .to_string();
+        assert_eq!(a, b);
+        assert!(a.contains(&format!("line {line}")), "{a}");
     }
 
     #[test]

@@ -38,8 +38,11 @@
 
 use netloc::core::canon::canonical_json;
 use netloc::core::metrics::{dimensionality, peers, rank_locality, selectivity};
-use netloc::core::{analyze_network, classes, heatmap, timeline::Timeline, TrafficMatrix};
-use netloc::mpi::{parse_trace, parse_trace_binary, write_trace, write_trace_binary, Trace};
+use netloc::core::{
+    analyze_network, classes, heatmap, ingest_trace, ingest_trace_bytes, timeline::Timeline,
+    IngestResult, TrafficMatrix,
+};
+use netloc::mpi::{parse_trace_binary, write_trace, write_trace_binary, Trace};
 use netloc::service::payload::{MetricsResponse, StatsResponse};
 use netloc::topology::optimize::greedy_mapping;
 use netloc::topology::{MappingSpec, RoutedTopology, Topology, TopologySpec};
@@ -56,8 +59,8 @@ fn main() {
     let rest = &args[1..];
     match cmd.as_str() {
         "generate" => generate(rest),
-        "stats" => stats(&load_trace(rest), rest),
-        "metrics" => metrics(&load_trace(rest), rest),
+        "stats" => stats(&load_ingest(rest), rest),
+        "metrics" => metrics(&load_ingest(rest), rest),
         "analyze" => analyze(rest),
         "replay" => replay(rest),
         "heatmap" => heatmap_cmd(rest),
@@ -88,7 +91,10 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
-fn load_trace(args: &[String]) -> Trace {
+/// Read, parse, and fold a trace in one pass: text goes through the
+/// chunked zero-copy parser, and the traffic matrices plus Table 1 stats
+/// come out of the same fused fold the service uses.
+fn load_ingest(args: &[String]) -> IngestResult {
     let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
         eprintln!("missing trace file argument");
         exit(2);
@@ -111,10 +117,10 @@ fn load_trace(args: &[String]) -> Trace {
     };
     // Auto-detect the format by magic bytes.
     let parsed = if bytes.starts_with(b"NLDUMPI") {
-        parse_trace_binary(&bytes)
+        parse_trace_binary(&bytes).map(ingest_trace)
     } else {
         match std::str::from_utf8(&bytes) {
-            Ok(text) => parse_trace(text),
+            Ok(_) => ingest_trace_bytes(&bytes),
             Err(_) => {
                 eprintln!("{path}: neither binary magic nor valid UTF-8 text");
                 exit(1);
@@ -122,12 +128,16 @@ fn load_trace(args: &[String]) -> Trace {
         }
     };
     match parsed {
-        Ok(t) => t,
+        Ok(r) => r,
         Err(e) => {
             eprintln!("cannot parse {path}: {e}");
             exit(1);
         }
     }
+}
+
+fn load_trace(args: &[String]) -> Trace {
+    load_ingest(args).trace
 }
 
 fn generate(args: &[String]) {
@@ -184,12 +194,16 @@ fn generate(args: &[String]) {
     }
 }
 
-fn stats(trace: &Trace, args: &[String]) {
+fn stats(ing: &IngestResult, args: &[String]) {
+    let trace = &ing.trace;
     if args.iter().any(|a| a == "--json") {
-        print!("{}", canonical_json(&StatsResponse::from_trace(trace)));
+        print!(
+            "{}",
+            canonical_json(&StatsResponse::from_parts(trace, &ing.stats))
+        );
         return;
     }
-    let s = trace.stats();
+    let s = ing.stats;
     println!("application:   {}", trace.app);
     println!("ranks:         {}", trace.num_ranks);
     println!("exec time:     {:.4} s", trace.exec_time_s);
@@ -212,30 +226,33 @@ fn stats(trace: &Trace, args: &[String]) {
     );
 }
 
-fn metrics(trace: &Trace, args: &[String]) {
+fn metrics(ing: &IngestResult, args: &[String]) {
     if args.iter().any(|a| a == "--json") {
-        print!("{}", canonical_json(&MetricsResponse::from_trace(trace)));
+        print!(
+            "{}",
+            canonical_json(&MetricsResponse::from_matrix(&ing.trace, &ing.p2p))
+        );
         return;
     }
-    let tm = TrafficMatrix::from_trace_p2p(trace);
-    match peers::peers(&tm) {
+    let tm = &ing.p2p;
+    match peers::peers(tm) {
         None => println!("no point-to-point traffic — MPI-level metrics are N/A"),
         Some(p) => {
             println!("peers:                {p}");
             println!(
                 "rank distance (90%):  {:.2}",
-                rank_locality::rank_distance_90(&tm).expect("has p2p")
+                rank_locality::rank_distance_90(tm).expect("has p2p")
             );
             println!(
                 "rank locality (90%):  {:.2} %",
-                100.0 * rank_locality::rank_locality_90(&tm).expect("has p2p")
+                100.0 * rank_locality::rank_locality_90(tm).expect("has p2p")
             );
             println!(
                 "selectivity (90%):    {:.2}",
-                selectivity::selectivity_90(&tm).expect("has p2p")
+                selectivity::selectivity_90(tm).expect("has p2p")
             );
             for k in 1..=3 {
-                if let Some(rep) = dimensionality::folded_locality(&tm, k) {
+                if let Some(rep) = dimensionality::folded_locality(tm, k) {
                     println!(
                         "{k}D fold {:?}: locality {:.1} % (distance {:.2})",
                         rep.dims, rep.locality_pct, rep.distance90
@@ -300,7 +317,8 @@ fn build_mapping(
 }
 
 fn replay(args: &[String]) {
-    let trace = load_trace(args);
+    let ing = load_ingest(args);
+    let trace = &ing.trace;
     let spec = flag_value(args, "--topology").unwrap_or("auto");
     let topo = parse_topology(spec, trace.num_ranks);
     if topo.num_nodes() < trace.num_ranks as usize {
@@ -311,12 +329,12 @@ fn replay(args: &[String]) {
         );
         exit(2);
     }
-    let tm = TrafficMatrix::from_trace_full(&trace);
+    let tm = &ing.matrix;
     let ranks = trace.num_ranks as usize;
     let map_spec = parse_mapping(flag_value(args, "--mapping").unwrap_or("consecutive"));
-    let mapping = build_mapping(&map_spec, ranks, topo.as_ref(), &tm);
+    let mapping = build_mapping(&map_spec, ranks, topo.as_ref(), tm);
 
-    let rep = analyze_network(topo.as_ref(), &mapping, &tm);
+    let rep = analyze_network(topo.as_ref(), &mapping, tm);
     if args.iter().any(|a| a == "--json") {
         #[derive(serde::Serialize)]
         struct JsonReport<'a> {
@@ -382,10 +400,10 @@ fn replay(args: &[String]) {
 }
 
 fn heatmap_cmd(args: &[String]) {
-    let trace = load_trace(args);
-    let tm = TrafficMatrix::from_trace_p2p(&trace);
+    let ing = load_ingest(args);
+    let tm = &ing.p2p;
     if args.iter().any(|a| a == "--ascii") {
-        match heatmap::ascii_heatmap(&tm, 256) {
+        match heatmap::ascii_heatmap(tm, 256) {
             Some(art) => print!("{art}"),
             None => {
                 eprintln!("trace too large for ASCII rendering (>256 ranks); use CSV");
@@ -393,13 +411,14 @@ fn heatmap_cmd(args: &[String]) {
             }
         }
     } else {
-        print!("{}", heatmap::to_csv(&tm));
+        print!("{}", heatmap::to_csv(tm));
     }
 }
 
 fn simulate_cmd(args: &[String]) {
     use netloc::sim::{simulate_trace, SimConfig};
-    let trace = load_trace(args);
+    let ing = load_ingest(args);
+    let trace = &ing.trace;
     let spec = flag_value(args, "--topology").unwrap_or("auto");
     let topo = parse_topology(spec, trace.num_ranks);
     if topo.num_nodes() < trace.num_ranks as usize {
@@ -414,10 +433,7 @@ fn simulate_cmd(args: &[String]) {
     let map_spec = parse_mapping(flag_value(args, "--mapping").unwrap_or("consecutive"));
     let mapping = match &map_spec {
         MappingSpec::Consecutive => None,
-        spec => {
-            let tm = TrafficMatrix::from_trace_full(&trace);
-            Some(build_mapping(spec, ranks, topo.as_ref(), &tm))
-        }
+        spec => Some(build_mapping(spec, ranks, topo.as_ref(), &ing.matrix)),
     };
     let cfg = SimConfig {
         max_injections: flag_value(args, "--max-msgs")
@@ -426,7 +442,7 @@ fn simulate_cmd(args: &[String]) {
         mapping,
         ..Default::default()
     };
-    let rep = simulate_trace(&trace, topo.as_ref(), &cfg);
+    let rep = simulate_trace(trace, topo.as_ref(), &cfg);
     if args.iter().any(|a| a == "--json") {
         println!(
             "{}",
@@ -519,11 +535,11 @@ fn verify_cmd(args: &[String]) {
     }
     let summary = verify_corpus(&corpus);
     println!(
-        "checked {} configs: {} route pairs, {} replay comparisons",
-        summary.configs, summary.route_pairs, summary.replay_checks
+        "checked {} configs: {} route pairs, {} replay comparisons, {} ingest checks",
+        summary.configs, summary.route_pairs, summary.replay_checks, summary.ingest_checks
     );
     if summary.is_clean() {
-        println!("all oracles agree: analytic routing matches BFS, parallel replay matches the single-threaded reference");
+        println!("all oracles agree: analytic routing matches BFS, parallel replay matches the single-threaded reference, parallel ingest matches the sequential parser");
     } else {
         println!("{} MISMATCHES:", summary.mismatches.len());
         for m in &summary.mismatches {

@@ -433,6 +433,96 @@ fn binary_parser_survives_corpus_corruption() {
     });
 }
 
+/// The parallel ingest pipeline is a pure function of the trace bytes:
+/// whatever the rayon worker count (1, 2, or the machine default) and
+/// whatever the chunk size, the parsed trace, both traffic matrices, and
+/// the fused Table 1 stats are identical to the sequential reference
+/// (`parse_trace` + `from_trace_full` + `from_trace_p2p` + `stats()`).
+#[test]
+fn ingest_invariant_under_worker_count_and_chunk_size() {
+    use netloc::core::ingest_trace_chunked;
+    use netloc::mpi::parse_trace_bytes_chunked;
+    check(
+        "ingest_invariant_under_worker_count_and_chunk_size",
+        |rng| {
+            let ranks = rng.gen_range(2u32..24);
+            let mut b = TraceBuilder::new("prop-ingest", ranks).exec_time_s(1.5);
+            for _ in 0..rng.gen_range(1usize..40) {
+                b.send(
+                    Rank(rng.gen_range(0..ranks)),
+                    Rank(rng.gen_range(0..ranks)),
+                    rng.gen_range(0u64..500_000),
+                    rng.gen_range(1u64..5),
+                );
+            }
+            for _ in 0..rng.gen_range(0usize..4) {
+                let op = CollectiveOp::ALL[rng.gen_range(0..CollectiveOp::ALL.len())];
+                b.collective(
+                    op,
+                    op.is_rooted().then(|| rng.gen_range(0..ranks) as usize),
+                    Payload::Uniform(rng.gen_range(1u64..10_000)),
+                    rng.gen_range(1u64..4),
+                );
+            }
+            let trace = b.build();
+            let text = write_trace(&trace);
+
+            let seq_full = TrafficMatrix::from_trace_full(&trace);
+            let seq_p2p = TrafficMatrix::from_trace_p2p(&trace);
+            let seq_stats = trace.stats();
+
+            for workers in [1usize, 2, 0] {
+                let saved = rayon::set_max_workers(workers);
+                let chunk = rng.gen_range(0usize..200);
+                let parsed = parse_trace_bytes_chunked(text.as_bytes(), chunk).unwrap();
+                assert_eq!(parsed, trace, "workers {workers}, chunk {chunk}");
+                let ing = ingest_trace_chunked(parsed, rng.gen_range(0usize..50));
+                assert_eq!(ing.stats, seq_stats, "workers {workers}");
+                assert_eq!(ing.matrix.sorted_pairs(), seq_full.sorted_pairs());
+                assert_eq!(ing.p2p.sorted_pairs(), seq_p2p.sorted_pairs());
+                rayon::set_max_workers(saved);
+            }
+        },
+    );
+}
+
+/// The chunked byte parser agrees with the sequential reference parser on
+/// corrupted corpus text: the same trace on accidental survival, or the
+/// same first error — rendered message and line number included.
+#[test]
+fn text_parsers_agree_on_corpus_corruption() {
+    use netloc::mpi::parse_trace_bytes;
+    let corpus: Vec<String> = netloc::testkit::default_corpus()
+        .iter()
+        .map(|cfg| write_trace(&cfg.build_trace()))
+        .collect();
+    assert!(!corpus.is_empty());
+    check("text_parsers_agree_on_corpus_corruption", |rng| {
+        let mut bytes = corpus[rng.gen_range(0..corpus.len())].clone().into_bytes();
+        if rng.gen_range(0u8..2) == 0 {
+            bytes.truncate(rng.gen_range(0..=bytes.len()));
+        }
+        if !bytes.is_empty() {
+            // ASCII-only mutations keep the text valid UTF-8, so the byte
+            // parser takes its chunked path instead of the UTF-8 bailout.
+            for _ in 0..rng.gen_range(0usize..16) {
+                let idx = rng.gen_range(0..bytes.len());
+                bytes[idx] = rng.gen_range(0u8..128);
+            }
+        }
+        let text = String::from_utf8(bytes).expect("ASCII mutations stay UTF-8");
+        match (parse_trace(&text), parse_trace_bytes(text.as_bytes())) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b),
+            (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string()),
+            (a, b) => panic!(
+                "parsers disagree on outcome: reference {:?}, bytes {:?}",
+                a.map(|_| "Ok").map_err(|e| e.to_string()),
+                b.map(|_| "Ok").map_err(|e| e.to_string()),
+            ),
+        }
+    });
+}
+
 /// Grid foldings: exact product, descending dims, chebyshev symmetry
 /// and triangle inequality.
 #[test]

@@ -21,6 +21,10 @@ fn seeded_corpus_is_clean_under_both_oracles() {
         "each config should be replayed against the reference and several chunk sizes"
     );
     assert!(
+        summary.ingest_checks >= 10 * corpus.len() as u64,
+        "each config should check the byte parser and the fused fold against the sequential path"
+    );
+    assert!(
         summary.is_clean(),
         "differential oracles disagree:\n{}",
         summary

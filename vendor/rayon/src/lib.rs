@@ -17,6 +17,31 @@ pub mod prelude {
     pub use crate::ParallelSlice;
 }
 
+/// Process-wide override of the worker-thread cap; `0` means "no override,
+/// use `available_parallelism`". Upstream rayon configures this through
+/// `ThreadPoolBuilder::num_threads`; the shim exposes a plain setter, which
+/// is all the workspace needs (the ingest property tests pin the count to
+/// prove results are worker-count invariant).
+static MAX_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Cap the number of worker threads used by subsequent `par_chunks` calls.
+/// `0` restores the default (`available_parallelism`). Returns the previous
+/// override so callers can save/restore around a scoped experiment.
+pub fn set_max_workers(n: usize) -> usize {
+    MAX_WORKERS.swap(n, Ordering::SeqCst)
+}
+
+/// The effective worker cap: the [`set_max_workers`] override if set,
+/// otherwise `std::thread::available_parallelism()`.
+pub fn max_workers() -> usize {
+    match MAX_WORKERS.load(Ordering::SeqCst) {
+        0 => std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
 /// Slices that can be split into parallel chunks.
 pub trait ParallelSlice<T: Sync> {
     /// Split into contiguous chunks of at most `chunk_size` elements.
@@ -48,10 +73,7 @@ impl<'a, T: Sync> ParChunks<'a, T> {
         F: Fn(&'a [T]) -> R + Sync,
     {
         let chunks: Vec<&'a [T]> = self.data.chunks(self.chunk_size).collect();
-        let workers = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(chunks.len().max(1));
+        let workers = max_workers().min(chunks.len().max(1));
 
         let mut results: Vec<Option<R>> = (0..chunks.len()).map(|_| None).collect();
         if workers <= 1 || chunks.len() <= 1 {
