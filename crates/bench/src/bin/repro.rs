@@ -14,10 +14,11 @@
 //! repro sizes             # message-size quantiles + graph structure per app
 //! repro dims              # same traffic on 1D/2D/3D/6D tori (network dimensionality)
 //! repro taper             # oversubscribed fat trees: utilization vs slowdown
-//! repro goldens [STEM]    # canonical golden JSON (table1/table3/table4)
+//! repro goldens [STEM]    # canonical golden JSON (table1/table3/table4/sim)
 //! repro summary [--full]  # the paper's headline claims, checked
 //! repro bench [--smoke] [-o FILE]  # replay-throughput benchmark → BENCH_netmodel.json
 //! repro bench-ingest [--smoke] [-o FILE]  # trace-ingest benchmark → BENCH_ingest.json
+//! repro bench-sim [--smoke] [-o FILE]  # temporal-simulation benchmark → BENCH_sim.json
 //! repro all [--full]      # everything above except the benches
 //! ```
 //!
@@ -207,6 +208,7 @@ fn main() {
         "summary" => summary(max_ranks),
         "bench" => bench(&args),
         "bench-ingest" => bench_ingest(&args),
+        "bench-sim" => bench_sim(&args),
         "all" => {
             table1();
             table2();
@@ -291,6 +293,34 @@ fn bench_ingest(args: &[String]) {
     println!("\nwrote {out} ({} rows)", report.results.len());
 }
 
+/// `repro bench-sim [--smoke] [-o FILE]` — temporal-simulation benchmark:
+/// the sharded windowed engine over CSR route tables vs the sequential
+/// per-hop-routed reference, on ≥1M-injection expansions.
+///
+/// Not part of `repro all` for the same reason as `bench`; `--smoke`
+/// (used by CI) shrinks the injection lists and still asserts the
+/// parallel engine is byte-identical to `refsim` before timing.
+fn bench_sim(args: &[String]) {
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "-o")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_sim.json");
+    banner(if smoke {
+        "Simulation benchmark (smoke mode)"
+    } else {
+        "Simulation benchmark: sequential refsim vs sharded windowed engine"
+    });
+    let report = netloc_bench::simbench::run(smoke);
+    if let Err(e) = netloc_bench::simbench::write_report(&report, out) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {out} ({} rows)", report.results.len());
+}
+
 fn table1() {
     banner("Table 1: MPI-based exascale proxy applications");
     println!("{}", format::table1_text(&rows::table1()));
@@ -345,7 +375,7 @@ fn goldens(args: &[String]) {
     }
     if !matched {
         eprintln!(
-            "unknown golden '{}'; known: table1, table3, table4",
+            "unknown golden '{}'; known: table1, table3, table4, sim",
             stem.unwrap_or("")
         );
         std::process::exit(2);

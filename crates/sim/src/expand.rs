@@ -15,6 +15,30 @@ pub struct Injection {
     pub bytes: u64,
 }
 
+impl Injection {
+    /// The canonical total order both simulation engines process
+    /// injections in: time (IEEE total order), then source, destination
+    /// and size as tie-breakers. Ties under this order are fully
+    /// identical injections, so any remaining permutation is
+    /// result-neutral — which is what makes simulation results invariant
+    /// under the order injections were *supplied* in.
+    pub fn canonical_cmp(&self, other: &Injection) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then_with(|| self.src.cmp(&other.src))
+            .then_with(|| self.dst.cmp(&other.dst))
+            .then_with(|| self.bytes.cmp(&other.bytes))
+    }
+}
+
+/// Copy and canonically sort a list of injections (see
+/// [`Injection::canonical_cmp`]).
+pub(crate) fn canonicalize(injections: &[Injection]) -> Vec<Injection> {
+    let mut v = injections.to_vec();
+    v.sort_unstable_by(Injection::canonical_cmp);
+    v
+}
+
 /// Expand a trace into individual injections, sorted by time.
 ///
 /// Repeated events are spread evenly from their timestamp to the end of the
@@ -25,7 +49,12 @@ pub struct Injection {
 ///
 /// `max_injections` caps the expansion: when the full expansion would
 /// exceed it, repeats are subsampled uniformly (every k-th instance kept,
-/// bytes unchanged) — the report notes the sampling factor.
+/// bytes unchanged) — the report notes the sampling factor. The cap is
+/// also enforced as a hard bound on the output length (the stride math
+/// alone can overshoot by up to one injection per event), so a corrupted
+/// repeat count can never drive an unbounded allocation — the same
+/// "clamp count-driven growth to what the caller asked for" discipline
+/// the binary trace reader applies to length prefixes.
 /// Returns `(injections, sample_stride)`.
 pub fn expand_trace(trace: &Trace, max_injections: usize) -> (Vec<Injection>, u64) {
     assert!(max_injections > 0);
@@ -61,6 +90,9 @@ pub fn expand_trace(trace: &Trace, max_injections: usize) -> (Vec<Injection>, u6
             let span = t_end - time;
             let mut k = 0;
             while k < repeat {
+                if out.len() >= max_injections {
+                    return;
+                }
                 let t = if repeat == 1 {
                     time
                 } else {
@@ -100,7 +132,7 @@ pub fn expand_trace(trace: &Trace, max_injections: usize) -> (Vec<Injection>, u6
             }
         }
     }
-    out.sort_by(|a, b| a.time.total_cmp(&b.time));
+    out.sort_unstable_by(Injection::canonical_cmp);
     (out, stride)
 }
 
@@ -138,6 +170,43 @@ mod tests {
         assert!(stride > 1);
         assert!(inj.len() <= 1001, "{}", inj.len());
         assert!(!inj.is_empty());
+    }
+
+    #[test]
+    fn max_injections_is_a_hard_bound_even_with_stride_overshoot() {
+        // Many distinct events, each with a large repeat: the per-event
+        // ceil() overshoot of the stride math would exceed the cap
+        // without the hard bound.
+        let mut b = TraceBuilder::new("t", 8).exec_time_s(1.0);
+        for s in 0..8u32 {
+            for d in 0..8u32 {
+                if s != d {
+                    b.send(Rank(s), Rank(d), 64, 10_000);
+                }
+            }
+        }
+        let (inj, stride) = expand_trace(&b.build(), 100);
+        assert!(stride > 1);
+        assert!(inj.len() <= 100, "{}", inj.len());
+        assert!(!inj.is_empty());
+    }
+
+    #[test]
+    fn canonical_order_breaks_time_ties_deterministically() {
+        let mk = |src, dst, bytes| Injection {
+            time: 1.0,
+            src,
+            dst,
+            bytes,
+        };
+        let mut v = [mk(3, 0, 10), mk(1, 2, 10), mk(1, 0, 10), mk(1, 0, 5)];
+        v.sort_unstable_by(Injection::canonical_cmp);
+        assert_eq!(
+            v.iter()
+                .map(|i| (i.src, i.dst, i.bytes))
+                .collect::<Vec<_>>(),
+            vec![(1, 0, 5), (1, 0, 10), (1, 2, 10), (3, 0, 10)]
+        );
     }
 
     #[test]

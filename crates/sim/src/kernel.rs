@@ -1,0 +1,175 @@
+//! The per-message forwarding kernel of the sharded parallel engine
+//! ([`crate::engine`]).
+//!
+//! Byte-identical reports require byte-identical float arithmetic:
+//! [`process_message`] evaluates the same expressions in the same
+//! per-slot order as the independently-written reference walk in
+//! [`crate::refsim`] — the differential oracle in `netloc-testkit` is
+//! what keeps the two in lockstep. The storage is a plain `f64` array
+//! behind relaxed `AtomicU64` bit-casts — on every supported target a
+//! relaxed atomic load/store compiles to the same `mov` as a plain one,
+//! so the reference engine pays nothing for sharing the type, and the
+//! parallel engine gets race-free shared access without `unsafe`. The
+//! scheduler (not the memory orderings) guarantees exclusivity: a message
+//! only runs once every earlier user of each of its slots has finished,
+//! and messages that run concurrently own pairwise-disjoint slots.
+
+use crate::engine::{Forwarding, SimConfig};
+use crate::expand::Injection;
+use crate::windows::WindowGrid;
+use netloc_topology::{Link, LinkId};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed-size `f64` array usable from one thread or many (under the
+/// engine's exclusivity discipline). Indexing is by slot.
+pub(crate) struct F64Slots(Vec<AtomicU64>);
+
+impl F64Slots {
+    pub(crate) fn zeroed(n: usize) -> Self {
+        F64Slots((0..n).map(|_| AtomicU64::new(0f64.to_bits())).collect())
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, i: usize) -> f64 {
+        f64::from_bits(self.0[i].load(Ordering::Relaxed))
+    }
+
+    #[inline]
+    pub(crate) fn set(&self, i: usize, v: f64) {
+        self.0[i].store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn add(&self, i: usize, v: f64) {
+        self.set(i, self.get(i) + v);
+    }
+}
+
+/// Shared mutable simulation state, indexed by directed-link slot
+/// (`2·link + direction`).
+pub(crate) struct SlotState {
+    /// When each slot next becomes free, seconds.
+    pub free_at: F64Slots,
+    /// Accumulated busy seconds per slot, in slot-chain order.
+    pub busy: F64Slots,
+    /// Busy seconds per (slot, window), slot-major:
+    /// `win_busy[slot · grid.count() + w]`.
+    pub win_busy: F64Slots,
+    /// The window grid occupancy is charged against.
+    pub grid: WindowGrid,
+}
+
+impl SlotState {
+    pub(crate) fn new(num_links: usize, grid: WindowGrid) -> Self {
+        let slots = 2 * num_links;
+        SlotState {
+            free_at: F64Slots::zeroed(slots),
+            busy: F64Slots::zeroed(slots),
+            win_busy: F64Slots::zeroed(slots * grid.count()),
+            grid,
+        }
+    }
+
+    /// Charge `[start, end)` on `slot` to the window grid.
+    #[inline]
+    fn charge(&self, slot: usize, start: f64, end: f64) {
+        let w = self.grid.count();
+        if w == 0 {
+            return;
+        }
+        let base = slot * w;
+        self.grid
+            .attribute(start, end, |win, s| self.win_busy.add(base + win, s));
+    }
+}
+
+/// What one simulated message contributes to the report.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct MsgOutcome {
+    /// Completion time (last-hop done), seconds.
+    pub completion: f64,
+    /// Completion minus the contention-free completion (can be a hair
+    /// negative from float re-association; the report clamps).
+    pub queueing: f64,
+    /// Link-seconds of demand: Σ over hops of the slot occupancy.
+    pub offered: f64,
+}
+
+/// Translate a route (as produced by `route_into` or read from a CSR
+/// table — byte-identical by the route-table oracle) into directed-link
+/// slots, walking from `src_vertex`.
+#[inline]
+pub(crate) fn slots_of_route(
+    route: &[LinkId],
+    links: &[Link],
+    src_vertex: u32,
+    out: &mut Vec<u32>,
+) {
+    let mut prev = src_vertex;
+    for lid in route {
+        let link = links[lid.idx()];
+        // Direction: 0 when traversing a→b, 1 when b→a.
+        let dir = u32::from(link.a != prev);
+        prev = link.other(prev).expect("contiguous route");
+        out.push(2 * lid.0 + dir);
+    }
+}
+
+/// Advance one message over its slots: store-and-forward serializes on
+/// each directed link in turn; cut-through reserves the whole route from
+/// the instant every slot is free. Updates `free_at`, per-slot busy and
+/// per-(slot, window) busy, and returns the message outcome.
+///
+/// The float operations here are the *only* place simulated time is
+/// produced, in a fixed per-slot order — which is what makes the parallel
+/// engine bit-reproducible against the reference.
+#[inline]
+pub(crate) fn process_message(
+    inj: &Injection,
+    slots: &[u32],
+    cfg: &SimConfig,
+    st: &SlotState,
+) -> MsgOutcome {
+    let hops = slots.len() as f64;
+    match cfg.forwarding {
+        Forwarding::StoreAndForward => {
+            let serialize = inj.bytes as f64 / cfg.bandwidth + cfg.hop_latency_s;
+            let mut t = inj.time;
+            for &s in slots {
+                let s = s as usize;
+                let start = t.max(st.free_at.get(s));
+                let end = start + serialize;
+                st.free_at.set(s, end);
+                st.busy.add(s, serialize);
+                st.charge(s, start, end);
+                t = end;
+            }
+            let uncontended = inj.time + hops * serialize;
+            MsgOutcome {
+                completion: t,
+                queueing: t - uncontended,
+                offered: hops * serialize,
+            }
+        }
+        Forwarding::CutThrough => {
+            let mut start = inj.time;
+            for &s in slots {
+                start = start.max(st.free_at.get(s as usize));
+            }
+            let occupy = inj.bytes as f64 / cfg.bandwidth;
+            let end = start + occupy + hops * cfg.hop_latency_s;
+            for &s in slots {
+                let s = s as usize;
+                st.free_at.set(s, end);
+                st.busy.add(s, occupy);
+                st.charge(s, start, start + occupy);
+            }
+            let uncontended = inj.time + occupy + hops * cfg.hop_latency_s;
+            MsgOutcome {
+                completion: end,
+                queueing: end - uncontended,
+                offered: hops * occupy,
+            }
+        }
+    }
+}

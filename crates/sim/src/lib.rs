@@ -14,7 +14,20 @@
 //! model a conservative (pessimistic-latency) queueing approximation rather
 //! than a cycle-accurate simulator, but it is enough to measure what the
 //! static analysis cannot: queueing delay, per-link busy time under
-//! contention, and the slack between injection and completion.
+//! contention, per-window utilization against the static Eq. 5 bound, and
+//! the slack between injection and completion.
+//!
+//! Two engines share one forwarding kernel and one report reduction:
+//!
+//! * [`simulate_reference`] — the single-threaded reference (`refsim`),
+//!   routes computed per message;
+//! * [`simulate_parallel`] — sharded time windows over precomputed CSR
+//!   route tables, drained by a worker pool under an exact per-link
+//!   dependency DAG.
+//!
+//! The parallel engine is **byte-identical** to the reference at every
+//! worker count and window size; `netloc verify` enforces that over the
+//! whole test corpus.
 //!
 //! ```
 //! use netloc_mpi::{Rank, TraceBuilder};
@@ -33,8 +46,16 @@
 
 pub mod engine;
 pub mod expand;
+mod kernel;
+pub mod refsim;
 pub mod report;
+pub mod windows;
 
-pub use engine::{simulate, simulate_trace, Forwarding, SimConfig};
+pub use engine::{
+    simulate, simulate_parallel, simulate_trace, Forwarding, SimConfig, SimExec,
+    DEFAULT_WINDOW_INJECTIONS,
+};
 pub use expand::{expand_trace, Injection};
+pub use refsim::simulate_reference;
 pub use report::SimReport;
+pub use windows::{WindowGrid, WindowStats};

@@ -6,9 +6,12 @@
 //!   configurations covering every topology family × mapping kind ×
 //!   several workload patterns;
 //! - [`oracle`] — differential oracles that check analytic routing
-//!   against a BFS reference for every node pair, and the rayon-chunked
+//!   against a BFS reference for every node pair, the rayon-chunked
 //!   replay against a naive single-threaded reference for byte-identical
-//!   [`netloc_core::NetworkReport`]s;
+//!   [`netloc_core::NetworkReport`]s, and the sharded parallel temporal
+//!   simulator against its sequential `refsim` reference for
+//!   byte-identical [`netloc_sim::SimReport`]s at every worker count and
+//!   window size;
 //! - [`goldens`] — golden-snapshot machinery (canonical JSON with
 //!   normalized floats, readable diffs, `UPDATE_GOLDENS=1` regeneration);
 //! - [`client`] — a std-only blocking HTTP client for integration tests
@@ -27,4 +30,7 @@ pub mod oracle;
 pub use client::HttpResponse;
 pub use corpus::{default_corpus, CorpusConfig, MappingKind, TopologySpec};
 pub use goldens::{canonical_json, check_golden, GoldenOutcome};
-pub use oracle::{check_ingest, check_route_table, verify_corpus, Mismatch, VerifySummary};
+pub use oracle::{
+    check_ingest, check_route_table, check_sim, sim_report_diff, verify_corpus, Mismatch,
+    VerifySummary,
+};

@@ -1,7 +1,9 @@
-//! Differential oracles: analytic routing vs BFS, and the chunked
-//! parallel replay vs the naive single-threaded reference.
+//! Differential oracles: analytic routing vs BFS, the chunked parallel
+//! replay vs the naive single-threaded reference, the parallel ingest
+//! pipeline vs the sequential parser, and the sharded temporal simulator
+//! vs its sequential `refsim` reference.
 //!
-//! Both oracles run over every configuration of a corpus and return
+//! All oracles run over every configuration of a corpus and return
 //! structured mismatches instead of panicking, so callers (the `netloc
 //! verify` subcommand and the integration tests) can report all failures
 //! at once with readable context.
@@ -14,6 +16,9 @@ use netloc_core::netmodel::{
 use netloc_core::refmodel::analyze_network_reference;
 use netloc_core::{ingest_trace_chunked, TrafficMatrix};
 use netloc_mpi::{parse_trace, parse_trace_bytes_chunked, write_trace};
+use netloc_sim::{
+    expand_trace, simulate_parallel, simulate_reference, Forwarding, SimConfig, SimExec, SimReport,
+};
 use netloc_topology::bfs::{validate_walk, BfsRouter};
 use netloc_topology::{NodeId, RoutedTopology, Topology};
 use rand::{Rng, SeedableRng};
@@ -24,8 +29,8 @@ use rand_chacha::ChaCha8Rng;
 pub struct Mismatch {
     /// Corpus config id (see [`CorpusConfig::id`]).
     pub config: String,
-    /// Which oracle fired: `"route"`, `"route-table"`, `"replay"`, or
-    /// `"ingest"`.
+    /// Which oracle fired: `"route"`, `"route-table"`, `"replay"`,
+    /// `"ingest"`, or `"sim"`.
     pub oracle: &'static str,
     /// Human-readable description of the violation.
     pub detail: String,
@@ -50,6 +55,11 @@ pub struct VerifySummary {
     /// (clean and corrupted text) and fused parallel fold vs the
     /// sequential matrix/stats passes.
     pub ingest_checks: u64,
+    /// Temporal-simulation comparisons performed: the parallel engine vs
+    /// the sequential `refsim` reference across a worker-count ×
+    /// window-size sweep, route storage modes, injection orders and both
+    /// forwarding models.
+    pub sim_checks: u64,
     /// All violations found.
     pub mismatches: Vec<Mismatch>,
 }
@@ -356,7 +366,146 @@ pub fn check_ingest(cfg: &CorpusConfig) -> (Vec<String>, u64) {
     (violations, checks)
 }
 
-/// Run both oracles over every config of the corpus.
+/// Describe every field on which two simulation reports differ (empty
+/// when equal). The sim oracle demands *byte identity* — floats are
+/// compared with `==`, never a tolerance — so a field-by-field diff that
+/// pinpoints the first diverging window or link is far more readable than
+/// a whole-struct dump.
+pub fn sim_report_diff(expected: &SimReport, actual: &SimReport) -> Vec<String> {
+    let mut diffs = Vec::new();
+    macro_rules! cmp {
+        ($field:ident) => {
+            if expected.$field != actual.$field {
+                diffs.push(format!(
+                    "{}: expected {:?}, got {:?}",
+                    stringify!($field),
+                    expected.$field,
+                    actual.$field
+                ));
+            }
+        };
+    }
+    cmp!(messages);
+    cmp!(bytes);
+    cmp!(mean_latency_s);
+    cmp!(max_latency_s);
+    cmp!(total_queueing_s);
+    cmp!(mean_queueing_s);
+    cmp!(makespan_s);
+    cmp!(injection_horizon_s);
+    cmp!(total_busy_link_s);
+    cmp!(total_offered_link_s);
+    cmp!(peak_link_busy_s);
+    cmp!(used_links);
+    cmp!(sample_stride);
+    if expected.windows != actual.windows {
+        let first = expected
+            .windows
+            .iter()
+            .zip(&actual.windows)
+            .position(|(a, b)| a != b);
+        diffs.push(match first {
+            Some(i) => format!(
+                "windows: first divergence at window {i}: expected {:?}, got {:?}",
+                expected.windows[i], actual.windows[i]
+            ),
+            None => format!(
+                "windows: length {} vs {}",
+                expected.windows.len(),
+                actual.windows.len()
+            ),
+        });
+    }
+    if expected.link_busy_s != actual.link_busy_s {
+        let first = expected
+            .link_busy_s
+            .iter()
+            .zip(&actual.link_busy_s)
+            .position(|(a, b)| a != b);
+        diffs.push(match first {
+            Some(i) => format!(
+                "link_busy_s: first divergence at link {i}: expected {}, got {}",
+                expected.link_busy_s[i], actual.link_busy_s[i]
+            ),
+            None => format!(
+                "link_busy_s: length {} vs {}",
+                expected.link_busy_s.len(),
+                actual.link_busy_s.len()
+            ),
+        });
+    }
+    diffs
+}
+
+/// Differential temporal-simulation check for one corpus config: the
+/// sharded parallel engine must be **byte-identical** to the sequential
+/// `refsim` reference for both forwarding models, across a worker-count ×
+/// window-size sweep (including degenerate one-injection windows and the
+/// auto settings), over lazy as well as dense CSR route storage, and for
+/// a reversed injection order.
+///
+/// Returns violations; the second tuple element is the number of
+/// simulation comparisons performed.
+pub fn check_sim(cfg: &CorpusConfig) -> (Vec<String>, u64) {
+    let topo = cfg.build_topology();
+    let mapping = cfg.build_mapping(topo.num_nodes());
+    let trace = cfg.build_trace();
+    // A bounded expansion keeps the 30-config sweep fast while still
+    // exercising subsampling (stride > 1) on the bigger corpus traces.
+    let (injections, _) = expand_trace(&trace, 4_000);
+
+    let mut violations = Vec::new();
+    let mut checks = 0u64;
+    let dense = RoutedTopology::dense(topo.as_ref());
+    let lazy = RoutedTopology::lazy(topo.as_ref());
+
+    for forwarding in [Forwarding::StoreAndForward, Forwarding::CutThrough] {
+        let sim_cfg = SimConfig {
+            forwarding,
+            report_windows: 8,
+            ..SimConfig::default()
+        };
+        let reference = simulate_reference(topo.as_ref(), &mapping, &injections, &sim_cfg);
+
+        // Worker counts above the container's core count still spawn real
+        // threads; window 1 forces a synchronization barrier per
+        // injection; 0/0 is the production auto path.
+        for workers in [1usize, 2, 0] {
+            for window in [1usize, 7, 0] {
+                checks += 1;
+                let exec = SimExec { workers, window };
+                let report = simulate_parallel(&dense, &mapping, &injections, &sim_cfg, &exec);
+                for d in sim_report_diff(&reference, &report) {
+                    violations.push(format!(
+                        "{forwarding:?} workers {workers} window {window}: {d}"
+                    ));
+                }
+            }
+        }
+
+        checks += 1;
+        let via_lazy =
+            simulate_parallel(&lazy, &mapping, &injections, &sim_cfg, &SimExec::default());
+        for d in sim_report_diff(&reference, &via_lazy) {
+            violations.push(format!("{forwarding:?} lazy route storage: {d}"));
+        }
+
+        checks += 1;
+        let mut reversed = injections.clone();
+        reversed.reverse();
+        let exec = SimExec {
+            workers: 2,
+            window: 97,
+        };
+        let report = simulate_parallel(&dense, &mapping, &reversed, &sim_cfg, &exec);
+        for d in sim_report_diff(&reference, &report) {
+            violations.push(format!("{forwarding:?} reversed injection order: {d}"));
+        }
+    }
+    (violations, checks)
+}
+
+/// Run every oracle over every config of the corpus.
 pub fn verify_corpus(corpus: &[CorpusConfig]) -> VerifySummary {
     let mut summary = VerifySummary::default();
     // Route-check each distinct topology once — the analytic routing does
@@ -406,6 +555,15 @@ pub fn verify_corpus(corpus: &[CorpusConfig]) -> VerifySummary {
                 oracle: "ingest",
                 detail,
             }));
+        let (violations, checks) = check_sim(cfg);
+        summary.sim_checks += checks;
+        summary
+            .mismatches
+            .extend(violations.into_iter().map(|detail| Mismatch {
+                config: cfg.id(),
+                oracle: "sim",
+                detail,
+            }));
     }
     summary
 }
@@ -422,6 +580,7 @@ mod tests {
         assert!(summary.route_pairs > 0);
         assert!(summary.replay_checks >= summary.configs as u64);
         assert!(summary.ingest_checks >= summary.configs as u64);
+        assert!(summary.sim_checks >= 20 * summary.configs as u64);
         assert!(
             summary.is_clean(),
             "oracle mismatches:\n{}",
@@ -497,6 +656,46 @@ mod tests {
             .to_string();
         assert_eq!(a, b);
         assert!(a.contains(&format!("line {line}")), "{a}");
+    }
+
+    #[test]
+    fn sim_oracle_clean_on_all_corpus_configs() {
+        for cfg in default_corpus() {
+            let (violations, checks) = check_sim(&cfg);
+            assert!(checks >= 22, "{}: only {checks} sim checks", cfg.id());
+            assert!(
+                violations.is_empty(),
+                "{}: {}",
+                cfg.id(),
+                violations.join("\n")
+            );
+        }
+    }
+
+    #[test]
+    fn sim_report_diff_pinpoints_field_and_window() {
+        let cfg = &default_corpus()[0];
+        let topo = cfg.build_topology();
+        let mapping = cfg.build_mapping(topo.num_nodes());
+        let (injections, _) = expand_trace(&cfg.build_trace(), 500);
+        let sim_cfg = SimConfig {
+            report_windows: 4,
+            ..SimConfig::default()
+        };
+        let a = simulate_reference(topo.as_ref(), &mapping, &injections, &sim_cfg);
+        let mut b = a.clone();
+        assert!(sim_report_diff(&a, &b).is_empty());
+        b.messages += 1;
+        b.windows[1].bytes += 3;
+        b.link_busy_s[0] += 1.0;
+        let diffs = sim_report_diff(&a, &b);
+        assert!(diffs.iter().any(|d| d.starts_with("messages")));
+        assert!(diffs
+            .iter()
+            .any(|d| d.starts_with("windows: first divergence at window 1")));
+        assert!(diffs
+            .iter()
+            .any(|d| d.starts_with("link_busy_s: first divergence at link 0")));
     }
 
     #[test]

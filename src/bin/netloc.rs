@@ -10,13 +10,14 @@
 //! netloc heatmap  <TRACE> [--ascii]           traffic matrix as CSV (or ASCII art)
 //! netloc timeline <TRACE> [--bins N]          injected volume over time, burstiness
 //! netloc simulate <TRACE> --topology SPEC [--mapping MAP] [--max-msgs N]
-//!                                             temporal store-and-forward replay
+//!                 [--windows N]               temporal store-and-forward replay
+//!                                             with a per-window congestion profile
 //! netloc serve    [--addr A] [--workers N] [--cache-mb M] [--queue Q]
 //!                                             the netloc-service analysis server
 //! netloc verify   [--quiet]                   differential self-check: analytic
-//!                                             routing vs BFS and the parallel
-//!                                             replay vs a naive reference, over
-//!                                             a seeded corpus of configurations
+//!                                             routing vs BFS, the parallel replay
+//!                                             and temporal simulation vs naive
+//!                                             references, over a seeded corpus
 //! ```
 //!
 //! `TRACE` is a file in the dumpi-like text format (see `netloc_mpi::dumpi`);
@@ -440,6 +441,9 @@ fn simulate_cmd(args: &[String]) {
             .and_then(|s| s.parse().ok())
             .unwrap_or(2_000_000),
         mapping,
+        report_windows: flag_value(args, "--windows")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| SimConfig::default().report_windows),
         ..Default::default()
     };
     let rep = simulate_trace(trace, topo.as_ref(), &cfg);
@@ -469,6 +473,27 @@ fn simulate_cmd(args: &[String]) {
         "measured util:     {:.6} % (static Eq.5 spreads volume over the full runtime)",
         100.0 * rep.measured_utilization()
     );
+    if !rep.windows.is_empty() {
+        println!(
+            "congestion profile ({} windows over the {:.4} s injection horizon):",
+            rep.windows.len(),
+            rep.injection_horizon_s
+        );
+        println!("  win        t [s]      msgs   util %   offered %   slowdown (mean/max)");
+        for (i, w) in rep.windows.iter().enumerate() {
+            println!(
+                "  {:>3} {:>7.4}-{:<7.4} {:>7} {:>8.4} {:>11.4}   {:.3}x / {:.3}x",
+                i,
+                w.t_start_s,
+                w.t_end_s,
+                w.messages,
+                100.0 * w.measured_utilization,
+                100.0 * w.offered_utilization,
+                w.mean_slowdown,
+                w.max_slowdown
+            );
+        }
+    }
 }
 
 /// `netloc serve` — run the netloc-service analysis server until a
@@ -535,11 +560,15 @@ fn verify_cmd(args: &[String]) {
     }
     let summary = verify_corpus(&corpus);
     println!(
-        "checked {} configs: {} route pairs, {} replay comparisons, {} ingest checks",
-        summary.configs, summary.route_pairs, summary.replay_checks, summary.ingest_checks
+        "checked {} configs: {} route pairs, {} replay comparisons, {} ingest checks, {} sim comparisons",
+        summary.configs,
+        summary.route_pairs,
+        summary.replay_checks,
+        summary.ingest_checks,
+        summary.sim_checks
     );
     if summary.is_clean() {
-        println!("all oracles agree: analytic routing matches BFS, parallel replay matches the single-threaded reference, parallel ingest matches the sequential parser");
+        println!("all oracles agree: analytic routing matches BFS, parallel replay matches the single-threaded reference, parallel ingest matches the sequential parser, the parallel temporal simulation matches refsim byte-for-byte");
     } else {
         println!("{} MISMATCHES:", summary.mismatches.len());
         for m in &summary.mismatches {

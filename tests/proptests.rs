@@ -486,6 +486,102 @@ fn ingest_invariant_under_worker_count_and_chunk_size() {
     );
 }
 
+/// The temporal simulation is a pure function of the injection *set*:
+/// whatever the rayon worker cap, the explicit worker count, the window
+/// size, and the order the injections are handed over in, the parallel
+/// engine's report is byte-identical to the sequential `refsim`
+/// reference (full-struct equality, floats included — the invariant the
+/// `netloc verify` sim oracle enforces over its corpus).
+#[test]
+fn sim_invariant_under_workers_windows_and_order() {
+    use netloc::sim::{expand_trace, simulate_parallel, simulate_reference, SimConfig, SimExec};
+    use netloc::topology::RoutedTopology;
+    use rand::seq::SliceRandom;
+    check("sim_invariant_under_workers_windows_and_order", |rng| {
+        let ranks = rng.gen_range(2u32..24);
+        let mut b = TraceBuilder::new("prop-sim", ranks).exec_time_s(1.0);
+        for _ in 0..rng.gen_range(1usize..40) {
+            b.send(
+                Rank(rng.gen_range(0..ranks)),
+                Rank(rng.gen_range(0..ranks)),
+                rng.gen_range(1u64..500_000),
+                rng.gen_range(1u64..5),
+            );
+        }
+        if rng.gen_range(0u8..2) == 0 {
+            b.collective(
+                CollectiveOp::Alltoall,
+                None,
+                Payload::Uniform(rng.gen_range(1u64..10_000)),
+                rng.gen_range(1u64..3),
+            );
+        }
+        let (mut injections, _) = expand_trace(&b.build(), 2_000);
+        let topo = Torus3D::new([3, 4, 2]);
+        let mapping = Mapping::consecutive(ranks as usize, topo.num_nodes());
+        let cfg = SimConfig {
+            report_windows: rng.gen_range(0usize..6),
+            ..SimConfig::default()
+        };
+        let reference = simulate_reference(&topo, &mapping, &injections, &cfg);
+        let routed = RoutedTopology::dense(&topo);
+        injections.shuffle(rng);
+        for workers in [1usize, 2, 0] {
+            let saved = rayon::set_max_workers(workers);
+            let exec = SimExec {
+                workers,
+                window: rng.gen_range(0usize..200),
+            };
+            let report = simulate_parallel(&routed, &mapping, &injections, &cfg, &exec);
+            rayon::set_max_workers(saved);
+            assert_eq!(
+                report, reference,
+                "workers {workers}, window {}",
+                exec.window
+            );
+        }
+    });
+}
+
+/// `expand_trace` survives truncation and bit flips over the whole binary
+/// corpus: every corruption yields either a clean parse error or a trace
+/// whose expansion respects the hard `max_injections` bound — never a
+/// panic, and never an expansion driven past the cap by a corrupted
+/// repeat count.
+#[test]
+fn expand_trace_survives_corpus_corruption() {
+    use netloc::sim::expand_trace;
+    let corpus: Vec<Vec<u8>> = netloc::testkit::default_corpus()
+        .iter()
+        .map(|cfg| netloc::mpi::write_trace_binary(&cfg.build_trace()))
+        .collect();
+    assert!(!corpus.is_empty());
+    check("expand_trace_survives_corpus_corruption", |rng| {
+        let mut bin = corpus[rng.gen_range(0..corpus.len())].clone();
+        if rng.gen_range(0u8..2) == 0 {
+            bin.truncate(rng.gen_range(0..=bin.len()));
+        }
+        if !bin.is_empty() {
+            for _ in 0..rng.gen_range(1usize..16) {
+                let idx = rng.gen_range(0..bin.len());
+                bin[idx] ^= 1 << rng.gen_range(0u32..8);
+            }
+        }
+        // Corruption that still parses must still expand within bounds —
+        // whatever the (possibly huge) corrupted byte counts and repeats.
+        if let Ok(trace) = netloc::mpi::parse_trace_binary(&bin) {
+            let max = rng.gen_range(1usize..300);
+            let (injections, stride) = expand_trace(&trace, max);
+            assert!(
+                injections.len() <= max,
+                "expansion {} exceeds hard bound {max}",
+                injections.len()
+            );
+            assert!(stride >= 1);
+        }
+    });
+}
+
 /// The chunked byte parser agrees with the sequential reference parser on
 /// corrupted corpus text: the same trace on accidental survival, or the
 /// same first error — rendered message and line number included.

@@ -1,7 +1,9 @@
 //! Integration gate for the differential verification harness: the full
-//! seeded corpus must pass both oracles (analytic routing vs BFS, chunked
-//! parallel replay vs the naive single-threaded reference) with zero
-//! mismatches — the same check `netloc verify` runs from the CLI.
+//! seeded corpus must pass every oracle (analytic routing vs BFS, chunked
+//! parallel replay vs the naive single-threaded reference, parallel
+//! ingest vs the sequential parser, and the parallel temporal simulation
+//! vs `refsim` byte-for-byte) with zero mismatches — the same check
+//! `netloc verify` runs from the CLI.
 
 use netloc::testkit::{default_corpus, verify_corpus};
 
@@ -23,6 +25,11 @@ fn seeded_corpus_is_clean_under_both_oracles() {
     assert!(
         summary.ingest_checks >= 10 * corpus.len() as u64,
         "each config should check the byte parser and the fused fold against the sequential path"
+    );
+    assert!(
+        summary.sim_checks >= 20 * corpus.len() as u64,
+        "each config should compare the parallel temporal simulation against refsim \
+         across the worker/window sweep, both route storages and both forwarding models"
     );
     assert!(
         summary.is_clean(),
