@@ -19,6 +19,7 @@
 //! repro bench [--smoke] [-o FILE]  # replay-throughput benchmark → BENCH_netmodel.json
 //! repro bench-ingest [--smoke] [-o FILE]  # trace-ingest benchmark → BENCH_ingest.json
 //! repro bench-sim [--smoke] [-o FILE]  # temporal-simulation benchmark → BENCH_sim.json
+//! repro bench-service [--smoke] [-o FILE]  # analysis-server benchmark → BENCH_service.json
 //! repro all [--full]      # everything above except the benches
 //! ```
 //!
@@ -209,6 +210,7 @@ fn main() {
         "bench" => bench(&args),
         "bench-ingest" => bench_ingest(&args),
         "bench-sim" => bench_sim(&args),
+        "bench-service" => bench_service(&args),
         "all" => {
             table1();
             table2();
@@ -319,6 +321,38 @@ fn bench_sim(args: &[String]) {
         std::process::exit(1);
     }
     println!("\nwrote {out} ({} rows)", report.results.len());
+}
+
+/// `repro bench-service [--smoke] [-o FILE]` — analysis-server benchmark:
+/// cold/warm/persistent cache phases over real sockets (including a
+/// restart on the same `--data-dir`) plus an overload phase at ~2× the
+/// worker pool's capacity.
+///
+/// Not part of `repro all` for the same reason as `bench`; `--smoke`
+/// (used by CI) shrinks every phase and skips the performance gates while
+/// still validating the JSON schema and byte-identity across the restart.
+fn bench_service(args: &[String]) {
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "-o")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_service.json");
+    banner(if smoke {
+        "Service benchmark (smoke mode)"
+    } else {
+        "Service benchmark: cold vs memory-hit vs disk-hit, plus overload shedding"
+    });
+    let report = netloc_bench::servicebench::run(smoke);
+    if let Err(e) = netloc_bench::servicebench::write_report(&report, out) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "\nwrote {out} (persistent speedup {:.1}x, shed rate {:.2})",
+        report.persistent_speedup_vs_cold, report.overload.shed_rate
+    );
 }
 
 fn table1() {

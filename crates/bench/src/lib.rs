@@ -13,6 +13,7 @@ pub mod goldens;
 pub mod ingestbench;
 pub mod netbench;
 pub mod rows;
+pub mod servicebench;
 pub mod simbench;
 pub mod svg;
 

@@ -17,7 +17,16 @@
 //! lookup only counts as a hit when the stored full key matches — a
 //! colliding entry is treated as a miss and overwritten. Eviction is LRU by
 //! total cached bytes.
+//!
+//! **Durability (PR 7):** both levels can be backed by the persistent
+//! [`DiskStore`]. The in-memory layer is then read-through/write-behind:
+//! a memory miss consults the disk (digest-verified) before recomputing,
+//! and every build/insert is queued to the store's background writer. A
+//! restart with the same `--data-dir` therefore starts warm — route
+//! tables deserialize via `RouteTable::from_bytes` instead of rebuilding,
+//! and cached responses come back byte-identical (see [`tiered_get`]).
 
+use crate::store::{DiskStore, Kind};
 use netloc_core::canon::content_digest;
 use netloc_topology::routetable::DENSE_PAIR_LIMIT;
 use netloc_topology::{RouteTable, Topology};
@@ -26,14 +35,26 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-/// Level-1 cache: canonical topology spec → shared route table.
+/// Level-1 cache: canonical topology spec → shared route table,
+/// optionally persisted to a [`DiskStore`].
 #[derive(Default)]
 pub struct TopoCache {
     cells: Mutex<HashMap<String, Arc<OnceLock<Arc<RouteTable>>>>>,
+    store: Option<Arc<DiskStore>>,
     builds: AtomicU64,
+    from_disk: AtomicU64,
 }
 
 impl TopoCache {
+    /// A cache that persists built tables to `store` (when given) and
+    /// deserializes them back on the first request after a restart.
+    pub fn with_store(store: Option<Arc<DiskStore>>) -> Self {
+        TopoCache {
+            store,
+            ..TopoCache::default()
+        }
+    }
+
     /// The shared table for `canonical_spec`, building it from `topo` on
     /// first use (single-flight: concurrent callers block on one build).
     /// Returns `None` for machines too large for a dense table; those run
@@ -56,17 +77,38 @@ impl TopoCache {
             )
         };
         let table = cell.get_or_init(|| {
+            // Read-through: a verified disk entry that decodes to a table
+            // for the same machine size replaces the expensive build.
+            if let Some(store) = &self.store {
+                if let Some(bytes) = store.get(Kind::Table, canonical_spec) {
+                    if let Ok(table) = RouteTable::from_bytes(&bytes) {
+                        if table.num_nodes() == n {
+                            self.from_disk.fetch_add(1, Ordering::Relaxed);
+                            return Arc::new(table);
+                        }
+                    }
+                }
+            }
             self.builds.fetch_add(1, Ordering::Relaxed);
-            Arc::new(RouteTable::build(topo))
+            let table = RouteTable::build(topo);
+            if let Some(store) = &self.store {
+                store.put(Kind::Table, canonical_spec, &table.to_bytes());
+            }
+            Arc::new(table)
         });
         Some(Arc::clone(table))
     }
 
-    /// Route tables actually built so far (== distinct cached specs; the
-    /// integration tests assert it stays at one per spec under
-    /// concurrency).
+    /// Route tables actually built so far (disk restores are counted
+    /// separately; the integration tests assert builds stay at one per
+    /// spec under concurrency).
     pub fn tables_built(&self) -> u64 {
         self.builds.load(Ordering::Relaxed)
+    }
+
+    /// Route tables restored from the persistent store instead of built.
+    pub fn tables_from_disk(&self) -> u64 {
+        self.from_disk.load(Ordering::Relaxed)
     }
 
     /// Number of specs with a cache cell (built or in flight).
@@ -198,6 +240,49 @@ impl ResultCache {
     }
 }
 
+/// Which layer satisfied a [`tiered_get`] lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheTier {
+    /// The in-memory LRU had the bytes.
+    Memory,
+    /// The persistent store had a verified entry; memory was refilled.
+    Disk,
+}
+
+/// Read-through lookup: in-memory LRU first, then the persistent store.
+/// A disk hit refills the memory layer so the next lookup is fast. The
+/// store verifies digests internally, so whatever comes back is exactly
+/// what was written.
+pub fn tiered_get(
+    memory: &ResultCache,
+    disk: Option<&DiskStore>,
+    kind: Kind,
+    key: &str,
+) -> Option<(Arc<Vec<u8>>, CacheTier)> {
+    if let Some(bytes) = memory.get(key) {
+        return Some((bytes, CacheTier::Memory));
+    }
+    let store = disk?;
+    let bytes = Arc::new(store.get(kind, key)?);
+    memory.insert(key, Arc::clone(&bytes));
+    Some((bytes, CacheTier::Disk))
+}
+
+/// Write-behind insert: the memory layer takes the bytes immediately,
+/// and the persistent store queues them for its background writer.
+pub fn tiered_insert(
+    memory: &ResultCache,
+    disk: Option<&DiskStore>,
+    kind: Kind,
+    key: &str,
+    bytes: &Arc<Vec<u8>>,
+) {
+    memory.insert(key, Arc::clone(bytes));
+    if let Some(store) = disk {
+        store.put(kind, key, bytes);
+    }
+}
+
 /// A `statusz` snapshot of the result cache.
 #[derive(Debug, Clone, Serialize)]
 pub struct ResultCacheStats {
@@ -291,5 +376,66 @@ mod tests {
         cache.insert("k", Arc::new(b"new".to_vec()));
         assert_eq!(cache.get("k").unwrap().as_slice(), b"new");
         assert_eq!(cache.stats().entries, 1);
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "netloc-cache-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn tiered_get_reads_through_disk_and_refills_memory() {
+        let dir = tmpdir("tiered");
+        let store = DiskStore::open(&dir).unwrap();
+        let warm = ResultCache::new(1024);
+        let body = Arc::new(b"response bytes".to_vec());
+        tiered_insert(&warm, Some(&store), Kind::Result, "k", &body);
+        store.flush();
+
+        // A fresh memory layer (post-restart) misses in memory, hits disk,
+        // and refills itself.
+        let cold = ResultCache::new(1024);
+        let (bytes, tier) = tiered_get(&cold, Some(&store), Kind::Result, "k").unwrap();
+        assert_eq!(tier, CacheTier::Disk);
+        assert_eq!(bytes.as_slice(), b"response bytes");
+        let (_, tier2) = tiered_get(&cold, Some(&store), Kind::Result, "k").unwrap();
+        assert_eq!(tier2, CacheTier::Memory, "disk hit refilled memory");
+        assert!(tiered_get(&cold, Some(&store), Kind::Result, "absent").is_none());
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn topo_cache_restores_tables_from_disk_instead_of_rebuilding() {
+        let dir = tmpdir("topo");
+        let topo = Torus3D::new([3, 4, 2]);
+        let built = {
+            let store = DiskStore::open(&dir).unwrap();
+            let cache = TopoCache::with_store(Some(Arc::clone(&store)));
+            let t = cache.shared_table("torus:3,4,2", &topo).unwrap();
+            assert_eq!(cache.tables_built(), 1);
+            assert_eq!(cache.tables_from_disk(), 0);
+            store.flush();
+            t
+        };
+        // "Restart": fresh cache over the same store.
+        let store = DiskStore::open(&dir).unwrap();
+        let cache = TopoCache::with_store(Some(Arc::clone(&store)));
+        let restored = cache.shared_table("torus:3,4,2", &topo).unwrap();
+        assert_eq!(cache.tables_built(), 0, "no rebuild after restart");
+        assert_eq!(cache.tables_from_disk(), 1);
+        assert_eq!(
+            restored.to_bytes(),
+            built.to_bytes(),
+            "byte-identical table"
+        );
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

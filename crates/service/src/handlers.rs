@@ -7,10 +7,12 @@
 //! Handlers never panic on request content — specs are validated before
 //! any constructor runs — so a worker thread survives arbitrary input.
 
-use crate::cache::ResultCacheStats;
-use crate::http::{Request, Response};
+use crate::cache::{tiered_get, tiered_insert, ResultCacheStats};
+use crate::http::{json_escape, Request, Response};
+use crate::limit::RateLimiterStats;
 use crate::payload;
 use crate::server::AppState;
+use crate::store::{DiskStoreStats, Kind};
 use netloc_core::canon::{canonical_json, content_digest, digest_hex};
 use netloc_core::{ingest_trace, ingest_trace_bytes, IngestResult};
 use netloc_mpi::Trace;
@@ -29,11 +31,14 @@ pub fn handle(state: &AppState, req: &Request) -> Response {
         ("POST", "/v1/sweep") => sweep(state, &req.body),
         ("POST", "/v1/stats") => stats(state, &req.body),
         ("POST", "/v1/metrics") => metrics(state, &req.body),
+        ("POST", "/v1/traces") => register_trace(state, &req.body),
         ("POST", "/v1/shutdown") => shutdown(state),
         (_, "/v1/healthz" | "/v1/statusz") => Response::error(405, "use GET"),
-        (_, "/v1/analyze" | "/v1/sweep" | "/v1/stats" | "/v1/metrics" | "/v1/shutdown") => {
-            Response::error(405, "use POST")
-        }
+        (
+            _,
+            "/v1/analyze" | "/v1/sweep" | "/v1/stats" | "/v1/metrics" | "/v1/traces"
+            | "/v1/shutdown",
+        ) => Response::error(405, "use POST"),
         (_, path) => Response::error(404, &format!("no such endpoint '{path}'")),
     }
 }
@@ -42,8 +47,8 @@ fn healthz() -> Response {
     Response::json(b"{\n  \"status\": \"ok\"\n}\n".to_vec())
 }
 
-/// `statusz` payload: counters for the queue, the result cache, and the
-/// route-table cache.
+/// `statusz` payload: counters for the queue, both cache levels, the
+/// persistent store, the trace registry, and every admission gate.
 #[derive(Serialize)]
 struct StatuszResponse {
     workers: usize,
@@ -51,8 +56,18 @@ struct StatuszResponse {
     queue_depth: usize,
     requests_served: u64,
     requests_rejected: u64,
+    rate_limited: u64,
+    shed_timeouts: u64,
+    shed_inflight: u64,
+    handler_panics: u64,
+    inflight_bytes: usize,
+    inflight_limit: usize,
     result_cache: ResultCacheStats,
+    registry: ResultCacheStats,
+    disk: Option<DiskStoreStats>,
+    rate_limit: RateLimiterStats,
     route_tables_built: u64,
+    route_tables_from_disk: u64,
     route_table_specs: usize,
     traces_ingested: u64,
     ingest_events: u64,
@@ -65,13 +80,73 @@ fn statusz(state: &AppState) -> Response {
         queue_depth: state.queue.depth(),
         requests_served: state.served.load(Ordering::Relaxed),
         requests_rejected: state.rejected.load(Ordering::Relaxed),
+        rate_limited: state.rate_limited.load(Ordering::Relaxed),
+        shed_timeouts: state.shed_timeouts.load(Ordering::Relaxed),
+        shed_inflight: state.inflight.shed(),
+        handler_panics: state.handler_panics.load(Ordering::Relaxed),
+        inflight_bytes: state.inflight.current(),
+        inflight_limit: state.inflight.limit(),
         result_cache: state.result_cache.stats(),
+        registry: state.registry.stats(),
+        disk: state.store.as_deref().map(|s| s.stats()),
+        rate_limit: state.limiter.stats(),
         route_tables_built: state.topo_cache.tables_built(),
+        route_tables_from_disk: state.topo_cache.tables_from_disk(),
         route_table_specs: state.topo_cache.specs_cached(),
         traces_ingested: state.traces_ingested.load(Ordering::Relaxed),
         ingest_events: state.ingest_events.load(Ordering::Relaxed),
     });
     Response::json(body.into_bytes())
+}
+
+/// `POST /v1/traces`: register a raw dumpi trace body once, get back its
+/// content digest, and reference it as `"trace_digest"` in later
+/// `analyze`/`sweep`/`stats`/`metrics` calls instead of re-sending the
+/// multi-MB body. The upload is validated by a full ingest before it is
+/// accepted, cached in memory, and persisted to the store when one is
+/// configured.
+fn register_trace(state: &AppState, body: &[u8]) -> Response {
+    if body.is_empty() {
+        return Response::error(400, "empty trace upload");
+    }
+    let ingest = match netloc_core::ingest_trace_bytes(body) {
+        Ok(r) => r,
+        Err(e) => return Response::error(400, &format!("bad trace: {e}")),
+    };
+    state.traces_ingested.fetch_add(1, Ordering::Relaxed);
+    state
+        .ingest_events
+        .fetch_add(ingest.trace.events.len() as u64, Ordering::Relaxed);
+    let digest = digest_hex(content_digest(body));
+    tiered_insert(
+        &state.registry,
+        state.store.as_deref(),
+        Kind::Trace,
+        &digest,
+        &Arc::new(body.to_vec()),
+    );
+    let reply = format!(
+        "{{\n  \"digest\": {},\n  \"ranks\": {},\n  \"events\": {},\n  \"bytes\": {}\n}}\n",
+        json_escape(&digest),
+        ingest.trace.num_ranks,
+        ingest.trace.events.len(),
+        body.len()
+    );
+    Response::json(reply.into_bytes())
+}
+
+/// The structured 404 for a digest reference the registry cannot resolve
+/// (never uploaded, evicted from memory, or lost with the store).
+fn unknown_digest(digest: &str) -> Response {
+    let body = format!(
+        "{{\n  \"error\": \"no registered trace with that digest; POST /v1/traces first\",\n  \"code\": \"unknown_digest\",\n  \"digest\": {}\n}}\n",
+        json_escape(digest)
+    );
+    Response {
+        status: 404,
+        headers: Vec::new(),
+        body: body.into_bytes(),
+    }
 }
 
 fn shutdown(state: &AppState) -> Response {
@@ -120,19 +195,25 @@ fn str_field<'a>(fields: &'a [(String, Value)], name: &str) -> Result<Option<&'a
     }
 }
 
-/// Decode the trace source: inline dumpi text (`"trace"`) or a generated
-/// workload spec (`"workload": "APP:RANKS"`). Inline text goes through the
-/// chunked zero-copy parser; either source is folded into traffic matrices
-/// and stats in the same pass.
+/// Decode the trace source: inline dumpi text (`"trace"`), a generated
+/// workload spec (`"workload": "APP:RANKS"`), or a registry reference
+/// (`"trace_digest"` from an earlier `POST /v1/traces`). Inline text goes
+/// through the chunked zero-copy parser; every source is folded into
+/// traffic matrices and stats in the same pass.
 fn decode_trace(state: &AppState, fields: &[(String, Value)]) -> Result<AnalysisInput, Response> {
-    let input = match (str_field(fields, "trace")?, str_field(fields, "workload")?) {
-        (Some(_), Some(_)) => {
+    let sources = (
+        str_field(fields, "trace")?,
+        str_field(fields, "workload")?,
+        str_field(fields, "trace_digest")?,
+    );
+    let input = match sources {
+        (Some(_), Some(_), _) | (Some(_), _, Some(_)) | (_, Some(_), Some(_)) => {
             return Err(Response::error(
                 400,
-                "give either 'trace' or 'workload', not both",
+                "give exactly one of 'trace', 'workload', or 'trace_digest'",
             ))
         }
-        (Some(text), None) => {
+        (Some(text), None, None) => {
             let ingest = ingest_trace_bytes(text.as_bytes())
                 .map_err(|e| Response::error(400, &format!("bad trace: {e}")))?;
             AnalysisInput {
@@ -140,16 +221,31 @@ fn decode_trace(state: &AppState, fields: &[(String, Value)]) -> Result<Analysis
                 digest: digest_hex(content_digest(text.as_bytes())),
             }
         }
-        (None, Some(spec)) => {
+        (None, Some(spec), None) => {
             let (trace, canonical) = generate_workload(spec)?;
             AnalysisInput {
                 ingest: ingest_trace(trace),
                 digest: digest_hex(content_digest(canonical.as_bytes())),
             }
         }
-        (None, None) => return Err(Response::error(
+        (None, None, Some(digest)) => {
+            // Read-through: registry memory, then the persistent store.
+            // The store verifies the frame; re-deriving the digest from
+            // the payload guards the memory layer the same way.
+            let bytes = tiered_get(&state.registry, state.store.as_deref(), Kind::Trace, digest)
+                .map(|(bytes, _)| bytes)
+                .filter(|bytes| digest_hex(content_digest(bytes)) == digest)
+                .ok_or_else(|| unknown_digest(digest))?;
+            let ingest = ingest_trace_bytes(&bytes)
+                .map_err(|e| Response::error(400, &format!("bad registered trace: {e}")))?;
+            AnalysisInput {
+                ingest,
+                digest: digest.to_string(),
+            }
+        }
+        (None, None, None) => return Err(Response::error(
             400,
-            "missing trace source: set 'trace' (inline dumpi text) or 'workload' (\"APP:RANKS\")",
+            "missing trace source: set 'trace' (inline dumpi text), 'workload' (\"APP:RANKS\"), or 'trace_digest'",
         )),
     };
     state.traces_ingested.fetch_add(1, Ordering::Relaxed);
@@ -267,10 +363,16 @@ fn analyze(state: &AppState, body: &[u8]) -> Response {
         let topo_spec = decode_topology(fields, input.ingest.trace.num_ranks)?;
         let map_spec = decode_mapping(fields)?;
 
-        // Content-addressed lookup before any route computation: a hit
-        // returns the exact bytes served last time.
+        // Content-addressed lookup before any route computation: a hit —
+        // in memory or digest-verified on disk — returns the exact bytes
+        // served last time, across restarts.
         let key = format!("analyze|{}|{topo_spec}|{map_spec}", input.digest);
-        if let Some(bytes) = state.result_cache.get(&key) {
+        if let Some((bytes, _tier)) = tiered_get(
+            &state.result_cache,
+            state.store.as_deref(),
+            Kind::Result,
+            &key,
+        ) {
             return Ok(Response::json(bytes.as_ref().clone()));
         }
 
@@ -286,7 +388,13 @@ fn analyze(state: &AppState, body: &[u8]) -> Response {
         })?
         .map_err(|e| Response::error(400, &format!("{e}")))?;
         let bytes = Arc::new(canonical_json(&resp).into_bytes());
-        state.result_cache.insert(&key, Arc::clone(&bytes));
+        tiered_insert(
+            &state.result_cache,
+            state.store.as_deref(),
+            Kind::Result,
+            &key,
+            &bytes,
+        );
         Ok(Response::json(bytes.as_ref().clone()))
     })();
     result.unwrap_or_else(|resp| resp)

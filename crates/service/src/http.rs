@@ -5,14 +5,150 @@
 //! bodies, no chunked encoding, no keep-alive. Both directions are capped —
 //! headers at [`MAX_HEADER_BYTES`], bodies at the server's configured
 //! limit — so a hostile peer cannot make a worker buffer unbounded input.
+//!
+//! Admission hardening lives at this layer too, because this is where a
+//! worker thread first touches untrusted I/O:
+//!
+//! * [`prepare_stream`] arms `SO_RCVTIMEO`/`SO_SNDTIMEO` on every
+//!   accepted socket, so a dead peer can block a single `read`/`write`
+//!   for at most the configured timeout instead of forever;
+//! * [`RequestLimits::progress_deadline`] bounds the *total* time a
+//!   request may take to arrive. Per-call socket timeouts alone do not
+//!   stop a slow-loris client that drips one byte per interval — each
+//!   drip resets the kernel timer — so `read_request` also checks a
+//!   wall-clock deadline across the whole header + body and sheds the
+//!   connection with `408 Request Timeout`;
+//! * [`InflightBytes`] accounts every body byte the worker pool has
+//!   buffered at once. A `Content-Length` that would push the total over
+//!   the cap is answered `429` + `Retry-After` *before* any buffering,
+//!   so concurrent large uploads degrade into visible backpressure
+//!   instead of an OOM kill.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Header-section ceiling (request line + headers). Analysis requests
 /// carry everything interesting in the body; 16 KiB of headers is already
 /// generous.
 pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// Arm the per-call socket timeouts (`SO_RCVTIMEO` / `SO_SNDTIMEO`) on an
+/// accepted connection. Every accepted socket must pass through here
+/// before a worker reads from it — a socket without these timeouts parks
+/// a worker thread indefinitely the moment its peer dies silently.
+pub fn prepare_stream(stream: &TcpStream, io_timeout: Duration) {
+    let t = if io_timeout.is_zero() {
+        None
+    } else {
+        Some(io_timeout)
+    };
+    let _ = stream.set_read_timeout(t);
+    let _ = stream.set_write_timeout(t);
+}
+
+/// Shared accounting of request-body bytes currently buffered by the
+/// worker pool. See the module docs; reservations are RAII
+/// ([`InflightGuard`]) so a panicking handler still releases its bytes.
+pub struct InflightBytes {
+    limit: usize,
+    current: AtomicUsize,
+    shed: AtomicU64,
+}
+
+impl InflightBytes {
+    /// A pool admitting at most `limit` concurrently buffered body bytes.
+    pub fn new(limit: usize) -> Arc<Self> {
+        Arc::new(InflightBytes {
+            limit: limit.max(1),
+            current: AtomicUsize::new(0),
+            shed: AtomicU64::new(0),
+        })
+    }
+
+    /// Reserve `bytes` against the cap, or count a shed and refuse.
+    pub fn try_reserve(self: &Arc<Self>, bytes: usize) -> Option<InflightGuard> {
+        let mut current = self.current.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_add(bytes);
+            if next > self.limit {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            match self.current.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    return Some(InflightGuard {
+                        pool: Arc::clone(self),
+                        bytes,
+                    })
+                }
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Body bytes currently reserved.
+    pub fn current(&self) -> usize {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// The configured cap.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Requests refused because the cap was reached.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+}
+
+/// An in-flight byte reservation, released on drop.
+pub struct InflightGuard {
+    pool: Arc<InflightBytes>,
+    bytes: usize,
+}
+
+impl std::fmt::Debug for InflightGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "InflightGuard({} bytes)", self.bytes)
+    }
+}
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        self.pool.current.fetch_sub(self.bytes, Ordering::Relaxed);
+    }
+}
+
+/// The admission limits [`read_request`] enforces.
+pub struct RequestLimits<'a> {
+    /// Largest `Content-Length` accepted before answering 413.
+    pub max_body: usize,
+    /// Wall-clock budget for the whole request (headers + body) to
+    /// arrive; exceeded → 408. `Duration::ZERO` disables the check.
+    pub progress_deadline: Duration,
+    /// Optional shared in-flight body-byte pool; over the cap → 429.
+    pub inflight: Option<&'a Arc<InflightBytes>>,
+}
+
+impl RequestLimits<'_> {
+    /// Limits with only the body cap armed (unit tests, simple callers).
+    pub fn body_only(max_body: usize) -> RequestLimits<'static> {
+        RequestLimits {
+            max_body,
+            progress_deadline: Duration::ZERO,
+            inflight: None,
+        }
+    }
+}
 
 /// A parsed request: method, path, and the raw body bytes.
 #[derive(Debug)]
@@ -23,6 +159,9 @@ pub struct Request {
     pub path: String,
     /// Raw body bytes (empty when no `Content-Length` was sent).
     pub body: Vec<u8>,
+    /// The in-flight byte reservation backing `body`, released when the
+    /// request is dropped (i.e. once the response has been written).
+    pub inflight: Option<InflightGuard>,
 }
 
 /// Why a request could not be read off the socket.
@@ -32,7 +171,12 @@ pub enum ReadError {
     Bad(String),
     /// Body or header section exceeds the configured limit → HTTP 413.
     TooLarge(usize),
-    /// Socket-level failure or timeout; the connection is just dropped.
+    /// The request did not finish arriving within the progress deadline
+    /// (slow-loris or stalled peer) → HTTP 408.
+    TimedOut(Duration),
+    /// Admitting this body would exceed the in-flight byte cap → 429.
+    Overloaded,
+    /// Socket-level failure; the connection is just dropped.
     Io(std::io::Error),
 }
 
@@ -46,14 +190,64 @@ impl ReadError {
                 413,
                 &format!("request body exceeds the {limit}-byte limit"),
             )),
+            ReadError::TimedOut(budget) => Some(Response::coded_error(
+                408,
+                "slow_request",
+                &format!(
+                    "request did not arrive within the {:.1}s progress deadline",
+                    budget.as_secs_f64()
+                ),
+            )),
+            ReadError::Overloaded => Some(Response::overloaded(
+                1,
+                "inflight_bytes",
+                "too many request bytes in flight; retry shortly",
+            )),
             ReadError::Io(_) => None,
         }
     }
 }
 
-/// Read and frame one request. `max_body` caps the `Content-Length` the
-/// server is willing to buffer.
-pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, ReadError> {
+/// Classify one socket read: distinguish a timeout (the peer exists but
+/// is not sending) from a hard failure.
+fn read_some(
+    stream: &mut TcpStream,
+    chunk: &mut [u8],
+    start: Instant,
+    deadline: Duration,
+) -> Result<usize, ReadError> {
+    match stream.read(chunk) {
+        Ok(n) => {
+            if !deadline.is_zero() && start.elapsed() > deadline {
+                return Err(ReadError::TimedOut(deadline));
+            }
+            Ok(n)
+        }
+        Err(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            // SO_RCVTIMEO fired: the connection is stalled outright.
+            Err(ReadError::TimedOut(if deadline.is_zero() {
+                start.elapsed()
+            } else {
+                deadline
+            }))
+        }
+        Err(e) => Err(ReadError::Io(e)),
+    }
+}
+
+/// Read and frame one request under `limits`.
+pub fn read_request(
+    stream: &mut TcpStream,
+    limits: &RequestLimits<'_>,
+) -> Result<Request, ReadError> {
+    let start = Instant::now();
+    let deadline = limits.progress_deadline;
+    let max_body = limits.max_body;
     // Accumulate until the blank line that ends the header section.
     let mut buf = Vec::with_capacity(1024);
     let mut chunk = [0u8; 1024];
@@ -64,7 +258,7 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         if buf.len() > MAX_HEADER_BYTES {
             return Err(ReadError::TooLarge(MAX_HEADER_BYTES));
         }
-        let n = stream.read(&mut chunk).map_err(ReadError::Io)?;
+        let n = read_some(stream, &mut chunk, start, deadline)?;
         if n == 0 {
             return Err(ReadError::Bad("connection closed mid-headers".into()));
         }
@@ -96,13 +290,22 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         return Err(ReadError::TooLarge(max_body));
     }
 
+    // Reserve the declared body size against the shared in-flight pool
+    // *before* buffering a single body byte beyond what rode in with the
+    // headers — the whole point is to refuse work we cannot afford to hold.
+    let inflight = match (limits.inflight, content_length) {
+        (Some(pool), n) if n > 0 => Some(pool.try_reserve(n).ok_or(ReadError::Overloaded)?),
+        _ => None,
+    };
+
     // Body: whatever was already buffered past the headers, then the rest.
     let mut body = buf[header_end + 4..].to_vec();
     if body.len() > content_length {
         return Err(ReadError::Bad("body longer than Content-Length".into()));
     }
+    body.reserve(content_length - body.len());
     while body.len() < content_length {
-        let n = stream.read(&mut chunk).map_err(ReadError::Io)?;
+        let n = read_some(stream, &mut chunk, start, deadline)?;
         if n == 0 {
             return Err(ReadError::Bad("connection closed mid-body".into()));
         }
@@ -111,7 +314,12 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
             return Err(ReadError::Bad("body longer than Content-Length".into()));
         }
     }
-    Ok(Request { method, path, body })
+    Ok(Request {
+        method,
+        path,
+        body,
+        inflight,
+    })
 }
 
 fn find_header_end(buf: &[u8]) -> Option<usize> {
@@ -150,10 +358,37 @@ impl Response {
         }
     }
 
+    /// An error response whose body carries a machine-readable `code`
+    /// alongside the human-readable message, so clients can branch on
+    /// the failure class without parsing prose.
+    pub fn coded_error(status: u16, code: &str, message: &str) -> Self {
+        let body = format!(
+            "{{\n  \"error\": {},\n  \"code\": {}\n}}\n",
+            json_escape(message),
+            json_escape(code)
+        );
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
     /// The `429 Too Many Requests` backpressure response, with the
     /// `Retry-After` hint the acceptor promises when the queue is full.
     pub fn busy(retry_after_s: u32) -> Self {
-        let mut resp = Response::error(429, "analysis queue is full; retry shortly");
+        Response::overloaded(
+            retry_after_s,
+            "queue_full",
+            "analysis queue is full; retry shortly",
+        )
+    }
+
+    /// A structured `429` with a `Retry-After` header and a `code`
+    /// identifying which admission gate fired (`queue_full`,
+    /// `rate_limited`, `inflight_bytes`).
+    pub fn overloaded(retry_after_s: u32, code: &str, message: &str) -> Self {
+        let mut resp = Response::coded_error(429, code, message);
         resp.headers
             .push(("Retry-After".into(), retry_after_s.to_string()));
         resp
@@ -209,6 +444,7 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
@@ -249,7 +485,7 @@ mod tests {
         client.write_all(raw).unwrap();
         client.shutdown(std::net::Shutdown::Write).unwrap();
         let (mut server_side, _) = listener.accept().unwrap();
-        read_request(&mut server_side, max_body)
+        read_request(&mut server_side, &RequestLimits::body_only(max_body))
     }
 
     #[test]
@@ -307,5 +543,104 @@ mod tests {
             .headers
             .iter()
             .any(|(n, v)| n == "Retry-After" && v == "1"));
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(body.contains("\"code\": \"queue_full\""));
+    }
+
+    #[test]
+    fn coded_error_is_machine_readable() {
+        let r = Response::coded_error(404, "unknown_digest", "no trace with that digest");
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(body.contains("\"error\": \"no trace with that digest\""));
+        assert!(body.contains("\"code\": \"unknown_digest\""));
+    }
+
+    #[test]
+    fn inflight_pool_reserves_and_releases() {
+        let pool = InflightBytes::new(100);
+        let a = pool.try_reserve(60).expect("fits");
+        assert_eq!(pool.current(), 60);
+        assert!(pool.try_reserve(50).is_none(), "would exceed the cap");
+        assert_eq!(pool.shed(), 1);
+        drop(a);
+        assert_eq!(pool.current(), 0);
+        let _b = pool.try_reserve(100).expect("full cap fits when idle");
+    }
+
+    #[test]
+    fn inflight_overflow_maps_to_structured_429() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client
+            .write_all(b"POST /x HTTP/1.1\r\nContent-Length: 50\r\n\r\n")
+            .unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        let pool = InflightBytes::new(10);
+        let limits = RequestLimits {
+            max_body: 1024,
+            progress_deadline: Duration::ZERO,
+            inflight: Some(&pool),
+        };
+        let err = read_request(&mut server_side, &limits).unwrap_err();
+        assert!(matches!(err, ReadError::Overloaded));
+        let resp = err.to_response().unwrap();
+        assert_eq!(resp.status, 429);
+        assert!(String::from_utf8(resp.body)
+            .unwrap()
+            .contains("\"code\": \"inflight_bytes\""));
+    }
+
+    #[test]
+    fn stalled_peer_times_out_with_408() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        // Half a request line, then silence: a half-open/slow-loris peer.
+        client.write_all(b"POST /x HT").unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        prepare_stream(&server_side, Duration::from_millis(80));
+        let limits = RequestLimits {
+            max_body: 1024,
+            progress_deadline: Duration::from_millis(200),
+            inflight: None,
+        };
+        let start = Instant::now();
+        let err = read_request(&mut server_side, &limits).unwrap_err();
+        assert!(matches!(err, ReadError::TimedOut(_)), "got {err:?}");
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "timeout must fire promptly, not hang"
+        );
+        assert_eq!(err.to_response().unwrap().status, 408);
+        drop(client);
+    }
+
+    #[test]
+    fn dripping_peer_is_shed_by_the_progress_deadline() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        prepare_stream(&server_side, Duration::from_millis(100));
+        // Drip one byte every 30 ms — each drip resets SO_RCVTIMEO, so
+        // only the wall-clock deadline can stop this client.
+        let writer = std::thread::spawn(move || {
+            let mut client = client;
+            for b in b"POST /x HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd".iter() {
+                if client.write_all(&[*b]).is_err() {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(30));
+            }
+        });
+        let limits = RequestLimits {
+            max_body: 1024,
+            progress_deadline: Duration::from_millis(150),
+            inflight: None,
+        };
+        let err = read_request(&mut server_side, &limits).unwrap_err();
+        assert!(matches!(err, ReadError::TimedOut(_)), "got {err:?}");
+        writer.join().unwrap();
     }
 }

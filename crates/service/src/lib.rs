@@ -21,6 +21,21 @@
 //! with the codec's own position info, and shutdown (API, signal, or
 //! programmatic) drains every accepted request before the threads join.
 //!
+//! Durability and admission control layer on top of that:
+//!
+//! * [`store::DiskStore`] — a persistent content-addressed store under
+//!   `--data-dir`. Results, serialized route tables, and registered
+//!   trace uploads survive restarts as digest-named, digest-verified
+//!   files; anything corrupt on disk reads as a miss and is quarantined,
+//!   never trusted and never a panic. The in-memory caches become
+//!   read-through/write-behind layers over it, and `POST /v1/traces`
+//!   lets clients upload a trace once and reference it by digest.
+//! * [`limit::RateLimiter`] — per-client token buckets in front of the
+//!   queue, answering `429` + `Retry-After` on the acceptor thread.
+//! * [`http::InflightBytes`] + progress deadlines — concurrent large
+//!   uploads are bounded in total bytes, and slow-loris clients are shed
+//!   with `408` instead of pinning workers.
+//!
 //! ```no_run
 //! use netloc_service::{Server, ServerConfig};
 //!
@@ -42,8 +57,11 @@
 pub mod cache;
 pub mod handlers;
 pub mod http;
+pub mod limit;
 pub mod payload;
 pub mod queue;
 pub mod server;
+pub mod store;
 
 pub use server::{signal, AppState, RunningServer, Server, ServerConfig};
+pub use store::DiskStore;

@@ -1,0 +1,261 @@
+//! Per-client token-bucket rate limiting — the admission layer in front
+//! of the job queue.
+//!
+//! The PR 4 backpressure (429 when the bounded queue is full) protects
+//! the server as a whole but lets one aggressive client starve everyone
+//! else: it can keep the queue full by itself, and every other client
+//! sees the same 429s. The token bucket makes overload attributable —
+//! each client IP gets `burst` tokens refilled at `rate_per_s`, a
+//! connection costs one token, and an empty bucket is answered `429`
+//! with a `Retry-After` computed from that bucket's actual refill time,
+//! on the acceptor thread, before the connection can occupy a queue
+//! slot or a worker.
+//!
+//! Buckets are keyed by peer IP. The map is bounded: past
+//! [`MAX_TRACKED_CLIENTS`], a sweep drops buckets that have refilled to
+//! full (an idle client's bucket carries no information — recreating it
+//! full is identical to having kept it).
+
+use serde::Serialize;
+use std::collections::HashMap;
+use std::net::IpAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Bucket-map size that triggers a sweep of full (idle) buckets.
+pub const MAX_TRACKED_CLIENTS: usize = 4096;
+
+struct Bucket {
+    tokens: f64,
+    refilled_at: Instant,
+}
+
+/// A shared token-bucket rate limiter keyed by client IP.
+pub struct RateLimiter {
+    /// Tokens refilled per second per client; `0.0` disables the limiter.
+    rate_per_s: f64,
+    /// Bucket capacity (maximum burst a client can spend at once).
+    burst: f64,
+    clients: Mutex<HashMap<IpAddr, Bucket>>,
+    admitted: AtomicU64,
+    limited: AtomicU64,
+}
+
+impl RateLimiter {
+    /// A limiter refilling `rate_per_s` tokens per client per second up
+    /// to `burst`. `rate_per_s == 0` means unlimited (every check
+    /// admits).
+    pub fn new(rate_per_s: f64, burst: f64) -> Self {
+        RateLimiter {
+            rate_per_s: rate_per_s.max(0.0),
+            burst: burst.max(1.0),
+            clients: Mutex::new(HashMap::new()),
+            admitted: AtomicU64::new(0),
+            limited: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the limiter does anything at all.
+    pub fn enabled(&self) -> bool {
+        self.rate_per_s > 0.0
+    }
+
+    /// Spend one token from `client`'s bucket at time `now`. `Ok(())`
+    /// admits the connection; `Err(retry_after_s)` rejects it with the
+    /// whole seconds until that bucket has a token again (minimum 1, so
+    /// the header is always a useful hint).
+    pub fn check_at(&self, client: IpAddr, now: Instant) -> Result<(), u32> {
+        if !self.enabled() {
+            self.admitted.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        let mut clients = self.clients.lock().expect("rate limiter lock");
+        if clients.len() >= MAX_TRACKED_CLIENTS && !clients.contains_key(&client) {
+            self.sweep(&mut clients, now);
+        }
+        let bucket = clients.entry(client).or_insert(Bucket {
+            tokens: self.burst,
+            refilled_at: now,
+        });
+        let elapsed = now
+            .saturating_duration_since(bucket.refilled_at)
+            .as_secs_f64();
+        bucket.tokens = (bucket.tokens + elapsed * self.rate_per_s).min(self.burst);
+        bucket.refilled_at = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            drop(clients);
+            self.admitted.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        } else {
+            let wait_s = (1.0 - bucket.tokens) / self.rate_per_s;
+            drop(clients);
+            self.limited.fetch_add(1, Ordering::Relaxed);
+            Err((wait_s.ceil() as u32).max(1))
+        }
+    }
+
+    /// [`check_at`](RateLimiter::check_at) against the current time.
+    pub fn check(&self, client: IpAddr) -> Result<(), u32> {
+        self.check_at(client, Instant::now())
+    }
+
+    /// Drop buckets that have refilled to full — an idle client loses
+    /// nothing by being forgotten. Called with the lock held.
+    fn sweep(&self, clients: &mut HashMap<IpAddr, Bucket>, now: Instant) {
+        let rate = self.rate_per_s;
+        let burst = self.burst;
+        clients.retain(|_, b| {
+            let elapsed = now.saturating_duration_since(b.refilled_at).as_secs_f64();
+            b.tokens + elapsed * rate < burst
+        });
+    }
+
+    /// A `statusz` snapshot: configuration, counters, and the tokens
+    /// currently available per tracked client (capped at
+    /// [`SNAPSHOT_CLIENT_CAP`](RateLimiterStats::SNAPSHOT_CLIENT_CAP)
+    /// entries, most-starved first, so the payload stays bounded).
+    pub fn stats(&self) -> RateLimiterStats {
+        let now = Instant::now();
+        let clients = self.clients.lock().expect("rate limiter lock");
+        let mut per_client: Vec<ClientTokens> = clients
+            .iter()
+            .map(|(ip, b)| {
+                let elapsed = now.saturating_duration_since(b.refilled_at).as_secs_f64();
+                ClientTokens {
+                    client: ip.to_string(),
+                    tokens: (b.tokens + elapsed * self.rate_per_s).min(self.burst),
+                }
+            })
+            .collect();
+        let tracked = per_client.len();
+        drop(clients);
+        per_client.sort_by(|a, b| a.tokens.total_cmp(&b.tokens).then(a.client.cmp(&b.client)));
+        per_client.truncate(RateLimiterStats::SNAPSHOT_CLIENT_CAP);
+        RateLimiterStats {
+            enabled: self.enabled(),
+            rate_per_s: self.rate_per_s,
+            burst: self.burst,
+            clients_tracked: tracked,
+            admitted: self.admitted.load(Ordering::Relaxed),
+            limited: self.limited.load(Ordering::Relaxed),
+            per_client,
+        }
+    }
+}
+
+/// One client's available tokens in the `statusz` snapshot.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClientTokens {
+    /// Client IP as text.
+    pub client: String,
+    /// Tokens available right now (fractional; 1.0 buys one connection).
+    pub tokens: f64,
+}
+
+/// A `statusz` snapshot of the rate limiter.
+#[derive(Debug, Clone, Serialize)]
+pub struct RateLimiterStats {
+    /// Whether a nonzero rate is configured.
+    pub enabled: bool,
+    /// Tokens refilled per client per second.
+    pub rate_per_s: f64,
+    /// Bucket capacity.
+    pub burst: f64,
+    /// Client buckets currently tracked.
+    pub clients_tracked: usize,
+    /// Connections admitted (token available, or limiter disabled).
+    pub admitted: u64,
+    /// Connections rejected with 429 by the limiter.
+    pub limited: u64,
+    /// Available tokens per client, most-starved first.
+    pub per_client: Vec<ClientTokens>,
+}
+
+impl RateLimiterStats {
+    /// Most clients ever listed in `per_client`.
+    pub const SNAPSHOT_CLIENT_CAP: usize = 32;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+    use std::time::Duration;
+
+    fn ip(last: u8) -> IpAddr {
+        IpAddr::V4(Ipv4Addr::new(10, 0, 0, last))
+    }
+
+    #[test]
+    fn burst_spends_down_then_rejects_with_refill_hint() {
+        let rl = RateLimiter::new(2.0, 3.0);
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            assert!(rl.check_at(ip(1), t0).is_ok());
+        }
+        let retry = rl.check_at(ip(1), t0).unwrap_err();
+        assert_eq!(retry, 1, "2 tokens/s refill one token in 0.5s → ceil 1");
+        // After one second the bucket holds 2 tokens again.
+        let t1 = t0 + Duration::from_secs(1);
+        assert!(rl.check_at(ip(1), t1).is_ok());
+        assert!(rl.check_at(ip(1), t1).is_ok());
+        assert!(rl.check_at(ip(1), t1).is_err());
+        let s = rl.stats();
+        assert_eq!(s.admitted, 5);
+        assert_eq!(s.limited, 2);
+    }
+
+    #[test]
+    fn clients_have_independent_buckets() {
+        let rl = RateLimiter::new(1.0, 1.0);
+        let t0 = Instant::now();
+        assert!(rl.check_at(ip(1), t0).is_ok());
+        assert!(rl.check_at(ip(1), t0).is_err(), "first client exhausted");
+        assert!(rl.check_at(ip(2), t0).is_ok(), "second client unaffected");
+        assert_eq!(rl.stats().clients_tracked, 2);
+    }
+
+    #[test]
+    fn zero_rate_disables_the_limiter() {
+        let rl = RateLimiter::new(0.0, 1.0);
+        let t0 = Instant::now();
+        for _ in 0..100 {
+            assert!(rl.check_at(ip(1), t0).is_ok());
+        }
+        assert!(!rl.stats().enabled);
+        assert_eq!(rl.stats().limited, 0);
+    }
+
+    #[test]
+    fn slow_refill_reports_longer_retry_after() {
+        let rl = RateLimiter::new(0.1, 1.0); // one token per 10 s
+        let t0 = Instant::now();
+        assert!(rl.check_at(ip(1), t0).is_ok());
+        let retry = rl.check_at(ip(1), t0).unwrap_err();
+        assert_eq!(retry, 10);
+    }
+
+    #[test]
+    fn sweep_drops_idle_full_buckets() {
+        let rl = RateLimiter::new(1000.0, 1.0);
+        let t0 = Instant::now();
+        let mut clients = rl.clients.lock().unwrap();
+        for i in 0..MAX_TRACKED_CLIENTS {
+            clients.insert(
+                IpAddr::V4(Ipv4Addr::from(u32::try_from(i).unwrap())),
+                Bucket {
+                    tokens: 0.0,
+                    refilled_at: t0,
+                },
+            );
+        }
+        drop(clients);
+        // Everything refills to full within a second at this rate, so the
+        // sweep triggered by a new client empties the map.
+        let t1 = t0 + Duration::from_secs(2);
+        assert!(rl.check_at(ip(9), t1).is_ok());
+        assert!(rl.stats().clients_tracked <= 2);
+    }
+}

@@ -16,9 +16,14 @@
 
 use crate::cache::{ResultCache, TopoCache};
 use crate::handlers;
-use crate::http::{read_request, Response};
+use crate::http::{
+    prepare_stream, read_request, InflightBytes, ReadError, RequestLimits, Response,
+};
+use crate::limit::RateLimiter;
 use crate::queue::JobQueue;
+use crate::store::DiskStore;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -36,11 +41,31 @@ pub struct ServerConfig {
     pub max_body_bytes: usize,
     /// Result-cache capacity in bytes.
     pub result_cache_bytes: usize,
-    /// Socket read/write timeout per request.
+    /// In-memory trace-registry capacity in bytes.
+    pub registry_cache_bytes: usize,
+    /// Persistent store directory; `None` runs memory-only (PR 4
+    /// behavior).
+    pub data_dir: Option<PathBuf>,
+    /// Per-client token-bucket refill rate (connections per second);
+    /// `0.0` disables rate limiting.
+    pub rate_limit_per_s: f64,
+    /// Per-client token-bucket capacity (burst size).
+    pub rate_limit_burst: f64,
+    /// Total request-body bytes the worker pool may buffer at once;
+    /// beyond it new bodies are shed with 429.
+    pub max_inflight_bytes: usize,
+    /// Socket read/write timeout per syscall (`SO_RCVTIMEO`/`SO_SNDTIMEO`).
     pub io_timeout: Duration,
+    /// Wall-clock budget for a whole request to arrive; slow-loris
+    /// clients that exceed it are shed with 408. Zero disables.
+    pub progress_deadline: Duration,
     /// Artificial per-request delay before handling — a test hook for
     /// deterministically saturating the queue. Zero in production.
     pub handler_delay: Duration,
+    /// Fault-injection hook: panic inside every Nth handler call (0
+    /// disables). Drives the worker-resilience tests; never set in
+    /// production.
+    pub fault_panic_every: u64,
 }
 
 impl Default for ServerConfig {
@@ -51,8 +76,15 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             max_body_bytes: 8 * 1024 * 1024,
             result_cache_bytes: 64 * 1024 * 1024,
+            registry_cache_bytes: 64 * 1024 * 1024,
+            data_dir: None,
+            rate_limit_per_s: 0.0,
+            rate_limit_burst: 32.0,
+            max_inflight_bytes: 256 * 1024 * 1024,
             io_timeout: Duration::from_secs(10),
+            progress_deadline: Duration::from_secs(30),
             handler_delay: Duration::ZERO,
+            fault_panic_every: 0,
         }
     }
 }
@@ -65,12 +97,26 @@ pub struct AppState {
     pub topo_cache: TopoCache,
     /// Level-2 cache: canonical request key → response bytes.
     pub result_cache: ResultCache,
+    /// In-memory layer of the trace registry (digest → uploaded bytes).
+    pub registry: ResultCache,
+    /// The persistent store under `--data-dir`, when configured.
+    pub store: Option<Arc<DiskStore>>,
+    /// Per-client token buckets in front of the queue.
+    pub limiter: RateLimiter,
+    /// Request-body bytes currently buffered across all workers.
+    pub inflight: Arc<InflightBytes>,
     /// The connection queue (workers pop, acceptor pushes).
     pub queue: Arc<JobQueue<TcpStream>>,
     /// Requests answered by a handler (any status).
     pub served: AtomicU64,
     /// Connections bounced with 429 by the acceptor.
     pub rejected: AtomicU64,
+    /// Connections bounced with 429 by the per-client rate limiter.
+    pub rate_limited: AtomicU64,
+    /// Connections shed with 408 (stalled or slow-loris peers).
+    pub shed_timeouts: AtomicU64,
+    /// Handler panics caught and answered with 500 (the worker survives).
+    pub handler_panics: AtomicU64,
     /// Trace sources decoded through the fused ingest pipeline.
     pub traces_ingested: AtomicU64,
     /// Total trace events folded by the ingest pipeline.
@@ -91,12 +137,23 @@ impl Server {
         let addr = listener.local_addr()?;
         let queue = Arc::new(JobQueue::new(config.queue_capacity));
         let stop = Arc::new(AtomicBool::new(false));
+        let store = match &config.data_dir {
+            Some(dir) => Some(DiskStore::open(dir)?),
+            None => None,
+        };
         let state = Arc::new(AppState {
-            topo_cache: TopoCache::default(),
+            topo_cache: TopoCache::with_store(store.clone()),
             result_cache: ResultCache::new(config.result_cache_bytes),
+            registry: ResultCache::new(config.registry_cache_bytes),
+            store,
+            limiter: RateLimiter::new(config.rate_limit_per_s, config.rate_limit_burst),
+            inflight: InflightBytes::new(config.max_inflight_bytes),
             queue: Arc::clone(&queue),
             served: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            rate_limited: AtomicU64::new(0),
+            shed_timeouts: AtomicU64::new(0),
+            handler_panics: AtomicU64::new(0),
             traces_ingested: AtomicU64::new(0),
             ingest_events: AtomicU64::new(0),
             shutdown_requested: AtomicBool::new(false),
@@ -136,8 +193,25 @@ fn acceptor_loop(listener: TcpListener, state: Arc<AppState>, stop: Arc<AtomicBo
             break;
         }
         let Ok(stream) = conn else { continue };
-        let _ = stream.set_read_timeout(Some(state.config.io_timeout));
-        let _ = stream.set_write_timeout(Some(state.config.io_timeout));
+        prepare_stream(&stream, state.config.io_timeout);
+        // Per-client admission first: a rate-limited client is answered
+        // on the acceptor thread with its bucket's actual refill time,
+        // before it can take a queue slot away from anyone else.
+        if let Ok(peer) = stream.peer_addr() {
+            if let Err(retry_after_s) = state.limiter.check(peer.ip()) {
+                state.rate_limited.fetch_add(1, Ordering::Relaxed);
+                let mut bounced = stream;
+                let resp = Response::overloaded(
+                    retry_after_s,
+                    "rate_limited",
+                    "per-client rate limit exceeded; slow down",
+                );
+                if resp.write_to(&mut bounced).is_ok() {
+                    crate::http::finish(&mut bounced);
+                }
+                continue;
+            }
+        }
         if let Err(mut bounced) = state.queue.push(stream) {
             // Queue full (or closing): answer the backpressure signal
             // right here, without tying up a worker.
@@ -154,22 +228,38 @@ fn worker_loop(state: Arc<AppState>) {
         if state.config.handler_delay > Duration::ZERO {
             std::thread::sleep(state.config.handler_delay);
         }
-        let response = match read_request(&mut stream, state.config.max_body_bytes) {
+        let limits = RequestLimits {
+            max_body: state.config.max_body_bytes,
+            progress_deadline: state.config.progress_deadline,
+            inflight: Some(&state.inflight),
+        };
+        let response = match read_request(&mut stream, &limits) {
             Ok(request) => {
                 // A handler panic must not take the worker down with it:
-                // answer 500 and keep serving.
+                // answer 500 and keep serving. The fault hook injects a
+                // panic on every Nth request so the tests can prove it.
                 let handled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let n = state.config.fault_panic_every;
+                    if n > 0 && state.served.load(Ordering::Relaxed) % n == n - 1 {
+                        panic!("injected fault: fault_panic_every={n}");
+                    }
                     handlers::handle(&state, &request)
                 }));
                 state.served.fetch_add(1, Ordering::Relaxed);
                 handled.unwrap_or_else(|_| {
+                    state.handler_panics.fetch_add(1, Ordering::Relaxed);
                     Response::error(500, "internal error while handling the request")
                 })
             }
-            Err(read_err) => match read_err.to_response() {
-                Some(resp) => resp,
-                None => continue, // peer gone or timed out; nothing to say
-            },
+            Err(read_err) => {
+                if matches!(read_err, ReadError::TimedOut(_)) {
+                    state.shed_timeouts.fetch_add(1, Ordering::Relaxed);
+                }
+                match read_err.to_response() {
+                    Some(resp) => resp,
+                    None => continue, // peer gone; nothing to say
+                }
+            }
         };
         if response.write_to(&mut stream).is_ok() {
             crate::http::finish(&mut stream);
@@ -215,6 +305,11 @@ impl RunningServer {
         self.state.queue.close();
         for worker in self.workers {
             let _ = worker.join();
+        }
+        // Everything the workers queued for persistence reaches the disk
+        // before shutdown returns, so a restart starts warm.
+        if let Some(store) = &self.state.store {
+            store.flush();
         }
     }
 }

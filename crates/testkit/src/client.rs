@@ -5,6 +5,13 @@
 //! integration tests and smoke checks without pulling in an HTTP stack.
 //! The response keeps raw header lines and body bytes so tests can assert
 //! on exact wire content (`Retry-After`, byte-identical JSON bodies).
+//!
+//! [`RetryPolicy`] adds deterministic resilience on top: `429`/`408`
+//! responses (and transient connection failures, e.g. a server mid-
+//! restart) are retried with capped exponential backoff whose jitter
+//! comes from a seed, honoring the server's `Retry-After` hint when one
+//! is present. Tests get the retries real clients would perform, with
+//! reproducible timing decisions.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -45,6 +52,128 @@ pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<HttpResponse> {
 /// `POST path` with a JSON body against the server at `addr`.
 pub fn post(addr: SocketAddr, path: &str, body: &str) -> std::io::Result<HttpResponse> {
     request(addr, "POST", path, body.as_bytes())
+}
+
+/// How a client retries shed requests: attempt budget, capped
+/// exponential backoff, and a seed that makes the jitter reproducible.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (minimum 1).
+    pub attempts: u32,
+    /// Backoff before the second attempt; doubles each retry.
+    pub base_delay: Duration,
+    /// Ceiling on any single wait, including server `Retry-After` hints.
+    pub max_delay: Duration,
+    /// Seed for the jitter stream; same seed → same waits.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// A test-friendly default: 6 attempts, 25 ms base, 500 ms cap.
+    pub fn deterministic(seed: u64) -> Self {
+        RetryPolicy {
+            attempts: 6,
+            base_delay: Duration::from_millis(25),
+            max_delay: Duration::from_millis(500),
+            seed,
+        }
+    }
+
+    /// The wait before retry number `retry` (0-based), honoring the
+    /// server's `Retry-After` when present: the hint wins but is still
+    /// capped at `max_delay`; otherwise exponential backoff with
+    /// seeded jitter in the upper half of the window.
+    pub fn delay(&self, retry: u32, retry_after: Option<Duration>) -> Duration {
+        if let Some(hint) = retry_after {
+            return hint.min(self.max_delay);
+        }
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << retry.min(16))
+            .min(self.max_delay);
+        // Jitter in [0.5, 1.0)× the scheduled wait, derived from
+        // (seed, retry) so a rerun makes identical timing decisions.
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ self.seed;
+        h = (h ^ u64::from(retry)).wrapping_mul(0x1000_0000_01b3);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        let frac = 0.5 + (h % 1024) as f64 / 2048.0;
+        exp.mul_f64(frac)
+    }
+}
+
+/// Whether a response should be retried under the policy: the shedding
+/// statuses the admission pipeline emits.
+fn is_retryable_status(status: u16) -> bool {
+    matches!(status, 408 | 429)
+}
+
+/// Whether a transport error is worth retrying (peer resetting, server
+/// restarting) as opposed to a programming error.
+fn is_retryable_io(err: &std::io::Error) -> bool {
+    matches!(
+        err.kind(),
+        std::io::ErrorKind::ConnectionRefused
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+            | std::io::ErrorKind::UnexpectedEof
+    )
+}
+
+/// Parse a `Retry-After: N` (seconds) header if the response carries one.
+fn retry_after_hint(resp: &HttpResponse) -> Option<Duration> {
+    resp.header("retry-after")
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(Duration::from_secs)
+}
+
+/// `POST` with retries under `policy`. Returns the final response and
+/// the number of attempts consumed; the final response may still be a
+/// `429`/`408` if the budget ran out — callers assert on it either way.
+pub fn post_with_retry(
+    addr: SocketAddr,
+    path: &str,
+    body: &str,
+    policy: &RetryPolicy,
+) -> std::io::Result<(HttpResponse, u32)> {
+    request_with_retry(addr, "POST", path, body.as_bytes(), policy)
+}
+
+/// `GET` with retries under `policy` (see [`post_with_retry`]).
+pub fn get_with_retry(
+    addr: SocketAddr,
+    path: &str,
+    policy: &RetryPolicy,
+) -> std::io::Result<(HttpResponse, u32)> {
+    request_with_retry(addr, "GET", path, b"", policy)
+}
+
+fn request_with_retry(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    policy: &RetryPolicy,
+) -> std::io::Result<(HttpResponse, u32)> {
+    let attempts = policy.attempts.max(1);
+    let mut retry = 0u32;
+    loop {
+        let outcome = request(addr, method, path, body);
+        let last = retry + 1 >= attempts;
+        let wait = match &outcome {
+            Ok(resp) if is_retryable_status(resp.status) && !last => {
+                policy.delay(retry, retry_after_hint(resp))
+            }
+            Err(err) if is_retryable_io(err) && !last => policy.delay(retry, None),
+            _ => return outcome.map(|resp| (resp, retry + 1)),
+        };
+        std::thread::sleep(wait);
+        retry += 1;
+    }
 }
 
 fn request(
@@ -114,5 +243,32 @@ mod tests {
     fn garbage_is_an_error_not_a_panic() {
         assert!(parse_response(b"not http at all").is_err());
         assert!(parse_response(b"HTTP/1.1 abc\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn retry_delays_are_deterministic_capped_and_growing() {
+        let policy = RetryPolicy::deterministic(42);
+        let again = RetryPolicy::deterministic(42);
+        for retry in 0..6 {
+            assert_eq!(
+                policy.delay(retry, None),
+                again.delay(retry, None),
+                "same seed must give identical waits"
+            );
+            assert!(policy.delay(retry, None) <= policy.max_delay);
+        }
+        let other = RetryPolicy::deterministic(43);
+        assert_ne!(policy.delay(0, None), other.delay(0, None));
+        // Backoff grows (up to the cap) while jitter stays in [0.5, 1.0)×.
+        assert!(policy.delay(3, None) > policy.delay(0, None));
+    }
+
+    #[test]
+    fn retry_after_hint_wins_but_is_capped() {
+        let policy = RetryPolicy::deterministic(7);
+        let hinted = policy.delay(0, Some(Duration::from_millis(90)));
+        assert_eq!(hinted, Duration::from_millis(90));
+        let capped = policy.delay(0, Some(Duration::from_secs(3600)));
+        assert_eq!(capped, policy.max_delay);
     }
 }

@@ -1,0 +1,155 @@
+//! Fault-injection helpers for the durability and admission tests.
+//!
+//! Three fault families, all deterministic under a seeded RNG:
+//!
+//! * **On-disk corruption** — [`corrupt_file`] mutates a persistent-store
+//!   entry the way real storage fails: truncation, a single flipped bit,
+//!   a clobbered digest footer, or wholesale garbage. The store must
+//!   treat every one of them as a quarantined miss, never a panic
+//!   (`tests/service_faults.rs` drives 64 seeded cases).
+//! * **Misbehaving clients** — [`half_open_request`] parks a connection
+//!   after a partial request line (the classic dead-peer that used to pin
+//!   a worker forever); [`drop_mid_request`] promises a body and hangs up
+//!   halfway through it.
+//! * **Process faults** — worker panics and SIGKILL/restart cycles are
+//!   injected by the server's own `fault_panic_every` hook and by the
+//!   integration tests spawning the real binary; nothing extra is needed
+//!   here.
+
+use rand::Rng;
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::path::Path;
+
+/// The on-disk corruption modes [`corrupt_file`] can apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Corruption {
+    /// Cut the file short at a random offset (including to zero bytes).
+    Truncate,
+    /// Flip one random bit anywhere in the file.
+    BitFlip,
+    /// Overwrite the digest footer (last 16 bytes) with random bytes.
+    WrongDigest,
+    /// Replace the whole file with random garbage.
+    Garbage,
+}
+
+impl Corruption {
+    /// Every mode, for exhaustive sweeps.
+    pub const ALL: [Corruption; 4] = [
+        Corruption::Truncate,
+        Corruption::BitFlip,
+        Corruption::WrongDigest,
+        Corruption::Garbage,
+    ];
+}
+
+/// Apply `mode` to the file at `path`, with all randomness drawn from
+/// `rng` so a failing case replays exactly. Returns the mutated length.
+pub fn corrupt_file(path: &Path, mode: Corruption, rng: &mut impl Rng) -> std::io::Result<usize> {
+    let mut bytes = std::fs::read(path)?;
+    match mode {
+        Corruption::Truncate => {
+            let keep = rng.gen_range(0..bytes.len().max(1));
+            bytes.truncate(keep);
+        }
+        Corruption::BitFlip => {
+            if !bytes.is_empty() {
+                let at = rng.gen_range(0..bytes.len());
+                bytes[at] ^= 1u8 << rng.gen_range(0..8u32);
+            }
+        }
+        Corruption::WrongDigest => {
+            let len = bytes.len();
+            let start = len.saturating_sub(16);
+            for b in &mut bytes[start..] {
+                *b = rng.gen();
+            }
+        }
+        Corruption::Garbage => {
+            let len = rng.gen_range(1..=bytes.len().max(64));
+            bytes = (0..len).map(|_| rng.gen()).collect();
+        }
+    }
+    std::fs::write(path, &bytes)?;
+    Ok(bytes.len())
+}
+
+/// Pick a corruption mode from `rng` and apply it (the 64-case property
+/// test's per-case step). Returns the mode chosen.
+pub fn corrupt_file_randomly(path: &Path, rng: &mut impl Rng) -> std::io::Result<Corruption> {
+    let mode = Corruption::ALL[rng.gen_range(0..Corruption::ALL.len())];
+    corrupt_file(path, mode, rng)?;
+    Ok(mode)
+}
+
+/// A half-open client: connect, send a partial request line, and go
+/// silent. The returned stream must be kept alive by the caller for the
+/// duration of the assertion — dropping it closes the socket and lets
+/// the server off the hook. A hardened server sheds it with 408 instead
+/// of parking a worker forever.
+pub fn half_open_request(addr: SocketAddr) -> std::io::Result<TcpStream> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(b"POST /v1/analyze HT")?;
+    stream.flush()?;
+    Ok(stream)
+}
+
+/// Promise `total_body` bytes, deliver roughly half, and hang up. The
+/// server must fold the dead connection without leaking its in-flight
+/// byte reservation or taking a worker down.
+pub fn drop_mid_request(addr: SocketAddr, path: &str, total_body: usize) -> std::io::Result<()> {
+    let mut stream = TcpStream::connect(addr)?;
+    let head = format!(
+        "POST {path} HTTP/1.1\r\nHost: fault\r\nContent-Length: {total_body}\r\nConnection: close\r\n\r\n"
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&vec![b'x'; total_body / 2])?;
+    stream.flush()?;
+    drop(stream); // FIN mid-body
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn corruption_is_seed_deterministic_and_always_mutates() {
+        let dir = std::env::temp_dir().join(format!("netloc-fault-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let original: Vec<u8> = (0u8..255).cycle().take(300).collect();
+        for seed in 0..8u64 {
+            let a = dir.join(format!("a-{seed}"));
+            let b = dir.join(format!("b-{seed}"));
+            std::fs::write(&a, &original).unwrap();
+            std::fs::write(&b, &original).unwrap();
+            let mode_a = corrupt_file_randomly(&a, &mut ChaCha8Rng::seed_from_u64(seed)).unwrap();
+            let mode_b = corrupt_file_randomly(&b, &mut ChaCha8Rng::seed_from_u64(seed)).unwrap();
+            assert_eq!(mode_a, mode_b);
+            let bytes_a = std::fs::read(&a).unwrap();
+            assert_eq!(
+                bytes_a,
+                std::fs::read(&b).unwrap(),
+                "same seed, same mutation"
+            );
+            assert_ne!(bytes_a, original, "mode {mode_a:?} must actually mutate");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_mode_applies_to_tiny_files() {
+        let dir = std::env::temp_dir().join(format!("netloc-fault-tiny-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for (i, mode) in Corruption::ALL.into_iter().enumerate() {
+            let path = dir.join(format!("tiny-{i}"));
+            std::fs::write(&path, b"ab").unwrap();
+            corrupt_file(&path, mode, &mut rng).unwrap();
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -15,7 +15,11 @@
 //! - [`goldens`] — golden-snapshot machinery (canonical JSON with
 //!   normalized floats, readable diffs, `UPDATE_GOLDENS=1` regeneration);
 //! - [`client`] — a std-only blocking HTTP client for integration tests
-//!   against `netloc-service`.
+//!   against `netloc-service`, with a deterministic seeded retry policy
+//!   that honors `Retry-After`;
+//! - [`fault`] — seeded fault injection: on-disk corruption of
+//!   persistent-store entries, half-open clients, and mid-request
+//!   connection drops, driving the service recovery tests.
 //!
 //! The harness is wired into the CLI as `netloc verify` and into the root
 //! crate's integration tests.
@@ -24,11 +28,13 @@
 
 pub mod client;
 pub mod corpus;
+pub mod fault;
 pub mod goldens;
 pub mod oracle;
 
-pub use client::HttpResponse;
+pub use client::{HttpResponse, RetryPolicy};
 pub use corpus::{default_corpus, CorpusConfig, MappingKind, TopologySpec};
+pub use fault::Corruption;
 pub use goldens::{canonical_json, check_golden, GoldenOutcome};
 pub use oracle::{
     check_ingest, check_route_table, check_sim, sim_report_diff, verify_corpus, Mismatch,

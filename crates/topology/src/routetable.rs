@@ -186,6 +186,80 @@ impl RouteTable {
         self.offsets.len() * std::mem::size_of::<u32>()
             + self.links.len() * std::mem::size_of::<LinkId>()
     }
+
+    /// Serialize the table as little-endian bytes:
+    /// `[n u64][offsets: (n²+1) × u32][links: offsets[n²] × u32]`.
+    ///
+    /// The encoding carries no checksum of its own — persistent callers
+    /// (the analysis service's on-disk store) frame it with a verified
+    /// length + digest footer and treat any [`from_bytes`] rejection as a
+    /// cache miss.
+    ///
+    /// [`from_bytes`]: RouteTable::from_bytes
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 4 * (self.offsets.len() + self.links.len()));
+        out.extend_from_slice(&(self.n as u64).to_le_bytes());
+        for &o in &self.offsets {
+            out.extend_from_slice(&o.to_le_bytes());
+        }
+        for &l in &self.links {
+            out.extend_from_slice(&l.0.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decode a table serialized by [`to_bytes`](RouteTable::to_bytes),
+    /// validating every structural invariant: the byte length must match
+    /// the declared node count exactly, offsets must start at zero, be
+    /// monotone, and end at the link count. Any violation — truncation,
+    /// bit flips that survive the caller's checksum, a table written by a
+    /// different machine size — is a clean `Err`, never a panic and never
+    /// an oversized allocation (capacity is derived from the *actual*
+    /// input length, not from decoded counts).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        let header = bytes
+            .get(..8)
+            .ok_or_else(|| format!("route table blob truncated at {} bytes", bytes.len()))?;
+        let n64 = u64::from_le_bytes(header.try_into().expect("8-byte slice"));
+        let n = usize::try_from(n64).map_err(|_| format!("node count {n64} overflows usize"))?;
+        let pairs = n
+            .checked_mul(n)
+            .and_then(|p| p.checked_add(1))
+            .ok_or_else(|| format!("node count {n} overflows the pair space"))?;
+        let rest = &bytes[8..];
+        if rest.len() < pairs * 4 || !rest.len().is_multiple_of(4) {
+            return Err(format!(
+                "route table blob holds {} bytes after the header; {n} nodes need at least {} and a multiple of 4",
+                rest.len(),
+                pairs * 4
+            ));
+        }
+        let (offset_bytes, link_bytes) = rest.split_at(pairs * 4);
+        let word = |b: &[u8], i: usize| u32::from_le_bytes(b[4 * i..4 * i + 4].try_into().unwrap());
+        let mut offsets = Vec::with_capacity(pairs);
+        let mut prev = 0u32;
+        for i in 0..pairs {
+            let o = word(offset_bytes, i);
+            if i == 0 && o != 0 {
+                return Err(format!("first offset is {o}, not 0"));
+            }
+            if o < prev {
+                return Err(format!("offsets not monotone at pair {i}: {o} < {prev}"));
+            }
+            offsets.push(o);
+            prev = o;
+        }
+        let num_links = link_bytes.len() / 4;
+        if prev as usize != num_links {
+            return Err(format!(
+                "final offset {prev} does not match the {num_links} stored link ids"
+            ));
+        }
+        let links = (0..num_links)
+            .map(|i| LinkId(word(link_bytes, i)))
+            .collect();
+        Ok(RouteTable { n, offsets, links })
+    }
 }
 
 /// Route storage of a [`RoutedTopology`].
@@ -493,5 +567,42 @@ mod tests {
         let b = Torus3D::new([3, 3, 3]);
         let table = RouteTable::build(&a);
         RoutedTopology::with_table(&b, table);
+    }
+
+    #[test]
+    fn byte_codec_round_trips_exactly() {
+        let topo = Torus3D::new([3, 4, 2]);
+        let table = RouteTable::build(&topo);
+        let bytes = table.to_bytes();
+        let back = RouteTable::from_bytes(&bytes).unwrap();
+        assert_eq!(back.num_nodes(), table.num_nodes());
+        assert_eq!(back.to_bytes(), bytes, "round trip is byte-stable");
+        let n = topo.num_nodes() as u32;
+        for s in 0..n {
+            for d in 0..n {
+                assert_eq!(
+                    back.route_of(NodeId(s), NodeId(d)),
+                    table.route_of(NodeId(s), NodeId(d))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn byte_codec_rejects_corruption_cleanly() {
+        let table = RouteTable::build(&Torus3D::new([2, 2, 2]));
+        let bytes = table.to_bytes();
+        // Every truncation must fail (only the exact length decodes).
+        for len in 0..bytes.len() {
+            assert!(RouteTable::from_bytes(&bytes[..len]).is_err(), "len {len}");
+        }
+        // A node count inflated past the data must fail, not allocate.
+        let mut huge = bytes.clone();
+        huge[..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(RouteTable::from_bytes(&huge).is_err());
+        // Breaking offset monotonicity must fail.
+        let mut swapped = bytes.clone();
+        swapped[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(RouteTable::from_bytes(&swapped).is_err());
     }
 }

@@ -13,7 +13,12 @@
 //!                 [--windows N]               temporal store-and-forward replay
 //!                                             with a per-window congestion profile
 //! netloc serve    [--addr A] [--workers N] [--cache-mb M] [--queue Q]
+//!                 [--data-dir DIR] [--rate-limit N] [--rate-burst B]
+//!                 [--inflight-mb M] [--deadline-s S]
 //!                                             the netloc-service analysis server
+//!                                             (--data-dir persists caches across
+//!                                             restarts; --rate-limit N conns/s
+//!                                             per client)
 //! netloc verify   [--quiet]                   differential self-check: analytic
 //!                                             routing vs BFS, the parallel replay
 //!                                             and temporal simulation vs naive
@@ -521,6 +526,21 @@ fn serve_cmd(args: &[String]) {
     if let Some(mb) = numeric("--cache-mb") {
         cfg.result_cache_bytes = mb.clamp(1, 16_384) * 1024 * 1024;
     }
+    if let Some(dir) = flag_value(args, "--data-dir") {
+        cfg.data_dir = Some(std::path::PathBuf::from(dir));
+    }
+    if let Some(rate) = numeric("--rate-limit") {
+        cfg.rate_limit_per_s = rate as f64;
+    }
+    if let Some(burst) = numeric("--rate-burst") {
+        cfg.rate_limit_burst = (burst.max(1)) as f64;
+    }
+    if let Some(mb) = numeric("--inflight-mb") {
+        cfg.max_inflight_bytes = mb.clamp(1, 16_384) * 1024 * 1024;
+    }
+    if let Some(s) = numeric("--deadline-s") {
+        cfg.progress_deadline = std::time::Duration::from_secs(s as u64);
+    }
     let running = match Server::start(cfg) {
         Ok(r) => r,
         Err(e) => {
@@ -529,11 +549,15 @@ fn serve_cmd(args: &[String]) {
         }
     };
     eprintln!(
-        "netloc-service listening on http://{} ({} workers, queue {}, cache {} MiB)",
+        "netloc-service listening on http://{} ({} workers, queue {}, cache {} MiB{})",
         running.addr(),
         running.state().config.workers,
         running.state().config.queue_capacity,
         running.state().config.result_cache_bytes / (1024 * 1024),
+        match &running.state().config.data_dir {
+            Some(dir) => format!(", data dir {}", dir.display()),
+            None => ", memory-only".to_string(),
+        },
     );
     signal::install();
     while !signal::termed() && !running.shutdown_requested() {

@@ -10,6 +10,8 @@ use netloc::service::payload::{AnalyzeResponse, TraceMeta};
 use netloc::service::{RunningServer, Server, ServerConfig};
 use netloc::testkit::client;
 use netloc::topology::{MappingSpec, RoutedTopology, TopologySpec};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 fn start(config: ServerConfig) -> RunningServer {
@@ -326,6 +328,218 @@ fn shutdown_drains_in_flight_requests() {
     server.shutdown();
     let resp = in_flight.join().unwrap();
     assert_eq!(resp.status, 200, "in-flight request dropped by shutdown");
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "netloc-service-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn trace_registry_round_trip_is_byte_identical_with_inline_traces() {
+    let server = start(test_config());
+    let addr = server.addr();
+    let trace_text = sample_trace_text();
+    let digest = digest_hex(content_digest(trace_text.as_bytes()));
+
+    // Upload once; the server must answer with the canonical digest.
+    let reg = client::post(addr, "/v1/traces", &trace_text).unwrap();
+    assert_eq!(reg.status, 200, "{}", reg.body_str());
+    assert!(
+        reg.body_str()
+            .contains(&format!("\"digest\": \"{digest}\"")),
+        "{}",
+        reg.body_str()
+    );
+    assert!(
+        reg.body_str().contains("\"ranks\": 27"),
+        "{}",
+        reg.body_str()
+    );
+
+    // Analyze by digest == analyze inline, byte for byte (same cache key,
+    // same canonical bytes).
+    let inline = client::post(
+        addr,
+        "/v1/analyze",
+        &analyze_body(&trace_text, "torus:3,3,3", "consecutive"),
+    )
+    .unwrap();
+    assert_eq!(inline.status, 200, "{}", inline.body_str());
+    let by_digest_body = format!(
+        "{{\"trace_digest\": \"{digest}\", \"topology\": \"torus:3,3,3\", \"mapping\": \"consecutive\"}}"
+    );
+    let by_digest = client::post(addr, "/v1/analyze", &by_digest_body).unwrap();
+    assert_eq!(by_digest.status, 200, "{}", by_digest.body_str());
+    assert_eq!(
+        by_digest.body, inline.body,
+        "digest-referenced analysis must be byte-identical to inline"
+    );
+
+    // Unknown digest → structured 404, not a panic or a bare string.
+    let unknown = client::post(
+        addr,
+        "/v1/analyze",
+        "{\"trace_digest\": \"00000000deadbeef\", \"topology\": \"torus:3,3,3\"}",
+    )
+    .unwrap();
+    assert_eq!(unknown.status, 404, "{}", unknown.body_str());
+    assert!(
+        unknown.body_str().contains("\"code\": \"unknown_digest\""),
+        "{}",
+        unknown.body_str()
+    );
+
+    // Ambiguous source → 400.
+    let both = format!(
+        "{{\"trace\": {}, \"trace_digest\": \"{digest}\"}}",
+        json_escape(&trace_text)
+    );
+    assert_eq!(
+        client::post(addr, "/v1/analyze", &both).unwrap().status,
+        400
+    );
+
+    // Registry observability: the upload is one entry, the by-digest
+    // analysis hit it once.
+    let s = client::get(addr, "/v1/statusz").unwrap();
+    let s = s.body_str();
+    assert_eq!(json_counter(s, &["registry", "entries"]), 1, "{s}");
+    assert!(json_counter(s, &["registry", "bytes"]) >= trace_text.len() as u64);
+    assert_eq!(json_counter(s, &["registry", "hits"]), 1, "{s}");
+    server.shutdown();
+}
+
+#[test]
+fn persistent_data_dir_survives_restart_with_disk_hits() {
+    let dir = tmpdir("persist");
+    let trace_text = sample_trace_text();
+    let body = analyze_body(&trace_text, "torus:3,3,3", "consecutive");
+    let config = || ServerConfig {
+        data_dir: Some(dir.clone()),
+        ..test_config()
+    };
+
+    let server = start(config());
+    let first = client::post(server.addr(), "/v1/analyze", &body).unwrap();
+    assert_eq!(first.status, 200, "{}", first.body_str());
+    server.shutdown(); // write-behind store is flushed here
+
+    // A fresh process-equivalent: empty memory caches, same data dir.
+    let server = start(config());
+    let addr = server.addr();
+    let second = client::post(addr, "/v1/analyze", &body).unwrap();
+    assert_eq!(second.status, 200, "{}", second.body_str());
+    assert_eq!(
+        second.body, first.body,
+        "disk-served result must be byte-identical"
+    );
+
+    // A result-cache hit short-circuits before any routing; a *new*
+    // result key on the same topology exercises the table restore path.
+    let other = client::post(
+        addr,
+        "/v1/analyze",
+        &analyze_body(&trace_text, "torus:3,3,3", "random:5"),
+    )
+    .unwrap();
+    assert_eq!(other.status, 200, "{}", other.body_str());
+
+    let s = client::get(addr, "/v1/statusz").unwrap();
+    let s = s.body_str();
+    assert!(
+        json_counter(s, &["disk", "hits"]) >= 1,
+        "result must come from disk: {s}"
+    );
+    assert_eq!(json_counter(s, &["disk", "quarantined"]), 0, "{s}");
+    assert_eq!(
+        json_counter(s, &["route_tables_from_disk"]),
+        1,
+        "the route table must be restored, not rebuilt: {s}"
+    );
+    assert_eq!(json_counter(s, &["route_tables_built"]), 0, "{s}");
+    assert_eq!(
+        server.state().result_cache.stats().misses,
+        2,
+        "cold memory: both lookups missed (one refilled from disk)"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn per_client_rate_limit_sheds_with_structured_429() {
+    let server = start(ServerConfig {
+        rate_limit_per_s: 1.0,
+        rate_limit_burst: 3.0,
+        ..test_config()
+    });
+    let addr = server.addr();
+
+    // The burst passes; the next connection from the same client is shed
+    // with the structured rate-limit error and a Retry-After hint.
+    let mut statuses = Vec::new();
+    for _ in 0..6 {
+        statuses.push(client::get(addr, "/v1/healthz").unwrap());
+    }
+    let ok = statuses.iter().filter(|r| r.status == 200).count();
+    let limited: Vec<_> = statuses.iter().filter(|r| r.status == 429).collect();
+    assert_eq!(ok, 3, "exactly the burst is admitted");
+    assert_eq!(limited.len(), 3, "the rest is rate limited");
+    for r in &limited {
+        assert!(
+            r.body_str().contains("\"code\": \"rate_limited\""),
+            "{}",
+            r.body_str()
+        );
+        let retry_after: u64 = r
+            .header("Retry-After")
+            .expect("429 carries Retry-After")
+            .parse()
+            .expect("numeric Retry-After");
+        assert!(retry_after >= 1);
+    }
+    let state = server.state();
+    assert_eq!(state.rate_limited.load(Ordering::Relaxed), 3);
+    let stats = state.limiter.stats();
+    assert!(stats.enabled);
+    assert_eq!(stats.limited, 3);
+    assert_eq!(stats.clients_tracked, 1, "one loopback client");
+    server.shutdown();
+}
+
+#[test]
+fn statusz_reports_the_admission_and_durability_counters() {
+    let server = start(test_config());
+    let addr = server.addr();
+    let s = client::get(addr, "/v1/statusz").unwrap();
+    let s = s.body_str();
+    // The hardening counters are all present from the first scrape, in
+    // their quiescent state (memory-only server, nothing shed).
+    for (path, expected) in [
+        (&["rate_limited"][..], 0),
+        (&["shed_timeouts"][..], 0),
+        (&["shed_inflight"][..], 0),
+        (&["handler_panics"][..], 0),
+        (&["inflight_bytes"][..], 0),
+        (&["registry", "entries"][..], 0),
+        (&["rate_limit", "limited"][..], 0),
+        (&["route_tables_from_disk"][..], 0),
+    ] {
+        assert_eq!(json_counter(s, path), expected, "{path:?} in {s}");
+    }
+    assert!(json_counter(s, &["inflight_limit"]) > 0, "{s}");
+    assert!(
+        s.contains("\"disk\": null"),
+        "memory-only must report no disk: {s}"
+    );
+    server.shutdown();
 }
 
 #[test]
