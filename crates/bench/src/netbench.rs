@@ -21,6 +21,17 @@
 //! byte-identical [`NetworkReport`]s, so the benchmark doubles as a
 //! differential check.
 //!
+//! On top of the replay grid, a **scale column** (PR 8) measures the
+//! compressed hierarchical route tables on zoo machines at 10k, 100k and
+//! 1M endpoints: per row the node/router counts, compressed table bytes
+//! vs the flat-CSR projection, build wall-clock and replay events/s of a
+//! seeded random-pairs workload. Every scale cell asserts the auto picker
+//! chose compressed storage, verifies sampled routes byte-identical to
+//! direct routing, and demands a ≥10× size reduction over the flat
+//! projection. The smoke run keeps one mid-size Slim Fly cell plus a tiny
+//! twin on which compressed, dense and lazy-compressed replays are
+//! compared exhaustively.
+//!
 //! Results are written to `BENCH_netmodel.json`
 //! (`schema_version`-tagged; see [`validate_json`]). `--smoke` swaps in
 //! sub-second configs and a single timing iteration — that mode runs in
@@ -29,16 +40,21 @@
 
 use netloc_core::sweep::MappingSpec;
 use netloc_core::{
-    analyze_network_rank_pairs, analyze_network_routed, node_pair_traffic, patterns,
+    analyze_network_rank_pairs, analyze_network_routed, node_pair_traffic, patterns, TrafficMatrix,
 };
-use netloc_topology::{Dragonfly, FatTree, RoutedTopology, Topology, Torus3D};
+use netloc_topology::{
+    Dragonfly, FatTree, Mapping, NodeId, RoutedTopology, Topology, TopologySpec, Torus3D,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use serde::{Serialize, Value};
 use std::time::Instant;
 
 /// Version tag of the `BENCH_netmodel.json` layout. Bump on any field
 /// rename or removal; CI smoke mode fails when the written file does not
-/// match [`validate_json`] for this version.
-pub const SCHEMA_VERSION: u32 = 1;
+/// match [`validate_json`] for this version. v2 added the `scale` column
+/// (compressed route tables on zoo machines).
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Message payload in bytes (multiple packets per message).
 const MESSAGE_BYTES: u64 = 4096;
@@ -131,6 +147,37 @@ pub struct BenchRow {
     pub speedup: f64,
 }
 
+/// One compressed-route-table scale measurement (see [`run_scale`]).
+#[derive(Serialize)]
+pub struct ScaleRow {
+    /// Topology family (`slimfly`, `hyperx`, `jellyfish`).
+    pub family: String,
+    /// Canonical topology spec of the machine.
+    pub spec: String,
+    /// Endpoint (node) count.
+    pub nodes: usize,
+    /// Router count.
+    pub routers: usize,
+    /// Replay events (distinct rank pairs of the seeded workload).
+    pub events: usize,
+    /// Actual bytes of the compressed route table.
+    pub table_bytes: usize,
+    /// What a flat all-pairs CSR of the same routes would occupy.
+    pub flat_projection_bytes: u128,
+    /// `flat_projection_bytes / table_bytes`.
+    pub compression_ratio: f64,
+    /// Wall-clock to build the compressed table (via the auto picker).
+    pub build_s: f64,
+    /// Best replay wall-clock over the timing iterations.
+    pub replay_s: f64,
+    /// `events / replay_s`.
+    pub replay_events_per_s: f64,
+    /// True once sampled compressed routes were checked byte-identical to
+    /// direct routing and the full replay report matched the direct
+    /// storage mode (the row is never emitted otherwise).
+    pub verified_against_direct: bool,
+}
+
 /// The full benchmark report serialized to `BENCH_netmodel.json`.
 #[derive(Serialize)]
 pub struct BenchReport {
@@ -141,6 +188,8 @@ pub struct BenchReport {
     pub smoke: bool,
     /// One row per (config, mapping) cell.
     pub results: Vec<BenchRow>,
+    /// Compressed-route-table scale column (one row per zoo machine).
+    pub scale: Vec<ScaleRow>,
 }
 
 fn time_best<F: FnMut()>(iters: usize, mut f: F) -> f64 {
@@ -243,7 +292,154 @@ pub fn run(smoke: bool) -> BenchReport {
         schema_version: SCHEMA_VERSION,
         smoke,
         results,
+        scale: run_scale(smoke),
     }
+}
+
+/// Scale configs: canonical spec strings so the cell also exercises spec
+/// parsing end to end. Full mode covers three families at ~10k endpoints
+/// plus a 100k Slim Fly and a ~1M-endpoint HyperX; smoke keeps one
+/// mid-size Slim Fly cell (~50k endpoints) CI can afford.
+fn scale_configs(smoke: bool) -> Vec<(&'static str, &'static str, usize)> {
+    if smoke {
+        vec![("slimfly", "slimfly:37,18", 100_000)] // 49 284 nodes
+    } else {
+        vec![
+            ("slimfly", "slimfly:17,18", 1_000_000),  // 10 404 nodes
+            ("hyperx", "hyperx:16x16,40", 1_000_000), // 10 240 nodes
+            ("jellyfish", "jellyfish:700,12,16,1", 1_000_000), // 11 200 nodes
+            ("slimfly", "slimfly:53,18", 1_000_000),  // 101 124 nodes
+            ("hyperx", "hyperx:64x64,244", 1_000_000), // 999 424 nodes
+        ]
+    }
+}
+
+/// Sampled pairs checked byte-identical against direct routing per cell.
+const SCALE_VERIFY_PAIRS: usize = 4096;
+
+/// Measure the compressed hierarchical route tables at scale. Every cell:
+///
+/// 1. builds storage through `RoutedTopology::auto` and asserts the
+///    compressed representation was picked,
+/// 2. checks sampled routes byte-identical to direct (storage-free)
+///    routing and the full replay report equal to the direct-mode replay,
+/// 3. asserts the compressed table is ≥10× smaller than the flat-CSR
+///    projection of the same routes,
+/// 4. times the replay of a seeded random-pairs workload.
+///
+/// In smoke mode a tiny Slim Fly twin additionally compares compressed,
+/// dense and lazy-compressed storage on *all* pairs, so CI pins the
+/// equivalence the big cells can only sample.
+pub fn run_scale(smoke: bool) -> Vec<ScaleRow> {
+    let iters = if smoke { 1 } else { FULL_ITERS };
+    let mut rows = Vec::new();
+    for (family, spec_str, raw_events) in scale_configs(smoke) {
+        let spec: TopologySpec = spec_str.parse().expect("scale spec parses");
+        let topo = spec.build().expect("scale spec builds");
+        let nodes = topo.num_nodes();
+
+        let t = Instant::now();
+        let routed = RoutedTopology::auto(topo.as_ref());
+        let build_s = t.elapsed().as_secs_f64();
+        let table = routed
+            .compressed_table()
+            .expect("scale machines are past the dense limit and router-symmetric");
+        let routers = table.num_routers();
+        let table_bytes = table.memory_bytes();
+        let flat_projection_bytes = table.flat_projection_bytes();
+        let compression_ratio = flat_projection_bytes as f64 / table_bytes as f64;
+        assert!(
+            compression_ratio >= 10.0,
+            "{spec_str}: compressed table only {compression_ratio:.1}x smaller than flat"
+        );
+
+        // Sampled byte-identity against direct (storage-free) routing.
+        let direct = RoutedTopology::direct(topo.as_ref());
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5ca1e);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for _ in 0..SCALE_VERIFY_PAIRS {
+            let s = NodeId(rng.gen_range(0..nodes as u32));
+            let d = NodeId(rng.gen_range(0..nodes as u32));
+            assert_eq!(
+                routed.route_of(s, d, &mut a),
+                direct.route_of(s, d, &mut b),
+                "{spec_str}: compressed route diverges from direct at {s:?}->{d:?}"
+            );
+        }
+
+        // Seeded random-pairs workload over the whole machine, one rank
+        // per node; `events` is the deduplicated pair count replayed.
+        let mut tm = TrafficMatrix::new(nodes as u32);
+        for _ in 0..raw_events {
+            tm.record(
+                rng.gen_range(0..nodes as u32),
+                rng.gen_range(0..nodes as u32),
+                MESSAGE_BYTES,
+                1,
+            );
+        }
+        let events = tm.num_pairs();
+        let mapping = Mapping::consecutive(nodes, nodes);
+        let direct_rep = analyze_network_routed(&direct, &mapping, &tm);
+        let routed_rep = analyze_network_routed(&routed, &mapping, &tm);
+        assert_eq!(direct_rep, routed_rep, "{spec_str}: replay divergence");
+
+        let replay_s = time_best(iters, || {
+            std::hint::black_box(analyze_network_routed(&routed, &mapping, &tm));
+        });
+        let row = ScaleRow {
+            family: family.to_string(),
+            spec: spec.to_string(),
+            nodes,
+            routers,
+            events,
+            table_bytes,
+            flat_projection_bytes,
+            compression_ratio,
+            build_s,
+            replay_s,
+            replay_events_per_s: events as f64 / replay_s,
+            verified_against_direct: true,
+        };
+        println!(
+            "[scale] {:<22} nodes={:>7} routers={:>5} table={:>9}B ({:>8.0}x smaller) build={:>8.1}ms replay={:>9.2}Mev/s",
+            row.spec,
+            row.nodes,
+            row.routers,
+            row.table_bytes,
+            row.compression_ratio,
+            row.build_s * 1e3,
+            row.replay_events_per_s / 1e6
+        );
+        rows.push(row);
+    }
+
+    if smoke {
+        // Tiny twin: the smoke cell above can only sample; this machine is
+        // small enough to compare compressed, dense and lazy-compressed
+        // storage on every ordered pair.
+        let twin = netloc_topology::SlimFly::new(5, 2);
+        let dense = RoutedTopology::dense(&twin);
+        let modes = [
+            ("compressed", RoutedTopology::compressed(&twin)),
+            ("lazy-compressed", RoutedTopology::lazy_compressed(&twin)),
+        ];
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for s in 0..twin.num_nodes() as u32 {
+            for d in 0..twin.num_nodes() as u32 {
+                let want = dense.route_of(NodeId(s), NodeId(d), &mut a);
+                for (label, routed) in &modes {
+                    assert_eq!(
+                        routed.route_of(NodeId(s), NodeId(d), &mut b),
+                        want,
+                        "twin slimfly:5,2 {label} route diverges at {s}->{d}"
+                    );
+                }
+            }
+        }
+        println!("[scale] twin slimfly:5,2        compressed == dense on all pairs");
+    }
+    rows
 }
 
 /// Validate the serialized tree, then write `report` to `path` as pretty
@@ -333,6 +529,61 @@ pub fn validate_json(v: &Value) -> Result<(), String> {
             }
         }
     }
+    let scale = match field(v, "scale") {
+        Some(Value::Array(rows)) => rows,
+        _ => return Err("missing scale array".into()),
+    };
+    if scale.is_empty() {
+        return Err("empty scale array".into());
+    }
+    for (i, row) in scale.iter().enumerate() {
+        for key in ["family", "spec"] {
+            if !matches!(field(row, key), Some(Value::Str(_))) {
+                return Err(format!("scale[{i}].{key} missing or not a string"));
+            }
+        }
+        for key in [
+            "nodes",
+            "routers",
+            "events",
+            "table_bytes",
+            "flat_projection_bytes",
+        ] {
+            if !matches!(field(row, key), Some(Value::UInt(_))) {
+                return Err(format!("scale[{i}].{key} missing or not an integer"));
+            }
+        }
+        match field(row, "verified_against_direct") {
+            Some(Value::Bool(true)) => {}
+            Some(Value::Bool(false)) => {
+                return Err(format!(
+                    "scale[{i}] was not verified against direct routing"
+                ));
+            }
+            _ => return Err(format!("scale[{i}].verified_against_direct missing")),
+        }
+        for key in [
+            "compression_ratio",
+            "build_s",
+            "replay_s",
+            "replay_events_per_s",
+        ] {
+            match field(row, key).and_then(finite_number) {
+                Some(x) if x >= 0.0 => {}
+                Some(x) => return Err(format!("scale[{i}].{key} = {x} is negative")),
+                None => {
+                    return Err(format!("scale[{i}].{key} missing or not a finite number"));
+                }
+            }
+        }
+        if let Some(ratio) = field(row, "compression_ratio").and_then(finite_number) {
+            if ratio < 10.0 {
+                return Err(format!(
+                    "scale[{i}].compression_ratio = {ratio:.1} below the documented 10x floor"
+                ));
+            }
+        }
+    }
     Ok(())
 }
 
@@ -344,6 +595,16 @@ mod tests {
     fn smoke_run_produces_valid_schema() {
         let report = run(true);
         assert_eq!(report.results.len(), 9); // 3 configs × 3 mappings
+        assert_eq!(report.scale.len(), 1); // one compressed scale cell
+        let cell = &report.scale[0];
+        assert_eq!(cell.spec, "slimfly:37,18");
+        assert!(
+            cell.nodes > 40_000,
+            "smoke scale cell shrank: {}",
+            cell.nodes
+        );
+        assert!(cell.verified_against_direct);
+        assert!(cell.compression_ratio >= 10.0);
         validate_json(&report.to_value()).unwrap();
     }
 
@@ -358,7 +619,7 @@ mod tests {
             Value::Object(fields.into_iter().filter(|(k, _)| k != "smoke").collect());
         assert!(validate_json(&without_smoke).unwrap_err().contains("smoke"));
 
-        let Value::Object(fields) = tree else {
+        let Value::Object(fields) = tree.clone() else {
             panic!("report serializes to an object");
         };
         let bumped = Value::Object(
@@ -376,6 +637,13 @@ mod tests {
         assert!(validate_json(&bumped)
             .unwrap_err()
             .contains("schema_version"));
+
+        let Value::Object(fields) = tree else {
+            panic!("report serializes to an object");
+        };
+        let without_scale =
+            Value::Object(fields.into_iter().filter(|(k, _)| k != "scale").collect());
+        assert!(validate_json(&without_scale).unwrap_err().contains("scale"));
 
         assert!(validate_json(&Value::Null).is_err());
     }

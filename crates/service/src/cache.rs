@@ -1,14 +1,17 @@
 //! The two-level shared state of the analysis server.
 //!
-//! **Level 1 — [`TopoCache`]:** one [`RouteTable`] per distinct canonical
+//! **Level 1 — [`TopoCache`]:** one [`SharedRoutes`] (a flat
+//! [`RouteTable`] or a [`CompressedRouteTable`]) per distinct canonical
 //! topology spec, shared across every worker thread via `Arc<OnceLock<_>>`.
 //! The per-spec `OnceLock` gives single-flight semantics: when eight
 //! concurrent requests name the same topology, exactly one thread builds
-//! the CSR table (the expensive part of a replay, per PR 3) and the other
-//! seven block on the lock and then share the finished `Arc`. Topologies
-//! above [`DENSE_PAIR_LIMIT`] ordered pairs are never table-cached — the
-//! caller falls back to per-request lazy rows, mirroring
-//! `RoutedTopology::auto`.
+//! the table (the expensive part of a replay, per PR 3) and the other
+//! seven block on the lock and then share the finished `Arc`. The storage
+//! plan mirrors `RoutedTopology::auto`: machines within
+//! [`DENSE_PAIR_LIMIT`] ordered pairs get a flat CSR; larger
+//! router-symmetric machines within [`COMPRESSED_PAIR_LIMIT`] ordered
+//! *router* pairs get a compressed per-router table; everything else is
+//! never cached — the caller falls back to per-request lazy rows.
 //!
 //! **Level 2 — [`ResultCache`]:** content-addressed response bytes. The key
 //! is the canonical string `digest(trace)|topology|mapping` (specs in their
@@ -28,18 +31,96 @@
 
 use crate::store::{DiskStore, Kind};
 use netloc_core::canon::content_digest;
-use netloc_topology::routetable::DENSE_PAIR_LIMIT;
-use netloc_topology::{RouteTable, Topology};
+use netloc_topology::routetable::{COMPRESSED_PAIR_LIMIT, DENSE_PAIR_LIMIT};
+use netloc_topology::{CompressedRouteTable, RouteTable, RoutedTopology, SymmetryHint, Topology};
 use serde::Serialize;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-/// Level-1 cache: canonical topology spec → shared route table,
+/// A cached route representation: either the flat all-pairs CSR or the
+/// per-router compressed table for machines past the dense limit. Both
+/// serialize to self-describing blobs (the compressed codec leads with a
+/// magic the flat decoder rejects, and vice versa), so one disk `Kind`
+/// stores either.
+#[derive(Clone)]
+pub enum SharedRoutes {
+    /// Flat all-pairs CSR (machines within [`DENSE_PAIR_LIMIT`]).
+    Flat(Arc<RouteTable>),
+    /// Compressed per-router-pair core table (router-symmetric machines
+    /// within [`COMPRESSED_PAIR_LIMIT`] router pairs).
+    Compressed(Arc<CompressedRouteTable>),
+}
+
+impl SharedRoutes {
+    /// Number of nodes the routes cover.
+    pub fn num_nodes(&self) -> usize {
+        match self {
+            SharedRoutes::Flat(t) => t.num_nodes(),
+            SharedRoutes::Compressed(t) => t.num_nodes(),
+        }
+    }
+
+    /// Serialize to the variant's own byte format (self-describing).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            SharedRoutes::Flat(t) => t.to_bytes(),
+            SharedRoutes::Compressed(t) => t.to_bytes(),
+        }
+    }
+
+    /// Decode either variant: the compressed codec's leading magic
+    /// dispatches, and each decoder rejects the other's blobs.
+    pub fn from_bytes(bytes: &[u8]) -> Result<SharedRoutes, String> {
+        if let Ok(t) = CompressedRouteTable::from_bytes(bytes) {
+            return Ok(SharedRoutes::Compressed(Arc::new(t)));
+        }
+        RouteTable::from_bytes(bytes).map(|t| SharedRoutes::Flat(Arc::new(t)))
+    }
+
+    /// Wrap `topo` with this cached storage.
+    pub fn routed<'a>(&self, topo: &'a dyn Topology) -> RoutedTopology<'a> {
+        match self {
+            SharedRoutes::Flat(t) => RoutedTopology::with_shared_table(topo, Arc::clone(t)),
+            SharedRoutes::Compressed(t) => {
+                RoutedTopology::with_shared_compressed(topo, Arc::clone(t))
+            }
+        }
+    }
+}
+
+/// Which representation [`TopoCache`] plans for a machine, mirroring the
+/// `RoutedTopology::auto` heuristic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Plan {
+    Flat,
+    Compressed,
+}
+
+fn plan_for(topo: &dyn Topology) -> Option<Plan> {
+    let n = topo.num_nodes();
+    if n.saturating_mul(n) <= DENSE_PAIR_LIMIT {
+        return Some(Plan::Flat);
+    }
+    if let Some(SymmetryHint::RouterSymmetric {
+        nodes_per_router: p,
+    }) = topo.symmetry_hint()
+    {
+        if p > 0 && n.is_multiple_of(p) {
+            let routers = n / p;
+            if routers.saturating_mul(routers) <= COMPRESSED_PAIR_LIMIT {
+                return Some(Plan::Compressed);
+            }
+        }
+    }
+    None
+}
+
+/// Level-1 cache: canonical topology spec → shared route storage,
 /// optionally persisted to a [`DiskStore`].
 #[derive(Default)]
 pub struct TopoCache {
-    cells: Mutex<HashMap<String, Arc<OnceLock<Arc<RouteTable>>>>>,
+    cells: Mutex<HashMap<String, Arc<OnceLock<SharedRoutes>>>>,
     store: Option<Arc<DiskStore>>,
     builds: AtomicU64,
     from_disk: AtomicU64,
@@ -55,19 +136,13 @@ impl TopoCache {
         }
     }
 
-    /// The shared table for `canonical_spec`, building it from `topo` on
-    /// first use (single-flight: concurrent callers block on one build).
-    /// Returns `None` for machines too large for a dense table; those run
-    /// with per-request lazy rows instead.
-    pub fn shared_table(
-        &self,
-        canonical_spec: &str,
-        topo: &dyn Topology,
-    ) -> Option<Arc<RouteTable>> {
+    /// The shared route storage for `canonical_spec`, building it from
+    /// `topo` on first use (single-flight: concurrent callers block on one
+    /// build). Returns `None` for machines too large for either cached
+    /// representation; those run with per-request lazy rows instead.
+    pub fn shared_routes(&self, canonical_spec: &str, topo: &dyn Topology) -> Option<SharedRoutes> {
         let n = topo.num_nodes();
-        if n.saturating_mul(n) > DENSE_PAIR_LIMIT {
-            return None;
-        }
+        let plan = plan_for(topo)?;
         let cell = {
             let mut cells = self.cells.lock().expect("topo cache lock");
             Arc::clone(
@@ -76,27 +151,52 @@ impl TopoCache {
                     .or_insert_with(|| Arc::new(OnceLock::new())),
             )
         };
-        let table = cell.get_or_init(|| {
-            // Read-through: a verified disk entry that decodes to a table
-            // for the same machine size replaces the expensive build.
+        let routes = cell.get_or_init(|| {
+            // Read-through: a verified disk entry that decodes to the
+            // planned representation for the same machine size replaces
+            // the expensive build.
             if let Some(store) = &self.store {
                 if let Some(bytes) = store.get(Kind::Table, canonical_spec) {
-                    if let Ok(table) = RouteTable::from_bytes(&bytes) {
-                        if table.num_nodes() == n {
+                    if let Ok(routes) = SharedRoutes::from_bytes(&bytes) {
+                        let matches_plan = matches!(
+                            (&routes, plan),
+                            (SharedRoutes::Flat(_), Plan::Flat)
+                                | (SharedRoutes::Compressed(_), Plan::Compressed)
+                        );
+                        if matches_plan && routes.num_nodes() == n {
                             self.from_disk.fetch_add(1, Ordering::Relaxed);
-                            return Arc::new(table);
+                            return routes;
                         }
                     }
                 }
             }
             self.builds.fetch_add(1, Ordering::Relaxed);
-            let table = RouteTable::build(topo);
+            let routes = match plan {
+                Plan::Flat => SharedRoutes::Flat(Arc::new(RouteTable::build(topo))),
+                Plan::Compressed => {
+                    SharedRoutes::Compressed(Arc::new(CompressedRouteTable::build(topo)))
+                }
+            };
             if let Some(store) = &self.store {
-                store.put(Kind::Table, canonical_spec, &table.to_bytes());
+                store.put(Kind::Table, canonical_spec, &routes.to_bytes());
             }
-            Arc::new(table)
+            routes
         });
-        Some(Arc::clone(table))
+        Some(routes.clone())
+    }
+
+    /// Back-compat convenience: the flat table for `canonical_spec`, when
+    /// the machine is small enough for one (`None` otherwise, including
+    /// machines the cache serves compressed).
+    pub fn shared_table(
+        &self,
+        canonical_spec: &str,
+        topo: &dyn Topology,
+    ) -> Option<Arc<RouteTable>> {
+        match self.shared_routes(canonical_spec, topo) {
+            Some(SharedRoutes::Flat(t)) => Some(t),
+            _ => None,
+        }
     }
 
     /// Route tables actually built so far (disk restores are counted
@@ -437,5 +537,72 @@ mod tests {
         );
         drop(store);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn topo_cache_serves_compressed_routes_past_the_dense_limit() {
+        use netloc_topology::{NodeId, SlimFly};
+        // 2·13²·7 = 2366 nodes → 5.6M ordered pairs: past the dense limit,
+        // but router-symmetric, so the cache plans a compressed table.
+        let topo = SlimFly::new(13, 7);
+        let cache = TopoCache::default();
+        let routes = cache.shared_routes("slimfly:13,7", &topo).unwrap();
+        assert!(matches!(routes, SharedRoutes::Compressed(_)));
+        assert_eq!(cache.tables_built(), 1);
+        // The flat-only accessor declines what it cannot represent.
+        assert!(cache.shared_table("slimfly:13,7", &topo).is_none());
+        assert_eq!(cache.tables_built(), 1, "flat accessor reuses the cell");
+        // The cached storage routes identically to the topology itself.
+        let routed = routes.routed(&topo);
+        let mut scratch = Vec::new();
+        for (s, d) in [(0u32, 1u32), (0, 2365), (1234, 17)] {
+            assert_eq!(
+                routed.route_of(NodeId(s), NodeId(d), &mut scratch),
+                topo.route(NodeId(s), NodeId(d)).as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn topo_cache_restores_compressed_tables_from_disk() {
+        use netloc_topology::SlimFly;
+        let dir = tmpdir("compressed");
+        let topo = SlimFly::new(13, 7);
+        let built = {
+            let store = DiskStore::open(&dir).unwrap();
+            let cache = TopoCache::with_store(Some(Arc::clone(&store)));
+            let r = cache.shared_routes("slimfly:13,7", &topo).unwrap();
+            assert_eq!(cache.tables_built(), 1);
+            store.flush();
+            r
+        };
+        let store = DiskStore::open(&dir).unwrap();
+        let cache = TopoCache::with_store(Some(Arc::clone(&store)));
+        let restored = cache.shared_routes("slimfly:13,7", &topo).unwrap();
+        assert_eq!(cache.tables_built(), 0, "no rebuild after restart");
+        assert_eq!(cache.tables_from_disk(), 1);
+        assert!(matches!(restored, SharedRoutes::Compressed(_)));
+        assert_eq!(
+            restored.to_bytes(),
+            built.to_bytes(),
+            "byte-identical compressed table"
+        );
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shared_routes_codec_dispatches_on_variant() {
+        use netloc_topology::{SlimFly, Torus3D};
+        let flat = SharedRoutes::Flat(Arc::new(RouteTable::build(&Torus3D::new([3, 3, 3]))));
+        let comp =
+            SharedRoutes::Compressed(Arc::new(CompressedRouteTable::build(&SlimFly::new(5, 2))));
+        let flat2 = SharedRoutes::from_bytes(&flat.to_bytes()).unwrap();
+        let comp2 = SharedRoutes::from_bytes(&comp.to_bytes()).unwrap();
+        assert!(matches!(flat2, SharedRoutes::Flat(_)));
+        assert!(matches!(comp2, SharedRoutes::Compressed(_)));
+        assert_eq!(flat2.to_bytes(), flat.to_bytes());
+        assert_eq!(comp2.to_bytes(), comp.to_bytes());
+        assert!(SharedRoutes::from_bytes(b"garbage").is_err());
     }
 }

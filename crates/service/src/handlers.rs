@@ -16,7 +16,7 @@ use crate::store::{DiskStoreStats, Kind};
 use netloc_core::canon::{canonical_json, content_digest, digest_hex};
 use netloc_core::{ingest_trace, ingest_trace_bytes, IngestResult};
 use netloc_mpi::Trace;
-use netloc_topology::{MappingSpec, RoutedTopology, TopologySpec};
+use netloc_topology::{MappingSpec, RoutedTopology, SymmetryHint, TopologySpec};
 use netloc_workloads::App;
 use serde::{Serialize, Value};
 use std::sync::atomic::Ordering;
@@ -334,8 +334,9 @@ fn decode_mapping(fields: &[(String, Value)]) -> Result<MappingSpec, Response> {
 // ---- analysis endpoints ----------------------------------------------
 
 /// Build the topology and its routed view, then run `work` against it.
-/// Shared-table when the topo cache accepts the machine size, per-request
-/// lazy rows otherwise; both produce identical reports.
+/// Shared storage (flat or compressed) when the topo cache accepts the
+/// machine, per-request lazy rows otherwise; all modes produce identical
+/// reports.
 fn with_routed<T>(
     state: &AppState,
     topo_spec: &TopologySpec,
@@ -345,9 +346,19 @@ fn with_routed<T>(
         .build()
         .map_err(|e| Response::error(400, &format!("{e}")))?;
     let canonical = topo_spec.to_string();
-    let routed = match state.topo_cache.shared_table(&canonical, topo.as_ref()) {
-        Some(table) => RoutedTopology::with_shared_table(topo.as_ref(), table),
-        None => RoutedTopology::lazy(topo.as_ref()),
+    let routed = match state.topo_cache.shared_routes(&canonical, topo.as_ref()) {
+        Some(routes) => routes.routed(topo.as_ref()),
+        // Past both cache limits: lazy per-router core rows when the
+        // machine is router-symmetric, lazy flat rows otherwise (the same
+        // tail as `RoutedTopology::auto`).
+        None => match topo.symmetry_hint() {
+            Some(SymmetryHint::RouterSymmetric {
+                nodes_per_router: p,
+            }) if p > 0 && topo.num_nodes() % p == 0 => {
+                RoutedTopology::lazy_compressed(topo.as_ref())
+            }
+            _ => RoutedTopology::lazy(topo.as_ref()),
+        },
     };
     Ok(work(&routed))
 }

@@ -10,12 +10,13 @@
 
 use netloc_core::TrafficMatrix;
 use netloc_mpi::Trace;
-use netloc_topology::{Dragonfly, FatTree, Mapping, Topology, Torus3D};
+use netloc_topology::{Dragonfly, FatTree, HyperX, Jellyfish, Mapping, SlimFly, Topology, Torus3D};
 use netloc_workloads::gen::seeded::{self, SeededPattern};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-/// Topology families of the paper (§5) at corpus-friendly sizes.
+/// Topology families of the paper (§5) plus the PR 8 zoo additions, at
+/// corpus-friendly sizes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TopologySpec {
     /// 3D torus with the given dimensions.
@@ -37,6 +38,31 @@ pub enum TopologySpec {
         /// Nodes per router.
         p: usize,
     },
+    /// Slim Fly MMS graph over the prime `q` with `p` nodes per router.
+    SlimFly {
+        /// MMS prime (`2q²` routers).
+        q: usize,
+        /// Nodes per router.
+        p: usize,
+    },
+    /// 3-dimensional HyperX lattice with `p` nodes per router.
+    HyperX {
+        /// Router lattice extents.
+        dims: [usize; 3],
+        /// Nodes per router.
+        p: usize,
+    },
+    /// Jellyfish random regular graph with `p` nodes per router.
+    Jellyfish {
+        /// Number of routers.
+        routers: usize,
+        /// Router degree.
+        degree: usize,
+        /// Nodes per router.
+        p: usize,
+        /// Wiring seed.
+        seed: u64,
+    },
 }
 
 impl TopologySpec {
@@ -46,11 +72,20 @@ impl TopologySpec {
             TopologySpec::Torus(dims) => Box::new(Torus3D::new(dims)),
             TopologySpec::FatTree { radix, stages } => Box::new(FatTree::new(radix, stages)),
             TopologySpec::Dragonfly { a, h, p } => Box::new(Dragonfly::new(a, h, p)),
+            TopologySpec::SlimFly { q, p } => Box::new(SlimFly::new(q, p)),
+            TopologySpec::HyperX { dims, p } => Box::new(HyperX::new(dims.to_vec(), p)),
+            TopologySpec::Jellyfish {
+                routers,
+                degree,
+                p,
+                seed,
+            } => Box::new(Jellyfish::new(routers, degree, p, seed)),
         }
     }
 
     /// Whether minimal routing may legally exceed the BFS distance by one
-    /// hop (dragonfly 5-hop routes, see `netloc_topology::bfs`).
+    /// hop (dragonfly 5-hop routes, see `netloc_topology::bfs`). The zoo
+    /// families route BFS-optimally everywhere.
     pub fn allows_one_hop_detour(&self) -> bool {
         matches!(self, TopologySpec::Dragonfly { .. })
     }
@@ -61,6 +96,16 @@ impl TopologySpec {
             TopologySpec::Torus(d) => format!("torus{}x{}x{}", d[0], d[1], d[2]),
             TopologySpec::FatTree { radix, stages } => format!("fattree{radix}s{stages}"),
             TopologySpec::Dragonfly { a, h, p } => format!("dragonfly{a}h{h}p{p}"),
+            TopologySpec::SlimFly { q, p } => format!("slimfly{q}p{p}"),
+            TopologySpec::HyperX { dims, p } => {
+                format!("hyperx{}x{}x{}p{p}", dims[0], dims[1], dims[2])
+            }
+            TopologySpec::Jellyfish {
+                routers,
+                degree,
+                p,
+                seed,
+            } => format!("jellyfish{routers}d{degree}p{p}s{seed}"),
         }
     }
 }
@@ -149,9 +194,11 @@ impl CorpusConfig {
     }
 }
 
-/// The default corpus: every topology family × every mapping kind ×
-/// several workload patterns, plus one transpose per topology — 30
-/// configs, each small enough for exhaustive all-pairs route checking.
+/// The default corpus: every paper topology family × every mapping kind ×
+/// several workload patterns, plus one transpose per topology and one
+/// config per zoo family (Slim Fly, HyperX, Jellyfish) — 33 configs. The
+/// paper-family entries are small enough for exhaustive all-pairs route
+/// checking; the zoo entries are sized for the sampled route oracle.
 pub fn default_corpus() -> Vec<CorpusConfig> {
     let topologies = [
         TopologySpec::Torus([3, 3, 3]),
@@ -205,6 +252,44 @@ pub fn default_corpus() -> Vec<CorpusConfig> {
             seed,
         });
     }
+    // One config per zoo family (PR 8), appended after the original 30 so
+    // golden selections keyed on corpus order stay stable. All three are
+    // past the ~500-node exhaustive-BFS comfort zone, so `verify_corpus`
+    // route-checks them through the sampled oracle.
+    for (topology, mapping, pattern) in [
+        (
+            TopologySpec::SlimFly { q: 13, p: 2 }, // 676 nodes
+            MappingKind::Block(4),
+            SeededPattern::RandomPairs,
+        ),
+        (
+            TopologySpec::HyperX {
+                dims: [6, 6, 4],
+                p: 4,
+            }, // 576 nodes
+            MappingKind::Random,
+            SeededPattern::Ring,
+        ),
+        (
+            TopologySpec::Jellyfish {
+                routers: 150,
+                degree: 8,
+                p: 4,
+                seed: 42,
+            }, // 600 nodes
+            MappingKind::Consecutive,
+            SeededPattern::HotSpot,
+        ),
+    ] {
+        seed += 1;
+        corpus.push(CorpusConfig {
+            topology,
+            mapping,
+            pattern,
+            ranks: 24,
+            seed,
+        });
+    }
     corpus
 }
 
@@ -219,7 +304,14 @@ mod tests {
         let ids: std::collections::HashSet<String> = corpus.iter().map(CorpusConfig::id).collect();
         assert_eq!(ids.len(), corpus.len(), "config ids must be unique");
         // Every topology family and every mapping kind must appear.
-        for name in ["torus", "fattree", "dragonfly"] {
+        for name in [
+            "torus",
+            "fattree",
+            "dragonfly",
+            "slimfly",
+            "hyperx",
+            "jellyfish",
+        ] {
             assert!(ids.iter().any(|i| i.starts_with(name)), "missing {name}");
         }
         for name in ["consecutive", "block", "random"] {

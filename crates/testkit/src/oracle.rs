@@ -29,7 +29,8 @@ use rand_chacha::ChaCha8Rng;
 pub struct Mismatch {
     /// Corpus config id (see [`CorpusConfig::id`]).
     pub config: String,
-    /// Which oracle fired: `"route"`, `"route-table"`, `"replay"`,
+    /// Which oracle fired: `"route"`, `"route-table"`, their sampled
+    /// variants `"route-sampled"` / `"route-table-sampled"`, `"replay"`,
     /// `"ingest"`, or `"sim"`.
     pub oracle: &'static str,
     /// Human-readable description of the violation.
@@ -117,13 +118,27 @@ pub fn check_routes(topo: &dyn Topology, allow_one_hop_detour: bool) -> (Vec<Str
 /// Compare the precomputed CSR storage against direct routing for every
 /// node pair: the dense [`RouteTable`](netloc_topology::RouteTable) and the
 /// lazy per-source rows must both return routes *byte-identical* to
-/// [`Topology::route_into`], with matching CSR hop counts.
+/// [`Topology::route_into`], with matching CSR hop counts. Router-symmetric
+/// topologies additionally check the compressed per-router table and the
+/// lazy compressed core rows on every pair.
 ///
 /// Returns violations; the second tuple element is the number of pairs
-/// checked (each pair checks dense and lazy storage).
+/// checked (each pair checks every applicable storage mode).
 pub fn check_route_table(topo: &dyn Topology) -> (Vec<String>, u64) {
     let table = topo.route_table();
     let lazy = RoutedTopology::lazy(topo);
+    let symmetric = topo.symmetry_hint().is_some();
+    let compressed_modes = if symmetric {
+        vec![
+            ("compressed table", RoutedTopology::compressed(topo)),
+            (
+                "lazy compressed rows",
+                RoutedTopology::lazy_compressed(topo),
+            ),
+        ]
+    } else {
+        Vec::new()
+    };
     let n = topo.num_nodes();
     let mut violations = Vec::new();
     let mut pairs = 0u64;
@@ -160,6 +175,147 @@ pub fn check_route_table(topo: &dyn Topology) -> (Vec<String>, u64) {
             if lazy_route != direct {
                 violations.push(format!(
                     "{s}->{d}: lazy row route {lazy_route:?} != route_into {direct:?}"
+                ));
+            }
+            for (label, routed) in &compressed_modes {
+                let route = routed.route_of(src, dst, &mut scratch);
+                if route != direct {
+                    violations.push(format!(
+                        "{s}->{d}: {label} route {route:?} != route_into {direct:?}"
+                    ));
+                }
+                if routed.hops(src, dst) as usize != direct.len() {
+                    violations.push(format!(
+                        "{s}->{d}: {label} hops {} != route length {}",
+                        routed.hops(src, dst),
+                        direct.len()
+                    ));
+                }
+            }
+        }
+    }
+    (violations, pairs)
+}
+
+/// Node count above which `verify_corpus` switches the route oracles from
+/// exhaustive all-pairs BFS to seeded sampling — all-pairs BFS on the
+/// 500+-node zoo configs would cost minutes per run for no extra
+/// assurance beyond the families' own unit tests.
+pub const MAX_EXHAUSTIVE_ROUTE_NODES: usize = 500;
+
+/// Minimum sampled pairs per config when the sampled route oracles run.
+pub const SAMPLED_ROUTE_PAIRS: usize = 4096;
+
+/// Sampled-pair variant of [`check_routes`]: seeded BFS from a sample of
+/// sources, each checked against a sample of destinations, covering at
+/// least `max_pairs` ordered pairs. Same assertions as the exhaustive
+/// oracle — valid link-disjoint walk, BFS-optimal length, `hops()`
+/// consistency — over a deterministic subset.
+pub fn check_routes_sampled(
+    topo: &dyn Topology,
+    allow_one_hop_detour: bool,
+    max_pairs: usize,
+    seed: u64,
+) -> (Vec<String>, u64) {
+    let n = topo.num_nodes();
+    let mut violations = Vec::new();
+    let mut pairs = 0u64;
+    if n < 2 || max_pairs == 0 {
+        return (violations, pairs);
+    }
+    let bfs = BfsRouter::new(topo);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let per_source = 64.min(n);
+    let num_sources = max_pairs.div_ceil(per_source).min(n);
+    // Partial Fisher–Yates: distinct sources, so each BFS is amortized
+    // over `per_source` destination checks.
+    let mut pool: Vec<u32> = (0..n as u32).collect();
+    for i in 0..num_sources {
+        let j = rng.gen_range(i..pool.len());
+        pool.swap(i, j);
+    }
+    let mut route = Vec::new();
+    for &s in &pool[..num_sources] {
+        let src = NodeId(s);
+        let dist = bfs.distances_from(src);
+        for _ in 0..per_source {
+            let d = rng.gen_range(0..n as u32);
+            let dst = NodeId(d);
+            pairs += 1;
+            route.clear();
+            topo.route_into(src, dst, &mut route);
+            if let Err(e) = validate_walk(topo, src, dst, &route) {
+                violations.push(format!("{s}->{d}: invalid walk: {e}"));
+                continue;
+            }
+            let direct = route.len() as u32;
+            let optimal = dist[d as usize];
+            let ok = direct == optimal || (allow_one_hop_detour && direct == 5 && optimal == 4);
+            if !ok {
+                violations.push(format!(
+                    "{s}->{d}: analytic route has {direct} hops, BFS optimum is {optimal}"
+                ));
+            }
+            if topo.hops(src, dst) != direct {
+                violations.push(format!(
+                    "{s}->{d}: hops() says {}, route() has {direct} links",
+                    topo.hops(src, dst)
+                ));
+            }
+        }
+    }
+    (violations, pairs)
+}
+
+/// Sampled-pair variant of [`check_route_table`]: every storage mode the
+/// machine supports (auto-picked, lazy flat rows, and — when
+/// router-symmetric — the compressed table and lazy compressed rows) must
+/// return routes byte-identical to [`Topology::route_into`] on a seeded
+/// pair sample, with matching hop counts.
+pub fn check_route_table_sampled(
+    topo: &dyn Topology,
+    max_pairs: usize,
+    seed: u64,
+) -> (Vec<String>, u64) {
+    let n = topo.num_nodes();
+    let mut violations = Vec::new();
+    let mut pairs = 0u64;
+    if n == 0 || max_pairs == 0 {
+        return (violations, pairs);
+    }
+    let mut modes = vec![
+        ("auto storage", RoutedTopology::auto(topo)),
+        ("lazy route rows", RoutedTopology::lazy(topo)),
+    ];
+    if topo.symmetry_hint().is_some() {
+        modes.push(("compressed table", RoutedTopology::compressed(topo)));
+        modes.push((
+            "lazy compressed rows",
+            RoutedTopology::lazy_compressed(topo),
+        ));
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut direct = Vec::new();
+    let mut scratch = Vec::new();
+    for _ in 0..max_pairs {
+        let s = rng.gen_range(0..n as u32);
+        let d = rng.gen_range(0..n as u32);
+        let (src, dst) = (NodeId(s), NodeId(d));
+        pairs += 1;
+        direct.clear();
+        topo.route_into(src, dst, &mut direct);
+        for (label, routed) in &modes {
+            let route = routed.route_of(src, dst, &mut scratch);
+            if route != direct {
+                violations.push(format!(
+                    "{s}->{d}: {label} route {route:?} != route_into {direct:?}"
+                ));
+            }
+            if routed.hops(src, dst) as usize != direct.len() {
+                violations.push(format!(
+                    "{s}->{d}: {label} hops {} != route length {}",
+                    routed.hops(src, dst),
+                    direct.len()
                 ));
             }
         }
@@ -237,12 +393,25 @@ pub fn check_replay(cfg: &CorpusConfig) -> (Vec<String>, u64) {
         violations.push(format!("production path: {d}"));
     }
 
-    // The node-pair replay over precomputed CSR storage, in both modes.
-    for (label, routed) in [
+    // The node-pair replay over precomputed CSR storage, in every mode
+    // the machine supports (compressed storage exists only on
+    // router-symmetric topologies).
+    let mut storage_modes = vec![
         ("dense route table", RoutedTopology::dense(topo.as_ref())),
         ("lazy route rows", RoutedTopology::lazy(topo.as_ref())),
-    ] {
-        let routed_report = analyze_network_routed(&routed, &mapping, &tm);
+    ];
+    if topo.symmetry_hint().is_some() {
+        storage_modes.push((
+            "compressed table",
+            RoutedTopology::compressed(topo.as_ref()),
+        ));
+        storage_modes.push((
+            "lazy compressed rows",
+            RoutedTopology::lazy_compressed(topo.as_ref()),
+        ));
+    }
+    for (label, routed) in &storage_modes {
+        let routed_report = analyze_network_routed(routed, &mapping, &tm);
         checks += 1;
         for d in report_diff(&reference, &routed_report) {
             violations.push(format!("{label}: {d}"));
@@ -517,23 +686,42 @@ pub fn verify_corpus(corpus: &[CorpusConfig]) -> VerifySummary {
         if !seen_topologies.contains(&cfg.topology) {
             seen_topologies.push(cfg.topology);
             let topo = cfg.build_topology();
-            let (violations, pairs) =
-                check_routes(topo.as_ref(), cfg.topology.allows_one_hop_detour());
+            // Zoo-sized configs get the seeded sampled oracles; all-pairs
+            // BFS there would take minutes without adding assurance.
+            let exhaustive = topo.num_nodes() <= MAX_EXHAUSTIVE_ROUTE_NODES;
+            let (violations, pairs) = if exhaustive {
+                check_routes(topo.as_ref(), cfg.topology.allows_one_hop_detour())
+            } else {
+                check_routes_sampled(
+                    topo.as_ref(),
+                    cfg.topology.allows_one_hop_detour(),
+                    SAMPLED_ROUTE_PAIRS,
+                    cfg.seed,
+                )
+            };
             summary.route_pairs += pairs;
             summary
                 .mismatches
                 .extend(violations.into_iter().map(|detail| Mismatch {
                     config: cfg.id(),
-                    oracle: "route",
+                    oracle: if exhaustive { "route" } else { "route-sampled" },
                     detail,
                 }));
-            let (violations, pairs) = check_route_table(topo.as_ref());
+            let (violations, pairs) = if exhaustive {
+                check_route_table(topo.as_ref())
+            } else {
+                check_route_table_sampled(topo.as_ref(), SAMPLED_ROUTE_PAIRS, cfg.seed ^ 0x7ab1e)
+            };
             summary.route_pairs += pairs;
             summary
                 .mismatches
                 .extend(violations.into_iter().map(|detail| Mismatch {
                     config: cfg.id(),
-                    oracle: "route-table",
+                    oracle: if exhaustive {
+                        "route-table"
+                    } else {
+                        "route-table-sampled"
+                    },
                     detail,
                 }));
         }
@@ -597,7 +785,11 @@ mod tests {
     fn route_tables_byte_identical_on_all_corpus_topologies() {
         for cfg in default_corpus() {
             let topo = cfg.build_topology();
-            let (violations, pairs) = check_route_table(topo.as_ref());
+            let (violations, pairs) = if topo.num_nodes() <= MAX_EXHAUSTIVE_ROUTE_NODES {
+                check_route_table(topo.as_ref())
+            } else {
+                check_route_table_sampled(topo.as_ref(), SAMPLED_ROUTE_PAIRS, cfg.seed)
+            };
             assert!(pairs > 0);
             assert!(
                 violations.is_empty(),
@@ -606,6 +798,54 @@ mod tests {
                 violations.join("\n")
             );
         }
+    }
+
+    #[test]
+    fn sampled_oracles_cover_the_zoo_configs() {
+        let mut sampled_families = 0;
+        for cfg in default_corpus() {
+            let topo = cfg.build_topology();
+            if topo.num_nodes() <= MAX_EXHAUSTIVE_ROUTE_NODES {
+                continue;
+            }
+            sampled_families += 1;
+            let (violations, pairs) = check_routes_sampled(
+                topo.as_ref(),
+                cfg.topology.allows_one_hop_detour(),
+                SAMPLED_ROUTE_PAIRS,
+                cfg.seed,
+            );
+            assert!(pairs >= SAMPLED_ROUTE_PAIRS as u64, "{}", cfg.id());
+            assert!(
+                violations.is_empty(),
+                "{}: {}",
+                cfg.id(),
+                violations.join("\n")
+            );
+            let (violations, pairs) =
+                check_route_table_sampled(topo.as_ref(), SAMPLED_ROUTE_PAIRS, cfg.seed);
+            assert!(pairs >= SAMPLED_ROUTE_PAIRS as u64, "{}", cfg.id());
+            assert!(
+                violations.is_empty(),
+                "{}: {}",
+                cfg.id(),
+                violations.join("\n")
+            );
+        }
+        assert_eq!(
+            sampled_families, 3,
+            "each zoo family contributes one sampled-oracle config"
+        );
+    }
+
+    #[test]
+    fn sampled_route_oracle_is_seeded() {
+        let topo = netloc_topology::SlimFly::new(13, 2);
+        let (v1, p1) = check_routes_sampled(&topo, false, 1000, 5);
+        let (v2, p2) = check_routes_sampled(&topo, false, 1000, 5);
+        assert_eq!((v1.len(), p1), (v2.len(), p2));
+        assert!(p1 >= 1000);
+        assert!(v1.is_empty());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Dragonfly topology with palm-tree global wiring.
 
 use crate::link::{Link, LinkClass, LinkId, NodeId};
-use crate::Topology;
+use crate::{SymmetryHint, Topology};
 
 /// A dragonfly network (Kim et al., ISCA 2008) as configured in the paper:
 /// groups of `a` routers, each attaching `p` nodes and hosting `h` global
@@ -232,6 +232,14 @@ impl Topology for Dragonfly {
         } else {
             2
         }
+    }
+
+    fn symmetry_hint(&self) -> Option<SymmetryHint> {
+        // The palm-tree global link and the local detours depend only on
+        // the (group, router) pair, i.e. on `node / p` — router-symmetric.
+        Some(SymmetryHint::RouterSymmetric {
+            nodes_per_router: self.p,
+        })
     }
 }
 

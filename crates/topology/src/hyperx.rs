@@ -1,0 +1,324 @@
+//! HyperX / flattened-butterfly topology.
+
+use crate::link::{Link, LinkClass, LinkId, NodeId};
+use crate::{SymmetryHint, Topology};
+
+/// A regular HyperX network (Ahn et al., SC 2009), the flattened butterfly
+/// generalization: routers are points of a `d_1 × d_2 × … × d_k` lattice
+/// and every *line* (routers differing in exactly one coordinate) is a
+/// complete graph, so each dimension is crossed in a single hop.
+///
+/// Each router attaches `p` nodes; node `i` sits on router `i / p`.
+/// Minimal routing is dimension-ordered: correct coordinates in ascending
+/// dimension order, one link per differing dimension. Route length is
+/// `2 + Hamming(src router, dst router)`, which is BFS-optimal, and link
+/// ids are pure arithmetic — no adjacency structure is materialized.
+#[derive(Debug, Clone)]
+pub struct HyperX {
+    dims: Vec<usize>,
+    p: usize,
+    routers: usize,
+    num_nodes: usize,
+    /// `stride[k]` = product of `dims[k+1..]`; coordinate `k` of router `r`
+    /// is `(r / stride[k]) % dims[k]`.
+    strides: Vec<usize>,
+    /// First link id of dimension `k`'s router links.
+    dim_base: Vec<u32>,
+    links: Vec<Link>,
+}
+
+/// Most dimensions accepted by [`HyperX::new`] (link classes carry the
+/// dimension in a `u8`, and deeper lattices are outside the zoo's scope).
+const MAX_DIMS: usize = 8;
+
+impl HyperX {
+    /// Validate `(dims, p)` without building: 1–8 dimensions, every extent
+    /// at least 2, `p ≥ 1`, and vertex/link ids that fit in `u32`.
+    pub fn check_params(dims: &[usize], p: usize) -> Result<(), String> {
+        if dims.is_empty() || dims.len() > MAX_DIMS {
+            return Err(format!(
+                "hyperx needs 1..={MAX_DIMS} dimensions, got {}",
+                dims.len()
+            ));
+        }
+        if let Some(d) = dims.iter().find(|&&d| d < 2) {
+            return Err(format!("hyperx dimension extents must be >= 2, got {d}"));
+        }
+        if p == 0 {
+            return Err("hyperx needs p >= 1 nodes per router".into());
+        }
+        let mut routers = 1usize;
+        for &d in dims {
+            routers = routers
+                .checked_mul(d)
+                .ok_or_else(|| "hyperx lattice overflows".to_string())?;
+        }
+        let nodes = routers
+            .checked_mul(p)
+            .ok_or_else(|| "hyperx node count overflows".to_string())?;
+        if nodes
+            .checked_add(routers)
+            .is_none_or(|v| v > u32::MAX as usize)
+        {
+            return Err("hyperx vertex ids overflow u32".into());
+        }
+        Ok(())
+    }
+
+    /// Build a HyperX from dimension extents and nodes per router.
+    ///
+    /// # Panics
+    /// Panics if [`HyperX::check_params`] rejects the parameters.
+    pub fn new(dims: Vec<usize>, p: usize) -> Self {
+        if let Err(e) = Self::check_params(&dims, p) {
+            panic!("{e}");
+        }
+        let routers: usize = dims.iter().product();
+        let num_nodes = routers * p;
+        let mut strides = vec![1usize; dims.len()];
+        for k in (0..dims.len().saturating_sub(1)).rev() {
+            strides[k] = strides[k + 1] * dims[k + 1];
+        }
+
+        let mut links = Vec::with_capacity(num_nodes);
+        for i in 0..num_nodes {
+            links.push(Link::new(
+                i as u32,
+                (num_nodes + i / p) as u32,
+                LinkClass::Terminal,
+            ));
+        }
+        // Dimension k: complete graph on every line of constant other
+        // coordinates. Loop order (line, then ordered pair) must agree
+        // with `line_link` below.
+        let mut dim_base = Vec::with_capacity(dims.len());
+        for (k, &d) in dims.iter().enumerate() {
+            dim_base.push(links.len() as u32);
+            let lines = routers / d;
+            for line in 0..lines {
+                let base = (line / strides[k]) * (strides[k] * d) + line % strides[k];
+                for i in 0..d {
+                    for j in i + 1..d {
+                        links.push(Link::new(
+                            (num_nodes + base + i * strides[k]) as u32,
+                            (num_nodes + base + j * strides[k]) as u32,
+                            LinkClass::HyperXDim(k as u8),
+                        ));
+                    }
+                }
+            }
+        }
+        assert!(links.len() <= u32::MAX as usize, "link ids overflow u32");
+
+        HyperX {
+            dims,
+            p,
+            routers,
+            num_nodes,
+            strides,
+            dim_base,
+            links,
+        }
+    }
+
+    /// Dimension extents of the router lattice.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Nodes per router.
+    pub fn nodes_per_router(&self) -> usize {
+        self.p
+    }
+
+    /// Number of routers (`Π dims`).
+    pub fn num_routers(&self) -> usize {
+        self.routers
+    }
+
+    #[inline]
+    fn coord(&self, r: usize, k: usize) -> usize {
+        (r / self.strides[k]) % self.dims[k]
+    }
+
+    /// Link joining coordinates `a != b` of dimension `k` on the line of
+    /// router `r` (triangular indexing within the line's complete graph).
+    #[inline]
+    fn line_link(&self, r: usize, k: usize, a: usize, b: usize) -> LinkId {
+        let d = self.dims[k];
+        let line = (r / (self.strides[k] * d)) * self.strides[k] + r % self.strides[k];
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let tri = lo * (2 * d - lo - 1) / 2 + (hi - lo - 1);
+        LinkId(self.dim_base[k] + (line * (d * (d - 1) / 2) + tri) as u32)
+    }
+}
+
+impl Topology for HyperX {
+    fn name(&self) -> &'static str {
+        "hyperx"
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    fn hops(&self, src: NodeId, dst: NodeId) -> u32 {
+        if src == dst {
+            return 0;
+        }
+        let (rs, rd) = (src.idx() / self.p, dst.idx() / self.p);
+        let mut h = 2;
+        for k in 0..self.dims.len() {
+            h += u32::from(self.coord(rs, k) != self.coord(rd, k));
+        }
+        h
+    }
+
+    fn route_into(&self, src: NodeId, dst: NodeId, out: &mut Vec<LinkId>) {
+        if src == dst {
+            return;
+        }
+        // Terminal link ids coincide with node ids by construction.
+        out.push(LinkId(src.0));
+        let (rs, rd) = (src.idx() / self.p, dst.idx() / self.p);
+        let mut cur = rs;
+        for k in 0..self.dims.len() {
+            let (a, b) = (self.coord(cur, k), self.coord(rd, k));
+            if a != b {
+                out.push(self.line_link(cur, k, a, b));
+                cur = cur + b * self.strides[k] - a * self.strides[k];
+            }
+        }
+        debug_assert_eq!(cur, rd);
+        out.push(LinkId(dst.0));
+    }
+
+    fn diameter(&self) -> u32 {
+        // One hop per dimension, plus the two terminal hops.
+        2 + self.dims.len() as u32
+    }
+
+    fn symmetry_hint(&self) -> Option<SymmetryHint> {
+        Some(SymmetryHint::RouterSymmetric {
+            nodes_per_router: self.p,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routergraph::RouterGraph;
+
+    fn router_graph_of(hx: &HyperX) -> RouterGraph {
+        let n = hx.num_nodes();
+        let edges: Vec<(u32, u32, LinkId)> = hx
+            .links()
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.class != LinkClass::Terminal)
+            .map(|(i, l)| (l.a - n as u32, l.b - n as u32, LinkId(i as u32)))
+            .collect();
+        RouterGraph::new(hx.num_routers(), &edges)
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(HyperX::check_params(&[4, 4], 2).is_ok());
+        assert!(HyperX::check_params(&[], 2).is_err());
+        assert!(HyperX::check_params(&[2; 9], 1).is_err());
+        assert!(HyperX::check_params(&[4, 1], 2).is_err());
+        assert!(HyperX::check_params(&[4, 4], 0).is_err());
+    }
+
+    #[test]
+    fn link_census() {
+        let hx = HyperX::new(vec![3, 4, 2], 2);
+        assert_eq!(hx.num_routers(), 24);
+        assert_eq!(hx.num_nodes(), 48);
+        // Per dimension: (R / d) lines × C(d, 2) links.
+        let expected: usize = [3usize, 4, 2]
+            .iter()
+            .map(|&d| (24 / d) * d * (d - 1) / 2)
+            .sum();
+        assert_eq!(hx.links().len(), 48 + expected);
+        let per_dim = |k: u8| {
+            hx.links()
+                .iter()
+                .filter(|l| l.class == LinkClass::HyperXDim(k))
+                .count()
+        };
+        assert_eq!(per_dim(0), 8 * 3);
+        assert_eq!(per_dim(1), 6 * 6);
+        assert_eq!(per_dim(2), 12);
+    }
+
+    #[test]
+    fn hops_is_hamming_distance_and_bfs_optimal() {
+        let hx = HyperX::new(vec![3, 4, 2], 1);
+        let g = router_graph_of(&hx);
+        for s in 0..hx.num_routers() {
+            let parents = g.bfs_parents(s);
+            for d in 0..hx.num_routers() {
+                let (sn, dn) = (NodeId(s as u32), NodeId(d as u32));
+                let h = hx.hops(sn, dn);
+                assert_eq!(h, hx.route(sn, dn).len() as u32, "{s}->{d}");
+                if s != d {
+                    let mut dist = 0;
+                    let mut cur = d as u32;
+                    while cur != s as u32 {
+                        cur = parents[cur as usize].0;
+                        dist += 1;
+                    }
+                    assert_eq!(h, 2 + dist, "{s}->{d} not BFS-minimal");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_is_contiguous_path() {
+        let hx = HyperX::new(vec![4, 4], 3);
+        for (s, d) in [(0u32, 47u32), (17, 30), (40, 41), (9, 0), (2, 2)] {
+            let route = hx.route(NodeId(s), NodeId(d));
+            let mut cur = s;
+            for lid in route {
+                let link = hx.links()[lid.idx()];
+                cur = link
+                    .other(cur)
+                    .unwrap_or_else(|| panic!("broken path {s}->{d} at {lid:?}"));
+            }
+            assert_eq!(cur, d);
+        }
+    }
+
+    #[test]
+    fn routes_are_symmetric_in_length_with_no_repeats() {
+        let hx = HyperX::new(vec![3, 3], 2);
+        for s in 0..hx.num_nodes() {
+            for d in 0..hx.num_nodes() {
+                let (sn, dn) = (NodeId(s as u32), NodeId(d as u32));
+                let route = hx.route(sn, dn);
+                assert_eq!(route.len(), hx.route(dn, sn).len(), "{s}<->{d}");
+                let mut seen = std::collections::HashSet::new();
+                assert!(route.iter().all(|l| seen.insert(*l)), "{s}->{d} repeats");
+            }
+        }
+    }
+
+    #[test]
+    fn diameter_and_symmetry_hint() {
+        let hx = HyperX::new(vec![2, 2, 2], 4);
+        assert_eq!(hx.diameter(), 5);
+        assert_eq!(
+            hx.symmetry_hint(),
+            Some(SymmetryHint::RouterSymmetric {
+                nodes_per_router: 4
+            })
+        );
+    }
+}

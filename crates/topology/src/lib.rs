@@ -17,11 +17,21 @@
 //!   links each, `a = 2h = 2p`, globally wired in a palm-tree pattern;
 //!   minimal routing uses at most one global link (≤ 5 hops).
 //!
-//! All three expose the same [`Topology`] trait: full link enumeration (for
+//! Beyond the paper's selection, the crate carries the extreme-scale
+//! low-diameter zoo the literature benchmarks (EvalNet; Besta & Hoefler):
+//!
+//! * [`SlimFly`] — MMS router graphs of diameter 2 near the Moore bound.
+//! * [`HyperX`] — flattened-butterfly lattices, one hop per dimension.
+//! * [`Jellyfish`] — seeded random regular graphs with BFS-tree routing.
+//!
+//! All expose the same [`Topology`] trait: full link enumeration (for
 //! utilization and per-link load accounting) and per-pair routes as explicit
 //! link sequences. A generic BFS router ([`bfs::BfsRouter`]) over the same
 //! link graph serves as a test oracle for the analytic routing of each
-//! topology.
+//! topology. Topologies whose routes factor through a router-pair core
+//! advertise it via [`Topology::symmetry_hint`], which lets
+//! [`routetable::CompressedRouteTable`] store each core once instead of a
+//! per-node-pair flat CSR.
 //!
 //! ```
 //! use netloc_topology::{Topology, Torus3D};
@@ -45,11 +55,15 @@ pub mod distmatrix;
 pub mod dragonfly;
 pub mod fattree;
 pub mod grid;
+pub mod hyperx;
+pub mod jellyfish;
 pub mod link;
 pub mod mapping;
 pub mod mesh;
 pub mod optimize;
+pub mod routergraph;
 pub mod routetable;
+pub mod slimfly;
 pub mod spec;
 pub mod tapered;
 pub mod torus;
@@ -57,18 +71,38 @@ pub mod torus_nd;
 pub mod valiant;
 
 pub use config::{ConfigCatalog, TopologyConfig};
-pub use distmatrix::DistanceMatrix;
+pub use distmatrix::{DistanceMatrix, SampledDistances};
 pub use dragonfly::Dragonfly;
 pub use fattree::FatTree;
+pub use hyperx::HyperX;
+pub use jellyfish::Jellyfish;
 pub use link::{Link, LinkClass, LinkId, NodeId};
 pub use mapping::Mapping;
 pub use mesh::Mesh3D;
-pub use routetable::{RouteTable, RoutedTopology, SourceRow};
+pub use routergraph::RouterGraph;
+pub use routetable::{CompressedRouteTable, RouteTable, RoutedTopology, SourceRow};
+pub use slimfly::SlimFly;
 pub use spec::{MappingSpec, SpecError, TopologySpec};
 pub use tapered::TaperedFatTree;
 pub use torus::Torus3D;
 pub use torus_nd::TorusNd;
 pub use valiant::ValiantDragonfly;
+
+/// Structural symmetry a topology can advertise so route storage can
+/// exploit it (see [`Topology::symmetry_hint`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SymmetryHint {
+    /// Routes factor as `terminal(src) ++ core(router(src), router(dst))
+    /// ++ terminal(dst)`: node `i` sits on router `i / nodes_per_router`,
+    /// terminal link ids equal node ids, and the router-to-router core of
+    /// a route depends only on the router pair — every node pair sharing a
+    /// router pair rides the same core. This is exactly the shape
+    /// [`routetable::CompressedRouteTable`] compresses.
+    RouterSymmetric {
+        /// Nodes attached to each router (`num_nodes` must divide evenly).
+        nodes_per_router: usize,
+    },
+}
 
 /// A network topology: a set of compute nodes joined by links through
 /// (implicit) switches, with deterministic shortest-path routing.
@@ -112,6 +146,16 @@ pub trait Topology: Sync {
     /// bound and a lazy alternative for very large machines).
     fn route_table(&self) -> RouteTable {
         RouteTable::build(self)
+    }
+
+    /// Structural symmetry of this topology's routes, if any. The default
+    /// reports none; router-symmetric families (dragonfly, Slim Fly,
+    /// HyperX, Jellyfish) override it so [`RoutedTopology::auto`] can pick
+    /// compressed route storage. Topologies whose core depends on more
+    /// than the router pair (the fat tree's up-path follows destination
+    /// digits; the torus has no terminal links at all) must stay `None`.
+    fn symmetry_hint(&self) -> Option<SymmetryHint> {
+        None
     }
 
     /// The topology's diameter in hops (maximum over node pairs).

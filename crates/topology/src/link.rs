@@ -59,6 +59,14 @@ pub enum LinkClass {
     DragonflyLocal,
     /// Dragonfly inter-group (optical) link.
     DragonflyGlobal,
+    /// Slim Fly intra-block MMS edge (within one Cayley-graph line).
+    SlimFlyLocal,
+    /// Slim Fly cross-block MMS edge (`y = m·x + c` bipartite wiring).
+    SlimFlyGlobal,
+    /// HyperX link along dimension 0, 1, … of the router lattice.
+    HyperXDim(u8),
+    /// Jellyfish random-regular-graph router-to-router link.
+    Jellyfish,
 }
 
 impl LinkClass {

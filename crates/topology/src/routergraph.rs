@@ -1,0 +1,195 @@
+//! Router-level adjacency substrate shared by the zoo topologies.
+//!
+//! Slim Fly, HyperX and Jellyfish all route *between routers* and only
+//! attach compute nodes at the endpoints (one terminal hop on each side).
+//! This module provides the piece they share: a CSR adjacency over router
+//! indices with the link id stored per edge, sorted by neighbor so that
+//! adjacency tests are binary searches, common-neighbor queries are sorted
+//! merges, and BFS expansions are deterministic (neighbors are always
+//! visited in ascending router order, so parent trees — and therefore
+//! routes — never depend on construction order or thread timing).
+
+use crate::link::LinkId;
+
+/// Sentinel for "no router" in BFS parent arrays.
+pub const NO_ROUTER: u32 = u32::MAX;
+
+/// CSR adjacency over router indices, with per-edge link ids.
+///
+/// Rows are sorted by neighbor router id; every undirected edge appears in
+/// both endpoint rows with the same [`LinkId`].
+#[derive(Debug, Clone)]
+pub struct RouterGraph {
+    offsets: Vec<u32>,
+    adj: Vec<(u32, LinkId)>,
+}
+
+impl RouterGraph {
+    /// Build the CSR from an undirected edge list `(a, b, link)`.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range or an edge is a self-loop.
+    pub fn new(routers: usize, edges: &[(u32, u32, LinkId)]) -> Self {
+        let mut degree = vec![0u32; routers];
+        for &(a, b, _) in edges {
+            assert!(
+                (a as usize) < routers && (b as usize) < routers,
+                "edge ({a},{b}) outside the {routers}-router graph"
+            );
+            assert_ne!(a, b, "self-loop at router {a}");
+            degree[a as usize] += 1;
+            degree[b as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(routers + 1);
+        offsets.push(0u32);
+        let mut acc = 0u32;
+        for &d in &degree {
+            acc = acc.checked_add(d).expect("edge endpoints fit u32");
+            offsets.push(acc);
+        }
+        let mut adj = vec![(NO_ROUTER, LinkId(0)); acc as usize];
+        let mut cursor: Vec<u32> = offsets[..routers].to_vec();
+        for &(a, b, l) in edges {
+            adj[cursor[a as usize] as usize] = (b, l);
+            cursor[a as usize] += 1;
+            adj[cursor[b as usize] as usize] = (a, l);
+            cursor[b as usize] += 1;
+        }
+        for r in 0..routers {
+            adj[offsets[r] as usize..offsets[r + 1] as usize].sort_unstable();
+        }
+        RouterGraph { offsets, adj }
+    }
+
+    /// Number of routers.
+    #[inline]
+    pub fn num_routers(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Neighbors of `r` as `(router, link)` pairs, ascending by router id.
+    #[inline]
+    pub fn neighbors(&self, r: usize) -> &[(u32, LinkId)] {
+        &self.adj[self.offsets[r] as usize..self.offsets[r + 1] as usize]
+    }
+
+    /// Degree of `r`.
+    #[inline]
+    pub fn degree(&self, r: usize) -> usize {
+        (self.offsets[r + 1] - self.offsets[r]) as usize
+    }
+
+    /// The link joining `a` and `b`, if they are adjacent (binary search).
+    pub fn link_between(&self, a: usize, b: usize) -> Option<LinkId> {
+        let row = self.neighbors(a);
+        row.binary_search_by_key(&(b as u32), |&(n, _)| n)
+            .ok()
+            .map(|i| row[i].1)
+    }
+
+    /// The first common neighbor of `a` and `b` in ascending router order,
+    /// as `(via, link a→via, link via→b)`. A sorted two-pointer merge, so
+    /// the answer is symmetric in `a` and `b` and O(deg).
+    pub fn common_neighbor(&self, a: usize, b: usize) -> Option<(u32, LinkId, LinkId)> {
+        let (ra, rb) = (self.neighbors(a), self.neighbors(b));
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < ra.len() && j < rb.len() {
+            match ra[i].0.cmp(&rb[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return Some((ra[i].0, ra[i].1, rb[j].1)),
+            }
+        }
+        None
+    }
+
+    /// Deterministic BFS parent tree from `src`: entry `r` is
+    /// `(parent router, link parent→r)`. The source maps to itself with a
+    /// dangling link id; unreachable routers map to [`NO_ROUTER`].
+    pub fn bfs_parents(&self, src: usize) -> Vec<(u32, LinkId)> {
+        let n = self.num_routers();
+        let mut parent = vec![(NO_ROUTER, LinkId(u32::MAX)); n];
+        parent[src] = (src as u32, LinkId(u32::MAX));
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(src as u32);
+        while let Some(r) = queue.pop_front() {
+            for &(next, link) in self.neighbors(r as usize) {
+                if parent[next as usize].0 == NO_ROUTER {
+                    parent[next as usize] = (r, link);
+                    queue.push_back(next);
+                }
+            }
+        }
+        parent
+    }
+
+    /// Whether every router is reachable from router 0.
+    pub fn is_connected(&self) -> bool {
+        self.num_routers() == 0 || self.bfs_parents(0).iter().all(|&(p, _)| p != NO_ROUTER)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 5-cycle: 0-1-2-3-4-0.
+    fn cycle5() -> RouterGraph {
+        let edges: Vec<(u32, u32, LinkId)> =
+            (0..5u32).map(|i| (i, (i + 1) % 5, LinkId(i))).collect();
+        RouterGraph::new(5, &edges)
+    }
+
+    #[test]
+    fn adjacency_and_links() {
+        let g = cycle5();
+        assert_eq!(g.num_routers(), 5);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.link_between(0, 1), Some(LinkId(0)));
+        assert_eq!(g.link_between(1, 0), Some(LinkId(0)));
+        assert_eq!(g.link_between(0, 4), Some(LinkId(4)));
+        assert_eq!(g.link_between(0, 2), None);
+        assert_eq!(g.neighbors(0), &[(1, LinkId(0)), (4, LinkId(4))]);
+    }
+
+    #[test]
+    fn common_neighbor_is_symmetric_and_canonical() {
+        let g = cycle5();
+        // 0 and 2 share exactly router 1.
+        let (via, l1, l2) = g.common_neighbor(0, 2).unwrap();
+        assert_eq!(via, 1);
+        assert_eq!((l1, l2), (LinkId(0), LinkId(1)));
+        let (via_r, r1, r2) = g.common_neighbor(2, 0).unwrap();
+        assert_eq!(via_r, 1);
+        assert_eq!((r2, r1), (l1, l2));
+        // Adjacent routers on a 5-cycle share no neighbor.
+        assert!(g.common_neighbor(0, 1).is_none());
+    }
+
+    #[test]
+    fn bfs_parents_are_deterministic_shortest_paths() {
+        let g = cycle5();
+        let parents = g.bfs_parents(0);
+        assert_eq!(parents[0].0, 0);
+        // Both neighbors hang off the source; 2 hangs off 1 (ascending
+        // expansion), 3 off 4 (reached via the shorter 0-4-3 side).
+        assert_eq!(parents[1].0, 0);
+        assert_eq!(parents[4].0, 0);
+        assert_eq!(parents[2].0, 1);
+        assert_eq!(parents[3].0, 4);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn disconnected_graph_detected() {
+        let g = RouterGraph::new(4, &[(0, 1, LinkId(0)), (2, 3, LinkId(1))]);
+        assert!(!g.is_connected());
+        assert_eq!(g.bfs_parents(0)[2].0, NO_ROUTER);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loops_rejected() {
+        RouterGraph::new(2, &[(1, 1, LinkId(0))]);
+    }
+}

@@ -34,19 +34,46 @@
 //! per *touched* source on demand, which is exactly what a replay with far
 //! fewer communicating nodes than machine nodes needs.
 //!
+//! Router-symmetric topologies (dragonfly, Slim Fly, HyperX, Jellyfish —
+//! anything reporting [`SymmetryHint::RouterSymmetric`]) get a third
+//! option: a [`CompressedRouteTable`] stores one route *core* per router
+//! pair instead of one route per node pair and expands the two terminal
+//! hops on the fly, cutting memory by ~`p²` (nodes-per-router squared)
+//! while replaying byte-identical routes. That is what makes 100k–1M
+//! endpoint machines practical; see its type-level docs for the exact
+//! bound.
+//!
 //! Construction is embarrassingly parallel over sources and uses rayon
 //! (`par_chunks`); the chunk results are concatenated in source order, so
 //! the table bytes are deterministic.
 
 use crate::link::{LinkId, NodeId};
-use crate::Topology;
+use crate::{SymmetryHint, Topology};
 use rayon::prelude::*;
 use std::sync::{Arc, OnceLock};
 
-/// Ordered-pair count up to which [`RoutedTopology::auto`] picks a dense
-/// table (4M pairs ≈ a 2 000-node machine ≈ 150–200 MiB with typical mean
-/// route lengths; see the module docs for the exact bound).
+/// Ordered **node**-pair count up to which [`RoutedTopology::auto`] picks a
+/// dense table (4M pairs ≈ a 2 000-node machine ≈ 150–200 MiB with typical
+/// mean route lengths; see the module docs for the exact bound).
+///
+/// The full auto heuristic, in order:
+/// 1. `n² ≤ DENSE_PAIR_LIMIT` → dense flat CSR (O(1) lookups, every route
+///    stored verbatim; unbeatable at paper scale).
+/// 2. Otherwise, if the topology advertises
+///    [`SymmetryHint::RouterSymmetric`], routes dedupe to one core per
+///    *router* pair: `R² ≤ `[`COMPRESSED_PAIR_LIMIT`] →
+///    [`CompressedRouteTable`] (full precompute, ~`p²` smaller than flat),
+///    else lazy per-source-router core rows.
+/// 3. No symmetry → lazy per-source flat rows (the pre-existing fallback).
 pub const DENSE_PAIR_LIMIT: usize = 4_000_000;
+
+/// Ordered **router**-pair count up to which [`RoutedTopology::auto`] fully
+/// precomputes a [`CompressedRouteTable`] for router-symmetric topologies.
+/// 64M router pairs ≈ 8 000 routers ≈ 256 MiB of offsets plus the core
+/// links — the same memory envelope the dense limit allows, shifted from
+/// node pairs to router pairs. Above it, per-source-router core rows are
+/// built lazily on first touch.
+pub const COMPRESSED_PAIR_LIMIT: usize = 64_000_000;
 
 /// CSR routes from one source node to every destination of a topology.
 ///
@@ -262,6 +289,376 @@ impl RouteTable {
     }
 }
 
+/// Magic prefix of [`CompressedRouteTable::to_bytes`] blobs ("NLOC-CRT" in
+/// ASCII). Deliberately astronomical when read as a node count, so feeding
+/// a compressed blob to [`RouteTable::from_bytes`] fails its pair-space
+/// check instead of decoding garbage — and vice versa, flat blobs (whose
+/// first word is a real node count) never match the magic.
+const COMPRESSED_MAGIC: u64 = u64::from_le_bytes(*b"NLOC-CRT");
+
+/// The `nodes_per_router` of a topology's [`SymmetryHint::RouterSymmetric`]
+/// hint, validated against its node count.
+///
+/// # Panics
+/// Panics if the topology reports no (usable) router symmetry.
+fn router_symmetry<T: Topology + ?Sized>(topo: &T) -> usize {
+    match topo.symmetry_hint() {
+        Some(SymmetryHint::RouterSymmetric {
+            nodes_per_router: p,
+        }) if p > 0 && topo.num_nodes().is_multiple_of(p) => p,
+        _ => panic!(
+            "compressed route storage requires a router-symmetric topology, \
+             but {} reports no usable symmetry hint",
+            topo.name()
+        ),
+    }
+}
+
+/// Append the router-to-router core of the `rs → rd` route: the full route
+/// between representative nodes with the two terminal hops stripped.
+/// Verifies the symmetry contract (terminal link ids equal node ids) so a
+/// topology with a wrong hint fails loudly at build time, not with silent
+/// route corruption.
+fn core_into<T: Topology + ?Sized>(
+    topo: &T,
+    p: usize,
+    rs: usize,
+    rd: usize,
+    out: &mut Vec<LinkId>,
+) {
+    if rs == rd {
+        return;
+    }
+    let src = NodeId((rs * p) as u32);
+    let dst = NodeId((rd * p) as u32);
+    let start = out.len();
+    topo.route_into(src, dst, out);
+    assert!(
+        out.len() >= start + 2
+            && out[start] == LinkId(src.0)
+            && *out.last().unwrap() == LinkId(dst.0),
+        "{}: route {src}->{dst} does not match its router-symmetry hint",
+        topo.name()
+    );
+    out.pop();
+    out.remove(start);
+}
+
+/// Per-source-router core rows for [`RoutedTopology::lazy_compressed`]: a
+/// [`SourceRow`] whose "destinations" are router ids and whose entries are
+/// route cores.
+fn core_row<T: Topology + ?Sized>(topo: &T, p: usize, routers: usize, rs: usize) -> SourceRow {
+    let mut offsets = Vec::with_capacity(routers + 1);
+    let mut links = Vec::new();
+    offsets.push(0);
+    for rd in 0..routers {
+        core_into(topo, p, rs, rd, &mut links);
+        offsets.push(u32::try_from(links.len()).expect("core row links fit u32"));
+    }
+    SourceRow { offsets, links }
+}
+
+/// Compressed hierarchical route table for router-symmetric topologies.
+///
+/// When a topology advertises [`SymmetryHint::RouterSymmetric`], every
+/// route factors as
+///
+/// ```text
+/// route(src, dst) = [terminal(src)] ++ core(src/p, dst/p) ++ [terminal(dst)]
+/// ```
+///
+/// with terminal link ids equal to node ids. All `p²` node pairs sharing a
+/// router pair ride the same core, so this table stores one CSR over the
+/// `R²` *router* pairs and expands the two terminal hops on the fly into
+/// the caller's scratch buffer — `~p²` smaller than the flat projection
+/// while replaying byte-identical routes (asserted at build time and by
+/// the testkit oracles). A 101k-node Slim Fly (`q = 53`, `p = 18`) costs
+/// ~150 MiB compressed versus ~42 GiB flat.
+#[derive(Debug, Clone)]
+pub struct CompressedRouteTable {
+    nodes: usize,
+    nodes_per_router: usize,
+    routers: usize,
+    /// `R² + 1` entries; `core(rs, rd) = links[offsets[rs·R + rd] ..
+    /// offsets[rs·R + rd + 1]]`.
+    offsets: Vec<u32>,
+    links: Vec<LinkId>,
+}
+
+impl CompressedRouteTable {
+    /// Precompute every route core of `topo`, in parallel over source
+    /// routers.
+    ///
+    /// # Panics
+    /// Panics if the topology reports no usable
+    /// [`SymmetryHint::RouterSymmetric`] hint, if a route violates the
+    /// hint's factorization, or if the core CSR overflows `u32` ids.
+    pub fn build<T: Topology + ?Sized>(topo: &T) -> Self {
+        let p = router_symmetry(topo);
+        let nodes = topo.num_nodes();
+        let routers = nodes / p;
+        let sources: Vec<u32> = (0..routers as u32).collect();
+        let chunk = (routers / 64).max(1);
+        let (row_lens, links) = sources
+            .par_chunks(chunk)
+            .map(|srcs| {
+                let mut lens: Vec<u32> = Vec::with_capacity(srcs.len() * routers);
+                let mut links: Vec<LinkId> = Vec::new();
+                for &rs in srcs {
+                    let mut prev = links.len();
+                    for rd in 0..routers {
+                        core_into(topo, p, rs as usize, rd, &mut links);
+                        lens.push((links.len() - prev) as u32);
+                        prev = links.len();
+                    }
+                }
+                (lens, links)
+            })
+            .reduce(
+                || (Vec::new(), Vec::new()),
+                |mut a, mut b| {
+                    a.0.append(&mut b.0);
+                    a.1.append(&mut b.1);
+                    a
+                },
+            );
+        let mut offsets = Vec::with_capacity(routers * routers + 1);
+        offsets.push(0u32);
+        let mut acc = 0u64;
+        for &len in &row_lens {
+            acc += u64::from(len);
+            offsets.push(u32::try_from(acc).expect("compressed CSR links fit u32"));
+        }
+        debug_assert_eq!(acc as usize, links.len());
+        CompressedRouteTable {
+            nodes,
+            nodes_per_router: p,
+            routers,
+            offsets,
+            links,
+        }
+    }
+
+    /// Number of nodes the table covers.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Nodes attached to each router.
+    #[inline]
+    pub fn nodes_per_router(&self) -> usize {
+        self.nodes_per_router
+    }
+
+    /// Number of routers (`nodes / nodes_per_router`).
+    #[inline]
+    pub fn num_routers(&self) -> usize {
+        self.routers
+    }
+
+    /// The stored router-to-router core of a router pair (empty when
+    /// `rs == rd`).
+    #[inline]
+    pub fn core_of(&self, rs: usize, rd: usize) -> &[LinkId] {
+        let i = rs * self.routers + rd;
+        &self.links[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Expand the route of a node pair into `scratch` (cleared first) and
+    /// return it as a slice: terminal, stored core, terminal.
+    #[inline]
+    pub fn route_of<'s>(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        scratch: &'s mut Vec<LinkId>,
+    ) -> &'s [LinkId] {
+        scratch.clear();
+        if src == dst {
+            return scratch;
+        }
+        scratch.push(LinkId(src.0));
+        let (rs, rd) = (
+            src.idx() / self.nodes_per_router,
+            dst.idx() / self.nodes_per_router,
+        );
+        if rs != rd {
+            scratch.extend_from_slice(self.core_of(rs, rd));
+        }
+        scratch.push(LinkId(dst.0));
+        scratch
+    }
+
+    /// Hop count of a node pair (two terminals plus the core's CSR offset
+    /// difference; no route expansion).
+    #[inline]
+    pub fn hops(&self, src: NodeId, dst: NodeId) -> u32 {
+        if src == dst {
+            return 0;
+        }
+        let (rs, rd) = (
+            src.idx() / self.nodes_per_router,
+            dst.idx() / self.nodes_per_router,
+        );
+        if rs == rd {
+            return 2;
+        }
+        let i = rs * self.routers + rd;
+        2 + (self.offsets[i + 1] - self.offsets[i])
+    }
+
+    /// Total core link ids stored (Σ core length over ordered router pairs).
+    #[inline]
+    pub fn total_core_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Exact heap footprint of the compressed CSR arrays in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u32>()
+            + self.links.len() * std::mem::size_of::<LinkId>()
+    }
+
+    /// Exact size a dense flat-CSR [`RouteTable`] of the same routes would
+    /// occupy: `4·(n² + 1)` offset bytes plus 4 bytes per flat link —
+    /// `2·n·(n−1)` terminals and `p²` expansions of every stored core.
+    /// Computed in `u128`; at the scales this table exists for, the flat
+    /// projection does not fit in memory (or in a `usize` product chain).
+    pub fn flat_projection_bytes(&self) -> u128 {
+        let n = self.nodes as u128;
+        let p = self.nodes_per_router as u128;
+        let flat_links = 2 * n * (n - 1) + p * p * self.links.len() as u128;
+        4 * (n * n + 1) + 4 * flat_links
+    }
+
+    /// Exact mean hop distance over all ordered distinct node pairs, from
+    /// the router-pair aggregates — O(1) given the CSR, where the flat
+    /// equivalent ([`crate::DistanceMatrix::mean_distance`]) needs O(n²).
+    pub fn mean_node_distance(&self) -> f64 {
+        let (n, p, r) = (
+            self.nodes as u128,
+            self.nodes_per_router as u128,
+            self.routers as u128,
+        );
+        if n < 2 {
+            return 0.0;
+        }
+        // Same-router pairs: 2 hops each. Cross-router pairs: 2 + core.
+        let total =
+            2 * r * p * (p - 1) + 2 * p * p * r * (r - 1) + p * p * self.links.len() as u128;
+        total as f64 / (n * (n - 1)) as f64
+    }
+
+    /// Exact node-level diameter from the stored cores.
+    pub fn node_diameter(&self) -> u32 {
+        if self.nodes < 2 {
+            return 0;
+        }
+        let max_core = self
+            .offsets
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .max()
+            .unwrap_or(0);
+        if max_core == 0 {
+            // Single router (or complete overlap): farthest pair shares it.
+            return 2;
+        }
+        2 + max_core
+    }
+
+    /// Serialize as little-endian bytes:
+    /// `[magic u64][nodes u64][p u64][offsets: (R²+1) × u32][links × u32]`.
+    ///
+    /// Like [`RouteTable::to_bytes`] this carries no checksum; the service
+    /// store frames it. The magic keeps flat and compressed blobs from
+    /// ever decoding as each other.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24 + 4 * (self.offsets.len() + self.links.len()));
+        out.extend_from_slice(&COMPRESSED_MAGIC.to_le_bytes());
+        out.extend_from_slice(&(self.nodes as u64).to_le_bytes());
+        out.extend_from_slice(&(self.nodes_per_router as u64).to_le_bytes());
+        for &o in &self.offsets {
+            out.extend_from_slice(&o.to_le_bytes());
+        }
+        for &l in &self.links {
+            out.extend_from_slice(&l.0.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decode a table serialized by
+    /// [`to_bytes`](CompressedRouteTable::to_bytes), validating the magic
+    /// and every structural invariant exactly as
+    /// [`RouteTable::from_bytes`] does; any violation is a clean `Err`.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        let header = bytes.get(..24).ok_or_else(|| {
+            format!(
+                "compressed route table blob truncated at {} bytes",
+                bytes.len()
+            )
+        })?;
+        let word64 = |i: usize| u64::from_le_bytes(header[8 * i..8 * i + 8].try_into().unwrap());
+        if word64(0) != COMPRESSED_MAGIC {
+            return Err("not a compressed route table (magic mismatch)".into());
+        }
+        let nodes = usize::try_from(word64(1))
+            .map_err(|_| format!("node count {} overflows usize", word64(1)))?;
+        let p = usize::try_from(word64(2))
+            .map_err(|_| format!("nodes/router {} overflows usize", word64(2)))?;
+        if p == 0 || nodes == 0 || !nodes.is_multiple_of(p) {
+            return Err(format!(
+                "invalid geometry: {nodes} nodes across routers of {p}"
+            ));
+        }
+        let routers = nodes / p;
+        let pairs = routers
+            .checked_mul(routers)
+            .and_then(|v| v.checked_add(1))
+            .ok_or_else(|| format!("router count {routers} overflows the pair space"))?;
+        let rest = &bytes[24..];
+        if rest.len() < pairs * 4 || !rest.len().is_multiple_of(4) {
+            return Err(format!(
+                "compressed blob holds {} bytes after the header; {routers} routers need at least {} and a multiple of 4",
+                rest.len(),
+                pairs * 4
+            ));
+        }
+        let (offset_bytes, link_bytes) = rest.split_at(pairs * 4);
+        let word = |b: &[u8], i: usize| u32::from_le_bytes(b[4 * i..4 * i + 4].try_into().unwrap());
+        let mut offsets = Vec::with_capacity(pairs);
+        let mut prev = 0u32;
+        for i in 0..pairs {
+            let o = word(offset_bytes, i);
+            if i == 0 && o != 0 {
+                return Err(format!("first offset is {o}, not 0"));
+            }
+            if o < prev {
+                return Err(format!("offsets not monotone at pair {i}: {o} < {prev}"));
+            }
+            offsets.push(o);
+            prev = o;
+        }
+        let num_links = link_bytes.len() / 4;
+        if prev as usize != num_links {
+            return Err(format!(
+                "final offset {prev} does not match the {num_links} stored link ids"
+            ));
+        }
+        let links = (0..num_links)
+            .map(|i| LinkId(word(link_bytes, i)))
+            .collect();
+        Ok(CompressedRouteTable {
+            nodes,
+            nodes_per_router: p,
+            routers,
+            offsets,
+            links,
+        })
+    }
+}
+
 /// Route storage of a [`RoutedTopology`].
 enum Storage {
     /// Full dense CSR table, owned by this handle.
@@ -270,8 +667,21 @@ enum Storage {
     /// service's per-topology cache, where every concurrent request
     /// against the same topology spec reads one table).
     Shared(Arc<RouteTable>),
+    /// Compressed router-pair core table, owned by this handle.
+    Compressed(CompressedRouteTable),
+    /// Compressed table shared with other handles.
+    SharedCompressed(Arc<CompressedRouteTable>),
     /// Per-source CSR rows, built on first touch (thread-safe).
     Lazy(Vec<OnceLock<SourceRow>>),
+    /// Per-source-*router* core rows, built on first touch — the
+    /// compressed analogue of `Lazy` for router-symmetric machines past
+    /// [`COMPRESSED_PAIR_LIMIT`].
+    LazyCompressed {
+        /// Nodes attached to each router.
+        nodes_per_router: usize,
+        /// One core row per source router.
+        rows: Vec<OnceLock<SourceRow>>,
+    },
     /// No caching: every lookup routes into the caller's scratch buffer.
     Direct,
 }
@@ -285,9 +695,16 @@ enum Storage {
 ///
 /// * [`dense`](RoutedTopology::dense) — one [`RouteTable`], O(1) slice
 ///   lookups, `O(n²·hops̄)` memory. Best for sweeps at paper scale.
+/// * [`compressed`](RoutedTopology::compressed) — one
+///   [`CompressedRouteTable`] over router pairs, terminal hops expanded
+///   into the caller's scratch. Best for router-symmetric machines past
+///   the dense limit (100k–1M endpoints).
 /// * [`lazy`](RoutedTopology::lazy) — one [`SourceRow`] per *touched*
 ///   source, built on first use. Best when the machine is much larger
 ///   than the communicating node set (e.g. the 13 824-node fat tree).
+/// * [`lazy_compressed`](RoutedTopology::lazy_compressed) — one core row
+///   per *touched source router*, for symmetric machines past even
+///   [`COMPRESSED_PAIR_LIMIT`].
 /// * [`direct`](RoutedTopology::direct) — no caching; lookups route into
 ///   a caller-provided scratch buffer. Best for one-shot replays.
 pub struct RoutedTopology<'a> {
@@ -347,6 +764,73 @@ impl<'a> RoutedTopology<'a> {
         }
     }
 
+    /// Precompute the full compressed router-pair core table up front.
+    ///
+    /// # Panics
+    /// Panics if the topology reports no usable
+    /// [`SymmetryHint::RouterSymmetric`] hint.
+    pub fn compressed(topo: &'a dyn Topology) -> Self {
+        RoutedTopology {
+            storage: Storage::Compressed(CompressedRouteTable::build(topo)),
+            topo,
+        }
+    }
+
+    /// Wrap an already-built compressed table.
+    ///
+    /// # Panics
+    /// Panics if the table's node count does not match the topology's.
+    pub fn with_compressed_table(topo: &'a dyn Topology, table: CompressedRouteTable) -> Self {
+        assert_eq!(
+            table.num_nodes(),
+            topo.num_nodes(),
+            "route table built for a different machine size"
+        );
+        RoutedTopology {
+            storage: Storage::Compressed(table),
+            topo,
+        }
+    }
+
+    /// Borrow an already-built compressed table behind an [`Arc`] — the
+    /// compressed analogue of
+    /// [`with_shared_table`](RoutedTopology::with_shared_table).
+    ///
+    /// # Panics
+    /// Panics if the table's node count does not match the topology's.
+    pub fn with_shared_compressed(
+        topo: &'a dyn Topology,
+        table: Arc<CompressedRouteTable>,
+    ) -> Self {
+        assert_eq!(
+            table.num_nodes(),
+            topo.num_nodes(),
+            "route table built for a different machine size"
+        );
+        RoutedTopology {
+            storage: Storage::SharedCompressed(table),
+            topo,
+        }
+    }
+
+    /// Build per-source-router core rows lazily, on first touch of each
+    /// source router.
+    ///
+    /// # Panics
+    /// Panics if the topology reports no usable
+    /// [`SymmetryHint::RouterSymmetric`] hint.
+    pub fn lazy_compressed(topo: &'a dyn Topology) -> Self {
+        let p = router_symmetry(topo);
+        let rows = (0..topo.num_nodes() / p).map(|_| OnceLock::new()).collect();
+        RoutedTopology {
+            storage: Storage::LazyCompressed {
+                nodes_per_router: p,
+                rows,
+            },
+            topo,
+        }
+    }
+
     /// No precomputation: lookups route into the caller's scratch buffer.
     pub fn direct(topo: &'a dyn Topology) -> Self {
         RoutedTopology {
@@ -355,15 +839,30 @@ impl<'a> RoutedTopology<'a> {
         }
     }
 
-    /// Dense when the machine has at most [`DENSE_PAIR_LIMIT`] ordered
-    /// pairs, lazy above (see the module docs for the memory bound).
+    /// Pick storage automatically: dense up to [`DENSE_PAIR_LIMIT`] node
+    /// pairs; above that, compressed storage when the topology advertises
+    /// router symmetry (full table up to [`COMPRESSED_PAIR_LIMIT`] router
+    /// pairs, lazy core rows beyond); lazy flat rows otherwise. See the
+    /// constants' docs for the rationale.
     pub fn auto(topo: &'a dyn Topology) -> Self {
         let n = topo.num_nodes();
         if n.saturating_mul(n) <= DENSE_PAIR_LIMIT {
-            Self::dense(topo)
-        } else {
-            Self::lazy(topo)
+            return Self::dense(topo);
         }
+        if let Some(SymmetryHint::RouterSymmetric {
+            nodes_per_router: p,
+        }) = topo.symmetry_hint()
+        {
+            if p > 0 && n.is_multiple_of(p) {
+                let r = n / p;
+                return if r.saturating_mul(r) <= COMPRESSED_PAIR_LIMIT {
+                    Self::compressed(topo)
+                } else {
+                    Self::lazy_compressed(topo)
+                };
+            }
+        }
+        Self::lazy(topo)
     }
 
     /// The wrapped topology.
@@ -387,15 +886,25 @@ impl<'a> RoutedTopology<'a> {
         }
     }
 
+    /// The compressed table, when this handle holds (or shares) one.
+    pub fn compressed_table(&self) -> Option<&CompressedRouteTable> {
+        match &self.storage {
+            Storage::Compressed(t) => Some(t),
+            Storage::SharedCompressed(t) => Some(t),
+            _ => None,
+        }
+    }
+
     /// Whether lookups are served from precomputed CSR storage.
     pub fn is_precomputed(&self) -> bool {
         !matches!(self.storage, Storage::Direct)
     }
 
     /// The route of a pair. Dense and lazy modes return a slice into CSR
-    /// storage and leave `scratch` untouched; direct mode clears and
-    /// fills `scratch`. Callers in tight loops reuse one scratch buffer
-    /// and never allocate per pair.
+    /// storage and leave `scratch` untouched; compressed and direct modes
+    /// clear and fill `scratch` (compressed expands the two terminal hops
+    /// around the stored core). Callers in tight loops reuse one scratch
+    /// buffer and never allocate per pair.
     #[inline]
     pub fn route_of<'s>(
         &'s self,
@@ -406,9 +915,29 @@ impl<'a> RoutedTopology<'a> {
         match &self.storage {
             Storage::Dense(table) => table.route_of(src, dst),
             Storage::Shared(table) => table.route_of(src, dst),
+            Storage::Compressed(table) => table.route_of(src, dst, scratch),
+            Storage::SharedCompressed(table) => table.route_of(src, dst, scratch),
             Storage::Lazy(rows) => rows[src.idx()]
                 .get_or_init(|| SourceRow::build(self.topo, src))
                 .route_of(dst),
+            Storage::LazyCompressed {
+                nodes_per_router,
+                rows,
+            } => {
+                scratch.clear();
+                if src == dst {
+                    return scratch;
+                }
+                scratch.push(LinkId(src.0));
+                let (rs, rd) = (src.idx() / nodes_per_router, dst.idx() / nodes_per_router);
+                if rs != rd {
+                    let row = rows[rs]
+                        .get_or_init(|| core_row(self.topo, *nodes_per_router, rows.len(), rs));
+                    scratch.extend_from_slice(row.route_of(NodeId(rd as u32)));
+                }
+                scratch.push(LinkId(dst.0));
+                scratch
+            }
             Storage::Direct => {
                 scratch.clear();
                 self.topo.route_into(src, dst, scratch);
@@ -417,17 +946,34 @@ impl<'a> RoutedTopology<'a> {
         }
     }
 
-    /// Hop count of a pair. Dense and lazy modes read it off the CSR
-    /// offsets; direct mode defers to [`Topology::hops`] (closed-form on
-    /// most topologies).
+    /// Hop count of a pair. Dense, compressed and lazy modes read it off
+    /// CSR offsets; direct mode defers to [`Topology::hops`] (closed-form
+    /// on most topologies).
     #[inline]
     pub fn hops(&self, src: NodeId, dst: NodeId) -> u32 {
         match &self.storage {
             Storage::Dense(table) => table.hops(src, dst),
             Storage::Shared(table) => table.hops(src, dst),
+            Storage::Compressed(table) => table.hops(src, dst),
+            Storage::SharedCompressed(table) => table.hops(src, dst),
             Storage::Lazy(rows) => rows[src.idx()]
                 .get_or_init(|| SourceRow::build(self.topo, src))
                 .hops(dst),
+            Storage::LazyCompressed {
+                nodes_per_router,
+                rows,
+            } => {
+                if src == dst {
+                    return 0;
+                }
+                let (rs, rd) = (src.idx() / nodes_per_router, dst.idx() / nodes_per_router);
+                if rs == rd {
+                    return 2;
+                }
+                2 + rows[rs]
+                    .get_or_init(|| core_row(self.topo, *nodes_per_router, rows.len(), rs))
+                    .hops(NodeId(rd as u32))
+            }
             Storage::Direct => self.topo.hops(src, dst),
         }
     }
@@ -604,5 +1150,201 @@ mod tests {
         let mut swapped = bytes.clone();
         swapped[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(RouteTable::from_bytes(&swapped).is_err());
+    }
+
+    fn symmetric_topos() -> Vec<Box<dyn Topology>> {
+        vec![
+            Box::new(Dragonfly::new(4, 2, 2)),
+            Box::new(crate::SlimFly::new(5, 2)),
+            Box::new(crate::HyperX::new(vec![3, 4], 2)),
+            Box::new(crate::Jellyfish::new(12, 3, 2, 7)),
+        ]
+    }
+
+    #[test]
+    fn compressed_matches_dense_everywhere() {
+        for topo in symmetric_topos() {
+            let dense = RoutedTopology::dense(topo.as_ref());
+            let compressed = RoutedTopology::compressed(topo.as_ref());
+            let lazy_c = RoutedTopology::lazy_compressed(topo.as_ref());
+            let n = topo.num_nodes();
+            let (mut b1, mut b2, mut b3) = (Vec::new(), Vec::new(), Vec::new());
+            for s in 0..n {
+                for d in 0..n {
+                    let (s, d) = (NodeId(s as u32), NodeId(d as u32));
+                    let r = dense.route_of(s, d, &mut b1).to_vec();
+                    assert_eq!(
+                        compressed.route_of(s, d, &mut b2),
+                        &r[..],
+                        "{}: {s}->{d}",
+                        topo.name()
+                    );
+                    assert_eq!(lazy_c.route_of(s, d, &mut b3), &r[..]);
+                    assert_eq!(compressed.hops(s, d), r.len() as u32);
+                    assert_eq!(lazy_c.hops(s, d), r.len() as u32);
+                }
+            }
+            assert!(compressed.compressed_table().is_some());
+            assert!(compressed.table().is_none());
+        }
+    }
+
+    #[test]
+    fn compressed_is_much_smaller_than_flat_projection() {
+        let topo = crate::SlimFly::new(5, 4);
+        let table = CompressedRouteTable::build(&topo);
+        // The flat projection must agree with an actually-built flat table.
+        let flat = RouteTable::build(&topo);
+        assert_eq!(table.flat_projection_bytes(), flat.memory_bytes() as u128);
+        let ratio = table.flat_projection_bytes() as f64 / table.memory_bytes() as f64;
+        assert!(ratio >= 10.0, "compression ratio only {ratio:.1}");
+    }
+
+    #[test]
+    fn compressed_distance_aggregates_are_exact() {
+        for topo in symmetric_topos() {
+            let table = CompressedRouteTable::build(topo.as_ref());
+            let matrix = crate::DistanceMatrix::new(topo.as_ref());
+            assert_eq!(table.node_diameter(), matrix.diameter(), "{}", topo.name());
+            assert!(
+                (table.mean_node_distance() - matrix.mean_distance()).abs() < 1e-12,
+                "{}: {} vs {}",
+                topo.name(),
+                table.mean_node_distance(),
+                matrix.mean_distance()
+            );
+        }
+    }
+
+    #[test]
+    fn compressed_byte_codec_round_trips_exactly() {
+        let topo = crate::SlimFly::new(5, 2);
+        let table = CompressedRouteTable::build(&topo);
+        let bytes = table.to_bytes();
+        let back = CompressedRouteTable::from_bytes(&bytes).unwrap();
+        assert_eq!(back.num_nodes(), table.num_nodes());
+        assert_eq!(back.nodes_per_router(), table.nodes_per_router());
+        assert_eq!(back.to_bytes(), bytes, "round trip is byte-stable");
+        let (mut b1, mut b2) = (Vec::new(), Vec::new());
+        for s in 0..topo.num_nodes() as u32 {
+            for d in 0..topo.num_nodes() as u32 {
+                assert_eq!(
+                    back.route_of(NodeId(s), NodeId(d), &mut b1),
+                    table.route_of(NodeId(s), NodeId(d), &mut b2)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_byte_codec_rejects_corruption_cleanly() {
+        let table = CompressedRouteTable::build(&crate::HyperX::new(vec![2, 2], 2));
+        let bytes = table.to_bytes();
+        for len in 0..bytes.len() {
+            assert!(
+                CompressedRouteTable::from_bytes(&bytes[..len]).is_err(),
+                "len {len}"
+            );
+        }
+        let mut huge = bytes.clone();
+        huge[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(CompressedRouteTable::from_bytes(&huge).is_err());
+        let mut bad_geometry = bytes.clone();
+        // 7 nodes across routers of 2 does not divide evenly.
+        bad_geometry[8..16].copy_from_slice(&7u64.to_le_bytes());
+        assert!(CompressedRouteTable::from_bytes(&bad_geometry).is_err());
+        let mut swapped = bytes.clone();
+        swapped[28..32].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(CompressedRouteTable::from_bytes(&swapped).is_err());
+    }
+
+    #[test]
+    fn flat_and_compressed_blobs_never_cross_decode() {
+        let topo = crate::HyperX::new(vec![2, 2], 2);
+        let compressed = CompressedRouteTable::build(&topo).to_bytes();
+        let flat = RouteTable::build(&topo).to_bytes();
+        assert!(RouteTable::from_bytes(&compressed).is_err());
+        assert!(CompressedRouteTable::from_bytes(&flat).is_err());
+    }
+
+    #[test]
+    fn auto_prefers_compressed_above_dense_limit_when_symmetric() {
+        // 2366 nodes -> n² ≈ 5.6M > DENSE_PAIR_LIMIT, but only 338 routers.
+        let sf = crate::SlimFly::new(13, 7);
+        assert!(sf.num_nodes() * sf.num_nodes() > DENSE_PAIR_LIMIT);
+        let routed = RoutedTopology::auto(&sf);
+        assert!(routed.compressed_table().is_some());
+        assert!(routed.table().is_none());
+        // The compressed pick replays the same routes as direct routing.
+        let direct = RoutedTopology::direct(&sf);
+        let (mut b1, mut b2) = (Vec::new(), Vec::new());
+        for (s, d) in [(0u32, 2365u32), (17, 1200), (100, 101), (9, 9)] {
+            assert_eq!(
+                routed.route_of(NodeId(s), NodeId(d), &mut b1).to_vec(),
+                direct.route_of(NodeId(s), NodeId(d), &mut b2).to_vec()
+            );
+        }
+    }
+
+    #[test]
+    fn auto_falls_back_to_lazy_core_rows_past_compressed_limit() {
+        // 9 000 routers -> R² = 81M > COMPRESSED_PAIR_LIMIT; symmetric, so
+        // the picker takes lazy per-source-router core rows.
+        let jf = crate::Jellyfish::new(9_000, 4, 1, 1);
+        let routed = RoutedTopology::auto(&jf);
+        assert!(routed.compressed_table().is_none());
+        assert!(routed.table().is_none());
+        assert!(routed.is_precomputed());
+        let direct = RoutedTopology::direct(&jf);
+        let (mut b1, mut b2) = (Vec::new(), Vec::new());
+        for (s, d) in [(0u32, 8_999u32), (17, 1200), (100, 101), (9, 9)] {
+            assert_eq!(
+                routed.route_of(NodeId(s), NodeId(d), &mut b1).to_vec(),
+                direct.route_of(NodeId(s), NodeId(d), &mut b2).to_vec()
+            );
+            assert_eq!(
+                routed.hops(NodeId(s), NodeId(d)),
+                direct.hops(NodeId(s), NodeId(d))
+            );
+        }
+    }
+
+    #[test]
+    fn auto_keeps_lazy_flat_rows_for_asymmetric_machines() {
+        // A 80k-node torus is past the dense limit and has no symmetry
+        // hint; auto must fall back to lazy flat rows (allocation only,
+        // no routing happens here).
+        let t = crate::TorusNd::new(&[200, 200, 2]);
+        let routed = RoutedTopology::auto(&t);
+        assert!(routed.table().is_none());
+        assert!(routed.compressed_table().is_none());
+        assert!(routed.is_precomputed());
+    }
+
+    #[test]
+    #[should_panic(expected = "router-symmetric")]
+    fn compressed_rejects_topologies_without_symmetry() {
+        let t = Torus3D::new([3, 3, 3]);
+        RoutedTopology::compressed(&t);
+    }
+
+    #[test]
+    fn shared_compressed_agrees_across_handles() {
+        let topo = crate::SlimFly::new(5, 2);
+        let table = Arc::new(CompressedRouteTable::build(&topo));
+        let a = RoutedTopology::with_shared_compressed(&topo, Arc::clone(&table));
+        let b = RoutedTopology::with_shared_compressed(&topo, Arc::clone(&table));
+        let dense = RoutedTopology::dense(&topo);
+        let (mut s1, mut s2, mut s3) = (Vec::new(), Vec::new(), Vec::new());
+        for s in 0..topo.num_nodes() {
+            for d in 0..topo.num_nodes() {
+                let (s, d) = (NodeId(s as u32), NodeId(d as u32));
+                let r = dense.route_of(s, d, &mut s1).to_vec();
+                assert_eq!(a.route_of(s, d, &mut s2), &r[..]);
+                assert_eq!(b.route_of(s, d, &mut s3), &r[..]);
+                assert_eq!(a.hops(s, d), r.len() as u32);
+            }
+        }
+        assert_eq!(Arc::strong_count(&table), 3);
     }
 }

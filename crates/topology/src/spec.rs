@@ -24,8 +24,8 @@
 
 use crate::config::ConfigCatalog;
 use crate::{
-    Dragonfly, FatTree, Mapping, Mesh3D, NodeId, RoutedTopology, Topology, Torus3D, TorusNd,
-    ValiantDragonfly,
+    Dragonfly, FatTree, HyperX, Jellyfish, Mapping, Mesh3D, NodeId, RoutedTopology, SlimFly,
+    Topology, Torus3D, TorusNd, ValiantDragonfly,
 };
 use rand::{Rng, SeedableRng};
 use std::fmt;
@@ -91,6 +91,34 @@ pub enum TopologySpec {
         /// Nodes per router.
         p: usize,
     },
+    /// `slimfly:Q,P` — MMS graph over the prime `q ≡ 1 (mod 4)`, `p`
+    /// nodes per router.
+    SlimFly {
+        /// MMS prime (`2q²` routers).
+        q: usize,
+        /// Nodes per router.
+        p: usize,
+    },
+    /// `hyperx:D1xD2x…,P` — router lattice extents joined by `x`, `p`
+    /// nodes per router.
+    HyperX {
+        /// Dimension extents of the router lattice.
+        dims: Vec<usize>,
+        /// Nodes per router.
+        p: usize,
+    },
+    /// `jellyfish:ROUTERS,DEGREE,P[,SEED]` (bare spec implies seed 0,
+    /// made explicit in the canonical form).
+    Jellyfish {
+        /// Number of routers.
+        routers: usize,
+        /// Router degree of the random regular graph.
+        degree: usize,
+        /// Nodes per router.
+        p: usize,
+        /// RNG seed; equal seeds give equal graphs.
+        seed: u64,
+    },
     /// `auto` — resolved against a rank count via [`TopologySpec::resolve`].
     Auto,
 }
@@ -106,6 +134,9 @@ impl TopologySpec {
             TopologySpec::Dragonfly { a, h, p } | TopologySpec::ValiantDragonfly { a, h, p } => {
                 Some(a * p * (a * h + 1))
             }
+            TopologySpec::SlimFly { q, p } => Some(2 * q * q * p),
+            TopologySpec::HyperX { dims, p } => Some(dims.iter().product::<usize>() * p),
+            TopologySpec::Jellyfish { routers, p, .. } => Some(routers * p),
             TopologySpec::Auto => None,
         }
     }
@@ -136,6 +167,14 @@ impl TopologySpec {
             TopologySpec::ValiantDragonfly { a, h, p } => {
                 Box::new(ValiantDragonfly::new(Dragonfly::new(*a, *h, *p)))
             }
+            TopologySpec::SlimFly { q, p } => Box::new(SlimFly::new(*q, *p)),
+            TopologySpec::HyperX { dims, p } => Box::new(HyperX::new(dims.clone(), *p)),
+            TopologySpec::Jellyfish {
+                routers,
+                degree,
+                p,
+                seed,
+            } => Box::new(Jellyfish::new(*routers, *degree, *p, *seed)),
             TopologySpec::Auto => unreachable!("check rejects auto"),
         })
     }
@@ -198,6 +237,27 @@ impl TopologySpec {
                     .and_then(|n| n.checked_mul(groups))
                     .ok_or_else(|| SpecError::new("dragonfly too large"))?
             }
+            TopologySpec::SlimFly { q, p } => {
+                SlimFly::check_params(*q, *p).map_err(SpecError::new)?;
+                q.checked_mul(*q)
+                    .and_then(|q2| q2.checked_mul(2))
+                    .and_then(|r| r.checked_mul(*p))
+                    .ok_or_else(|| SpecError::new("slimfly too large"))?
+            }
+            TopologySpec::HyperX { dims, p } => {
+                HyperX::check_params(dims, *p).map_err(SpecError::new)?;
+                checked_product(dims)?
+                    .checked_mul(*p)
+                    .ok_or_else(|| SpecError::new("hyperx too large"))?
+            }
+            TopologySpec::Jellyfish {
+                routers, degree, p, ..
+            } => {
+                Jellyfish::check_params(*routers, *degree, *p).map_err(SpecError::new)?;
+                routers
+                    .checked_mul(*p)
+                    .ok_or_else(|| SpecError::new("jellyfish too large"))?
+            }
         };
         if nodes > MAX_SPEC_NODES {
             return Err(SpecError::new(format!(
@@ -235,6 +295,23 @@ impl fmt::Display for TopologySpec {
             TopologySpec::ValiantDragonfly { a, h, p } => {
                 write!(f, "dragonfly-valiant:{a},{h},{p}")
             }
+            TopologySpec::SlimFly { q, p } => write!(f, "slimfly:{q},{p}"),
+            TopologySpec::HyperX { dims, p } => {
+                write!(f, "hyperx:")?;
+                for (i, d) in dims.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str("x")?;
+                    }
+                    write!(f, "{d}")?;
+                }
+                write!(f, ",{p}")
+            }
+            TopologySpec::Jellyfish {
+                routers,
+                degree,
+                p,
+                seed,
+            } => write!(f, "jellyfish:{routers},{degree},{p},{seed}"),
             TopologySpec::Auto => f.write_str("auto"),
         }
     }
@@ -245,6 +322,30 @@ impl FromStr for TopologySpec {
 
     fn from_str(s: &str) -> Result<Self, SpecError> {
         let (kind, params) = s.split_once(':').unwrap_or((s, ""));
+        // `hyperx` joins its dimension list with 'x', which the generic
+        // comma-of-usize parse below would reject — handle it first.
+        if kind == "hyperx" {
+            let (dim_str, p_str) = params.split_once(',').ok_or_else(|| {
+                SpecError::new(format!(
+                    "bad topology spec '{s}'; expected hyperx:D1xD2x…,P"
+                ))
+            })?;
+            let dims: Vec<usize> = dim_str
+                .split('x')
+                .map(|d| {
+                    d.trim()
+                        .parse::<usize>()
+                        .map_err(|_| SpecError::new(format!("bad hyperx dimension '{d}' in '{s}'")))
+                })
+                .collect::<Result<_, _>>()?;
+            let p = p_str
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| SpecError::new(format!("bad numeric parameter '{p_str}' in '{s}'")))?;
+            let spec = TopologySpec::HyperX { dims, p };
+            spec.check()?;
+            return Ok(spec);
+        }
         let nums: Vec<usize> = params
             .split(',')
             .filter(|p| !p.is_empty())
@@ -273,11 +374,25 @@ impl FromStr for TopologySpec {
                 h: *h,
                 p: *p,
             },
+            ("slimfly", [q, p]) => TopologySpec::SlimFly { q: *q, p: *p },
+            ("jellyfish", [routers, degree, p]) => TopologySpec::Jellyfish {
+                routers: *routers,
+                degree: *degree,
+                p: *p,
+                seed: 0,
+            },
+            ("jellyfish", [routers, degree, p, seed]) => TopologySpec::Jellyfish {
+                routers: *routers,
+                degree: *degree,
+                p: *p,
+                seed: *seed as u64,
+            },
             _ => {
                 return Err(SpecError::new(format!(
                     "bad topology spec '{s}'; expected torus:X,Y,Z | torusnd:D1,D2,… | \
                      mesh:X,Y,Z | fattree:RADIX,STAGES | dragonfly:A,H,P | \
-                     dragonfly-valiant:A,H,P | auto"
+                     dragonfly-valiant:A,H,P | slimfly:Q,P | hyperx:D1xD2x…,P | \
+                     jellyfish:ROUTERS,DEGREE,P[,SEED] | auto"
                 )))
             }
         };
@@ -465,6 +580,11 @@ mod tests {
             ("dragonfly:4,2,2", "dragonfly:4,2,2"),
             ("dragonfly-valiant:4,2,2", "dragonfly-valiant:4,2,2"),
             ("torusnd:2,2,2,2", "torusnd:2,2,2,2"),
+            ("slimfly:05,2", "slimfly:5,2"),
+            ("hyperx:3x4,2", "hyperx:3x4,2"),
+            ("hyperx:4x4x04, 2", "hyperx:4x4x4,2"),
+            ("jellyfish:12,3,2", "jellyfish:12,3,2,0"),
+            ("jellyfish:12,3,2,7", "jellyfish:12,3,2,7"),
             ("auto", "auto"),
         ] {
             let spec: TopologySpec = input.parse().unwrap();
@@ -488,6 +608,23 @@ mod tests {
             d.build().unwrap().num_nodes(),
             Dragonfly::new(4, 2, 2).num_nodes()
         );
+        let sf: TopologySpec = "slimfly:5,2".parse().unwrap();
+        assert_eq!(
+            sf.build().unwrap().num_nodes(),
+            SlimFly::new(5, 2).num_nodes()
+        );
+        let hx: TopologySpec = "hyperx:3x4,2".parse().unwrap();
+        assert_eq!(
+            hx.build().unwrap().num_nodes(),
+            HyperX::new(vec![3, 4], 2).num_nodes()
+        );
+        let jf: TopologySpec = "jellyfish:12,3,2,7".parse().unwrap();
+        let jf_topo = jf.build().unwrap();
+        let direct = Jellyfish::new(12, 3, 2, 7);
+        assert_eq!(jf_topo.num_nodes(), direct.num_nodes());
+        // Same seed through the spec gives the same wiring, not just the
+        // same size.
+        assert_eq!(jf_topo.links(), direct.links());
     }
 
     #[test]
@@ -510,6 +647,19 @@ mod tests {
             "torusnd:0",
             "auto:3",
             "torus:18446744073709551616,1,1",
+            "slimfly:6,2",          // q must be prime ≡ 1 (mod 4)
+            "slimfly:7,2",          // prime but 7 ≡ 3 (mod 4)
+            "slimfly:5",            // missing p
+            "slimfly:5,0",          // p must be > 0
+            "hyperx:3x4",           // missing p
+            "hyperx:1x4,2",         // extents must be ≥ 2
+            "hyperx:3y4,2",         // bad separator
+            "hyperx:,2",            // empty dimension list
+            "jellyfish:12,3,2,0,9", // too many params
+            "jellyfish:12,12,2",    // degree must be < routers
+            "jellyfish:13,3,2",     // odd routers*degree
+            "jellyfish:12,1,2",     // degree must be ≥ 2
+            "slimfly:1021,9999",    // over the node ceiling
         ] {
             assert!(bad.parse::<TopologySpec>().is_err(), "accepted '{bad}'");
         }

@@ -32,6 +32,7 @@
 //! ```text
 //! torus:X,Y,Z      fattree:RADIX,STAGES      dragonfly:A,H,P
 //! mesh:X,Y,Z       dragonfly-valiant:A,H,P   torusnd:D1,D2,…
+//! slimfly:Q,P      hyperx:D1xD2x…,P          jellyfish:ROUTERS,DEGREE,P[,SEED]
 //! auto             (the Table 2 torus for the trace's rank count)
 //! ```
 //!
@@ -592,7 +593,7 @@ fn verify_cmd(args: &[String]) {
         summary.sim_checks
     );
     if summary.is_clean() {
-        println!("all oracles agree: analytic routing matches BFS, parallel replay matches the single-threaded reference, parallel ingest matches the sequential parser, the parallel temporal simulation matches refsim byte-for-byte");
+        println!("all oracles agree: analytic routing matches BFS (exhaustive on small configs, seeded sampling on the zoo), flat and compressed route tables replay identically, parallel replay matches the single-threaded reference, parallel ingest matches the sequential parser, the parallel temporal simulation matches refsim byte-for-byte");
     } else {
         println!("{} MISMATCHES:", summary.mismatches.len());
         for m in &summary.mismatches {

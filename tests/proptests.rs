@@ -657,3 +657,132 @@ fn packetization_is_exact() {
     }
     assert_eq!(tm.get(0, 1).unwrap().packets, expect);
 }
+
+/// Random small instance of a router-symmetric family (the zoo plus
+/// dragonfly). The bool is whether minimal routing may exceed BFS by a
+/// one-hop detour (dragonfly only).
+fn random_symmetric_topo(rng: &mut ChaCha8Rng) -> (Box<dyn Topology>, bool) {
+    use netloc::topology::{HyperX, Jellyfish, SlimFly};
+    match rng.gen_range(0u8..4) {
+        0 => {
+            let h = rng.gen_range(1usize..3);
+            let df = Dragonfly::new(2 * h, h, rng.gen_range(1usize..3));
+            (Box::new(df) as Box<dyn Topology>, true)
+        }
+        1 => (Box::new(SlimFly::new(5, rng.gen_range(1usize..4))), false),
+        2 => {
+            let ndims = rng.gen_range(2usize..4);
+            let dims: Vec<usize> = (0..ndims).map(|_| rng.gen_range(2usize..5)).collect();
+            (Box::new(HyperX::new(dims, rng.gen_range(1usize..4))), false)
+        }
+        _ => {
+            let mut routers = rng.gen_range(6usize..24);
+            let degree = rng.gen_range(2usize..5);
+            if routers * degree % 2 != 0 {
+                routers += 1;
+            }
+            let jf = Jellyfish::new(routers, degree, rng.gen_range(1usize..4), rng.gen());
+            (Box::new(jf), false)
+        }
+    }
+}
+
+/// Zoo routing is BFS-optimal; dragonfly stays within its documented
+/// one-hop detour. Checked from a random source against a full BFS.
+#[test]
+fn symmetric_family_routing_is_optimal() {
+    check("symmetric_family_routing_is_optimal", |rng| {
+        let (topo, allow_detour) = random_symmetric_topo(rng);
+        let n = topo.num_nodes();
+        let bfs = BfsRouter::new(topo.as_ref());
+        let src = NodeId(rng.gen_range(0..n as u32));
+        let dist = bfs.distances_from(src);
+        for d in 0..n {
+            let direct = topo.hops(src, NodeId(d as u32));
+            let optimal = dist[d];
+            assert!(
+                direct == optimal || (allow_detour && direct == 5 && optimal == 4),
+                "{}: {src:?}->{d}: direct {direct} vs optimal {optimal}",
+                topo.name()
+            );
+        }
+    });
+}
+
+/// Routes on router-symmetric families are valid walks, never repeat a
+/// link, and have length-symmetric forward/reverse pairs.
+#[test]
+fn symmetric_family_routes_are_clean_walks() {
+    use netloc::topology::bfs::validate_walk;
+    check("symmetric_family_routes_are_clean_walks", |rng| {
+        let (topo, _) = random_symmetric_topo(rng);
+        let n = topo.num_nodes() as u32;
+        for _ in 0..64 {
+            let (s, d) = (rng.gen_range(0..n), rng.gen_range(0..n));
+            let (src, dst) = (NodeId(s), NodeId(d));
+            let fwd = topo.route(src, dst);
+            let rev = topo.route(dst, src);
+            assert_eq!(
+                fwd.len(),
+                rev.len(),
+                "{}: {s}<->{d} asymmetric route lengths",
+                topo.name()
+            );
+            validate_walk(topo.as_ref(), src, dst, &fwd)
+                .unwrap_or_else(|e| panic!("{}: {s}->{d}: {e}", topo.name()));
+            let mut links = fwd.clone();
+            links.sort_unstable();
+            links.dedup();
+            assert_eq!(
+                links.len(),
+                fwd.len(),
+                "{}: {s}->{d} repeats a link",
+                topo.name()
+            );
+        }
+    });
+}
+
+/// Replays over compressed route storage (eager and lazy) and the auto
+/// picker are byte-identical to the dense CSR replay on every
+/// router-symmetric family, for random traffic and random placements.
+#[test]
+fn compressed_replay_matches_dense_on_symmetric_machines() {
+    use netloc::core::netmodel::analyze_network_routed;
+    use netloc::topology::RoutedTopology;
+    check(
+        "compressed_replay_matches_dense_on_symmetric_machines",
+        |rng| {
+            let (topo, _) = random_symmetric_topo(rng);
+            let nodes = topo.num_nodes();
+            let ranks = rng.gen_range(4usize..=24.min(nodes));
+            let mut tm = TrafficMatrix::new(ranks as u32);
+            for _ in 0..rng.gen_range(5usize..40) {
+                tm.record(
+                    rng.gen_range(0..ranks as u32),
+                    rng.gen_range(0..ranks as u32),
+                    rng.gen_range(1u64..100_000),
+                    rng.gen_range(1u64..4),
+                );
+            }
+            let mapping = Mapping::random(ranks, nodes, rng);
+            let dense =
+                analyze_network_routed(&RoutedTopology::dense(topo.as_ref()), &mapping, &tm);
+            for (label, routed) in [
+                ("compressed", RoutedTopology::compressed(topo.as_ref())),
+                (
+                    "lazy compressed",
+                    RoutedTopology::lazy_compressed(topo.as_ref()),
+                ),
+                ("auto", RoutedTopology::auto(topo.as_ref())),
+            ] {
+                assert_eq!(
+                    analyze_network_routed(&routed, &mapping, &tm),
+                    dense,
+                    "{}: {label} replay diverged from dense",
+                    topo.name()
+                );
+            }
+        },
+    );
+}

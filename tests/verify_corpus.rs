@@ -50,7 +50,10 @@ fn corpus_covers_every_topology_family_and_mapping_kind() {
     for needle in [
         "torus",
         "fattree",
-        "dragonfly", // topology families
+        "dragonfly",
+        "slimfly",
+        "hyperx",
+        "jellyfish", // topology families
         "consecutive",
         "block",
         "random", // mapping kinds
