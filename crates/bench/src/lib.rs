@@ -16,6 +16,7 @@ pub mod rows;
 pub mod servicebench;
 pub mod simbench;
 pub mod svg;
+pub mod sweepjob;
 
 pub use rows::{
     fig1_profile, fig3_curves, fig4_amg_curves, fig5_multicore, fig5_topology, table1, table2,

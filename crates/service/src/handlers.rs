@@ -9,21 +9,30 @@
 
 use crate::cache::{tiered_get, tiered_insert, ResultCacheStats};
 use crate::http::{json_escape, Request, Response};
+use crate::jobs::{self, JobsStats, ShardSpec};
 use crate::limit::RateLimiterStats;
 use crate::payload;
 use crate::server::AppState;
 use crate::store::{DiskStoreStats, Kind};
 use netloc_core::canon::{canonical_json, content_digest, digest_hex};
+use netloc_core::sweep::GridSpec;
 use netloc_core::{ingest_trace, ingest_trace_bytes, IngestResult};
 use netloc_mpi::Trace;
 use netloc_topology::{MappingSpec, RoutedTopology, SymmetryHint, TopologySpec};
-use netloc_workloads::App;
 use serde::{Serialize, Value};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// Route one framed request to its handler.
-pub fn handle(state: &AppState, req: &Request) -> Response {
+pub fn handle(state: &Arc<AppState>, req: &Request) -> Response {
+    // `/v1/jobs` routes carry an id path segment and a query string, so
+    // they dispatch on the prefix instead of the exact-match table.
+    if req.path == "/v1/jobs"
+        || req.path.starts_with("/v1/jobs/")
+        || req.path.starts_with("/v1/jobs?")
+    {
+        return jobs_route(state, req);
+    }
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/v1/healthz") => healthz(),
         ("GET", "/v1/statusz") => statusz(state),
@@ -43,6 +52,183 @@ pub fn handle(state: &AppState, req: &Request) -> Response {
     }
 }
 
+// ---- the job subsystem routes ----------------------------------------
+
+/// `POST /v1/jobs` (submit), `GET /v1/jobs` (list), `GET
+/// /v1/jobs/{id}?from=N&limit=M` (progress + completed cell payloads),
+/// `DELETE /v1/jobs/{id}` (cancel).
+fn jobs_route(state: &Arc<AppState>, req: &Request) -> Response {
+    let (path, query) = match req.path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (req.path.as_str(), ""),
+    };
+    match (req.method.as_str(), path) {
+        ("POST", "/v1/jobs") => jobs_submit(state, &req.body),
+        ("GET", "/v1/jobs") => jobs_list(state),
+        (_, "/v1/jobs") => Response::error(405, "use POST (submit) or GET (list)"),
+        (method, path) => {
+            let id = &path["/v1/jobs/".len()..];
+            if id.is_empty() || id.contains('/') {
+                return Response::error(404, "job ids are a single path segment");
+            }
+            match method {
+                "GET" => jobs_get(state, id, query),
+                "DELETE" => jobs_cancel(state, id),
+                _ => Response::error(405, "use GET (progress) or DELETE (cancel)"),
+            }
+        }
+    }
+}
+
+/// Decode a `"name": ["s", ...]` field into its strings.
+fn str_array_field(
+    fields: &[(String, Value)],
+    name: &str,
+) -> Result<Option<Vec<String>>, Response> {
+    match field(fields, name) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Array(items)) => items
+            .iter()
+            .map(|item| match item {
+                Value::Str(s) => Ok(s.clone()),
+                _ => Err(Response::error(
+                    400,
+                    &format!("'{name}' entries must be strings"),
+                )),
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .map(Some),
+        Some(_) => Err(Response::error(
+            400,
+            &format!("'{name}' must be an array of strings"),
+        )),
+    }
+}
+
+fn u64_from(value: &Value) -> Option<u64> {
+    match value {
+        Value::UInt(n) => u64::try_from(*n).ok(),
+        Value::Int(n) => u64::try_from(*n).ok(),
+        _ => None,
+    }
+}
+
+/// Decode the optional `"shard": {"seed": S, "count": N, "index": I}`
+/// selector of a fanned-out job.
+fn decode_shard(fields: &[(String, Value)]) -> Result<Option<ShardSpec>, Response> {
+    let bad = |msg: &str| Response::error(400, &format!("bad 'shard': {msg}"));
+    match field(fields, "shard") {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Object(sf)) => {
+            let num = |name: &str| {
+                field(sf, name)
+                    .and_then(u64_from)
+                    .ok_or_else(|| bad(&format!("'{name}' must be a non-negative integer")))
+            };
+            let count = u32::try_from(num("count")?).map_err(|_| bad("'count' out of range"))?;
+            let index = u32::try_from(num("index")?).map_err(|_| bad("'index' out of range"))?;
+            if count == 0 || index >= count {
+                return Err(bad("need count >= 1 and index < count"));
+            }
+            Ok(Some(ShardSpec {
+                count,
+                index,
+                seed: num("seed")?,
+            }))
+        }
+        Some(_) => Err(bad("must be an object {seed, count, index}")),
+    }
+}
+
+fn jobs_submit(state: &Arc<AppState>, body: &[u8]) -> Response {
+    let value = match parse_json_body(body) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let result = (|| {
+        let fields = obj(&value)?;
+        let topologies = str_array_field(fields, "topologies")?
+            .ok_or_else(|| Response::error(400, "missing 'topologies' array"))?;
+        let mappings =
+            str_array_field(fields, "mappings")?.unwrap_or_else(|| vec!["consecutive".into()]);
+        let raw_workloads = str_array_field(fields, "workloads")?
+            .ok_or_else(|| Response::error(400, "missing 'workloads' array"))?;
+        // Workload canonicalization (app-name resolution) happens here,
+        // before the grid is built, so the grid identity — and with it
+        // the job id and every cell key — never depends on how the
+        // client spelled an app name.
+        let workloads = raw_workloads
+            .iter()
+            .map(|spec| {
+                netloc_workloads::parse_workload_spec(spec)
+                    .map(|(_, _, canonical)| canonical)
+                    .map_err(|e| Response::error(400, &e))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let shard = decode_shard(fields)?;
+        let grid = GridSpec::parse(&topologies, &mappings, &workloads)
+            .map_err(|e| Response::error(400, &e))?;
+        if grid.cell_count() > state.config.job_cell_cap as u64 {
+            return Err(Response::coded_error(
+                413,
+                "grid_too_large",
+                &format!(
+                    "grid of {} cells exceeds the per-job cap of {}; split the grid \
+                     (or shard it across instances with 'shard')",
+                    grid.cell_count(),
+                    state.config.job_cell_cap
+                ),
+            ));
+        }
+        let job = jobs::submit(state, grid, shard, false, false);
+        Ok(Response::json(
+            canonical_json(&jobs::summary_value(&job)).into_bytes(),
+        ))
+    })();
+    result.unwrap_or_else(|resp| resp)
+}
+
+fn jobs_list(state: &Arc<AppState>) -> Response {
+    let summaries: Vec<Value> = state
+        .jobs
+        .all()
+        .iter()
+        .map(|job| jobs::summary_value(job))
+        .collect();
+    let body = Value::Object(vec![("jobs".to_string(), Value::Array(summaries))]);
+    Response::json(canonical_json(&body).into_bytes())
+}
+
+fn jobs_get(state: &Arc<AppState>, id: &str, query: &str) -> Response {
+    let Some(job) = state.jobs.get(id) else {
+        return Response::coded_error(404, "unknown_job", &format!("no job '{id}'"));
+    };
+    let mut from = 0u64;
+    let mut limit = 256usize;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (name, raw) = pair.split_once('=').unwrap_or((pair, ""));
+        match name {
+            "from" => match raw.parse() {
+                Ok(v) => from = v,
+                Err(_) => return Response::error(400, "'from' must be a non-negative integer"),
+            },
+            "limit" => match raw.parse::<usize>() {
+                Ok(v) if v >= 1 => limit = v.min(4096),
+                _ => return Response::error(400, "'limit' must be a positive integer"),
+            },
+            other => return Response::error(400, &format!("unknown query parameter '{other}'")),
+        }
+    }
+    Response::json(canonical_json(&jobs::progress_value(state, &job, from, limit)).into_bytes())
+}
+
+fn jobs_cancel(state: &Arc<AppState>, id: &str) -> Response {
+    match jobs::cancel(state, id) {
+        Some(job) => Response::json(canonical_json(&jobs::summary_value(&job)).into_bytes()),
+        None => Response::coded_error(404, "unknown_job", &format!("no job '{id}'")),
+    }
+}
+
 fn healthz() -> Response {
     Response::json(b"{\n  \"status\": \"ok\"\n}\n".to_vec())
 }
@@ -54,6 +240,7 @@ struct StatuszResponse {
     workers: usize,
     queue_capacity: usize,
     queue_depth: usize,
+    queue_background_depth: usize,
     requests_served: u64,
     requests_rejected: u64,
     rate_limited: u64,
@@ -71,6 +258,7 @@ struct StatuszResponse {
     route_table_specs: usize,
     traces_ingested: u64,
     ingest_events: u64,
+    jobs: JobsStats,
 }
 
 fn statusz(state: &AppState) -> Response {
@@ -78,6 +266,7 @@ fn statusz(state: &AppState) -> Response {
         workers: state.config.workers,
         queue_capacity: state.queue.capacity(),
         queue_depth: state.queue.depth(),
+        queue_background_depth: state.queue.background_depth(),
         requests_served: state.served.load(Ordering::Relaxed),
         requests_rejected: state.rejected.load(Ordering::Relaxed),
         rate_limited: state.rate_limited.load(Ordering::Relaxed),
@@ -95,6 +284,7 @@ fn statusz(state: &AppState) -> Response {
         route_table_specs: state.topo_cache.specs_cached(),
         traces_ingested: state.traces_ingested.load(Ordering::Relaxed),
         ingest_events: state.ingest_events.load(Ordering::Relaxed),
+        jobs: state.jobs.stats(),
     });
     Response::json(body.into_bytes())
 }
@@ -256,64 +446,16 @@ fn decode_trace(state: &AppState, fields: &[(String, Value)]) -> Result<Analysis
 }
 
 /// `"lulesh:64"` → the deterministic generated trace plus the canonical
-/// spec string (`workload:LULESH:64`) its digest is taken from.
+/// spec string (`workload:LULESH:64`) its digest is taken from. Name
+/// resolution and rank bounds live in `netloc_workloads` now, shared
+/// with the job subsystem and the CLI.
 fn generate_workload(spec: &str) -> Result<(Trace, String), Response> {
-    let bad = || {
-        Response::error(
-            400,
-            &format!("bad workload spec '{spec}'; expected APP:RANKS, e.g. \"lulesh:64\""),
-        )
-    };
-    let (name, ranks_s) = spec.split_once(':').ok_or_else(bad)?;
-    let ranks: u32 = ranks_s.trim().parse().map_err(|_| bad())?;
-    if ranks == 0 || ranks > 1 << 20 {
-        return Err(Response::error(
-            400,
-            &format!("workload rank count {ranks} out of range (1..=1048576)"),
-        ));
-    }
-    let app = resolve_app(name.trim()).map_err(|e| Response::error(400, &e))?;
-    let trace = if app.scales().contains(&ranks) {
-        app.generate(ranks)
-    } else {
-        app.generate_scaled(ranks)
-    };
-    Ok((trace, format!("workload:{}:{ranks}", app.name())))
-}
-
-/// Resolve a user-supplied app name: exact case-insensitive match first,
-/// then a *unique* case-insensitive substring match, so `"lulesh"` finds
-/// `EXMATEX LULESH` but an ambiguous fragment is rejected with the
-/// candidate list.
-fn resolve_app(name: &str) -> Result<App, String> {
-    let known = || {
-        App::ALL
-            .iter()
-            .map(|a| a.name())
-            .collect::<Vec<_>>()
-            .join(", ")
-    };
-    if let Some(app) = App::ALL
-        .iter()
-        .copied()
-        .find(|a| a.name().eq_ignore_ascii_case(name))
-    {
-        return Ok(app);
-    }
-    let lower = name.to_ascii_lowercase();
-    let matches: Vec<App> = App::ALL
-        .iter()
-        .copied()
-        .filter(|a| a.name().to_ascii_lowercase().contains(&lower))
-        .collect();
-    match matches.as_slice() {
-        [app] => Ok(*app),
-        [] => Err(format!("unknown app '{name}'; known: {}", known())),
-        many => Err(format!(
-            "ambiguous app '{name}' matches: {}",
-            many.iter().map(|a| a.name()).collect::<Vec<_>>().join(", ")
-        )),
-    }
+    let (app, ranks, canonical) =
+        netloc_workloads::parse_workload_spec(spec).map_err(|e| Response::error(400, &e))?;
+    Ok((
+        netloc_workloads::generate_workload(app, ranks),
+        format!("workload:{canonical}"),
+    ))
 }
 
 fn decode_topology(fields: &[(String, Value)], ranks: u32) -> Result<TopologySpec, Response> {
@@ -336,15 +478,14 @@ fn decode_mapping(fields: &[(String, Value)]) -> Result<MappingSpec, Response> {
 /// Build the topology and its routed view, then run `work` against it.
 /// Shared storage (flat or compressed) when the topo cache accepts the
 /// machine, per-request lazy rows otherwise; all modes produce identical
-/// reports.
-fn with_routed<T>(
+/// reports. Shared with the job subsystem, which is how job cells ride
+/// the same single-flight route tables as interactive requests.
+pub(crate) fn with_routed<T>(
     state: &AppState,
     topo_spec: &TopologySpec,
     work: impl FnOnce(&RoutedTopology<'_>) -> T,
-) -> Result<T, Response> {
-    let topo = topo_spec
-        .build()
-        .map_err(|e| Response::error(400, &format!("{e}")))?;
+) -> Result<T, netloc_topology::spec::SpecError> {
+    let topo = topo_spec.build()?;
     let canonical = topo_spec.to_string();
     let routed = match state.topo_cache.shared_routes(&canonical, topo.as_ref()) {
         Some(routes) => routes.routed(topo.as_ref()),
@@ -396,7 +537,8 @@ fn analyze(state: &AppState, body: &[u8]) -> Response {
                 &map_spec,
                 routed,
             )
-        })?
+        })
+        .map_err(|e| Response::error(400, &format!("{e}")))?
         .map_err(|e| Response::error(400, &format!("{e}")))?;
         let bytes = Arc::new(canonical_json(&resp).into_bytes());
         tiered_insert(
@@ -418,13 +560,32 @@ fn sweep(state: &AppState, body: &[u8]) -> Response {
     };
     let result = (|| {
         let fields = obj(&value)?;
+        // Grid-size admission runs before the (expensive) trace decode:
+        // an oversized grid is bounced in microseconds, whatever else is
+        // wrong with the request.
+        if let Some(Value::Array(items)) = field(fields, "mappings") {
+            if items.len() > state.config.sweep_cell_cap {
+                // A grid this size would block a worker for minutes;
+                // the job subsystem runs it incrementally instead.
+                return Err(Response::coded_error(
+                    413,
+                    "grid_too_large",
+                    &format!(
+                        "sweep of {} cells exceeds the synchronous cap of {}; \
+                         submit the grid as a resumable job via POST /v1/jobs",
+                        items.len(),
+                        state.config.sweep_cell_cap
+                    ),
+                ));
+            }
+        }
         let input = decode_trace(state, fields)?;
         let topo_spec = decode_topology(fields, input.ingest.trace.num_ranks)?;
         let map_specs: Vec<MappingSpec> = match field(fields, "mappings") {
             None | Some(Value::Null) => vec![MappingSpec::Consecutive],
             Some(Value::Array(items)) => {
-                if items.is_empty() || items.len() > 64 {
-                    return Err(Response::error(400, "'mappings' needs 1..=64 entries"));
+                if items.is_empty() {
+                    return Err(Response::error(400, "'mappings' needs at least one entry"));
                 }
                 items
                     .iter()
@@ -447,7 +608,8 @@ fn sweep(state: &AppState, body: &[u8]) -> Response {
                 &map_specs,
                 routed,
             )
-        })?
+        })
+        .map_err(|e| Response::error(400, &format!("{e}")))?
         .map_err(|e| Response::error(400, &format!("{e}")))?;
         Ok(Response::json(canonical_json(&resp).into_bytes()))
     })();

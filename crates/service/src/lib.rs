@@ -50,18 +50,21 @@
 //!
 //! Endpoints: `GET /v1/healthz`, `GET /v1/statusz`, `POST /v1/analyze`,
 //! `POST /v1/sweep`, `POST /v1/stats`, `POST /v1/metrics`,
-//! `POST /v1/shutdown`. See `DESIGN.md` §8 for the wire format.
+//! `POST /v1/traces`, `POST /v1/jobs` + `GET`/`DELETE /v1/jobs/{id}`
+//! (resumable sweep jobs, see [`jobs`]), `POST /v1/shutdown`. See
+//! `DESIGN.md` §8 for the wire format.
 
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod handlers;
 pub mod http;
+pub mod jobs;
 pub mod limit;
 pub mod payload;
 pub mod queue;
 pub mod server;
 pub mod store;
 
-pub use server::{signal, AppState, RunningServer, Server, ServerConfig};
+pub use server::{signal, AppState, RunningServer, Server, ServerConfig, Work};
 pub use store::DiskStore;

@@ -1,40 +1,63 @@
-//! The bounded job queue behind the acceptor/worker split.
+//! The bounded two-lane job queue behind the acceptor/worker split.
 //!
-//! The acceptor thread pushes accepted connections; worker threads block
-//! on [`JobQueue::pop`]. The queue is the backpressure point: when it is
-//! full, [`JobQueue::push`] fails immediately and the acceptor answers
-//! `429 Too Many Requests` itself instead of letting connections pile up
-//! invisibly in the kernel backlog. Closing the queue wakes every worker;
-//! they drain whatever is still queued and then exit, which is exactly the
-//! graceful-shutdown drain the server promises.
+//! The acceptor thread pushes accepted connections onto the *interactive*
+//! lane; the sweep-job subsystem pushes cell work onto the *background*
+//! lane. Worker threads block on [`JobQueue::pop`], which always prefers
+//! the interactive lane — a multi-thousand-cell job keeps every idle
+//! worker busy, but a newly-arrived `/v1/analyze` request is picked up
+//! the moment any worker frees, never behind queued cells.
+//!
+//! The interactive lane is the backpressure point: when it is full,
+//! [`JobQueue::push`] fails immediately and the acceptor answers `429
+//! Too Many Requests` itself instead of letting connections pile up
+//! invisibly in the kernel backlog. The background lane has its own
+//! (much larger) bound, sized by the job-cell cap.
+//!
+//! Closing the queue wakes every worker; they drain the *interactive*
+//! remainder and then exit. Queued background cells are dropped on
+//! close — durable jobs re-derive their pending cells on the next
+//! startup, so draining thousands of cells would only delay shutdown to
+//! protect work that is already crash-safe.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
 struct State<T> {
     items: VecDeque<T>,
+    background: VecDeque<T>,
     closed: bool,
 }
 
-/// A bounded MPSC queue with blocking pop and non-blocking push.
+/// A bounded MPSC queue with blocking pop, non-blocking push, and a
+/// lower-priority background lane.
 pub struct JobQueue<T> {
     state: Mutex<State<T>>,
     ready: Condvar,
     capacity: usize,
+    background_capacity: usize,
 }
 
 impl<T> JobQueue<T> {
-    /// An empty queue holding at most `capacity` items.
-    pub fn new(capacity: usize) -> Self {
+    /// An empty queue holding at most `capacity` interactive items and
+    /// `background_capacity` background items.
+    pub fn with_background(capacity: usize, background_capacity: usize) -> Self {
         assert!(capacity > 0, "queue capacity must be positive");
         JobQueue {
             state: Mutex::new(State {
                 items: VecDeque::with_capacity(capacity),
+                background: VecDeque::new(),
                 closed: false,
             }),
             ready: Condvar::new(),
             capacity,
+            background_capacity,
         }
+    }
+
+    /// An empty queue holding at most `capacity` interactive items, with
+    /// no background lane (background pushes always fail).
+    pub fn new(capacity: usize) -> Self {
+        Self::with_background(capacity, 0)
     }
 
     /// Enqueue without blocking. Returns the item back when the queue is
@@ -51,9 +74,24 @@ impl<T> JobQueue<T> {
         Ok(())
     }
 
-    /// Dequeue, blocking while the queue is empty and open. Returns `None`
-    /// only once the queue is closed *and* drained — a worker that sees
-    /// `None` has no work left, ever.
+    /// Enqueue onto the background lane without blocking. Same contract
+    /// as [`JobQueue::push`], against the background bound.
+    pub fn push_background(&self, item: T) -> Result<(), T> {
+        let mut s = self.state.lock().expect("queue lock");
+        if s.closed || s.background.len() >= self.background_capacity {
+            return Err(item);
+        }
+        s.background.push_back(item);
+        drop(s);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue, blocking while both lanes are empty and the queue is
+    /// open. Interactive items always win over background items. Returns
+    /// `None` only once the queue is closed *and* the interactive lane is
+    /// drained — remaining background items are intentionally abandoned
+    /// (their jobs are durable and resume on restart).
     pub fn pop(&self) -> Option<T> {
         let mut s = self.state.lock().expect("queue lock");
         loop {
@@ -63,23 +101,37 @@ impl<T> JobQueue<T> {
             if s.closed {
                 return None;
             }
+            if let Some(item) = s.background.pop_front() {
+                return Some(item);
+            }
             s = self.ready.wait(s).expect("queue lock");
         }
     }
 
-    /// Close the queue: future pushes fail, and poppers drain the
-    /// remaining items before seeing `None`.
+    /// Close the queue: future pushes fail, poppers drain the remaining
+    /// interactive items before seeing `None`, and queued background
+    /// items are dropped immediately (freeing whatever they hold).
     pub fn close(&self) {
-        self.state.lock().expect("queue lock").closed = true;
+        let dropped = {
+            let mut s = self.state.lock().expect("queue lock");
+            s.closed = true;
+            std::mem::take(&mut s.background)
+        };
+        drop(dropped);
         self.ready.notify_all();
     }
 
-    /// Items currently queued (for `statusz`).
+    /// Interactive items currently queued (for `statusz`).
     pub fn depth(&self) -> usize {
         self.state.lock().expect("queue lock").items.len()
     }
 
-    /// The configured capacity.
+    /// Background items currently queued (for `statusz`).
+    pub fn background_depth(&self) -> usize {
+        self.state.lock().expect("queue lock").background.len()
+    }
+
+    /// The configured interactive capacity.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
@@ -151,5 +203,38 @@ mod tests {
         }
         producer.join().unwrap();
         assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interactive_items_preempt_queued_background_work() {
+        let q = JobQueue::with_background(4, 16);
+        q.push_background(100).unwrap();
+        q.push_background(101).unwrap();
+        q.push(1).unwrap();
+        assert_eq!(q.pop(), Some(1), "interactive wins over older background");
+        assert_eq!(q.pop(), Some(100));
+        q.push(2).unwrap();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(101));
+        assert_eq!((q.depth(), q.background_depth()), (0, 0));
+    }
+
+    #[test]
+    fn background_lane_has_its_own_bound_and_close_drops_it() {
+        let q = JobQueue::with_background(1, 2);
+        assert!(q.push_background(1).is_ok());
+        assert!(q.push_background(2).is_ok());
+        assert_eq!(q.push_background(3), Err(3), "background bound enforced");
+        assert!(q.push(10).is_ok(), "interactive lane unaffected");
+        q.close();
+        assert_eq!(q.background_depth(), 0, "close drops background work");
+        assert_eq!(q.pop(), Some(10), "interactive still drains");
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn default_queue_rejects_background_pushes() {
+        let q = JobQueue::new(2);
+        assert_eq!(q.push_background(7), Err(7));
     }
 }

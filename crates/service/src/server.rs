@@ -19,6 +19,7 @@ use crate::handlers;
 use crate::http::{
     prepare_stream, read_request, InflightBytes, ReadError, RequestLimits, Response,
 };
+use crate::jobs;
 use crate::limit::RateLimiter;
 use crate::queue::JobQueue;
 use crate::store::DiskStore;
@@ -66,6 +67,11 @@ pub struct ServerConfig {
     /// disables). Drives the worker-resilience tests; never set in
     /// production.
     pub fault_panic_every: u64,
+    /// Largest grid `POST /v1/sweep` answers synchronously; bigger
+    /// grids get `413 grid_too_large` pointing at the job subsystem.
+    pub sweep_cell_cap: usize,
+    /// Largest grid `POST /v1/jobs` admits per job.
+    pub job_cell_cap: usize,
 }
 
 impl Default for ServerConfig {
@@ -85,8 +91,26 @@ impl Default for ServerConfig {
             progress_deadline: Duration::from_secs(30),
             handler_delay: Duration::ZERO,
             fault_panic_every: 0,
+            sweep_cell_cap: 64,
+            job_cell_cap: 4096,
         }
     }
+}
+
+/// A unit of worker-pool work: an accepted connection (interactive
+/// lane) or one sweep-job cell (background lane). Workers pop both from
+/// the same queue; the queue's lane priority is what keeps a queued
+/// thousand-cell job from delaying a freshly-accepted request.
+pub enum Work {
+    /// Serve one HTTP request on this connection.
+    Conn(TcpStream),
+    /// Compute cell `pos` of the job's assigned list.
+    Cell {
+        /// The job owning the cell.
+        job: Arc<jobs::Job>,
+        /// Position in `job.assigned` (not the global grid index).
+        pos: usize,
+    },
 }
 
 /// Shared state every worker sees: caches, counters, config.
@@ -105,8 +129,12 @@ pub struct AppState {
     pub limiter: RateLimiter,
     /// Request-body bytes currently buffered across all workers.
     pub inflight: Arc<InflightBytes>,
-    /// The connection queue (workers pop, acceptor pushes).
-    pub queue: Arc<JobQueue<TcpStream>>,
+    /// The work queue: the acceptor pushes connections onto the
+    /// interactive lane, the job subsystem pushes cells onto the
+    /// background lane, workers pop both.
+    pub queue: Arc<JobQueue<Work>>,
+    /// The sweep-job registry and its counters.
+    pub jobs: jobs::JobManager,
     /// Requests answered by a handler (any status).
     pub served: AtomicU64,
     /// Connections bounced with 429 by the acceptor.
@@ -135,7 +163,13 @@ impl Server {
     pub fn start(config: ServerConfig) -> std::io::Result<RunningServer> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        let queue = Arc::new(JobQueue::new(config.queue_capacity));
+        // The background lane must hold the pending cells of a few
+        // maximal jobs at once; beyond that, enqueueing stops early and
+        // progress polls re-enqueue the remainder (see `jobs`).
+        let queue = Arc::new(JobQueue::with_background(
+            config.queue_capacity,
+            (config.job_cell_cap * 4).max(1024),
+        ));
         let stop = Arc::new(AtomicBool::new(false));
         let store = match &config.data_dir {
             Some(dir) => Some(DiskStore::open(dir)?),
@@ -149,6 +183,7 @@ impl Server {
             limiter: RateLimiter::new(config.rate_limit_per_s, config.rate_limit_burst),
             inflight: InflightBytes::new(config.max_inflight_bytes),
             queue: Arc::clone(&queue),
+            jobs: jobs::JobManager::default(),
             served: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             rate_limited: AtomicU64::new(0),
@@ -159,6 +194,11 @@ impl Server {
             shutdown_requested: AtomicBool::new(false),
             config,
         });
+
+        // Recover persisted jobs before any worker starts: manifests are
+        // scanned, durable cells marked done, and only the remainder is
+        // re-enqueued — a SIGKILL mid-job resumes, never restarts.
+        jobs::resume_all(&state);
 
         let acceptor = {
             let state = Arc::clone(&state);
@@ -212,7 +252,7 @@ fn acceptor_loop(listener: TcpListener, state: Arc<AppState>, stop: Arc<AtomicBo
                 continue;
             }
         }
-        if let Err(mut bounced) = state.queue.push(stream) {
+        if let Err(Work::Conn(mut bounced)) = state.queue.push(Work::Conn(stream)) {
             // Queue full (or closing): answer the backpressure signal
             // right here, without tying up a worker.
             state.rejected.fetch_add(1, Ordering::Relaxed);
@@ -224,7 +264,19 @@ fn acceptor_loop(listener: TcpListener, state: Arc<AppState>, stop: Arc<AtomicBo
 }
 
 fn worker_loop(state: Arc<AppState>) {
-    while let Some(mut stream) = state.queue.pop() {
+    while let Some(work) = state.queue.pop() {
+        let mut stream = match work {
+            Work::Conn(stream) => stream,
+            Work::Cell { job, pos } => {
+                // A poisoned cell (panicking handler code) must not take
+                // the worker down; the cell stays un-done and a progress
+                // poll re-enqueues it.
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    jobs::run_cell(&state, &job, pos);
+                }));
+                continue;
+            }
+        };
         if state.config.handler_delay > Duration::ZERO {
             std::thread::sleep(state.config.handler_delay);
         }

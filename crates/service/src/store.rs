@@ -57,20 +57,25 @@ const MIN_FRAME: usize = 8 + 4 + 1 + 4 + 8 + 8 + 8;
 /// burst of large inserts).
 const MAX_PENDING_WRITES: usize = 256;
 
-/// The three namespaces of the store, each its own subdirectory.
+/// The namespaces of the store, each its own subdirectory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Kind {
-    /// Cached canonical response bytes (`results/`).
+    /// Cached canonical response bytes (`results/`) — including sweep-job
+    /// cell payloads, which share the analyze key space so a job warms
+    /// the interactive cache and vice versa.
     Result,
     /// Serialized dense route tables (`tables/`).
     Table,
     /// Registered trace uploads (`traces/`).
     Trace,
+    /// Sweep-job manifests (`jobs/`), scanned on startup to resume
+    /// interrupted jobs.
+    Job,
 }
 
 impl Kind {
     /// All namespaces, for scans and stats.
-    pub const ALL: [Kind; 3] = [Kind::Result, Kind::Table, Kind::Trace];
+    pub const ALL: [Kind; 4] = [Kind::Result, Kind::Table, Kind::Trace, Kind::Job];
 
     /// Subdirectory name under the data dir.
     pub fn dir(self) -> &'static str {
@@ -78,6 +83,7 @@ impl Kind {
             Kind::Result => "results",
             Kind::Table => "tables",
             Kind::Trace => "traces",
+            Kind::Job => "jobs",
         }
     }
 
@@ -86,6 +92,7 @@ impl Kind {
             Kind::Result => b'R',
             Kind::Table => b'T',
             Kind::Trace => b'U',
+            Kind::Job => b'J',
         }
     }
 
@@ -95,6 +102,7 @@ impl Kind {
             Kind::Result => 0,
             Kind::Table => 1,
             Kind::Trace => 2,
+            Kind::Job => 3,
         }
     }
 }
@@ -127,6 +135,17 @@ enum FrameError {
 
 /// Verify a frame end to end and return its payload.
 fn decode_entry(kind: Kind, key: &str, bytes: &[u8]) -> Result<Vec<u8>, FrameError> {
+    let (frame_key, payload) = decode_frame(kind, bytes)?;
+    if frame_key != key.as_bytes() {
+        return Err(FrameError::KeyMismatch);
+    }
+    Ok(payload)
+}
+
+/// Verify a frame end to end and return its embedded key and payload —
+/// the scan path, where the key is *read from* the frame instead of
+/// checked against an expected one.
+fn decode_frame(kind: Kind, bytes: &[u8]) -> Result<(&[u8], Vec<u8>), FrameError> {
     use FrameError::Corrupt;
     if bytes.len() < MIN_FRAME {
         return Err(Corrupt("frame shorter than the fixed header"));
@@ -163,10 +182,7 @@ fn decode_entry(kind: Kind, key: &str, bytes: &[u8]) -> Result<Vec<u8>, FrameErr
     if body.len() - payload_start != payload_len {
         return Err(Corrupt("payload length does not match the frame"));
     }
-    if &body[17..key_end] != key.as_bytes() {
-        return Err(FrameError::KeyMismatch);
-    }
-    Ok(body[payload_start..].to_vec())
+    Ok((&body[17..key_end], body[payload_start..].to_vec()))
 }
 
 /// Per-namespace occupancy.
@@ -198,7 +214,18 @@ pub struct DiskStoreStats {
     pub tables: KindStats,
     /// Registered trace uploads (`traces/`).
     pub traces: KindStats,
+    /// Sweep-job manifests (`jobs/`).
+    pub jobs: KindStats,
+    /// Files parked in `quarantine/` — entries that failed verification,
+    /// kept for inspection. Growth here means something is corrupting
+    /// the data dir.
+    pub quarantine: KindStats,
 }
+
+/// Quarantine population past which the store logs a one-line warning —
+/// a handful of quarantined entries is bit-rot; hundreds is an operator
+/// problem (failing disk, version skew, hostile writer).
+const QUARANTINE_WARN_ENTRIES: u64 = 100;
 
 struct WriterState {
     queue: VecDeque<(Kind, PathBuf, Vec<u8>)>,
@@ -213,7 +240,9 @@ struct Inner {
     writer: Mutex<WriterState>,
     writer_wake: Condvar,
     writer_idle: Condvar,
-    occupancy: Mutex<[KindStats; 3]>,
+    occupancy: Mutex<[KindStats; 4]>,
+    quarantine_occ: Mutex<KindStats>,
+    quarantine_warned: std::sync::atomic::AtomicBool,
     hits: AtomicU64,
     misses: AtomicU64,
     quarantined: AtomicU64,
@@ -235,7 +264,7 @@ impl DiskStore {
     /// and quarantine directories, sweep temp files left by a crashed
     /// writer, scan occupancy, and start the write-behind thread.
     pub fn open(root: &Path) -> std::io::Result<Arc<DiskStore>> {
-        let mut occupancy = [KindStats::default(); 3];
+        let mut occupancy = [KindStats::default(); 4];
         for kind in Kind::ALL {
             let dir = root.join(kind.dir());
             std::fs::create_dir_all(&dir)?;
@@ -256,7 +285,15 @@ impl DiskStore {
                 }
             }
         }
-        std::fs::create_dir_all(root.join("quarantine"))?;
+        let quarantine_dir = root.join("quarantine");
+        std::fs::create_dir_all(&quarantine_dir)?;
+        let mut quarantine_occ = KindStats::default();
+        for entry in std::fs::read_dir(&quarantine_dir)? {
+            if let Ok(meta) = entry?.metadata() {
+                quarantine_occ.entries += 1;
+                quarantine_occ.bytes += meta.len();
+            }
+        }
         let inner = Arc::new(Inner {
             root: root.to_path_buf(),
             writer: Mutex::new(WriterState {
@@ -267,6 +304,8 @@ impl DiskStore {
             writer_wake: Condvar::new(),
             writer_idle: Condvar::new(),
             occupancy: Mutex::new(occupancy),
+            quarantine_occ: Mutex::new(quarantine_occ),
+            quarantine_warned: std::sync::atomic::AtomicBool::new(false),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             quarantined: AtomicU64::new(0),
@@ -352,9 +391,68 @@ impl DiskStore {
         }
     }
 
+    /// Whether a live entry exists for `key` — a bare `stat(2)`, no
+    /// decode, no hit/miss accounting. The job subsystem uses this to
+    /// classify cells as durable at submit/resume time; the later real
+    /// `get` still verifies the frame before anything is served.
+    pub fn contains(&self, kind: Kind, key: &str) -> bool {
+        self.entry_path(kind, key).exists()
+    }
+
+    /// Decode every verified entry of a namespace as `(key, payload)`
+    /// pairs. Corrupt frames are quarantined exactly as on a keyed
+    /// `get`; non-UTF-8 keys (impossible for frames this store wrote)
+    /// count as corrupt. Used to recover job manifests on startup —
+    /// keep it off hot paths, it reads the whole directory.
+    pub fn scan(&self, kind: Kind) -> Vec<(String, Vec<u8>)> {
+        let dir = self.inner.root.join(kind.dir());
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            return Vec::new();
+        };
+        let mut paths: Vec<PathBuf> = entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "nls"))
+            .collect();
+        paths.sort();
+        let mut out = Vec::new();
+        for path in paths {
+            let Ok(bytes) = std::fs::read(&path) else {
+                continue;
+            };
+            match decode_frame(kind, &bytes) {
+                Ok((key, payload)) => match String::from_utf8(key.to_vec()) {
+                    Ok(key) => out.push((key, payload)),
+                    Err(_) => self.quarantine(kind, &path, bytes.len() as u64),
+                },
+                Err(_) => self.quarantine(kind, &path, bytes.len() as u64),
+            }
+        }
+        out
+    }
+
+    /// Remove the entry for `key` if present (used when a job manifest
+    /// is superseded). Missing entries are fine.
+    pub fn remove(&self, kind: Kind, key: &str) {
+        let path = self.entry_path(kind, key);
+        if let Ok(meta) = std::fs::metadata(&path) {
+            if std::fs::remove_file(&path).is_ok() {
+                let mut occ = self.inner.occupancy.lock().expect("store occupancy lock");
+                let s = &mut occ[kind.index()];
+                s.entries = s.entries.saturating_sub(1);
+                s.bytes = s.bytes.saturating_sub(meta.len());
+            }
+        }
+    }
+
     /// Counters and per-namespace occupancy for `statusz`.
     pub fn stats(&self) -> DiskStoreStats {
         let occ = self.inner.occupancy.lock().expect("store occupancy lock");
+        let quarantine = *self
+            .inner
+            .quarantine_occ
+            .lock()
+            .expect("store quarantine lock");
         DiskStoreStats {
             hits: self.inner.hits.load(Ordering::Relaxed),
             misses: self.inner.misses.load(Ordering::Relaxed),
@@ -364,6 +462,8 @@ impl DiskStore {
             results: occ[Kind::Result.index()],
             tables: occ[Kind::Table.index()],
             traces: occ[Kind::Trace.index()],
+            jobs: occ[Kind::Job.index()],
+            quarantine,
         }
     }
 
@@ -378,16 +478,45 @@ impl DiskStore {
             .root
             .join("quarantine")
             .join(format!("{}-{seq}-{name}", kind.dir()));
-        if std::fs::rename(path, &dest).is_err() {
+        let parked = if std::fs::rename(path, &dest).is_ok() {
+            true
+        } else {
             // Cross-device or racing rename: removing is the fallback
             // that still guarantees the bad entry never loads again.
             let _ = std::fs::remove_file(path);
-        }
+            false
+        };
         self.inner.quarantined.fetch_add(1, Ordering::Relaxed);
-        let mut occ = self.inner.occupancy.lock().expect("store occupancy lock");
-        let s = &mut occ[kind.index()];
-        s.entries = s.entries.saturating_sub(1);
-        s.bytes = s.bytes.saturating_sub(len);
+        {
+            let mut occ = self.inner.occupancy.lock().expect("store occupancy lock");
+            let s = &mut occ[kind.index()];
+            s.entries = s.entries.saturating_sub(1);
+            s.bytes = s.bytes.saturating_sub(len);
+        }
+        if parked {
+            let entries = {
+                let mut q = self
+                    .inner
+                    .quarantine_occ
+                    .lock()
+                    .expect("store quarantine lock");
+                q.entries += 1;
+                q.bytes += len;
+                q.entries
+            };
+            if entries > QUARANTINE_WARN_ENTRIES
+                && !self
+                    .inner
+                    .quarantine_warned
+                    .swap(true, std::sync::atomic::Ordering::Relaxed)
+            {
+                eprintln!(
+                    "netloc-store: warning: quarantine exceeds {QUARANTINE_WARN_ENTRIES} entries \
+                     ({entries} files under {}); the data dir is corrupting faster than bit-rot",
+                    self.inner.root.join("quarantine").display()
+                );
+            }
+        }
     }
 }
 
@@ -565,6 +694,78 @@ mod tests {
         assert!(store.get(Kind::Result, "k").is_none());
         assert_eq!(store.stats().quarantined, 0);
         assert_eq!(store.stats().misses, 1);
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scan_returns_embedded_keys_and_quarantines_corruption() {
+        let dir = tmpdir("scan");
+        let store = DiskStore::open(&dir).unwrap();
+        store.put(Kind::Job, "job-b", b"manifest b");
+        store.put(Kind::Job, "job-a", b"manifest a");
+        store.put(Kind::Result, "not-a-job", b"other namespace");
+        store.flush();
+        let mut entries = store.scan(Kind::Job);
+        entries.sort();
+        assert_eq!(
+            entries,
+            vec![
+                ("job-a".to_string(), b"manifest a".to_vec()),
+                ("job-b".to_string(), b"manifest b".to_vec()),
+            ]
+        );
+        // Corrupt one manifest: the scan quarantines it and returns the
+        // survivor only.
+        let path = store.entry_path(Kind::Job, "job-a");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let entries = store.scan(Kind::Job);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].0, "job-b");
+        assert_eq!(store.stats().quarantined, 1);
+        assert_eq!(store.stats().jobs.entries, 1);
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantine_occupancy_counts_entries_and_bytes_across_reopen() {
+        let dir = tmpdir("quarantine-occ");
+        {
+            let store = DiskStore::open(&dir).unwrap();
+            store.put(Kind::Result, "k", b"payload");
+            store.flush();
+            let path = store.entry_path(Kind::Result, "k");
+            let frame_len = std::fs::metadata(&path).unwrap().len();
+            std::fs::write(&path, b"garbage that is long enough to pass nothing").unwrap();
+            assert!(store.get(Kind::Result, "k").is_none());
+            let s = store.stats();
+            assert_eq!(s.quarantine.entries, 1);
+            assert!(s.quarantine.bytes > 0, "quarantine bytes tracked");
+            let _ = frame_len;
+        }
+        // Reopen: the quarantine directory is rescanned, not forgotten.
+        let store = DiskStore::open(&dir).unwrap();
+        assert_eq!(store.stats().quarantine.entries, 1);
+        assert!(store.stats().quarantine.bytes > 0);
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn remove_deletes_entry_and_updates_occupancy() {
+        let dir = tmpdir("remove");
+        let store = DiskStore::open(&dir).unwrap();
+        store.put(Kind::Job, "gone", b"bye");
+        store.flush();
+        assert!(store.contains(Kind::Job, "gone"));
+        store.remove(Kind::Job, "gone");
+        assert!(!store.contains(Kind::Job, "gone"));
+        assert_eq!(store.stats().jobs.entries, 0);
+        store.remove(Kind::Job, "never-there");
         drop(store);
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -54,6 +54,11 @@ pub fn post(addr: SocketAddr, path: &str, body: &str) -> std::io::Result<HttpRes
     request(addr, "POST", path, body.as_bytes())
 }
 
+/// `DELETE path` against the server at `addr` (job cancellation).
+pub fn delete(addr: SocketAddr, path: &str) -> std::io::Result<HttpResponse> {
+    request(addr, "DELETE", path, b"")
+}
+
 /// How a client retries shed requests: attempt budget, capped
 /// exponential backoff, and a seed that makes the jitter reproducible.
 #[derive(Debug, Clone)]

@@ -211,6 +211,73 @@ impl App {
             App::Snap => calibration::SNAP,
         }
     }
+
+    /// Resolve a user-supplied application name: exact case-insensitive
+    /// match first, then a *unique* case-insensitive substring match, so
+    /// `"lulesh"` finds `EXMATEX LULESH` but an ambiguous fragment is
+    /// rejected with the candidate list. This is the one resolver shared
+    /// by the CLI, the analysis service, and the sweep-job clients — all
+    /// three must agree on the canonical name or content-addressed cache
+    /// keys diverge.
+    pub fn resolve(name: &str) -> Result<App, String> {
+        let known = || {
+            App::ALL
+                .iter()
+                .map(|a| a.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        if let Some(app) = App::ALL
+            .iter()
+            .copied()
+            .find(|a| a.name().eq_ignore_ascii_case(name))
+        {
+            return Ok(app);
+        }
+        let lower = name.to_ascii_lowercase();
+        let matches: Vec<App> = App::ALL
+            .iter()
+            .copied()
+            .filter(|a| a.name().to_ascii_lowercase().contains(&lower))
+            .collect();
+        match matches.as_slice() {
+            [app] => Ok(*app),
+            [] => Err(format!("unknown app '{name}'; known: {}", known())),
+            many => Err(format!(
+                "ambiguous app '{name}' matches: {}",
+                many.iter().map(|a| a.name()).collect::<Vec<_>>().join(", ")
+            )),
+        }
+    }
+}
+
+/// Parse an `"APP:RANKS"` workload spec: resolve the app name (see
+/// [`App::resolve`]), bound the rank count, and return the canonical
+/// spelling `"{App::name()}:{ranks}"` that cache keys and sweep grids
+/// are built from.
+pub fn parse_workload_spec(spec: &str) -> Result<(App, u32, String), String> {
+    let bad = || format!("bad workload spec '{spec}'; expected APP:RANKS, e.g. \"lulesh:64\"");
+    let (name, ranks_s) = spec.split_once(':').ok_or_else(bad)?;
+    let ranks: u32 = ranks_s.trim().parse().map_err(|_| bad())?;
+    if !(2..=1 << 20).contains(&ranks) {
+        return Err(format!(
+            "workload rank count {ranks} out of range (2..=1048576)"
+        ));
+    }
+    let app = App::resolve(name.trim())?;
+    Ok((app, ranks, format!("{}:{ranks}", app.name())))
+}
+
+/// Generate the trace for an already-resolved `(app, ranks)` pair:
+/// exact Table 1 calibration when `ranks` is a traced scale, power-law
+/// extrapolation otherwise — the same policy the service applies to
+/// `"workload"` request fields.
+pub fn generate_workload(app: App, ranks: u32) -> Trace {
+    if app.scales().contains(&ranks) {
+        app.generate(ranks)
+    } else {
+        app.generate_scaled(ranks)
+    }
 }
 
 /// Every `(application, ranks)` configuration of the study — the 38

@@ -14,11 +14,19 @@
 //!                                             with a per-window congestion profile
 //! netloc serve    [--addr A] [--workers N] [--cache-mb M] [--queue Q]
 //!                 [--data-dir DIR] [--rate-limit N] [--rate-burst B]
-//!                 [--inflight-mb M] [--deadline-s S]
-//!                                             the netloc-service analysis server
+//!                 [--inflight-mb M] [--deadline-s S] [--sweep-cap N]
+//!                 [--job-cap N]               the netloc-service analysis server
 //!                                             (--data-dir persists caches across
 //!                                             restarts; --rate-limit N conns/s
 //!                                             per client)
+//! netloc sweep    --topology SPEC [--topology SPEC…] --workload APP:RANKS
+//!                 [--workload …] [--mapping MAP…] [--seed N]
+//!                 [--csv FILE] [--svg FILE]
+//!                 [--remote URL[,URL…]]       run a topology × mapping × workload
+//!                                             grid — locally, or sharded across
+//!                                             service instances as resumable
+//!                                             jobs; the merged report is
+//!                                             byte-identical either way
 //! netloc verify   [--quiet]                   differential self-check: analytic
 //!                                             routing vs BFS, the parallel replay
 //!                                             and temporal simulation vs naive
@@ -74,6 +82,7 @@ fn main() {
         "timeline" => timeline_cmd(rest),
         "simulate" => simulate_cmd(rest),
         "serve" => serve_cmd(rest),
+        "sweep" => sweep_cmd(rest),
         "verify" => verify_cmd(rest),
         "--help" | "-h" | "help" => usage_and_exit(),
         other => {
@@ -85,7 +94,7 @@ fn main() {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: netloc <generate|stats|metrics|analyze|replay|heatmap|timeline|simulate|serve|verify> …\n\
+        "usage: netloc <generate|stats|metrics|analyze|replay|heatmap|timeline|simulate|serve|sweep|verify> …\n\
          see the module docs (`cargo doc`) or the README for details"
     );
     exit(2);
@@ -542,6 +551,12 @@ fn serve_cmd(args: &[String]) {
     if let Some(s) = numeric("--deadline-s") {
         cfg.progress_deadline = std::time::Duration::from_secs(s as u64);
     }
+    if let Some(cap) = numeric("--sweep-cap") {
+        cfg.sweep_cell_cap = cap.clamp(1, 65_536);
+    }
+    if let Some(cap) = numeric("--job-cap") {
+        cfg.job_cell_cap = cap.clamp(1, 1_048_576);
+    }
     let running = match Server::start(cfg) {
         Ok(r) => r,
         Err(e) => {
@@ -567,6 +582,123 @@ fn serve_cmd(args: &[String]) {
     eprintln!("shutting down: draining in-flight requests …");
     running.shutdown();
     eprintln!("netloc-service stopped cleanly");
+}
+
+/// Every value of a repeatable flag, in order of appearance.
+fn flag_values<'a>(args: &'a [String], name: &str) -> Vec<&'a str> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == name)
+        .filter_map(|(i, _)| args.get(i + 1))
+        .map(String::as_str)
+        .collect()
+}
+
+/// `netloc sweep` — run a topology × mapping × workload grid and write
+/// the merged CSV (and optionally an SVG chart). Without `--remote` the
+/// grid runs in-process; with `--remote URL[,URL…]` it is sharded
+/// across service instances as resumable jobs and the results are
+/// merged back byte-identically to the local run.
+fn sweep_cmd(args: &[String]) {
+    use netloc::bench::sweepjob;
+    use netloc::core::sweep::GridSpec;
+
+    let topologies = flag_values(args, "--topology");
+    let mappings = {
+        let m = flag_values(args, "--mapping");
+        if m.is_empty() {
+            vec!["consecutive"]
+        } else {
+            m
+        }
+    };
+    let raw_workloads = flag_values(args, "--workload");
+    if topologies.is_empty() || raw_workloads.is_empty() {
+        eprintln!(
+            "usage: netloc sweep --topology SPEC [--topology …] --workload APP:RANKS \
+             [--workload …] [--mapping MAP …] [--seed N] [--csv FILE] [--svg FILE] \
+             [--remote URL[,URL…]]"
+        );
+        exit(2);
+    }
+    // Canonicalize app names up front so the grid identity (and with it
+    // the job ids and cell keys) matches what the service would derive.
+    let workloads: Vec<String> = raw_workloads
+        .iter()
+        .map(|spec| {
+            netloc::workloads::parse_workload_spec(spec)
+                .map(|(_, _, canonical)| canonical)
+                .unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    exit(2);
+                })
+        })
+        .collect();
+    let grid = GridSpec::parse(&topologies, &mappings, &workloads).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(2);
+    });
+    let seed: u64 = flag_value(args, "--seed")
+        .map(|s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("bad value '{s}' for --seed");
+                exit(2);
+            })
+        })
+        .unwrap_or(0);
+
+    let cells = match flag_value(args, "--remote") {
+        None => sweepjob::run_grid_local(&grid),
+        Some(urls) => {
+            let addrs: Vec<std::net::SocketAddr> = urls
+                .split(',')
+                .map(|u| {
+                    let bare = u.trim().trim_start_matches("http://");
+                    let bare = bare.strip_suffix('/').unwrap_or(bare);
+                    bare.parse().unwrap_or_else(|_| {
+                        eprintln!("bad --remote address '{u}' (expected HOST:PORT)");
+                        exit(2);
+                    })
+                })
+                .collect();
+            eprintln!(
+                "sweeping {} cells across {} instance(s) …",
+                grid.cell_count(),
+                addrs.len()
+            );
+            sweepjob::run_grid_remote(
+                &grid,
+                &addrs,
+                &sweepjob::RemoteOptions {
+                    seed,
+                    ..Default::default()
+                },
+            )
+        }
+    };
+    let cells = cells.unwrap_or_else(|e| {
+        eprintln!("sweep failed: {e}");
+        exit(1);
+    });
+
+    let csv = sweepjob::render_csv(&cells);
+    match flag_value(args, "--csv") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &csv) {
+                eprintln!("cannot write {path}: {e}");
+                exit(1);
+            }
+            eprintln!("wrote {path}");
+        }
+        None => print!("{csv}"),
+    }
+    if let Some(path) = flag_value(args, "--svg") {
+        if let Err(e) = std::fs::write(path, sweepjob::render_svg(&cells)) {
+            eprintln!("cannot write {path}: {e}");
+            exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
 }
 
 /// `netloc verify` — run the differential oracles over the seeded corpus.

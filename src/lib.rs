@@ -7,6 +7,7 @@
 //! See the individual crates for details:
 //! [`netloc_mpi`], [`netloc_workloads`], [`netloc_topology`], [`netloc_core`].
 
+pub use netloc_bench as bench;
 pub use netloc_core as core;
 pub use netloc_mpi as mpi;
 pub use netloc_service as service;

@@ -786,3 +786,103 @@ fn compressed_replay_matches_dense_on_symmetric_machines() {
         },
     );
 }
+
+/// Grid expansion is canonical and total-ordered: however the axes are
+/// spelled, shuffled, or duplicated, the parsed grid is identical; cell
+/// indices enumerate a strictly increasing (topology, mapping, workload)
+/// order; and the seeded shard selector is an exact partition.
+#[test]
+fn grid_expansion_is_canonical_and_total_ordered() {
+    use netloc::core::sweep::{shard_of, GridSpec};
+    // (canonical spelling, equivalent re-spelling) per axis entry.
+    const TOPOS: &[(&str, &str)] = &[
+        ("torus:3,3,3", "torus:03,3,3"),
+        ("mesh:2,3,4", "mesh:2,03,4"),
+        ("torus:4,4,4", "torus:4,04,4"),
+        ("dragonfly:4,2,2", "dragonfly:04,2,2"),
+    ];
+    const MAPS: &[(&str, &str)] = &[
+        ("consecutive", "consecutive"),
+        ("random:0", "random"),
+        ("block:4", "block:04"),
+        ("random:7", "random:07"),
+    ];
+    const WORK: &[(&str, &str)] = &[
+        ("A:27", " A:27 "),
+        ("B:27", "B:27  "),
+        ("C:64", "  C:64"),
+        ("D:8", " D:8"),
+    ];
+    check("grid_expansion_is_canonical_and_total_ordered", |rng| {
+        // Pick a random non-empty subset of each axis pool, then build a
+        // messy spelling of it: random variant per entry, random extra
+        // duplicates, shuffled order.
+        let mut subset = |pool: &[(&'static str, &'static str)]| {
+            let mut picked: Vec<usize> = (0..pool.len()).filter(|_| rng.gen_bool(0.5)).collect();
+            if picked.is_empty() {
+                picked.push(rng.gen_range(0..pool.len()));
+            }
+            let canonical: Vec<&str> = picked.iter().map(|&i| pool[i].0).collect();
+            let mut messy: Vec<&str> = picked
+                .iter()
+                .map(|&i| {
+                    if rng.gen_bool(0.5) {
+                        pool[i].0
+                    } else {
+                        pool[i].1
+                    }
+                })
+                .collect();
+            for _ in 0..rng.gen_range(0usize..3) {
+                let i = picked[rng.gen_range(0..picked.len())];
+                messy.push(if rng.gen_bool(0.5) {
+                    pool[i].0
+                } else {
+                    pool[i].1
+                });
+            }
+            for i in (1..messy.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                messy.swap(i, j);
+            }
+            (canonical, messy)
+        };
+        let (ct, mt) = subset(TOPOS);
+        let (cm, mm) = subset(MAPS);
+        let (cw, mw) = subset(WORK);
+
+        let canonical = GridSpec::parse(&ct, &cm, &cw).expect("canonical grid parses");
+        let messy = GridSpec::parse(&mt, &mm, &mw).expect("messy grid parses");
+        assert_eq!(canonical, messy, "axis spelling/order/dups must not matter");
+
+        // Total order: cell(i) enumerates strictly increasing
+        // (topology, mapping, workload) triples, and indices round-trip.
+        let mut prev: Option<(String, String, String)> = None;
+        for index in 0..canonical.cell_count() {
+            let cell = canonical.cell(index).expect("index < cell_count");
+            assert_eq!(cell.index, index);
+            let triple = (cell.topology, cell.mapping, cell.workload);
+            if let Some(p) = &prev {
+                assert!(*p < triple, "expansion must be strictly increasing");
+            }
+            prev = Some(triple);
+        }
+        assert!(canonical.cell(canonical.cell_count()).is_none());
+
+        // Seeded sharding is an exact partition: disjoint, covering, and
+        // consistent with the per-cell selector.
+        let shards = rng.gen_range(1u32..5);
+        let seed = rng.gen::<u64>();
+        let mut seen = vec![false; canonical.cell_count() as usize];
+        for shard in 0..shards {
+            let mut last = None;
+            for index in canonical.assigned(seed, shards, shard) {
+                assert_eq!(shard_of(index, seed, shards), shard);
+                assert!(!std::mem::replace(&mut seen[index as usize], true));
+                assert!(last < Some(index), "assigned list must be ascending");
+                last = Some(index);
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every cell lands in some shard");
+    });
+}
