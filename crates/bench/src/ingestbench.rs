@@ -20,6 +20,17 @@
 //! wall-clock, MB/s over the raw trace text, and events/s for both paths,
 //! plus the end-to-end speedup.
 //!
+//! Schema v2 adds the columnar and streaming lanes to every cell: the
+//! trace is re-encoded with [`netloc_mpi::write_trace_columnar`], decoded
+//! whole ([`netloc_mpi::parse_trace_columnar`]) and incrementally
+//! ([`netloc_mpi::ColStreamParser`] fed fixed 64 KiB slices), and each
+//! lane is asserted byte-identical to the text ingest before timing. The
+//! committed full run must show `columnar_vs_text_parse >= 3` on every
+//! row (the ISSUE's ≥3× floor, enforced by [`validate_json`] outside
+//! smoke mode), and the streaming lane's peak buffered bytes are asserted
+//! well under the encoded file size — the bound that makes multi-GB
+//! chunked uploads O(one column chunk) resident.
+//!
 //! Results are written to `BENCH_ingest.json` (`schema_version`-tagged;
 //! see [`validate_json`]). `--smoke` shrinks the traces to ~20k events and
 //! a single timing iteration — that mode runs in CI and fails on panic
@@ -35,8 +46,17 @@ use std::time::Instant;
 
 /// Version tag of the `BENCH_ingest.json` layout. Bump on any field
 /// rename or removal; CI smoke mode fails when the written file does not
-/// match [`validate_json`] for this version.
-pub const SCHEMA_VERSION: u32 = 1;
+/// match [`validate_json`] for this version. v2 added the columnar and
+/// streaming lanes (`columnar_*`, `text_parse_s`, `streamed_*`).
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Slice size fed to the incremental stream parser, mimicking the
+/// socket-read granularity of a chunked HTTP upload.
+const STREAM_SLICE: usize = 64 * 1024;
+
+/// The committed full run must parse columnar traces at least this many
+/// times faster than the text parser (the ISSUE's floor).
+pub const COLUMNAR_SPEEDUP_FLOOR: f64 = 3.0;
 
 /// Events per trace in the full run (the ISSUE's 1M-event configs).
 const FULL_EVENTS: usize = 1_000_000;
@@ -157,6 +177,27 @@ pub struct IngestRow {
     pub parallel_events_per_s: f64,
     /// `sequential_s / parallel_s`.
     pub speedup: f64,
+    /// Size of the columnar encoding of the same trace, in bytes.
+    pub columnar_bytes: u64,
+    /// The text-dumpi parser alone (`parse_trace`, the sequential
+    /// reference — the same baseline `sequential_s` builds on): best
+    /// wall-clock.
+    pub text_parse_s: f64,
+    /// Columnar parser alone (`parse_trace_columnar`): best wall-clock.
+    pub columnar_s: f64,
+    /// Columnar megabytes decoded per second.
+    pub columnar_mb_per_s: f64,
+    /// Events decoded per second from the columnar encoding.
+    pub columnar_events_per_s: f64,
+    /// `text_parse_s / columnar_s` — the ≥3× floor lives here.
+    pub columnar_vs_text_parse: f64,
+    /// Incremental stream decode (64 KiB slices): best wall-clock.
+    pub streamed_s: f64,
+    /// Events decoded per second through the stream parser.
+    pub streamed_events_per_s: f64,
+    /// Peak bytes the stream parser ever buffered — the resident-memory
+    /// bound a chunked upload of this trace would see.
+    pub streamed_peak_buffered_bytes: u64,
 }
 
 /// The full benchmark report serialized to `BENCH_ingest.json`.
@@ -169,6 +210,18 @@ pub struct IngestReport {
     pub smoke: bool,
     /// One row per trace config.
     pub results: Vec<IngestRow>,
+}
+
+/// Decode a columnar encoding through the incremental stream parser in
+/// fixed [`STREAM_SLICE`] pieces, returning the trace and the parser's
+/// peak buffered byte count (the resident-memory high-water mark).
+fn stream_decode(col: &[u8]) -> (Trace, usize) {
+    let mut parser = netloc_mpi::ColStreamParser::new();
+    for slice in col.chunks(STREAM_SLICE) {
+        parser.push(slice).expect("canonical stream decodes");
+    }
+    let peak = parser.max_buffered();
+    (parser.finish().expect("stream completes"), peak)
 }
 
 fn time_best<R, F: FnMut() -> R>(iters: usize, mut f: F) -> f64 {
@@ -199,18 +252,40 @@ pub fn run(smoke: bool) -> IngestReport {
         let text = write_trace(&trace);
         let mb = text.len() as f64 / 1e6;
 
+        let col = netloc_mpi::write_trace_columnar(&trace);
+        let col_mb = col.len() as f64 / 1e6;
+
         // Differential guard before any number is trusted; also warms the
-        // page cache and allocator for both paths.
+        // page cache and allocator for every path. The columnar and
+        // streamed decodes must reproduce the text ingest byte-for-byte.
         let seq = sequential_ingest(&text);
         let par = ingest_trace_bytes(text.as_bytes()).expect("benchmark trace parses");
         assert_equal(&seq, &par, &config);
-        drop((seq, par));
+        let col_ingest = ingest_trace_bytes(&col).expect("columnar encoding parses");
+        assert_equal(&seq, &col_ingest, &format!("{config} (columnar)"));
+        let (streamed_trace, peak_buffered) = stream_decode(&col);
+        assert_eq!(
+            streamed_trace, seq.trace,
+            "{config}: stream decode diverged from the text parse"
+        );
+        assert!(
+            peak_buffered < col.len().max(1),
+            "{config}: stream parser buffered the whole {} byte upload",
+            col.len()
+        );
+        drop((seq, par, col_ingest, streamed_trace));
 
         let sequential_s = time_best(iters, || sequential_ingest(&text));
         let parallel_s = time_best(iters, || {
             ingest_trace_bytes(text.as_bytes()).expect("parses")
         });
+        let text_parse_s = time_best(iters, || parse_trace(&text).expect("parses"));
+        let columnar_s = time_best(iters, || {
+            netloc_mpi::parse_trace_columnar(&col).expect("parses")
+        });
+        let streamed_s = time_best(iters, || stream_decode(&col).0);
 
+        let events_f = trace.events.len() as f64;
         let row = IngestRow {
             config,
             ranks,
@@ -220,9 +295,18 @@ pub fn run(smoke: bool) -> IngestReport {
             parallel_s,
             sequential_mb_per_s: mb / sequential_s,
             parallel_mb_per_s: mb / parallel_s,
-            sequential_events_per_s: trace.events.len() as f64 / sequential_s,
-            parallel_events_per_s: trace.events.len() as f64 / parallel_s,
+            sequential_events_per_s: events_f / sequential_s,
+            parallel_events_per_s: events_f / parallel_s,
             speedup: sequential_s / parallel_s,
+            columnar_bytes: col.len() as u64,
+            text_parse_s,
+            columnar_s,
+            columnar_mb_per_s: col_mb / columnar_s,
+            columnar_events_per_s: events_f / columnar_s,
+            columnar_vs_text_parse: text_parse_s / columnar_s,
+            streamed_s,
+            streamed_events_per_s: events_f / streamed_s,
+            streamed_peak_buffered_bytes: peak_buffered as u64,
         };
         println!(
             "[bench-ingest] {:<11} events={:>8} text={:>6.1}MB seq={:>8.1}ms par={:>8.1}ms ({:>6.1} MB/s -> {:>6.1} MB/s) speedup={:.2}x",
@@ -234,6 +318,16 @@ pub fn run(smoke: bool) -> IngestReport {
             row.sequential_mb_per_s,
             row.parallel_mb_per_s,
             row.speedup
+        );
+        println!(
+            "[bench-ingest] {:<11} columnar={:>6.1}MB parse={:>8.1}ms ({:>6.1} MB/s) vs text parse {:>8.1}ms = {:.2}x; streamed {:>8.1}ms peak-buffered {}B",
+            "", col_mb,
+            row.columnar_s * 1e3,
+            row.columnar_mb_per_s,
+            row.text_parse_s * 1e3,
+            row.columnar_vs_text_parse,
+            row.streamed_s * 1e3,
+            row.streamed_peak_buffered_bytes
         );
         results.push(row);
     }
@@ -286,9 +380,10 @@ pub fn validate_json(v: &Value) -> Result<(), String> {
         }
         _ => return Err("missing schema_version".into()),
     }
-    if !matches!(field(v, "smoke"), Some(Value::Bool(_))) {
-        return Err("missing smoke flag".into());
-    }
+    let smoke = match field(v, "smoke") {
+        Some(Value::Bool(b)) => *b,
+        _ => return Err("missing smoke flag".into()),
+    };
     let results = match field(v, "results") {
         Some(Value::Array(rows)) => rows,
         _ => return Err("missing results array".into()),
@@ -300,7 +395,13 @@ pub fn validate_json(v: &Value) -> Result<(), String> {
         if !matches!(field(row, "config"), Some(Value::Str(_))) {
             return Err(format!("results[{i}].config missing or not a string"));
         }
-        for key in ["ranks", "events", "text_bytes"] {
+        for key in [
+            "ranks",
+            "events",
+            "text_bytes",
+            "columnar_bytes",
+            "streamed_peak_buffered_bytes",
+        ] {
             if !matches!(field(row, key), Some(Value::UInt(_))) {
                 return Err(format!("results[{i}].{key} missing or not an integer"));
             }
@@ -313,6 +414,13 @@ pub fn validate_json(v: &Value) -> Result<(), String> {
             "sequential_events_per_s",
             "parallel_events_per_s",
             "speedup",
+            "text_parse_s",
+            "columnar_s",
+            "columnar_mb_per_s",
+            "columnar_events_per_s",
+            "columnar_vs_text_parse",
+            "streamed_s",
+            "streamed_events_per_s",
         ] {
             match field(row, key).and_then(finite_number) {
                 Some(x) if x >= 0.0 => {}
@@ -322,6 +430,21 @@ pub fn validate_json(v: &Value) -> Result<(), String> {
                 None => {
                     return Err(format!("results[{i}].{key} missing or not a finite number"));
                 }
+            }
+        }
+        // The committed full run carries the ISSUE's floor: columnar
+        // parsing at least 3× the text parser on every 1M-event config.
+        // Smoke traces are too small for stable ratios, so only full runs
+        // are held to it.
+        if !smoke {
+            let ratio = field(row, "columnar_vs_text_parse")
+                .and_then(finite_number)
+                .unwrap_or(0.0);
+            if ratio < COLUMNAR_SPEEDUP_FLOOR {
+                return Err(format!(
+                    "results[{i}].columnar_vs_text_parse = {ratio:.2} is below the \
+                     {COLUMNAR_SPEEDUP_FLOOR}x floor"
+                ));
             }
         }
     }
@@ -340,6 +463,17 @@ mod tests {
         for row in &report.results {
             assert!(row.events > 0);
             assert!(row.sequential_s > 0.0 && row.parallel_s > 0.0);
+            assert!(row.columnar_bytes > 0);
+            assert!(row.text_parse_s > 0.0 && row.columnar_s > 0.0);
+            assert!(row.streamed_s > 0.0);
+            assert!(
+                row.columnar_bytes < row.text_bytes,
+                "columnar must encode tighter than text"
+            );
+            assert!(
+                row.streamed_peak_buffered_bytes < row.columnar_bytes,
+                "streaming must not buffer the whole encoding"
+            );
         }
     }
 

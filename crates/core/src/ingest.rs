@@ -53,10 +53,35 @@ pub struct IngestResult {
     pub stats: TraceStats,
 }
 
-/// Parse dumpi-format bytes with the chunk-parallel zero-copy parser and
-/// fold the events into matrices and stats in one pass.
+/// Parse trace bytes in whichever of the three formats the magic prefix
+/// announces — columnar (`NLCOLTR`), row binary (`NLDUMPI`), or the text
+/// dumpi dialect — and fold the events into matrices and stats in one
+/// pass. The columnar and text parsers are both chunk-parallel.
 pub fn ingest_trace_bytes(bytes: &[u8]) -> netloc_mpi::Result<IngestResult> {
-    Ok(ingest_trace(parse_trace_bytes(bytes)?))
+    Ok(ingest_trace(parse_trace_auto(bytes)?))
+}
+
+/// Format dispatch on the magic prefix, shared by the byte and file entry
+/// points.
+pub fn parse_trace_auto(bytes: &[u8]) -> netloc_mpi::Result<Trace> {
+    if bytes.starts_with(netloc_mpi::colfmt::MAGIC) {
+        netloc_mpi::parse_trace_columnar(bytes)
+    } else if bytes.starts_with(netloc_mpi::binfmt::MAGIC) {
+        netloc_mpi::parse_trace_binary(bytes)
+    } else {
+        parse_trace_bytes(bytes)
+    }
+}
+
+/// Ingest a trace file through a read-only memory mapping: the kernel
+/// pages file segments in on demand, so resident *input* memory stays
+/// O(working set) even for files far larger than RAM — the parsers walk
+/// the mapping exactly as they would a heap buffer. (The decoded events
+/// and matrices are the output and scale with trace content, not file
+/// size.)
+pub fn ingest_trace_path(path: &std::path::Path) -> netloc_mpi::Result<IngestResult> {
+    let mapped = netloc_mpi::MappedFile::open(path)?;
+    ingest_trace_bytes(mapped.bytes())
 }
 
 /// Fold an already-parsed trace into matrices and stats in one
@@ -583,6 +608,356 @@ fn expand_coll(
     }
 }
 
+// ---- windowed metrics ------------------------------------------------
+//
+// Time-resolved analysis: the execution is cut into `windows` equal time
+// slices and every per-event contribution lands in its slice's private
+// accumulator. The accumulators use exactly the whole-trace arithmetic
+// (`fold_events` + `expand_coll`), so the per-window results are what the
+// sequential constructors would produce on the window's sub-trace, and —
+// because every counter is a `u64` sum — adding all windows together
+// reproduces the whole-trace aggregates bit for bit. `WindowedAccum` is
+// mergeable and associative: shards and chunks combine in any grouping.
+
+/// The window an event timestamp falls into when `[0, exec_time_s)` is cut
+/// into `windows` equal slices. Events at or past `exec_time_s` (clock
+/// skew, rounding) land in the last window; non-finite or negative times
+/// land in window 0 (the `as usize` cast saturates), deterministically.
+pub fn window_index(time: f64, exec_time_s: f64, windows: usize) -> usize {
+    if windows <= 1 {
+        return 0;
+    }
+    let frac = if exec_time_s > 0.0 {
+        time / exec_time_s
+    } else {
+        0.0
+    };
+    ((frac * windows as f64) as usize).min(windows - 1)
+}
+
+/// One window's private accumulator: hash-map matrix cells plus Table 1
+/// counters and deferred uniform collectives. Windows subdivide shards, so
+/// the dense-cell fast path is not worth `windows × n²` cells here.
+struct WinShard {
+    counters: Counters,
+    full: PairMap,
+    p2p: PairMap,
+    coll: FxHashMap<CollKey, CollAcc>,
+}
+
+impl WinShard {
+    fn new() -> Self {
+        WinShard {
+            counters: Counters::default(),
+            full: FxHashMap::default(),
+            p2p: FxHashMap::default(),
+            coll: FxHashMap::default(),
+        }
+    }
+
+    fn merge(&mut self, other: WinShard) {
+        self.counters.p2p_bytes += other.counters.p2p_bytes;
+        self.counters.coll_bytes += other.counters.coll_bytes;
+        self.counters.p2p_calls += other.counters.p2p_calls;
+        self.counters.coll_calls += other.counters.coll_calls;
+        let add = |a: &mut PairTraffic, b: &PairTraffic| {
+            a.bytes += b.bytes;
+            a.messages += b.messages;
+            a.packets += b.packets;
+        };
+        for (k, p) in other.full {
+            add(self.full.entry(k).or_default(), &p);
+        }
+        for (k, p) in other.p2p {
+            add(self.p2p.entry(k).or_default(), &p);
+        }
+        for (k, acc) in other.coll {
+            let mine = self.coll.entry(k).or_default();
+            mine.a.merge(&acc.a);
+            mine.b.merge(&acc.b);
+        }
+    }
+}
+
+/// Mergeable per-window accumulation state. Feed any subset of a trace's
+/// events with [`fold_events`](WindowedAccum::fold_events), combine
+/// partial accumulators with [`merge`](WindowedAccum::merge) (associative
+/// and commutative — shards and chunks combine in any grouping), and
+/// convert to concrete per-window matrices with
+/// [`finish`](WindowedAccum::finish).
+pub struct WindowedAccum {
+    num_ranks: u32,
+    exec_time_s: f64,
+    shards: Vec<WinShard>,
+}
+
+impl WindowedAccum {
+    /// An empty accumulator with `windows` (≥ 1) time slices.
+    pub fn new(num_ranks: u32, windows: usize, exec_time_s: f64) -> Self {
+        WindowedAccum {
+            num_ranks,
+            exec_time_s,
+            shards: (0..windows.max(1)).map(|_| WinShard::new()).collect(),
+        }
+    }
+
+    /// Fold a slice of `trace`'s events into their windows, using exactly
+    /// the whole-trace per-event arithmetic.
+    pub fn fold_events(&mut self, trace: &Trace, events: &[TimedEvent]) {
+        let windows = self.shards.len();
+        for te in events {
+            let w = window_index(te.time, self.exec_time_s, windows);
+            let WinShard {
+                counters,
+                full,
+                p2p,
+                coll,
+            } = &mut self.shards[w];
+            fold_events(
+                trace,
+                std::slice::from_ref(te),
+                counters,
+                coll,
+                |src, dst, bytes, repeat, is_p2p| {
+                    if src == dst || repeat == 0 {
+                        return;
+                    }
+                    let add_bytes = bytes * repeat;
+                    let add_packets = bytes.div_ceil(PACKET_PAYLOAD).max(1) * repeat;
+                    let apply = |e: &mut PairTraffic| {
+                        e.bytes += add_bytes;
+                        e.messages += repeat;
+                        e.packets += add_packets;
+                    };
+                    apply(full.entry((src, dst)).or_default());
+                    if is_p2p {
+                        apply(p2p.entry((src, dst)).or_default());
+                    }
+                },
+            );
+        }
+    }
+
+    /// Add another accumulator's windows into this one. Both sides must
+    /// describe the same trace cut into the same number of windows.
+    pub fn merge(&mut self, other: WindowedAccum) {
+        assert_eq!(self.shards.len(), other.shards.len(), "window count");
+        assert_eq!(self.num_ranks, other.num_ranks, "rank count");
+        for (mine, theirs) in self.shards.iter_mut().zip(other.shards) {
+            mine.merge(theirs);
+        }
+    }
+
+    /// Expand the deferred collectives and build the per-window matrices.
+    pub fn finish(self, trace: &Trace) -> WindowedMetrics {
+        let n = self.num_ranks;
+        let exec = self.exec_time_s;
+        let count = self.shards.len();
+        let mut windows = Vec::with_capacity(count);
+        for (w, shard) in self.shards.into_iter().enumerate() {
+            let WinShard {
+                counters,
+                mut full,
+                p2p,
+                coll,
+            } = shard;
+            for (key, acc) in &coll {
+                expand_coll(trace, key, acc, |src, dst, phase| {
+                    let e = full.entry((src, dst)).or_default();
+                    e.bytes += phase.bytes;
+                    e.messages += phase.messages;
+                    e.packets += phase.packets;
+                });
+            }
+            windows.push(WindowMetrics {
+                t_start_s: exec * w as f64 / count as f64,
+                t_end_s: exec * (w + 1) as f64 / count as f64,
+                matrix: TrafficMatrix::from_parts(n, full),
+                p2p: TrafficMatrix::from_parts(n, p2p),
+                p2p_bytes: counters.p2p_bytes,
+                coll_bytes: counters.coll_bytes,
+                p2p_calls: counters.p2p_calls,
+                coll_calls: counters.coll_calls,
+            });
+        }
+        WindowedMetrics {
+            num_ranks: n,
+            exec_time_s: exec,
+            windows,
+        }
+    }
+}
+
+/// One time slice's aggregates: the slice boundaries, the full and
+/// p2p-only traffic matrices restricted to events in the slice, and the
+/// slice's Table 1 counters.
+#[derive(Debug, Clone)]
+pub struct WindowMetrics {
+    /// Inclusive window start time.
+    pub t_start_s: f64,
+    /// Exclusive window end time (the last window also absorbs later events).
+    pub t_end_s: f64,
+    /// Full (p2p + translated collectives) matrix of the window.
+    pub matrix: TrafficMatrix,
+    /// Point-to-point-only matrix of the window.
+    pub p2p: TrafficMatrix,
+    /// Bytes sent point-to-point within the window.
+    pub p2p_bytes: u64,
+    /// Collective volume within the window.
+    pub coll_bytes: u64,
+    /// Point-to-point calls within the window.
+    pub p2p_calls: u64,
+    /// Collective calls within the window.
+    pub coll_calls: u64,
+}
+
+/// Time-resolved metrics: the whole execution cut into equal windows.
+/// Summing any field over all windows reproduces the whole-trace
+/// aggregate bit for bit.
+#[derive(Debug, Clone)]
+pub struct WindowedMetrics {
+    /// World size of the trace.
+    pub num_ranks: u32,
+    /// Execution time the windows partition.
+    pub exec_time_s: f64,
+    /// The per-window aggregates, in time order.
+    pub windows: Vec<WindowMetrics>,
+}
+
+/// Compute windowed metrics with the chunk-parallel fold (one chunk per
+/// rayon worker).
+pub fn windowed_ingest(trace: &Trace, windows: usize) -> WindowedMetrics {
+    windowed_ingest_chunked(trace, windows, 0)
+}
+
+/// [`windowed_ingest`] with an explicit events-per-chunk size (`0` = one
+/// chunk per worker). The result is invariant in the chunk size; the knob
+/// exists for the invariance property tests and the `check_windows`
+/// oracle.
+pub fn windowed_ingest_chunked(
+    trace: &Trace,
+    windows: usize,
+    chunk_events: usize,
+) -> WindowedMetrics {
+    let windows = windows.max(1);
+    let workers = rayon::max_workers().max(1);
+    let chunk = if chunk_events > 0 {
+        chunk_events
+    } else {
+        trace.events.len().div_ceil(workers).max(1)
+    };
+    let accum = trace
+        .events
+        .par_chunks(chunk)
+        .map(|events| {
+            let mut a = WindowedAccum::new(trace.num_ranks, windows, trace.exec_time_s);
+            a.fold_events(trace, events);
+            Some(a)
+        })
+        .reduce(
+            || None,
+            |a, b| match (a, b) {
+                (Some(mut x), Some(y)) => {
+                    x.merge(y);
+                    Some(x)
+                }
+                (x, None) | (None, x) => x,
+            },
+        )
+        .unwrap_or_else(|| WindowedAccum::new(trace.num_ranks, windows, trace.exec_time_s));
+    accum.finish(trace)
+}
+
+/// Independent sequential reference for the windowed fold: bucket the
+/// events into per-window *sub-traces* and run the sequential whole-trace
+/// constructors ([`TrafficMatrix::from_trace_full`],
+/// [`TrafficMatrix::from_trace_p2p`], [`TraceStats::compute`]) on each.
+/// Shares no accumulation code with [`windowed_ingest`], which is what
+/// makes it an oracle.
+pub fn windowed_reference(trace: &Trace, windows: usize) -> WindowedMetrics {
+    let windows = windows.max(1);
+    let mut buckets: Vec<Vec<TimedEvent>> = (0..windows).map(|_| Vec::new()).collect();
+    for te in &trace.events {
+        buckets[window_index(te.time, trace.exec_time_s, windows)].push(te.clone());
+    }
+    let count = windows;
+    let out = buckets
+        .into_iter()
+        .enumerate()
+        .map(|(w, events)| {
+            let mut sub = trace.clone();
+            sub.events = events;
+            let stats = TraceStats::compute(&sub);
+            WindowMetrics {
+                t_start_s: trace.exec_time_s * w as f64 / count as f64,
+                t_end_s: trace.exec_time_s * (w + 1) as f64 / count as f64,
+                matrix: TrafficMatrix::from_trace_full(&sub),
+                p2p: TrafficMatrix::from_trace_p2p(&sub),
+                p2p_bytes: stats.p2p_bytes,
+                coll_bytes: stats.coll_bytes,
+                p2p_calls: stats.p2p_calls,
+                coll_calls: stats.coll_calls,
+            }
+        })
+        .collect();
+    WindowedMetrics {
+        num_ranks: trace.num_ranks,
+        exec_time_s: trace.exec_time_s,
+        windows: out,
+    }
+}
+
+/// Byte-level comparison of two windowed results; an empty vector means
+/// they are identical (f64 fields compared by bit pattern). Used by the
+/// `check_windows` corpus oracle to report precise mismatches.
+pub fn windows_diff(a: &WindowedMetrics, b: &WindowedMetrics) -> Vec<String> {
+    let mut diffs = Vec::new();
+    if a.num_ranks != b.num_ranks {
+        diffs.push(format!("num_ranks {} vs {}", a.num_ranks, b.num_ranks));
+    }
+    if a.exec_time_s.to_bits() != b.exec_time_s.to_bits() {
+        diffs.push(format!("exec_time {} vs {}", a.exec_time_s, b.exec_time_s));
+    }
+    if a.windows.len() != b.windows.len() {
+        diffs.push(format!(
+            "window count {} vs {}",
+            a.windows.len(),
+            b.windows.len()
+        ));
+        return diffs;
+    }
+    for (w, (x, y)) in a.windows.iter().zip(&b.windows).enumerate() {
+        if x.t_start_s.to_bits() != y.t_start_s.to_bits()
+            || x.t_end_s.to_bits() != y.t_end_s.to_bits()
+        {
+            diffs.push(format!("window {w}: bounds differ"));
+        }
+        if (x.p2p_bytes, x.coll_bytes, x.p2p_calls, x.coll_calls)
+            != (y.p2p_bytes, y.coll_bytes, y.p2p_calls, y.coll_calls)
+        {
+            diffs.push(format!(
+                "window {w}: counters ({}, {}, {}, {}) vs ({}, {}, {}, {})",
+                x.p2p_bytes,
+                x.coll_bytes,
+                x.p2p_calls,
+                x.coll_calls,
+                y.p2p_bytes,
+                y.coll_bytes,
+                y.p2p_calls,
+                y.coll_calls
+            ));
+        }
+        for (name, ma, mb) in [("full", &x.matrix, &y.matrix), ("p2p", &x.p2p, &y.p2p)] {
+            if ma.num_ranks() != mb.num_ranks() {
+                diffs.push(format!("window {w}: {name} matrix rank count differs"));
+            } else if ma.sorted_pairs() != mb.sorted_pairs() {
+                diffs.push(format!("window {w}: {name} matrix pairs differ"));
+            }
+        }
+    }
+    diffs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -694,5 +1069,130 @@ mod tests {
         let result = ingest_trace(trace.clone());
         assert_matches_sequential(&trace, &result);
         assert!(result.stats.coll_calls >= 6);
+    }
+
+    #[test]
+    fn auto_detect_parses_all_three_formats() {
+        let trace = mixed_trace(8);
+        let text = write_trace(&trace);
+        let bin = netloc_mpi::write_trace_binary(&trace);
+        let col = netloc_mpi::write_trace_columnar(&trace);
+        for bytes in [text.as_bytes(), &bin[..], &col[..]] {
+            let result = ingest_trace_bytes(bytes).unwrap();
+            assert_eq!(result.trace, trace);
+            assert_matches_sequential(&trace, &result);
+        }
+    }
+
+    #[test]
+    fn mmap_path_matches_in_memory_ingest() {
+        let trace = mixed_trace(8);
+        let dir = std::env::temp_dir();
+        for (name, bytes) in [
+            ("text", write_trace(&trace).into_bytes()),
+            ("col", netloc_mpi::write_trace_columnar(&trace)),
+        ] {
+            let path = dir.join(format!("netloc-ingest-{}-{name}.trace", std::process::id()));
+            std::fs::write(&path, &bytes).unwrap();
+            let mapped = ingest_trace_path(&path).unwrap();
+            let in_mem = ingest_trace_bytes(&bytes).unwrap();
+            assert_eq!(mapped.trace, in_mem.trace);
+            assert_eq!(mapped.stats, in_mem.stats);
+            assert_eq!(mapped.matrix.sorted_pairs(), in_mem.matrix.sorted_pairs());
+            assert_eq!(mapped.p2p.sorted_pairs(), in_mem.p2p.sorted_pairs());
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn windowed_fold_matches_reference() {
+        let trace = mixed_trace(16);
+        for windows in [1usize, 2, 5, 16] {
+            let par = windowed_ingest(&trace, windows);
+            let reference = windowed_reference(&trace, windows);
+            let diffs = windows_diff(&par, &reference);
+            assert!(diffs.is_empty(), "windows={windows}: {diffs:?}");
+        }
+    }
+
+    #[test]
+    fn windowed_invariant_under_chunking_and_merge_grouping() {
+        let trace = mixed_trace(16);
+        let baseline = windowed_ingest_chunked(&trace, 4, 1_000_000);
+        for chunk in [1usize, 3, 17, 64] {
+            let got = windowed_ingest_chunked(&trace, 4, chunk);
+            let diffs = windows_diff(&got, &baseline);
+            assert!(diffs.is_empty(), "chunk={chunk}: {diffs:?}");
+        }
+        // Uneven manual grouping: ((a ⊕ b) ⊕ c) vs (a ⊕ (b ⊕ c)).
+        let thirds = trace.events.len() / 3;
+        let (ea, rest) = trace.events.split_at(thirds);
+        let (eb, ec) = rest.split_at(thirds);
+        let fold = |events: &[TimedEvent]| {
+            let mut a = WindowedAccum::new(trace.num_ranks, 4, trace.exec_time_s);
+            a.fold_events(&trace, events);
+            a
+        };
+        let mut left = fold(ea);
+        left.merge(fold(eb));
+        left.merge(fold(ec));
+        let mut right_tail = fold(eb);
+        right_tail.merge(fold(ec));
+        let mut right = fold(ea);
+        right.merge(right_tail);
+        let diffs = windows_diff(&left.finish(&trace), &right.finish(&trace));
+        assert!(diffs.is_empty(), "{diffs:?}");
+    }
+
+    #[test]
+    fn windows_sum_to_whole_trace_aggregates() {
+        let trace = mixed_trace(16);
+        let whole = ingest_trace(trace.clone());
+        let windowed = windowed_ingest(&trace, 7);
+        let sums = windowed
+            .windows
+            .iter()
+            .fold((0u64, 0u64, 0u64, 0u64), |acc, w| {
+                (
+                    acc.0 + w.p2p_bytes,
+                    acc.1 + w.coll_bytes,
+                    acc.2 + w.p2p_calls,
+                    acc.3 + w.coll_calls,
+                )
+            });
+        assert_eq!(
+            sums,
+            (
+                whole.stats.p2p_bytes,
+                whole.stats.coll_bytes,
+                whole.stats.p2p_calls,
+                whole.stats.coll_calls
+            )
+        );
+        // Per-pair sums across windows reproduce the whole-trace matrix.
+        let mut summed: PairMap = FxHashMap::default();
+        for w in &windowed.windows {
+            for (k, p) in w.matrix.sorted_pairs() {
+                let e = summed.entry(*k).or_default();
+                e.bytes += p.bytes;
+                e.messages += p.messages;
+                e.packets += p.packets;
+            }
+        }
+        let rebuilt = TrafficMatrix::from_parts(trace.num_ranks, summed);
+        assert_eq!(rebuilt.sorted_pairs(), whole.matrix.sorted_pairs());
+    }
+
+    #[test]
+    fn window_index_is_total_and_clamped() {
+        assert_eq!(window_index(0.0, 10.0, 4), 0);
+        assert_eq!(window_index(9.99, 10.0, 4), 3);
+        assert_eq!(window_index(10.0, 10.0, 4), 3); // at exec end
+        assert_eq!(window_index(250.0, 10.0, 4), 3); // past the end
+        assert_eq!(window_index(-5.0, 10.0, 4), 0); // saturating cast
+        assert_eq!(window_index(f64::NAN, 10.0, 4), 0);
+        assert_eq!(window_index(3.0, 0.0, 4), 0); // zero exec time
+        assert_eq!(window_index(3.0, 10.0, 0), 0);
+        assert_eq!(window_index(3.0, 10.0, 1), 0);
     }
 }

@@ -38,7 +38,11 @@ pub mod sweep;
 pub mod timeline;
 pub mod traffic;
 
-pub use ingest::{ingest_trace, ingest_trace_bytes, ingest_trace_chunked, IngestResult};
+pub use ingest::{
+    ingest_trace, ingest_trace_bytes, ingest_trace_chunked, ingest_trace_path, parse_trace_auto,
+    window_index, windowed_ingest, windowed_ingest_chunked, windowed_reference, windows_diff,
+    IngestResult, WindowMetrics, WindowedAccum, WindowedMetrics,
+};
 pub use metrics::dimensionality::{folded_locality, DimensionalityReport};
 pub use metrics::peers::peers;
 pub use metrics::rank_locality::{rank_distance_90, rank_locality_90};

@@ -9,31 +9,16 @@
 
 use crate::collective::{CollectiveOp, Payload};
 use crate::comm::CommId;
-use crate::datatype::Datatype;
 use crate::error::{MpiError, Result};
 use crate::event::{Event, TimedEvent};
 use crate::rank::Rank;
 use crate::trace::{Trace, TraceBuilder};
+use crate::wire::{bounded_capacity, datatype_code, datatype_from, op_code, put_f64, put_varint};
 
-const MAGIC: &[u8; 8] = b"NLDUMPI\x01";
+/// Magic/version prefix of the row-oriented binary format.
+pub const MAGIC: &[u8; 8] = b"NLDUMPI\x01";
 
 // ---- writer ----------------------------------------------------------
-
-fn put_varint(out: &mut Vec<u8>, mut v: u64) {
-    loop {
-        let byte = (v & 0x7f) as u8;
-        v >>= 7;
-        if v == 0 {
-            out.push(byte);
-            return;
-        }
-        out.push(byte | 0x80);
-    }
-}
-
-fn put_f64(out: &mut Vec<u8>, v: f64) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
 
 fn put_str(out: &mut Vec<u8>, s: &str) {
     put_varint(out, s.len() as u64);
@@ -114,38 +99,6 @@ pub fn write_trace_binary(trace: &Trace) -> Vec<u8> {
     out
 }
 
-fn datatype_code(dt: Datatype) -> u8 {
-    match dt {
-        Datatype::Byte => 0,
-        Datatype::Short => 1,
-        Datatype::Int => 2,
-        Datatype::Float => 3,
-        Datatype::Long => 4,
-        Datatype::Double => 5,
-        Datatype::Derived => 6,
-    }
-}
-
-fn datatype_from(code: u8) -> Option<Datatype> {
-    Some(match code {
-        0 => Datatype::Byte,
-        1 => Datatype::Short,
-        2 => Datatype::Int,
-        3 => Datatype::Float,
-        4 => Datatype::Long,
-        5 => Datatype::Double,
-        6 => Datatype::Derived,
-        _ => return None,
-    })
-}
-
-fn op_code(op: CollectiveOp) -> u8 {
-    CollectiveOp::ALL
-        .iter()
-        .position(|&o| o == op)
-        .expect("op in ALL") as u8
-}
-
 // ---- reader ----------------------------------------------------------
 
 struct Reader<'a> {
@@ -204,14 +157,14 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    /// A safe `Vec::with_capacity` for counts decoded from the input:
-    /// every element still to be parsed takes at least one byte, so a
-    /// legitimate count never exceeds the remaining input length. Clamping
-    /// the *preallocation* (not the parsed count — oversized counts still
-    /// fail later with a byte offset) keeps a corrupted varint from
-    /// requesting gigabytes before the first element is even read.
+    /// A safe `Vec::with_capacity` for counts decoded from the input; the
+    /// clamp rule is shared with the columnar reader via
+    /// [`crate::wire::bounded_capacity`].
     fn bounded_vec<T>(&self, count: usize) -> Vec<T> {
-        Vec::with_capacity(count.min(self.buf.len().saturating_sub(self.pos)))
+        Vec::with_capacity(bounded_capacity(
+            count,
+            self.buf.len().saturating_sub(self.pos),
+        ))
     }
 }
 
@@ -319,6 +272,7 @@ pub fn parse_trace_binary(buf: &[u8]) -> Result<Trace> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::datatype::Datatype;
     use crate::dumpi::write_trace;
 
     fn sample() -> Trace {

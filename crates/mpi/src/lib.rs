@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod binfmt;
+pub mod colfmt;
 pub mod collective;
 pub mod comm;
 pub mod datatype;
@@ -35,12 +36,18 @@ pub mod dumpi;
 mod dumpi_bytes;
 pub mod error;
 pub mod event;
+pub mod mapped;
 pub mod rank;
 pub mod stats;
 pub mod trace;
 pub mod transform;
+mod wire;
 
 pub use binfmt::{parse_trace_binary, write_trace_binary};
+pub use colfmt::{
+    parse_trace_columnar, write_trace_columnar, write_trace_columnar_chunked, ColStreamParser,
+    COL_CHUNK_EVENTS,
+};
 pub use collective::{
     collective_volume, for_each_translated, translate_collective, CollectiveOp, Payload,
     TranslatedMessage,
@@ -50,6 +57,7 @@ pub use datatype::Datatype;
 pub use dumpi::{parse_trace, parse_trace_bytes, parse_trace_bytes_chunked, write_trace};
 pub use error::{MpiError, Result};
 pub use event::{Event, TimedEvent};
+pub use mapped::MappedFile;
 pub use rank::Rank;
 pub use stats::TraceStats;
 pub use trace::{Trace, TraceBuilder};

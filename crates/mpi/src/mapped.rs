@@ -1,0 +1,193 @@
+//! Read-only memory-mapped file access for multi-GB traces.
+//!
+//! `MappedFile` exposes a trace file as a `&[u8]` without copying it into
+//! the heap: on Unix it is a private read-only `mmap(2)` (the kernel pages
+//! segments in and out on demand, so resident memory stays O(working set)
+//! even for files far larger than RAM), elsewhere it falls back to
+//! `std::fs::read`. There is no `libc` dependency in this workspace, so
+//! the two syscalls are declared directly — the same pattern the service
+//! uses for `signal(2)`.
+
+use crate::error::Result;
+use std::fs::File;
+use std::path::Path;
+
+#[cfg(unix)]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+enum MapData {
+    #[cfg(unix)]
+    Mmap {
+        ptr: *mut u8,
+        len: usize,
+    },
+    Owned(Vec<u8>),
+}
+
+/// A file's contents as a byte slice, memory-mapped where the platform
+/// supports it and heap-loaded otherwise.
+pub struct MappedFile {
+    data: MapData,
+}
+
+// The mapping is private and read-only: no writer can race with readers,
+// so sharing the slice across threads is sound.
+unsafe impl Send for MappedFile {}
+unsafe impl Sync for MappedFile {}
+
+impl MappedFile {
+    /// Map `path` read-only. Empty files yield an empty slice (mmap of
+    /// length zero is an error on Linux, so they short-circuit).
+    pub fn open(path: &Path) -> Result<MappedFile> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        if len == 0 {
+            return Ok(MappedFile {
+                data: MapData::Owned(Vec::new()),
+            });
+        }
+        if len > usize::MAX as u64 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "file larger than the address space",
+            )
+            .into());
+        }
+        Self::map(file, len as usize)
+    }
+
+    #[cfg(unix)]
+    fn map(file: File, len: usize) -> Result<MappedFile> {
+        use std::os::fd::AsRawFd;
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as usize == usize::MAX {
+            return Err(std::io::Error::last_os_error().into());
+        }
+        Ok(MappedFile {
+            data: MapData::Mmap {
+                ptr: ptr as *mut u8,
+                len,
+            },
+        })
+    }
+
+    #[cfg(not(unix))]
+    fn map(file: File, _len: usize) -> Result<MappedFile> {
+        use std::io::Read;
+        let mut file = file;
+        let mut buf = Vec::new();
+        file.read_to_end(&mut buf)?;
+        Ok(MappedFile {
+            data: MapData::Owned(buf),
+        })
+    }
+
+    /// The mapped contents.
+    pub fn bytes(&self) -> &[u8] {
+        match &self.data {
+            #[cfg(unix)]
+            MapData::Mmap { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            MapData::Owned(v) => v,
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        match &self.data {
+            #[cfg(unix)]
+            MapData::Mmap { len, .. } => *len,
+            MapData::Owned(v) => v.len(),
+        }
+    }
+
+    /// Whether the file was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Drop for MappedFile {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let MapData::Mmap { ptr, len } = self.data {
+            unsafe {
+                sys::munmap(ptr as *mut std::os::raw::c_void, len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str, contents: &[u8]) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("netloc-mapped-{}-{name}", std::process::id()));
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let path = tmp("basic", b"hello mapped world");
+        let m = MappedFile::open(&path).unwrap();
+        assert_eq!(m.bytes(), b"hello mapped world");
+        assert_eq!(m.len(), 18);
+        assert!(!m.is_empty());
+        drop(m);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_is_empty_slice() {
+        let path = tmp("empty", b"");
+        let m = MappedFile::open(&path).unwrap();
+        assert!(m.is_empty());
+        assert_eq!(m.bytes(), b"");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        match MappedFile::open(Path::new("/nonexistent/netloc-trace")) {
+            Err(err) => assert!(err.to_string().contains("i/o error")),
+            Ok(_) => panic!("open of a missing file succeeded"),
+        }
+    }
+
+    #[test]
+    fn large_mapping_reads_across_pages() {
+        let big: Vec<u8> = (0..1 << 20).map(|i| (i % 251) as u8).collect();
+        let path = tmp("big", &big);
+        let m = MappedFile::open(&path).unwrap();
+        assert_eq!(m.bytes(), &big[..]);
+        std::fs::remove_file(&path).ok();
+    }
+}

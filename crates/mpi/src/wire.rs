@@ -1,0 +1,126 @@
+//! Low-level wire helpers shared by the binary trace codecs.
+//!
+//! `binfmt` (row-oriented) and `colfmt` (columnar) speak the same primitive
+//! vocabulary: LEB128 varints, little-endian `f64`, length-prefixed strings,
+//! and the enum code tables for datatypes and collective ops. Keeping one
+//! implementation here means a fix (or a fuzz finding) in either codec
+//! covers both, and the preallocation clamp used by both readers cannot
+//! drift apart.
+
+use crate::collective::CollectiveOp;
+use crate::datatype::Datatype;
+
+/// Append `v` as a LEB128 varint.
+pub(crate) fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Append `v` as 8 little-endian bytes.
+pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Zigzag-map a signed delta onto an unsigned varint-friendly value
+/// (small magnitudes of either sign encode in few bytes).
+pub(crate) fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub(crate) fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// A safe preallocation size for counts decoded from untrusted input:
+/// every element still to be parsed takes at least one byte, so a
+/// legitimate count never exceeds the remaining input length. Clamping
+/// the *preallocation* (not the parsed count — oversized counts still
+/// fail later with a byte offset) keeps a corrupted varint from
+/// requesting gigabytes before the first element is even read.
+pub(crate) fn bounded_capacity(count: usize, remaining: usize) -> usize {
+    count.min(remaining)
+}
+
+/// Wire code for a datatype (shared by both binary codecs).
+pub(crate) fn datatype_code(dt: Datatype) -> u8 {
+    match dt {
+        Datatype::Byte => 0,
+        Datatype::Short => 1,
+        Datatype::Int => 2,
+        Datatype::Float => 3,
+        Datatype::Long => 4,
+        Datatype::Double => 5,
+        Datatype::Derived => 6,
+    }
+}
+
+/// Decode a datatype wire code; `None` for unknown codes.
+pub(crate) fn datatype_from(code: u8) -> Option<Datatype> {
+    Some(match code {
+        0 => Datatype::Byte,
+        1 => Datatype::Short,
+        2 => Datatype::Int,
+        3 => Datatype::Float,
+        4 => Datatype::Long,
+        5 => Datatype::Double,
+        6 => Datatype::Derived,
+        _ => return None,
+    })
+}
+
+/// Wire code for a collective op: its position in [`CollectiveOp::ALL`].
+pub(crate) fn op_code(op: CollectiveOp) -> u8 {
+    CollectiveOp::ALL
+        .iter()
+        .position(|&o| o == op)
+        .expect("op in ALL") as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_roundtrips_extremes() {
+        for v in [0i64, 1, -1, 2, -2, i64::MAX, i64::MIN, 1 << 40, -(1 << 40)] {
+            assert_eq!(unzigzag(zigzag(v)), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn datatype_codes_roundtrip() {
+        for dt in [
+            Datatype::Byte,
+            Datatype::Short,
+            Datatype::Int,
+            Datatype::Float,
+            Datatype::Long,
+            Datatype::Double,
+            Datatype::Derived,
+        ] {
+            assert_eq!(datatype_from(datatype_code(dt)), Some(dt));
+        }
+        assert_eq!(datatype_from(7), None);
+    }
+
+    #[test]
+    fn bounded_capacity_clamps() {
+        assert_eq!(bounded_capacity(10, 4), 4);
+        assert_eq!(bounded_capacity(3, 100), 3);
+        assert_eq!(bounded_capacity(0, 0), 0);
+    }
+}

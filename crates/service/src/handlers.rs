@@ -8,7 +8,7 @@
 //! any constructor runs — so a worker thread survives arbitrary input.
 
 use crate::cache::{tiered_get, tiered_insert, ResultCacheStats};
-use crate::http::{json_escape, Request, Response};
+use crate::http::{json_escape, BodySink, Request, Response};
 use crate::jobs::{self, JobsStats, ShardSpec};
 use crate::limit::RateLimiterStats;
 use crate::payload;
@@ -325,6 +325,112 @@ fn register_trace(state: &AppState, body: &[u8]) -> Response {
     Response::json(reply.into_bytes())
 }
 
+/// Incremental sink for chunked `POST /v1/traces` uploads.
+///
+/// The first 8 body bytes decide the lane: the columnar magic streams
+/// every subsequent chunk through [`netloc_mpi::ColStreamParser`],
+/// retaining only the current partial column chunk; anything else (dumpi
+/// text, the row binary format) is buffered whole, exactly like a
+/// `Content-Length` upload. Either way the worker's in-flight reservation
+/// tracks what the sink actually holds, so a multi-GB canonical columnar
+/// upload costs O(one chunk) of resident memory instead of O(file).
+pub(crate) struct TraceUploadSink {
+    lane: UploadLane,
+}
+
+enum UploadLane {
+    /// Fewer than 8 bytes seen: format still undecided.
+    Probe(Vec<u8>),
+    /// Columnar stream, decoded incrementally.
+    Columnar(netloc_mpi::ColStreamParser),
+    /// Any other format, buffered whole.
+    Buffered(Vec<u8>),
+}
+
+impl TraceUploadSink {
+    pub(crate) fn new() -> Self {
+        TraceUploadSink {
+            lane: UploadLane::Probe(Vec::new()),
+        }
+    }
+}
+
+impl BodySink for TraceUploadSink {
+    fn push(&mut self, bytes: &[u8]) -> Result<(), Response> {
+        match &mut self.lane {
+            UploadLane::Probe(buf) => {
+                buf.extend_from_slice(bytes);
+                if buf.len() >= netloc_mpi::colfmt::MAGIC.len() {
+                    let buf = std::mem::take(buf);
+                    if buf.starts_with(netloc_mpi::colfmt::MAGIC) {
+                        let mut parser = netloc_mpi::ColStreamParser::new();
+                        parser
+                            .push(&buf)
+                            .map_err(|e| Response::error(400, &format!("bad trace: {e}")))?;
+                        self.lane = UploadLane::Columnar(parser);
+                    } else {
+                        self.lane = UploadLane::Buffered(buf);
+                    }
+                }
+                Ok(())
+            }
+            UploadLane::Columnar(parser) => parser
+                .push(bytes)
+                .map_err(|e| Response::error(400, &format!("bad trace: {e}"))),
+            UploadLane::Buffered(buf) => {
+                buf.extend_from_slice(bytes);
+                Ok(())
+            }
+        }
+    }
+
+    fn retained(&self) -> usize {
+        match &self.lane {
+            UploadLane::Probe(buf) | UploadLane::Buffered(buf) => buf.len(),
+            UploadLane::Columnar(parser) => parser.buffered_len(),
+        }
+    }
+}
+
+/// Complete a chunked trace upload once the body stream has been fully
+/// consumed: buffered lanes go through the ordinary [`register_trace`]
+/// path; the columnar stream finishes its decode and registers the
+/// *canonical* re-encoding of the trace, so a streamed upload of
+/// `netloc convert` output registers byte-identical bytes (and therefore
+/// the same digest) as a whole-body upload of the same file.
+pub(crate) fn finish_upload(state: &AppState, sink: TraceUploadSink) -> Response {
+    match sink.lane {
+        UploadLane::Probe(buf) | UploadLane::Buffered(buf) => register_trace(state, &buf),
+        UploadLane::Columnar(parser) => {
+            let trace = match parser.finish() {
+                Ok(t) => t,
+                Err(e) => return Response::error(400, &format!("bad trace: {e}")),
+            };
+            state.traces_ingested.fetch_add(1, Ordering::Relaxed);
+            state
+                .ingest_events
+                .fetch_add(trace.events.len() as u64, Ordering::Relaxed);
+            let bytes = netloc_mpi::write_trace_columnar(&trace);
+            let digest = digest_hex(content_digest(&bytes));
+            let reply = format!(
+                "{{\n  \"digest\": {},\n  \"ranks\": {},\n  \"events\": {},\n  \"bytes\": {}\n}}\n",
+                json_escape(&digest),
+                trace.num_ranks,
+                trace.events.len(),
+                bytes.len()
+            );
+            tiered_insert(
+                &state.registry,
+                state.store.as_deref(),
+                Kind::Trace,
+                &digest,
+                &Arc::new(bytes),
+            );
+            Response::json(reply.into_bytes())
+        }
+    }
+}
+
 /// The structured 404 for a digest reference the registry cannot resolve
 /// (never uploaded, evicted from memory, or lost with the store).
 fn unknown_digest(digest: &str) -> Response {
@@ -473,6 +579,24 @@ fn decode_mapping(fields: &[(String, Value)]) -> Result<MappingSpec, Response> {
         .map_err(|e| Response::error(400, &format!("{e}")))
 }
 
+/// Ceiling on the optional `"windows"` count: windows beyond the event
+/// count are empty rows, and 4096 already renders a generous timeline.
+const MAX_WINDOWS: u64 = 4096;
+
+/// Decode the optional `"windows": N` field of `analyze`/`stats`.
+fn decode_windows(fields: &[(String, Value)]) -> Result<Option<usize>, Response> {
+    match field(fields, "windows") {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => match u64_from(v) {
+            Some(n) if (1..=MAX_WINDOWS).contains(&n) => Ok(Some(n as usize)),
+            _ => Err(Response::error(
+                400,
+                &format!("'windows' must be an integer in 1..={MAX_WINDOWS}"),
+            )),
+        },
+    }
+}
+
 // ---- analysis endpoints ----------------------------------------------
 
 /// Build the topology and its routed view, then run `work` against it.
@@ -514,11 +638,19 @@ fn analyze(state: &AppState, body: &[u8]) -> Response {
         let input = decode_trace(state, fields)?;
         let topo_spec = decode_topology(fields, input.ingest.trace.num_ranks)?;
         let map_spec = decode_mapping(fields)?;
+        let windows = decode_windows(fields)?;
 
         // Content-addressed lookup before any route computation: a hit —
         // in memory or digest-verified on disk — returns the exact bytes
-        // served last time, across restarts.
-        let key = format!("analyze|{}|{topo_spec}|{map_spec}", input.digest);
+        // served last time, across restarts. Requests without 'windows'
+        // keep their historical key, so caches survive the upgrade.
+        let key = match windows {
+            None => format!("analyze|{}|{topo_spec}|{map_spec}", input.digest),
+            Some(n) => format!(
+                "analyze|{}|{topo_spec}|{map_spec}|windows:{n}",
+                input.digest
+            ),
+        };
         if let Some((bytes, _tier)) = tiered_get(
             &state.result_cache,
             state.store.as_deref(),
@@ -528,15 +660,24 @@ fn analyze(state: &AppState, body: &[u8]) -> Response {
             return Ok(Response::json(bytes.as_ref().clone()));
         }
 
-        let resp = with_routed(state, &topo_spec, |routed| {
-            payload::analyze(
+        let resp = with_routed(state, &topo_spec, |routed| match windows {
+            None => payload::analyze(
                 &input.ingest.trace,
                 &input.ingest.matrix,
                 input.digest.clone(),
                 &topo_spec,
                 &map_spec,
                 routed,
-            )
+            ),
+            Some(n) => payload::analyze_windowed(
+                &input.ingest.trace,
+                &input.ingest.matrix,
+                input.digest.clone(),
+                &topo_spec,
+                &map_spec,
+                routed,
+                n,
+            ),
         })
         .map_err(|e| Response::error(400, &format!("{e}")))?
         .map_err(|e| Response::error(400, &format!("{e}")))?;
@@ -617,21 +758,27 @@ fn sweep(state: &AppState, body: &[u8]) -> Response {
 }
 
 fn stats(state: &AppState, body: &[u8]) -> Response {
-    trace_only(state, body, |ingest| {
-        payload::StatsResponse::from_parts(&ingest.trace, &ingest.stats).to_value()
+    trace_only(state, body, |ingest, fields| {
+        let base = payload::StatsResponse::from_parts(&ingest.trace, &ingest.stats);
+        Ok(match decode_windows(fields)? {
+            Some(n) => base
+                .with_windows(&netloc_core::windowed_ingest(&ingest.trace, n))
+                .to_value(),
+            None => base.to_value(),
+        })
     })
 }
 
 fn metrics(state: &AppState, body: &[u8]) -> Response {
-    trace_only(state, body, |ingest| {
-        payload::MetricsResponse::from_matrix(&ingest.trace, &ingest.p2p).to_value()
+    trace_only(state, body, |ingest, _fields| {
+        Ok(payload::MetricsResponse::from_matrix(&ingest.trace, &ingest.p2p).to_value())
     })
 }
 
 fn trace_only(
     state: &AppState,
     body: &[u8],
-    compute: impl FnOnce(&IngestResult) -> Value,
+    compute: impl FnOnce(&IngestResult, &[(String, Value)]) -> Result<Value, Response>,
 ) -> Response {
     let value = match parse_json_body(body) {
         Ok(v) => v,
@@ -641,7 +788,7 @@ fn trace_only(
         let fields = obj(&value)?;
         let input = decode_trace(state, fields)?;
         Ok(Response::json(
-            canonical_json(&compute(&input.ingest)).into_bytes(),
+            canonical_json(&compute(&input.ingest, fields)?).into_bytes(),
         ))
     })();
     result.unwrap_or_else(|resp| resp)

@@ -1,10 +1,18 @@
 //! Minimal HTTP/1.1 framing over blocking sockets.
 //!
 //! The server speaks just enough HTTP for JSON request/response tooling:
-//! one request per connection (`Connection: close`), `Content-Length`
-//! bodies, no chunked encoding, no keep-alive. Both directions are capped —
-//! headers at [`MAX_HEADER_BYTES`], bodies at the server's configured
-//! limit — so a hostile peer cannot make a worker buffer unbounded input.
+//! one request per connection (`Connection: close`), `Content-Length` or
+//! `Transfer-Encoding: chunked` bodies, no keep-alive. Both directions are
+//! capped — headers at [`MAX_HEADER_BYTES`], bodies at the server's
+//! configured limit — so a hostile peer cannot make a worker buffer
+//! unbounded input.
+//!
+//! Framing is split into [`read_request_head`] (request line + headers +
+//! body-framing decision) and [`read_request_body`], which decodes the
+//! body into a caller-supplied [`BodySink`]. The composed [`read_request`]
+//! buffers everything into a `Vec` as before; the server substitutes a
+//! streaming sink for chunked trace uploads so multi-GB bodies are
+//! digested incrementally instead of held whole.
 //!
 //! Admission hardening lives at this layer too, because this is where a
 //! worker thread first touches untrusted I/O:
@@ -70,12 +78,22 @@ impl InflightBytes {
 
     /// Reserve `bytes` against the cap, or count a shed and refuse.
     pub fn try_reserve(self: &Arc<Self>, bytes: usize) -> Option<InflightGuard> {
+        self.reserve_raw(bytes).then(|| InflightGuard {
+            pool: Arc::clone(self),
+            bytes,
+        })
+    }
+
+    /// CAS-reserve `bytes`; counts a shed and returns `false` when the cap
+    /// would be exceeded. Shared by [`InflightBytes::try_reserve`] and
+    /// [`InflightGuard::grow`].
+    fn reserve_raw(&self, bytes: usize) -> bool {
         let mut current = self.current.load(Ordering::Relaxed);
         loop {
             let next = current.saturating_add(bytes);
             if next > self.limit {
                 self.shed.fetch_add(1, Ordering::Relaxed);
-                return None;
+                return false;
             }
             match self.current.compare_exchange_weak(
                 current,
@@ -83,12 +101,7 @@ impl InflightBytes {
                 Ordering::Relaxed,
                 Ordering::Relaxed,
             ) {
-                Ok(_) => {
-                    return Some(InflightGuard {
-                        pool: Arc::clone(self),
-                        bytes,
-                    })
-                }
+                Ok(_) => return true,
                 Err(seen) => current = seen,
             }
         }
@@ -119,6 +132,22 @@ pub struct InflightGuard {
 impl std::fmt::Debug for InflightGuard {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "InflightGuard({} bytes)", self.bytes)
+    }
+}
+
+impl InflightGuard {
+    /// Extend this reservation by `additional` bytes against the same
+    /// pool. Returns `false` (reservation unchanged, shed counted) when
+    /// the cap would be exceeded — chunked uploads, whose size is unknown
+    /// at admission time, grow their reservation as bytes arrive instead
+    /// of reserving up front.
+    pub fn grow(&mut self, additional: usize) -> bool {
+        if self.pool.reserve_raw(additional) {
+            self.bytes += additional;
+            true
+        } else {
+            false
+        }
     }
 }
 
@@ -169,6 +198,20 @@ pub struct Request {
 pub enum ReadError {
     /// Malformed framing (bad request line, unparsable `Content-Length`…).
     Bad(String),
+    /// Malformed framing with a machine-readable failure class → 400 with
+    /// a `code` field (`bad_chunked_frame` carries the byte offset of the
+    /// fault in its message; `te_cl_conflict` flags the RFC 9112 §6.1
+    /// request-smuggling ambiguity).
+    Coded {
+        /// Machine-readable failure class for the JSON `code` field.
+        code: &'static str,
+        /// Human-readable detail, including the chunked-body byte offset
+        /// for framing faults.
+        msg: String,
+    },
+    /// The body sink refused the stream mid-read (e.g. a streaming trace
+    /// ingest hit a parse error); the prepared response is sent as-is.
+    Rejected(Response),
     /// Body or header section exceeds the configured limit → HTTP 413.
     TooLarge(usize),
     /// The request did not finish arriving within the progress deadline
@@ -186,6 +229,8 @@ impl ReadError {
     pub fn to_response(&self) -> Option<Response> {
         match self {
             ReadError::Bad(msg) => Some(Response::error(400, msg)),
+            ReadError::Coded { code, msg } => Some(Response::coded_error(400, code, msg)),
+            ReadError::Rejected(resp) => Some(resp.clone()),
             ReadError::TooLarge(limit) => Some(Response::error(
                 413,
                 &format!("request body exceeds the {limit}-byte limit"),
@@ -240,14 +285,82 @@ fn read_some(
     }
 }
 
-/// Read and frame one request under `limits`.
-pub fn read_request(
+/// How a request frames its body on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Framing {
+    /// `Content-Length: n` (0 when the header is absent).
+    Length(usize),
+    /// `Transfer-Encoding: chunked` (RFC 9112 §7.1).
+    Chunked,
+}
+
+/// The parsed request line + headers, plus any body bytes that rode in
+/// with them. Produced by [`read_request_head`]; feed to
+/// [`read_request_body`] to stream the body into a [`BodySink`].
+#[derive(Debug)]
+pub struct RequestHead {
+    /// Request method (`GET`, `POST`, …), uppercased as received.
+    pub method: String,
+    /// Request path including any query string.
+    pub path: String,
+    /// How the body is framed.
+    pub framing: Framing,
+    /// Raw bytes read past the header terminator — the start of the
+    /// (possibly chunk-encoded) body stream.
+    pub(crate) carry: Vec<u8>,
+    /// When the request started arriving; the progress deadline spans
+    /// head + body together, exactly as the unsplit reader did.
+    pub(crate) started: Instant,
+}
+
+/// Where decoded body bytes go as they arrive off the socket.
+///
+/// [`read_request_body`] pushes every decoded body byte exactly once, in
+/// order. `retained()` reports how many bytes the sink still holds; for
+/// chunked bodies the reader keeps the shared [`InflightBytes`]
+/// reservation at least that large, so a sink that digests-and-discards
+/// (streaming trace ingest) is accounted for only what it actually
+/// buffers.
+pub trait BodySink {
+    /// Consume the next run of decoded body bytes. An `Err` aborts the
+    /// read; the returned [`Response`] is sent to the client as-is.
+    fn push(&mut self, bytes: &[u8]) -> Result<(), Response>;
+    /// Bytes currently buffered inside the sink.
+    fn retained(&self) -> usize;
+}
+
+/// The trivial sink: buffer the whole body in memory. Backs the
+/// non-streaming [`read_request`].
+#[derive(Debug, Default)]
+pub struct VecSink {
+    /// The accumulated body bytes.
+    pub buf: Vec<u8>,
+}
+
+impl BodySink for VecSink {
+    fn push(&mut self, bytes: &[u8]) -> Result<(), Response> {
+        self.buf.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn retained(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// Read the request line + headers and decide how the body is framed.
+///
+/// Enforces the header ceiling and the progress deadline, and rejects
+/// `Transfer-Encoding` combined with `Content-Length` with a structured
+/// 400 (`te_cl_conflict`) — RFC 9112 §6.1 treats the pair as a request
+/// smuggling vector, and a server that guesses which one to trust can be
+/// desynchronized from any intermediary that guessed differently.
+pub fn read_request_head(
     stream: &mut TcpStream,
     limits: &RequestLimits<'_>,
-) -> Result<Request, ReadError> {
+) -> Result<RequestHead, ReadError> {
     let start = Instant::now();
     let deadline = limits.progress_deadline;
-    let max_body = limits.max_body;
     // Accumulate until the blank line that ends the header section.
     let mut buf = Vec::with_capacity(1024);
     let mut chunk = [0u8; 1024];
@@ -275,21 +388,84 @@ pub fn read_request(
         _ => return Err(ReadError::Bad(format!("bad request line '{request_line}'"))),
     };
 
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
+    let mut transfer_encoding: Option<String> = None;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| ReadError::Bad(format!("bad Content-Length '{value}'")))?;
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = Some(
+                    value
+                        .trim()
+                        .parse()
+                        .map_err(|_| ReadError::Bad(format!("bad Content-Length '{value}'")))?,
+                );
+            } else if name.eq_ignore_ascii_case("transfer-encoding") {
+                transfer_encoding = Some(value.trim().to_string());
             }
         }
     }
-    if content_length > max_body {
-        return Err(ReadError::TooLarge(max_body));
-    }
+    let framing = match transfer_encoding {
+        Some(te) => {
+            if content_length.is_some() {
+                return Err(ReadError::Coded {
+                    code: "te_cl_conflict",
+                    msg: "Transfer-Encoding and Content-Length on the same request \
+                          is rejected (RFC 9112 §6.1 request-smuggling ambiguity)"
+                        .into(),
+                });
+            }
+            if !te.eq_ignore_ascii_case("chunked") {
+                return Err(ReadError::Bad(format!(
+                    "unsupported Transfer-Encoding '{te}'"
+                )));
+            }
+            Framing::Chunked
+        }
+        None => Framing::Length(content_length.unwrap_or(0)),
+    };
+    Ok(RequestHead {
+        method,
+        path,
+        framing,
+        carry: buf[header_end + 4..].to_vec(),
+        started: start,
+    })
+}
 
+/// Stream the request body into `sink` under `limits`.
+///
+/// For `Content-Length` bodies the declared size is reserved against the
+/// in-flight pool up front — refusing before buffering is the point of
+/// the cap. For chunked bodies the size is unknown at admission time, so
+/// the reservation grows alongside `sink.retained()` plus the undecoded
+/// tail as bytes arrive; decoded totals beyond `max_body` still answer
+/// 413. Returns the reservation so it lives until the response is
+/// written.
+pub fn read_request_body(
+    head: &mut RequestHead,
+    stream: &mut TcpStream,
+    limits: &RequestLimits<'_>,
+    sink: &mut dyn BodySink,
+) -> Result<Option<InflightGuard>, ReadError> {
+    let carry = std::mem::take(&mut head.carry);
+    match head.framing {
+        Framing::Length(n) => read_body_sized(head.started, carry, n, stream, limits, sink),
+        Framing::Chunked => read_body_chunked(head.started, carry, stream, limits, sink),
+    }
+}
+
+fn read_body_sized(
+    start: Instant,
+    carry: Vec<u8>,
+    content_length: usize,
+    stream: &mut TcpStream,
+    limits: &RequestLimits<'_>,
+    sink: &mut dyn BodySink,
+) -> Result<Option<InflightGuard>, ReadError> {
+    if content_length > limits.max_body {
+        return Err(ReadError::TooLarge(limits.max_body));
+    }
     // Reserve the declared body size against the shared in-flight pool
     // *before* buffering a single body byte beyond what rode in with the
     // headers — the whole point is to refuse work we cannot afford to hold.
@@ -297,29 +473,229 @@ pub fn read_request(
         (Some(pool), n) if n > 0 => Some(pool.try_reserve(n).ok_or(ReadError::Overloaded)?),
         _ => None,
     };
-
-    // Body: whatever was already buffered past the headers, then the rest.
-    let mut body = buf[header_end + 4..].to_vec();
-    if body.len() > content_length {
+    if carry.len() > content_length {
         return Err(ReadError::Bad("body longer than Content-Length".into()));
     }
-    body.reserve(content_length - body.len());
-    while body.len() < content_length {
-        let n = read_some(stream, &mut chunk, start, deadline)?;
+    let mut got = carry.len();
+    sink.push(&carry).map_err(ReadError::Rejected)?;
+    let mut chunk = [0u8; 1024];
+    while got < content_length {
+        let n = read_some(stream, &mut chunk, start, limits.progress_deadline)?;
         if n == 0 {
             return Err(ReadError::Bad("connection closed mid-body".into()));
         }
-        body.extend_from_slice(&chunk[..n]);
-        if body.len() > content_length {
+        got += n;
+        if got > content_length {
             return Err(ReadError::Bad("body longer than Content-Length".into()));
         }
+        sink.push(&chunk[..n]).map_err(ReadError::Rejected)?;
     }
+    Ok(inflight)
+}
+
+/// Ceiling on one chunk-size line (hex digits + optional extension).
+/// 16 hex digits already cover u64; 256 bytes is beyond generous.
+const MAX_CHUNK_LINE: usize = 256;
+
+/// Incremental RFC 9112 §7.1 chunked-transfer decoder. Fed raw socket
+/// bytes, it pushes decoded payload runs into a [`BodySink`] and tracks
+/// the absolute byte offset into the encoded stream so framing errors can
+/// say *where* the client's encoder went wrong.
+struct ChunkedDecoder {
+    state: ChunkState,
+    /// Absolute offset of the next unconsumed encoded byte.
+    offset: u64,
+    /// Total decoded payload bytes so far (capped at `max_body`).
+    total: usize,
+}
+
+enum ChunkState {
+    /// Expecting a chunk-size line (`hex[;ext]\r\n`).
+    Size,
+    /// Inside chunk data; `usize` bytes still due.
+    Data(usize),
+    /// Expecting the CRLF that terminates a data chunk.
+    DataCrlf,
+    /// After the 0-size chunk: consuming (ignored) trailer lines until
+    /// the blank line.
+    Trailer,
+    /// Terminal: the body is complete.
+    Done,
+}
+
+impl ChunkedDecoder {
+    fn new() -> Self {
+        ChunkedDecoder {
+            state: ChunkState::Size,
+            offset: 0,
+            total: 0,
+        }
+    }
+
+    fn bad(&self, msg: &str) -> ReadError {
+        ReadError::Coded {
+            code: "bad_chunked_frame",
+            msg: format!("{msg} at chunked-body byte offset {}", self.offset),
+        }
+    }
+
+    fn consume(&mut self, pending: &mut Vec<u8>, n: usize) {
+        pending.drain(..n);
+        self.offset += n as u64;
+    }
+
+    /// Decode as much of `pending` as possible, pushing payload into
+    /// `sink`. Returns with bytes left in `pending` only when more input
+    /// is needed to make progress (or the body is `Done`).
+    fn feed(
+        &mut self,
+        pending: &mut Vec<u8>,
+        max_body: usize,
+        sink: &mut dyn BodySink,
+    ) -> Result<(), ReadError> {
+        loop {
+            match self.state {
+                ChunkState::Size => {
+                    let Some(pos) = find_crlf(pending) else {
+                        if pending.len() > MAX_CHUNK_LINE {
+                            return Err(self.bad("unterminated chunk-size line"));
+                        }
+                        return Ok(());
+                    };
+                    if pos > MAX_CHUNK_LINE {
+                        return Err(self.bad("chunk-size line too long"));
+                    }
+                    let line = std::str::from_utf8(&pending[..pos])
+                        .map_err(|_| self.bad("non-UTF-8 chunk-size line"))?;
+                    // A chunk extension (`;name=value`) is legal; ignore it.
+                    let digits = line.split(';').next().unwrap_or("").trim();
+                    if digits.is_empty() {
+                        return Err(self.bad("empty chunk size"));
+                    }
+                    let size = u64::from_str_radix(digits, 16)
+                        .map_err(|_| self.bad(&format!("malformed chunk size {digits:?}")))?;
+                    self.consume(pending, pos + 2);
+                    if size == 0 {
+                        self.state = ChunkState::Trailer;
+                    } else {
+                        if size > (max_body as u64).saturating_sub(self.total as u64) {
+                            return Err(ReadError::TooLarge(max_body));
+                        }
+                        self.state = ChunkState::Data(size as usize);
+                    }
+                }
+                ChunkState::Data(remaining) => {
+                    if pending.is_empty() {
+                        return Ok(());
+                    }
+                    let take = remaining.min(pending.len());
+                    sink.push(&pending[..take]).map_err(ReadError::Rejected)?;
+                    self.total += take;
+                    self.consume(pending, take);
+                    self.state = if take == remaining {
+                        ChunkState::DataCrlf
+                    } else {
+                        ChunkState::Data(remaining - take)
+                    };
+                }
+                ChunkState::DataCrlf => {
+                    if pending.len() < 2 {
+                        return Ok(());
+                    }
+                    if &pending[..2] != b"\r\n" {
+                        return Err(self.bad("chunk data not terminated by CRLF"));
+                    }
+                    self.consume(pending, 2);
+                    self.state = ChunkState::Size;
+                }
+                ChunkState::Trailer => {
+                    let Some(pos) = find_crlf(pending) else {
+                        if pending.len() > MAX_HEADER_BYTES {
+                            return Err(self.bad("unterminated trailer section"));
+                        }
+                        return Ok(());
+                    };
+                    let blank = pos == 0;
+                    self.consume(pending, pos + 2);
+                    if blank {
+                        self.state = ChunkState::Done;
+                    }
+                }
+                ChunkState::Done => {
+                    if !pending.is_empty() {
+                        return Err(self.bad("data after the final chunk"));
+                    }
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+fn read_body_chunked(
+    start: Instant,
+    carry: Vec<u8>,
+    stream: &mut TcpStream,
+    limits: &RequestLimits<'_>,
+    sink: &mut dyn BodySink,
+) -> Result<Option<InflightGuard>, ReadError> {
+    let mut dec = ChunkedDecoder::new();
+    let mut pending = carry;
+    let mut inflight: Option<InflightGuard> = None;
+    let mut reserved = 0usize;
+    let mut chunk = [0u8; 4096];
+    loop {
+        dec.feed(&mut pending, limits.max_body, sink)?;
+        // Keep the in-flight reservation covering everything this worker
+        // holds: the sink's retained bytes plus the undecoded tail. The
+        // reservation only grows (a high-water mark) — shrinking on
+        // discard would let N streaming uploads oscillate past the cap.
+        if let Some(pool) = limits.inflight {
+            let need = sink.retained() + pending.len();
+            if need > reserved {
+                let additional = need - reserved;
+                let ok = match inflight.as_mut() {
+                    Some(g) => g.grow(additional),
+                    None => {
+                        inflight = pool.try_reserve(additional);
+                        inflight.is_some()
+                    }
+                };
+                if !ok {
+                    return Err(ReadError::Overloaded);
+                }
+                reserved = need;
+            }
+        }
+        if matches!(dec.state, ChunkState::Done) {
+            return Ok(inflight);
+        }
+        let n = read_some(stream, &mut chunk, start, limits.progress_deadline)?;
+        if n == 0 {
+            return Err(dec.bad("connection closed mid-chunked-body"));
+        }
+        pending.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// Read and frame one request under `limits`, buffering the whole body.
+pub fn read_request(
+    stream: &mut TcpStream,
+    limits: &RequestLimits<'_>,
+) -> Result<Request, ReadError> {
+    let mut head = read_request_head(stream, limits)?;
+    let mut sink = VecSink::default();
+    let inflight = read_request_body(&mut head, stream, limits, &mut sink)?;
     Ok(Request {
-        method,
-        path,
-        body,
+        method: head.method,
+        path: head.path,
+        body: sink.buf,
         inflight,
     })
+}
+
+fn find_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(2).position(|w| w == b"\r\n")
 }
 
 fn find_header_end(buf: &[u8]) -> Option<usize> {
@@ -524,6 +900,144 @@ mod tests {
             Err(ReadError::Bad(_))
         ));
         assert!(matches!(frame(b"", 1024), Err(ReadError::Bad(_))));
+    }
+
+    #[test]
+    fn chunked_body_is_decoded() {
+        let req = frame(
+            b"POST /v1/traces HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+              5\r\nhello\r\n6;ext=1\r\n world\r\n0\r\n\r\n",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"hello world");
+    }
+
+    #[test]
+    fn chunked_trailers_are_consumed() {
+        let req = frame(
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+              3\r\nabc\r\n0\r\nX-Digest: deadbeef\r\n\r\n",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(req.body, b"abc");
+    }
+
+    #[test]
+    fn malformed_chunk_size_is_a_coded_400_with_offset() {
+        let err = frame(
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\nab\r\n0\r\n\r\n",
+            1024,
+        )
+        .unwrap_err();
+        let resp = err.to_response().unwrap();
+        assert_eq!(resp.status, 400);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"code\": \"bad_chunked_frame\""), "{body}");
+        assert!(body.contains("byte offset 0"), "{body}");
+    }
+
+    #[test]
+    fn missing_chunk_crlf_reports_its_offset() {
+        // "3\r\nabcX..." — the CRLF after the 3-byte chunk is wrong, at
+        // encoded offset 3 (size line) + 3 (data) = 6.
+        let err = frame(
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n3\r\nabcXY\r\n0\r\n\r\n",
+            1024,
+        )
+        .unwrap_err();
+        match &err {
+            ReadError::Coded { code, msg } => {
+                assert_eq!(*code, "bad_chunked_frame");
+                assert!(msg.contains("byte offset 6"), "{msg}");
+            }
+            other => panic!("expected Coded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn te_cl_conflict_is_rejected() {
+        let err = frame(
+            b"POST /x HTTP/1.1\r\nContent-Length: 3\r\nTransfer-Encoding: chunked\r\n\r\n\
+              3\r\nabc\r\n0\r\n\r\n",
+            1024,
+        )
+        .unwrap_err();
+        let resp = err.to_response().unwrap();
+        assert_eq!(resp.status, 400);
+        assert!(String::from_utf8(resp.body)
+            .unwrap()
+            .contains("\"code\": \"te_cl_conflict\""));
+    }
+
+    #[test]
+    fn chunked_total_over_max_body_is_413() {
+        let err = frame(
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nff\r\n",
+            16,
+        )
+        .unwrap_err();
+        match err {
+            ReadError::TooLarge(limit) => assert_eq!(limit, 16),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_chunked_body_is_a_framing_error() {
+        let err = frame(
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhe",
+            1024,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, ReadError::Coded { code, .. } if *code == "bad_chunked_frame"),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn unsupported_transfer_encoding_is_rejected() {
+        let err = frame(b"POST /x HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n", 1024).unwrap_err();
+        assert!(matches!(err, ReadError::Bad(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn inflight_guard_grows_until_the_cap() {
+        let pool = InflightBytes::new(100);
+        let mut g = pool.try_reserve(40).expect("fits");
+        assert!(g.grow(40));
+        assert_eq!(pool.current(), 80);
+        assert!(!g.grow(30), "past the cap");
+        assert_eq!(pool.current(), 80, "failed grow leaves the pool unchanged");
+        assert_eq!(pool.shed(), 1);
+        drop(g);
+        assert_eq!(pool.current(), 0);
+    }
+
+    #[test]
+    fn chunked_upload_over_inflight_cap_is_shed() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client
+            .write_all(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n40\r\n")
+            .unwrap();
+        client.write_all(&[b'a'; 0x40]).unwrap();
+        client.write_all(b"\r\n0\r\n\r\n").unwrap();
+        client.shutdown(std::net::Shutdown::Write).unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        let pool = InflightBytes::new(10);
+        let limits = RequestLimits {
+            max_body: 1024,
+            progress_deadline: Duration::ZERO,
+            inflight: Some(&pool),
+        };
+        let err = read_request(&mut server_side, &limits).unwrap_err();
+        assert!(matches!(err, ReadError::Overloaded), "got {err:?}");
+        drop(pool);
     }
 
     #[test]

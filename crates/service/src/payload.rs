@@ -9,7 +9,9 @@
 //! `analyze_network_routed` call down to the last byte.
 
 use netloc_core::metrics::{dimensionality, peers, rank_locality, selectivity};
-use netloc_core::{analyze_network_routed, NetworkReport, TrafficMatrix};
+use netloc_core::{
+    analyze_network_routed, NetworkReport, TrafficMatrix, WindowMetrics, WindowedMetrics,
+};
 use netloc_mpi::{Trace, TraceStats};
 use netloc_topology::{MappingSpec, RoutedTopology, SpecError, TopologySpec};
 use serde::Serialize;
@@ -72,6 +74,34 @@ pub struct AnalyzeResponse {
     pub global_packet_share: f64,
     /// Hop histogram (index = hops, value = packets).
     pub hop_histogram: Vec<u64>,
+    /// Time-resolved replay (`"windows": N` in the request): each window's
+    /// traffic replayed through the same mapping. `null` unless requested.
+    pub windows: Option<Vec<WindowBlock>>,
+}
+
+/// One time window of an [`AnalyzeResponse`]: the replay of that window's
+/// traffic over the same topology and mapping as the whole-trace report.
+/// Window packet counts and hop totals sum to the whole-trace figures
+/// exactly — the windowed fold is merge-invariant (see
+/// `netloc_core::ingest`).
+#[derive(Debug, Clone, Serialize)]
+pub struct WindowBlock {
+    /// Window position, `0..windows`.
+    pub index: usize,
+    /// Inclusive window start time (seconds).
+    pub t_start_s: f64,
+    /// Exclusive window end time (the last window absorbs later events).
+    pub t_end_s: f64,
+    /// Messages injected within the window.
+    pub messages: u64,
+    /// Packets injected within the window.
+    pub packets: u64,
+    /// Total packet hops within the window.
+    pub packet_hops: u128,
+    /// Average hops per packet within the window.
+    pub avg_hops: f64,
+    /// Hop histogram of the window (index = hops, value = packets).
+    pub hop_histogram: Vec<u64>,
 }
 
 impl AnalyzeResponse {
@@ -101,6 +131,7 @@ impl AnalyzeResponse {
             global_message_share: report.global_message_share(),
             global_packet_share: report.global_packet_share(),
             hop_histogram: report.hop_histogram.clone(),
+            windows: None,
         }
     }
 }
@@ -134,6 +165,53 @@ pub fn analyze(
         trace.exec_time_s,
         &report,
     ))
+}
+
+/// [`analyze`] plus a time-resolved `windows` block: the execution cut
+/// into `windows` equal slices, each slice's traffic replayed through the
+/// *same* mapping (built once from the whole-trace matrix) as the main
+/// report.
+pub fn analyze_windowed(
+    trace: &Trace,
+    tm: &TrafficMatrix,
+    trace_digest: String,
+    topo_spec: &TopologySpec,
+    map_spec: &MappingSpec,
+    routed: &RoutedTopology<'_>,
+    windows: usize,
+) -> Result<AnalyzeResponse, SpecError> {
+    let ranks = trace.num_ranks as usize;
+    let mapping = map_spec.build_with_traffic(ranks, routed, &tm.undirected_entries())?;
+    let report = analyze_network_routed(routed, &mapping, tm);
+    let windowed = netloc_core::windowed_ingest(trace, windows);
+    let blocks = windowed
+        .windows
+        .iter()
+        .enumerate()
+        .map(|(index, w)| {
+            let wr = analyze_network_routed(routed, &mapping, &w.matrix);
+            WindowBlock {
+                index,
+                t_start_s: w.t_start_s,
+                t_end_s: w.t_end_s,
+                messages: wr.messages,
+                packets: wr.packets,
+                packet_hops: wr.packet_hops,
+                avg_hops: wr.avg_hops(),
+                hop_histogram: wr.hop_histogram.clone(),
+            }
+        })
+        .collect();
+    let mut resp = AnalyzeResponse::from_report(
+        TraceMeta::new(trace, trace_digest),
+        topo_spec,
+        routed.num_nodes(),
+        map_spec,
+        trace.exec_time_s,
+        &report,
+    );
+    resp.windows = Some(blocks);
+    Ok(resp)
 }
 
 /// One cell of a `POST /v1/sweep` response.
@@ -229,6 +307,55 @@ pub struct StatsResponse {
     pub communicators: usize,
     /// Whether every collective runs on the global communicator.
     pub global_only: bool,
+    /// Time-resolved rows (`"windows": N` / `--windows N`): Table-1
+    /// counters and locality metrics per equal time slice. `null` unless
+    /// requested.
+    pub windows: Option<Vec<StatsWindow>>,
+}
+
+/// One time window of a [`StatsResponse`]: the window's Table-1 counters
+/// (which sum to the whole-trace figures bit for bit) plus the MPI-level
+/// locality metrics computed from that window's traffic alone.
+#[derive(Debug, Clone, Serialize)]
+pub struct StatsWindow {
+    /// Window position, `0..windows`.
+    pub index: usize,
+    /// Inclusive window start time (seconds).
+    pub t_start_s: f64,
+    /// Exclusive window end time (the last window absorbs later events).
+    pub t_end_s: f64,
+    /// Point-to-point bytes injected within the window.
+    pub p2p_bytes: u64,
+    /// Collective volume within the window.
+    pub coll_bytes: u64,
+    /// Point-to-point calls within the window.
+    pub p2p_calls: u64,
+    /// Collective calls within the window.
+    pub coll_calls: u64,
+    /// Rank distance covering 90% of the window's p2p traffic.
+    pub rank_distance_90: Option<f64>,
+    /// Rank locality of the window, percent.
+    pub rank_locality_90_pct: Option<f64>,
+    /// Peers covering 90% of the window's p2p traffic.
+    pub selectivity_90: Option<f64>,
+}
+
+impl StatsWindow {
+    /// Assemble one window's row from the windowed ingest fold.
+    pub fn from_window(index: usize, w: &WindowMetrics) -> Self {
+        StatsWindow {
+            index,
+            t_start_s: w.t_start_s,
+            t_end_s: w.t_end_s,
+            p2p_bytes: w.p2p_bytes,
+            coll_bytes: w.coll_bytes,
+            p2p_calls: w.p2p_calls,
+            coll_calls: w.coll_calls,
+            rank_distance_90: rank_locality::rank_distance_90(&w.p2p),
+            rank_locality_90_pct: rank_locality::rank_locality_90(&w.p2p).map(|l| 100.0 * l),
+            selectivity_90: selectivity::selectivity_90(&w.p2p),
+        }
+    }
 }
 
 impl StatsResponse {
@@ -252,7 +379,20 @@ impl StatsResponse {
             throughput_mb_s: s.throughput_mb_s(),
             communicators: trace.comms.len(),
             global_only: trace.uses_only_global_communicators(),
+            windows: None,
         }
+    }
+
+    /// Attach per-window rows from a windowed ingest fold.
+    pub fn with_windows(mut self, wm: &WindowedMetrics) -> Self {
+        self.windows = Some(
+            wm.windows
+                .iter()
+                .enumerate()
+                .map(|(i, w)| StatsWindow::from_window(i, w))
+                .collect(),
+        );
+        self
     }
 }
 
@@ -417,6 +557,61 @@ mod tests {
         let m = MetricsResponse::from_trace(&trace);
         assert_eq!(m.peers, Some(1));
         assert_eq!(m.folds.len(), 3);
+    }
+
+    #[test]
+    fn windowed_analyze_sums_to_the_whole_report() {
+        let trace = sample();
+        let topo_spec: TopologySpec = "torus:2,2,2".parse().unwrap();
+        let map_spec: MappingSpec = "consecutive".parse().unwrap();
+        let topo = topo_spec.build().unwrap();
+        let routed = RoutedTopology::auto(topo.as_ref());
+        let tm = TrafficMatrix::from_trace_full(&trace);
+        let resp =
+            analyze_windowed(&trace, &tm, "d".into(), &topo_spec, &map_spec, &routed, 4).unwrap();
+        let blocks = resp.windows.as_ref().unwrap();
+        assert_eq!(blocks.len(), 4);
+        assert_eq!(blocks.iter().map(|w| w.packets).sum::<u64>(), resp.packets);
+        assert_eq!(
+            blocks.iter().map(|w| w.packet_hops).sum::<u128>(),
+            resp.packet_hops
+        );
+        let mut hist = vec![0u64; resp.hop_histogram.len()];
+        for w in blocks {
+            for (h, n) in w.hop_histogram.iter().enumerate() {
+                hist[h] += n;
+            }
+        }
+        assert_eq!(hist, resp.hop_histogram);
+        // Without a windows request the field renders as null.
+        let plain = analyze(&trace, &tm, "d".into(), &topo_spec, &map_spec, &routed).unwrap();
+        assert!(canonical_json(&plain).contains("\"windows\": null"));
+    }
+
+    #[test]
+    fn stats_windows_counters_sum_to_the_whole() {
+        let trace = sample();
+        let wm = netloc_core::windowed_ingest(&trace, 3);
+        let resp = StatsResponse::from_trace(&trace).with_windows(&wm);
+        let rows = resp.windows.as_ref().unwrap();
+        assert_eq!(rows.len(), 3);
+        let stats = trace.stats();
+        assert_eq!(
+            rows.iter().map(|w| w.p2p_calls).sum::<u64>(),
+            stats.p2p_calls
+        );
+        assert_eq!(
+            rows.iter().map(|w| w.coll_calls).sum::<u64>(),
+            stats.coll_calls
+        );
+        assert_eq!(
+            rows.iter().map(|w| w.p2p_bytes).sum::<u64>(),
+            stats.p2p_bytes
+        );
+        assert_eq!(
+            rows.iter().map(|w| w.coll_bytes).sum::<u64>(),
+            stats.coll_bytes
+        );
     }
 
     #[test]

@@ -59,6 +59,53 @@ pub fn delete(addr: SocketAddr, path: &str) -> std::io::Result<HttpResponse> {
     request(addr, "DELETE", path, b"")
 }
 
+/// `POST path` with the body framed as `Transfer-Encoding: chunked`,
+/// split into `chunk_size`-byte chunks. This is the streaming upload
+/// mode: the server never learns the total length up front, so tests
+/// can prove it digests bodies incrementally instead of buffering the
+/// framed request whole.
+pub fn post_chunked(
+    addr: SocketAddr,
+    path: &str,
+    body: &[u8],
+    chunk_size: usize,
+) -> std::io::Result<HttpResponse> {
+    let chunk_size = chunk_size.max(1);
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let head = format!(
+        "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/octet-stream\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+    );
+    stream.write_all(head.as_bytes())?;
+    for chunk in body.chunks(chunk_size) {
+        stream.write_all(format!("{:x}\r\n", chunk.len()).as_bytes())?;
+        stream.write_all(chunk)?;
+        stream.write_all(b"\r\n")?;
+    }
+    stream.write_all(b"0\r\n\r\n")?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+/// Send `raw` bytes verbatim on a fresh connection and parse whatever
+/// comes back. For malformed-framing tests that need wire-level control
+/// (broken chunk sizes, conflicting headers) a well-behaved client
+/// would never emit.
+pub fn send_raw(addr: SocketAddr, raw_request: &[u8]) -> std::io::Result<HttpResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    stream.write_all(raw_request)?;
+    stream.flush()?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
 /// How a client retries shed requests: attempt budget, capped
 /// exponential backoff, and a seed that makes the jitter reproducible.
 #[derive(Debug, Clone)]

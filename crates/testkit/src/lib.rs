@@ -37,6 +37,6 @@ pub use corpus::{default_corpus, CorpusConfig, MappingKind, TopologySpec};
 pub use fault::Corruption;
 pub use goldens::{canonical_json, check_golden, GoldenOutcome};
 pub use oracle::{
-    check_ingest, check_route_table, check_sim, sim_report_diff, verify_corpus, Mismatch,
-    VerifySummary,
+    check_ingest, check_route_table, check_sim, check_windows, sim_report_diff, verify_corpus,
+    Mismatch, VerifySummary,
 };

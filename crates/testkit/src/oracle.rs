@@ -14,7 +14,10 @@ use netloc_core::netmodel::{
     NetworkReport,
 };
 use netloc_core::refmodel::analyze_network_reference;
-use netloc_core::{ingest_trace_chunked, TrafficMatrix};
+use netloc_core::{
+    ingest_trace_chunked, windowed_ingest, windowed_ingest_chunked, windowed_reference,
+    windows_diff, PairTraffic, TrafficMatrix, WindowedAccum,
+};
 use netloc_mpi::{parse_trace, parse_trace_bytes_chunked, write_trace};
 use netloc_sim::{
     expand_trace, simulate_parallel, simulate_reference, Forwarding, SimConfig, SimExec, SimReport,
@@ -31,7 +34,7 @@ pub struct Mismatch {
     pub config: String,
     /// Which oracle fired: `"route"`, `"route-table"`, their sampled
     /// variants `"route-sampled"` / `"route-table-sampled"`, `"replay"`,
-    /// `"ingest"`, or `"sim"`.
+    /// `"ingest"`, `"windows"`, or `"sim"`.
     pub oracle: &'static str,
     /// Human-readable description of the violation.
     pub detail: String,
@@ -56,6 +59,11 @@ pub struct VerifySummary {
     /// (clean and corrupted text) and fused parallel fold vs the
     /// sequential matrix/stats passes.
     pub ingest_checks: u64,
+    /// Windowed-metrics comparisons performed: the chunk-parallel
+    /// windowed fold vs the sequential per-window sub-trace reference,
+    /// merge-grouping invariance, and the sum-of-windows identity against
+    /// the whole-trace aggregates.
+    pub windows_checks: u64,
     /// Temporal-simulation comparisons performed: the parallel engine vs
     /// the sequential `refsim` reference across a worker-count ×
     /// window-size sweep, route storage modes, injection orders and both
@@ -535,6 +543,116 @@ pub fn check_ingest(cfg: &CorpusConfig) -> (Vec<String>, u64) {
     (violations, checks)
 }
 
+/// Differential windowed-metrics check for one corpus config: the
+/// chunk-parallel [`windowed_ingest`] must be byte-identical to the
+/// sequential sub-trace reference across window counts and chunk sizes,
+/// invariant under a seeded random grouping of events into independently
+/// folded-and-merged accumulators, and its per-window aggregates must sum
+/// back to the whole-trace ingest results exactly.
+///
+/// Returns violations; the second tuple element is the number of windowed
+/// comparisons performed.
+pub fn check_windows(cfg: &CorpusConfig) -> (Vec<String>, u64) {
+    let mut violations = Vec::new();
+    let mut checks = 0u64;
+    let trace = cfg.build_trace();
+
+    for windows in [1usize, 3, 8] {
+        let reference = windowed_reference(&trace, windows);
+
+        // Parallel fold vs the sequential reference, across degenerate,
+        // prime, and one-chunk-per-worker splits.
+        for chunk in [0usize, 1, 7] {
+            checks += 1;
+            let got = windowed_ingest_chunked(&trace, windows, chunk);
+            for d in windows_diff(&got, &reference) {
+                violations.push(format!(
+                    "windowed fold (windows {windows}, chunk {chunk}): {d}"
+                ));
+            }
+        }
+
+        // Seeded random grouping: deal the events across three private
+        // accumulators in shuffled order, merge, and demand identity —
+        // merge must be associative and commutative in any grouping.
+        checks += 1;
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x0077_696e_646f_7773 ^ windows as u64);
+        let mut accums: Vec<WindowedAccum> = (0..3)
+            .map(|_| WindowedAccum::new(trace.num_ranks, windows, trace.exec_time_s))
+            .collect();
+        for i in 0..trace.events.len() {
+            let which = rng.gen_range(0..accums.len());
+            accums[which].fold_events(&trace, &trace.events[i..i + 1]);
+        }
+        let mut accums = accums.into_iter();
+        let mut merged = accums.next().expect("three accumulators");
+        for a in accums {
+            merged.merge(a);
+        }
+        for d in windows_diff(&merged.finish(&trace), &reference) {
+            violations.push(format!("windowed merge grouping (windows {windows}): {d}"));
+        }
+    }
+
+    // Sum-of-windows identity: adding every window's counters and matrix
+    // cells reproduces the whole-trace fused ingest bit for bit.
+    checks += 1;
+    let whole = ingest_trace_chunked(trace.clone(), 0);
+    let windowed = windowed_ingest(&trace, 5);
+    let sums = windowed
+        .windows
+        .iter()
+        .fold((0u64, 0u64, 0u64, 0u64), |acc, w| {
+            (
+                acc.0 + w.p2p_bytes,
+                acc.1 + w.coll_bytes,
+                acc.2 + w.p2p_calls,
+                acc.3 + w.coll_calls,
+            )
+        });
+    let expect = (
+        whole.stats.p2p_bytes,
+        whole.stats.coll_bytes,
+        whole.stats.p2p_calls,
+        whole.stats.coll_calls,
+    );
+    if sums != expect {
+        violations.push(format!(
+            "window counter sums {sums:?} != whole-trace stats {expect:?}"
+        ));
+    }
+    for (label, select, whole_matrix) in [
+        (
+            "full",
+            (|w: &netloc_core::WindowMetrics| &w.matrix)
+                as fn(&netloc_core::WindowMetrics) -> &TrafficMatrix,
+            &whole.matrix,
+        ),
+        ("p2p", |w: &netloc_core::WindowMetrics| &w.p2p, &whole.p2p),
+    ] {
+        let mut summed: std::collections::BTreeMap<(u32, u32), PairTraffic> =
+            std::collections::BTreeMap::new();
+        for w in &windowed.windows {
+            for (k, p) in select(w).sorted_pairs() {
+                let e = summed.entry(*k).or_default();
+                e.bytes += p.bytes;
+                e.messages += p.messages;
+                e.packets += p.packets;
+            }
+        }
+        let summed: Vec<((u32, u32), PairTraffic)> = summed.into_iter().collect();
+        if summed != whole_matrix.sorted_pairs() {
+            violations.push(format!(
+                "summed {label} window matrix ({} pairs) != whole-trace matrix ({} pairs)",
+                summed.len(),
+                whole_matrix.num_pairs()
+            ));
+        }
+    }
+
+    (violations, checks)
+}
+
 /// Describe every field on which two simulation reports differ (empty
 /// when equal). The sim oracle demands *byte identity* — floats are
 /// compared with `==`, never a tolerance — so a field-by-field diff that
@@ -743,6 +861,15 @@ pub fn verify_corpus(corpus: &[CorpusConfig]) -> VerifySummary {
                 oracle: "ingest",
                 detail,
             }));
+        let (violations, checks) = check_windows(cfg);
+        summary.windows_checks += checks;
+        summary
+            .mismatches
+            .extend(violations.into_iter().map(|detail| Mismatch {
+                config: cfg.id(),
+                oracle: "windows",
+                detail,
+            }));
         let (violations, checks) = check_sim(cfg);
         summary.sim_checks += checks;
         summary
@@ -768,6 +895,7 @@ mod tests {
         assert!(summary.route_pairs > 0);
         assert!(summary.replay_checks >= summary.configs as u64);
         assert!(summary.ingest_checks >= summary.configs as u64);
+        assert!(summary.windows_checks >= 10 * summary.configs as u64);
         assert!(summary.sim_checks >= 20 * summary.configs as u64);
         assert!(
             summary.is_clean(),
@@ -872,6 +1000,20 @@ mod tests {
         for cfg in default_corpus() {
             let (violations, checks) = check_ingest(&cfg);
             assert!(checks >= 10, "{}: only {checks} ingest checks", cfg.id());
+            assert!(
+                violations.is_empty(),
+                "{}: {}",
+                cfg.id(),
+                violations.join("\n")
+            );
+        }
+    }
+
+    #[test]
+    fn windows_oracle_clean_on_all_corpus_configs() {
+        for cfg in default_corpus() {
+            let (violations, checks) = check_windows(&cfg);
+            assert!(checks >= 10, "{}: only {checks} windows checks", cfg.id());
             assert!(
                 violations.is_empty(),
                 "{}: {}",

@@ -2,7 +2,13 @@
 //!
 //! ```text
 //! netloc generate <app> <ranks> [-o FILE] [--binary] [--scaled]
-//! netloc stats    <TRACE> [--json]            Table 1-style overview
+//! netloc convert  <TRACE> [-o FILE] [--to columnar|binary|text]
+//!                                             transcode between the trace formats
+//!                                             (columnar is the chunked binary
+//!                                             format built for streaming ingest)
+//! netloc stats    <TRACE> [--json] [--windows N]
+//!                                             Table 1-style overview; --windows N
+//!                                             adds time-resolved per-window rows
 //! netloc metrics  <TRACE> [--json]            peers, rank locality, selectivity, 1D/2D/3D folds
 //! netloc analyze  <TRACE> [--json]            every MPI-level metric at once
 //! netloc replay   <TRACE> --topology SPEC [--mapping MAP] [--json]
@@ -54,10 +60,10 @@
 use netloc::core::canon::canonical_json;
 use netloc::core::metrics::{dimensionality, peers, rank_locality, selectivity};
 use netloc::core::{
-    analyze_network, classes, heatmap, ingest_trace, ingest_trace_bytes, timeline::Timeline,
-    IngestResult, TrafficMatrix,
+    analyze_network, classes, heatmap, ingest_trace_bytes, ingest_trace_path, timeline::Timeline,
+    windowed_ingest, IngestResult, TrafficMatrix,
 };
-use netloc::mpi::{parse_trace_binary, write_trace, write_trace_binary, Trace};
+use netloc::mpi::{write_trace, write_trace_binary, write_trace_columnar, Trace};
 use netloc::service::payload::{MetricsResponse, StatsResponse};
 use netloc::topology::optimize::greedy_mapping;
 use netloc::topology::{MappingSpec, RoutedTopology, Topology, TopologySpec};
@@ -74,6 +80,7 @@ fn main() {
     let rest = &args[1..];
     match cmd.as_str() {
         "generate" => generate(rest),
+        "convert" => convert_cmd(rest),
         "stats" => stats(&load_ingest(rest), rest),
         "metrics" => metrics(&load_ingest(rest), rest),
         "analyze" => analyze(rest),
@@ -94,7 +101,7 @@ fn main() {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: netloc <generate|stats|metrics|analyze|replay|heatmap|timeline|simulate|serve|sweep|verify> …\n\
+        "usage: netloc <generate|convert|stats|metrics|analyze|replay|heatmap|timeline|simulate|serve|sweep|verify> …\n\
          see the module docs (`cargo doc`) or the README for details"
     );
     exit(2);
@@ -107,41 +114,25 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
-/// Read, parse, and fold a trace in one pass: text goes through the
-/// chunked zero-copy parser, and the traffic matrices plus Table 1 stats
-/// come out of the same fused fold the service uses.
+/// Read, parse, and fold a trace in one pass. The format (dumpi text,
+/// row binary, columnar) is detected by magic bytes; files are mapped
+/// into memory rather than copied, so a multi-GB trace parses with
+/// O(chunk) extra resident memory; the traffic matrices plus Table 1
+/// stats come out of the same fused fold the service uses.
 fn load_ingest(args: &[String]) -> IngestResult {
     let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
         eprintln!("missing trace file argument");
         exit(2);
     };
-    let bytes = if path == "-" {
+    let parsed = if path == "-" {
         let mut buf = Vec::new();
         if std::io::stdin().read_to_end(&mut buf).is_err() {
             eprintln!("failed to read stdin");
             exit(1);
         }
-        buf
+        ingest_trace_bytes(&buf)
     } else {
-        match std::fs::read(path) {
-            Ok(b) => b,
-            Err(e) => {
-                eprintln!("cannot read {path}: {e}");
-                exit(1);
-            }
-        }
-    };
-    // Auto-detect the format by magic bytes.
-    let parsed = if bytes.starts_with(b"NLDUMPI") {
-        parse_trace_binary(&bytes).map(ingest_trace)
-    } else {
-        match std::str::from_utf8(&bytes) {
-            Ok(_) => ingest_trace_bytes(&bytes),
-            Err(_) => {
-                eprintln!("{path}: neither binary magic nor valid UTF-8 text");
-                exit(1);
-            }
-        }
+        ingest_trace_path(std::path::Path::new(path))
     };
     match parsed {
         Ok(r) => r,
@@ -210,13 +201,48 @@ fn generate(args: &[String]) {
     }
 }
 
+/// `netloc convert` — transcode a trace between the dumpi text, row
+/// binary, and columnar formats (default: columnar). Round-tripping
+/// through any format reproduces the same events byte-for-byte.
+fn convert_cmd(args: &[String]) {
+    let trace = load_trace(args);
+    let to = flag_value(args, "--to").unwrap_or("columnar");
+    let payload: Vec<u8> = match to {
+        "columnar" => write_trace_columnar(&trace),
+        "binary" => write_trace_binary(&trace),
+        "text" => write_trace(&trace).into_bytes(),
+        other => {
+            eprintln!("unknown format '{other}' (expected columnar|binary|text)");
+            exit(2);
+        }
+    };
+    match flag_value(args, "-o") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &payload) {
+                eprintln!("cannot write {path}: {e}");
+                exit(1);
+            }
+            eprintln!("wrote {path} ({} bytes, {to})", payload.len());
+        }
+        None => {
+            use std::io::Write as _;
+            let _ = std::io::stdout().write_all(&payload);
+        }
+    }
+}
+
 fn stats(ing: &IngestResult, args: &[String]) {
     let trace = &ing.trace;
+    let windows: Option<usize> = flag_value(args, "--windows")
+        .and_then(|s| s.parse().ok())
+        .filter(|n| *n >= 1);
     if args.iter().any(|a| a == "--json") {
-        print!(
-            "{}",
-            canonical_json(&StatsResponse::from_parts(trace, &ing.stats))
-        );
+        let base = StatsResponse::from_parts(trace, &ing.stats);
+        let rendered = match windows {
+            Some(n) => canonical_json(&base.with_windows(&windowed_ingest(trace, n))),
+            None => canonical_json(&base),
+        };
+        print!("{rendered}");
         return;
     }
     let s = ing.stats;
@@ -240,6 +266,27 @@ fn stats(ing: &IngestResult, args: &[String]) {
         trace.comms.len(),
         trace.uses_only_global_communicators()
     );
+    if let Some(n) = windows {
+        let wm = windowed_ingest(trace, n);
+        println!("\ntime-resolved ({n} windows; columns sum to the whole-trace totals):");
+        println!("  win        t [s]         p2p MB   coll MB  p2p calls  coll calls  locality %");
+        for (i, w) in wm.windows.iter().enumerate() {
+            let loc = rank_locality::rank_locality_90(&w.p2p)
+                .map(|l| format!("{:.1}", 100.0 * l))
+                .unwrap_or_else(|| "-".into());
+            println!(
+                "  {:>3} {:>8.4}-{:<8.4} {:>8.2} {:>9.2} {:>10} {:>11} {:>11}",
+                i,
+                w.t_start_s,
+                w.t_end_s,
+                w.p2p_bytes as f64 / 1e6,
+                w.coll_bytes as f64 / 1e6,
+                w.p2p_calls,
+                w.coll_calls,
+                loc
+            );
+        }
+    }
 }
 
 fn metrics(ing: &IngestResult, args: &[String]) {
@@ -717,15 +764,16 @@ fn verify_cmd(args: &[String]) {
     }
     let summary = verify_corpus(&corpus);
     println!(
-        "checked {} configs: {} route pairs, {} replay comparisons, {} ingest checks, {} sim comparisons",
+        "checked {} configs: {} route pairs, {} replay comparisons, {} ingest checks, {} window checks, {} sim comparisons",
         summary.configs,
         summary.route_pairs,
         summary.replay_checks,
         summary.ingest_checks,
+        summary.windows_checks,
         summary.sim_checks
     );
     if summary.is_clean() {
-        println!("all oracles agree: analytic routing matches BFS (exhaustive on small configs, seeded sampling on the zoo), flat and compressed route tables replay identically, parallel replay matches the single-threaded reference, parallel ingest matches the sequential parser, the parallel temporal simulation matches refsim byte-for-byte");
+        println!("all oracles agree: analytic routing matches BFS (exhaustive on small configs, seeded sampling on the zoo), flat and compressed route tables replay identically, parallel replay matches the single-threaded reference, parallel ingest matches the sequential parser, windowed metrics merge identically under every grouping and sum to the whole-trace aggregates, the parallel temporal simulation matches refsim byte-for-byte");
     } else {
         println!("{} MISMATCHES:", summary.mismatches.len());
         for m in &summary.mismatches {

@@ -248,6 +248,13 @@ fn dumpi_roundtrip_random_traces() {
         let bin = netloc::mpi::write_trace_binary(&trace);
         let parsed_bin = netloc::mpi::parse_trace_binary(&bin).unwrap();
         assert_eq!(parsed_bin, trace);
+        // ...and so must the columnar codec, at any chunking: the frame
+        // size changes the wire layout but never the decoded trace.
+        let col = netloc::mpi::write_trace_columnar(&trace);
+        assert_eq!(netloc::mpi::parse_trace_columnar(&col).unwrap(), trace);
+        let chunk = rng.gen_range(1usize..40);
+        let chunked = netloc::mpi::write_trace_columnar_chunked(&trace, chunk);
+        assert_eq!(netloc::mpi::parse_trace_columnar(&chunked).unwrap(), trace);
     });
 }
 
@@ -617,6 +624,124 @@ fn text_parsers_agree_on_corpus_corruption() {
             ),
         }
     });
+}
+
+/// Windowed metrics are a pure function of the (trace, window count)
+/// pair: whatever the worker cap and however the event stream is
+/// chunked, the merged per-window states are identical to the
+/// sequential single-bucket reference, and their counters sum to the
+/// whole-trace aggregates — the invariant the `netloc verify` windows
+/// oracle enforces over its corpus.
+#[test]
+fn windowed_merge_invariant_under_grouping() {
+    use netloc::core::{windowed_ingest_chunked, windowed_reference, windows_diff};
+    check("windowed_merge_invariant_under_grouping", |rng| {
+        let ranks = rng.gen_range(2u32..24);
+        let mut b = TraceBuilder::new("prop-windows", ranks).exec_time_s(rng.gen_range(0.5..20.0));
+        for _ in 0..rng.gen_range(1usize..50) {
+            b.send(
+                Rank(rng.gen_range(0..ranks)),
+                Rank(rng.gen_range(0..ranks)),
+                rng.gen_range(0u64..500_000),
+                rng.gen_range(1u64..5),
+            );
+        }
+        for _ in 0..rng.gen_range(0usize..4) {
+            let op = CollectiveOp::ALL[rng.gen_range(0..CollectiveOp::ALL.len())];
+            b.collective(
+                op,
+                op.is_rooted().then(|| rng.gen_range(0..ranks) as usize),
+                Payload::Uniform(rng.gen_range(1u64..10_000)),
+                rng.gen_range(1u64..4),
+            );
+        }
+        let trace = b.build();
+        let windows = rng.gen_range(1usize..9);
+        let reference = windowed_reference(&trace, windows);
+
+        // Any worker count × any chunk size: identical windows.
+        for workers in [1usize, 2, 0] {
+            let saved = rayon::set_max_workers(workers);
+            let chunk = rng.gen_range(0usize..40);
+            let merged = windowed_ingest_chunked(&trace, windows, chunk);
+            let diffs = windows_diff(&reference, &merged);
+            rayon::set_max_workers(saved);
+            assert!(
+                diffs.is_empty(),
+                "workers {workers}, chunk {chunk}: {diffs:?}"
+            );
+        }
+
+        // The windows partition the whole trace: counter sums match the
+        // fused Table-1 stats exactly.
+        let stats = trace.stats();
+        let sum = |f: fn(&netloc::core::WindowMetrics) -> u64| -> u64 {
+            reference.windows.iter().map(f).sum()
+        };
+        assert_eq!(sum(|w| w.p2p_bytes), stats.p2p_bytes);
+        assert_eq!(sum(|w| w.coll_bytes), stats.coll_bytes);
+        assert_eq!(sum(|w| w.p2p_calls), stats.p2p_calls);
+        assert_eq!(sum(|w| w.coll_calls), stats.coll_calls);
+    });
+}
+
+/// The columnar codec survives the on-disk fault harness over the whole
+/// corpus: truncation, bit flips, clobbered tails, and garbage must all
+/// yield either a clean offset-carrying `Err` or a trace that still
+/// validates — never a panic, and never a count-driven allocation. The
+/// incremental stream parser must agree with the whole-buffer parse on
+/// every surviving input.
+#[test]
+fn columnar_codec_survives_corpus_corruption() {
+    use netloc::testkit::fault::corrupt_file_randomly;
+    let corpus: Vec<Vec<u8>> = netloc::testkit::default_corpus()
+        .iter()
+        .map(|cfg| netloc::mpi::write_trace_columnar(&cfg.build_trace()))
+        .collect();
+    assert!(!corpus.is_empty());
+    let dir = std::env::temp_dir().join(format!("netloc-colfault-{}", std::process::id()));
+    let _ = std::fs::create_dir_all(&dir);
+    check("columnar_codec_survives_corpus_corruption", |rng| {
+        let base = &corpus[rng.gen_range(0..corpus.len())];
+        let path = dir.join("case.col");
+        std::fs::write(&path, base).unwrap();
+        let mode = corrupt_file_randomly(&path, rng).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let whole = netloc::mpi::parse_trace_columnar(&bytes);
+        match &whole {
+            Ok(t) => assert!(t.validate().is_ok(), "{mode:?} produced an invalid trace"),
+            Err(e) => {
+                let msg = e.to_string();
+                // Every decode error carries its byte offset, except the
+                // up-front magic check (there is no position to report
+                // when the file is not columnar at all).
+                assert!(
+                    msg.contains("offset") || msg.contains("magic"),
+                    "{mode:?} error must locate itself: {msg}"
+                );
+            }
+        }
+        // The streaming parser sees the same bytes in arbitrary slices
+        // and must not panic either; when both sides accept, they must
+        // decode the identical trace.
+        let mut parser = netloc::mpi::ColStreamParser::new();
+        let mut rest: &[u8] = &bytes;
+        let streamed = loop {
+            if rest.is_empty() {
+                break parser.finish();
+            }
+            let take = rng.gen_range(1usize..=rest.len().min(97));
+            let (head, tail) = rest.split_at(take);
+            rest = tail;
+            if let Err(e) = parser.push(head) {
+                break Err(e);
+            }
+        };
+        if let (Ok(a), Ok(b)) = (&whole, &streamed) {
+            assert_eq!(a, b, "{mode:?}: stream decode diverged from whole-buffer");
+        }
+    });
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Grid foldings: exact product, descending dims, chebyshev symmetry

@@ -32,6 +32,11 @@ fn seeded_corpus_is_clean_under_both_oracles() {
          across the worker/window sweep, both route storages and both forwarding models"
     );
     assert!(
+        summary.windows_checks >= 10 * corpus.len() as u64,
+        "each config should check windowed merges across several groupings \
+         plus the sum-to-whole and columnar round-trip invariants"
+    );
+    assert!(
         summary.is_clean(),
         "differential oracles disagree:\n{}",
         summary
